@@ -1,0 +1,30 @@
+//! The DESIGN.md ablations: blinding on/off, scheme agility after a GFW
+//! rule update, and the Shadowsocks keep-alive sweep.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use sc_metrics::{ablation_agility, ablation_blinding, ablation_ss_keepalive};
+
+fn bench(c: &mut Criterion) {
+    let (on, off, resets) = ablation_blinding(2017);
+    println!("Ablation — blinding:");
+    println!(
+        "  ON : fail {:.1}%  PLR {:.3}%   |   OFF: fail {:.1}%  PLR {:.3}%  (embedded-SNI resets {resets})",
+        on.failure_rate * 100.0,
+        on.plr * 100.0,
+        off.failure_rate * 100.0,
+        off.plr * 100.0,
+    );
+    let (before, after) = ablation_agility(2017);
+    println!("Ablation — agility: degradation before rotation {before:.2}, after {after:.2}");
+    for (w, plt) in ablation_ss_keepalive(2017, &[1, 10, 120]) {
+        println!("Ablation — SS keepalive {w:>3} s → mean subsequent PLT {plt:.2} s");
+    }
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("blinding_on_off", |b| b.iter(|| ablation_blinding(7)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

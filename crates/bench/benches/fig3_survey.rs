@@ -1,0 +1,18 @@
+//! Figure 3: the access-method survey sampling + tabulation pipeline.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use sc_metrics::fig3_survey;
+use sc_metrics::report::render_fig3;
+
+fn bench(c: &mut Criterion) {
+    // Print the figure once for the record.
+    println!("{}", render_fig3(&fig3_survey(371, 2017)));
+    println!("{}", render_fig3(&fig3_survey(100_000, 2017)));
+    let mut g = c.benchmark_group("fig3");
+    g.bench_function("survey_371", |b| b.iter(|| fig3_survey(371, 7)));
+    g.bench_function("survey_100k", |b| b.iter(|| fig3_survey(100_000, 7)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

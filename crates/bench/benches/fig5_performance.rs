@@ -1,0 +1,25 @@
+//! Figures 5a–5c: PLT / RTT / PLR per access method.
+
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use sc_metrics::report::render_fig5;
+use sc_metrics::{Method, fig5_all, fig5_method};
+
+fn bench(c: &mut Criterion) {
+    // Regenerate and print the full figure once.
+    let rows = fig5_all(2017, 10);
+    println!("{}", render_fig5(&rows));
+
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    for method in Method::all_measured() {
+        g.bench_with_input(
+            BenchmarkId::new("scenario", method.name()),
+            &method,
+            |b, &m| b.iter(|| fig5_method(m, 7, 3)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figures 6a–6c: client-side traffic / CPU / memory overhead.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use sc_metrics::report::render_fig6;
+use sc_metrics::{Method, fig6_all, fig6_method};
+
+fn bench(c: &mut Criterion) {
+    let rows = fig6_all(2017);
+    println!("{}", render_fig6(&rows));
+
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("overhead_scholarcloud", |b| {
+        b.iter(|| fig6_method(Method::ScholarCloud, 7))
+    });
+    g.bench_function("overhead_native_vpn", |b| {
+        b.iter(|| fig6_method(Method::NativeVpn, 7))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

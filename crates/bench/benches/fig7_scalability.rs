@@ -1,0 +1,33 @@
+//! Figure 7: mean PLT vs concurrent clients for the four controllable
+//! methods (the paper excludes Tor — no control over its bridges).
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use sc_metrics::report::render_fig7;
+use sc_metrics::{FIG7_CLIENTS, Method, fig7_method};
+
+fn bench(c: &mut Criterion) {
+    let methods = [
+        Method::NativeVpn,
+        Method::OpenVpn,
+        Method::Shadowsocks,
+        Method::ScholarCloud,
+    ];
+    let curves: Vec<_> = methods
+        .into_iter()
+        .map(|m| (m, fig7_method(m, 2017, &FIG7_CLIENTS)))
+        .collect();
+    println!("{}", render_fig7(&curves));
+
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("scholarcloud_60_clients", |b| {
+        b.iter(|| fig7_method(Method::ScholarCloud, 7, &[60]))
+    });
+    g.bench_function("shadowsocks_60_clients", |b| {
+        b.iter(|| fig7_method(Method::Shadowsocks, 7, &[60]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

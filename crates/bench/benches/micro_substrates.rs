@@ -1,0 +1,152 @@
+//! Micro-benchmarks of the substrates: crypto throughput, blinding codecs,
+//! TCP bulk transfer in the simulator, GFW flow classification, and the
+//! PAC evaluator.
+
+use bytes::Bytes;
+use criterion::{Criterion, Throughput, criterion_group, criterion_main};
+use sc_crypto::aes::{Aes, KeySize};
+use sc_crypto::blinding::BlindingScheme;
+use sc_crypto::modes::Cfb;
+use sc_crypto::sha256::sha256;
+use sc_gfw::{FlowTable, GfwConfig};
+use sc_netproto::pac::PacFile;
+use sc_simnet::addr::{Addr, SocketAddr};
+use sc_simnet::packet::{Packet, TcpFlags, TcpSegmentBody};
+use sc_simnet::time::SimTime;
+
+fn crypto_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let data = vec![0xa5u8; 16 * 1024];
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("aes256_cfb_encrypt_16k", |b| {
+        let aes = Aes::new(KeySize::Aes256, &[7; 32]).unwrap();
+        b.iter(|| {
+            let mut cfb = Cfb::new(aes.clone(), [1; 16]);
+            let mut buf = data.clone();
+            cfb.encrypt(&mut buf);
+            buf
+        })
+    });
+    g.bench_function("sha256_16k", |b| b.iter(|| sha256(&data)));
+    for scheme in BlindingScheme::rotation() {
+        g.bench_function(format!("blind_{scheme:?}_16k"), |b| {
+            let codec = scheme.instantiate(b"key");
+            b.iter(|| {
+                let mut buf = data.clone();
+                codec.encode(&mut buf, 0);
+                buf
+            })
+        });
+    }
+    g.finish();
+}
+
+fn gfw_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gfw");
+    let cfg = GfwConfig::china_2017((Addr::new(99, 2, 0, 0), 16));
+    let mk_packet = |port: u16, payload: &[u8]| {
+        Packet::tcp(
+            SocketAddr::new(Addr::new(10, 0, 0, 1), 40_000),
+            SocketAddr::new(Addr::new(99, 0, 0, 1), port),
+            TcpSegmentBody {
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::ACK,
+                window: 0,
+                payload: Bytes::copy_from_slice(payload),
+            },
+        )
+    };
+    let http = mk_packet(80, b"GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n");
+    let mut tls_client = sc_netproto::TlsClient::new("cdn.example", 7);
+    let tls = mk_packet(443, &tls_client.start_handshake());
+    g.bench_function("classify_http_packet", |b| {
+        b.iter(|| {
+            let mut table = FlowTable::new();
+            table.observe(&http, SimTime::ZERO, &cfg);
+        })
+    });
+    g.bench_function("classify_tls_packet", |b| {
+        b.iter(|| {
+            let mut table = FlowTable::new();
+            table.observe(&tls, SimTime::ZERO, &cfg);
+        })
+    });
+    g.finish();
+}
+
+fn pac_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pac");
+    let pac = PacFile::new(
+        ["scholar.google.com", "www.google.com"],
+        SocketAddr::new(Addr::new(10, 1, 0, 1), 8080),
+    );
+    g.bench_function("decide", |b| b.iter(|| pac.decide("scholar.google.com")));
+    let js = pac.to_javascript();
+    g.bench_function("parse", |b| b.iter(|| PacFile::parse(&js).unwrap()));
+    g.finish();
+}
+
+fn tcp_transfer_bench(c: &mut Criterion) {
+    use sc_simnet::prelude::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct EchoServer;
+    impl App for EchoServer {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.tcp_listen(80);
+        }
+        fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx<'_>) {
+            if let AppEvent::Tcp(h, TcpEvent::DataReceived) = ev {
+                let data = ctx.tcp_recv_all(h);
+                ctx.tcp_send(h, &data);
+            }
+        }
+    }
+    struct Sender {
+        got: Rc<RefCell<usize>>,
+        h: Option<TcpHandle>,
+    }
+    impl App for Sender {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.h = Some(ctx.tcp_connect(SocketAddr::new(Addr::new(99, 0, 0, 1), 80)));
+        }
+        fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx<'_>) {
+            match ev {
+                AppEvent::Tcp(h, TcpEvent::Connected) => {
+                    ctx.tcp_send(h, &vec![7u8; 200_000]);
+                }
+                AppEvent::Tcp(h, TcpEvent::DataReceived) => {
+                    *self.got.borrow_mut() += ctx.tcp_recv_all(h).len();
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut g = c.benchmark_group("simnet");
+    g.sample_size(20);
+    g.bench_function("tcp_echo_200k_with_loss", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(7);
+            let a = sim.add_node("a", Addr::new(10, 0, 0, 1));
+            let s = sim.add_node("s", Addr::new(99, 0, 0, 1));
+            sim.add_link(
+                a,
+                s,
+                LinkConfig::with_delay(SimDuration::from_millis(20)).loss(0.002),
+            );
+            sim.compute_routes();
+            sim.install_app(s, Box::new(EchoServer));
+            let got = Rc::new(RefCell::new(0));
+            sim.install_app(a, Box::new(Sender { got: got.clone(), h: None }));
+            sim.run_for(SimDuration::from_secs(60));
+            assert_eq!(*got.borrow(), 200_000);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, crypto_benches, gfw_benches, pac_benches, tcp_transfer_bench);
+criterion_main!(benches);

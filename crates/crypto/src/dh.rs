@@ -1,0 +1,147 @@
+//! Finite-field Diffie–Hellman key agreement used by the simulated TLS and
+//! OpenVPN control-channel handshakes.
+//!
+//! The group is a 61-bit Mersenne prime, which keeps arithmetic in `u128`
+//! and the simulation fast. That is obviously **not** cryptographically
+//! strong — it does not need to be: the adversary in this reproduction is a
+//! traffic *classifier*, not a cryptanalyst, and the handshake's observable
+//! properties (message sizes, round trips, high-entropy shared secrets) are
+//! preserved. See DESIGN.md §2.
+
+/// The group modulus: the Mersenne prime `2^61 - 1`.
+pub const MODULUS: u64 = (1u64 << 61) - 1;
+
+/// The group generator.
+pub const GENERATOR: u64 = 5;
+
+fn mulmod(a: u64, b: u64) -> u64 {
+    ((a as u128 * b as u128) % MODULUS as u128) as u64
+}
+
+/// Modular exponentiation `base^exp mod MODULUS`.
+pub fn powmod(mut base: u64, mut exp: u64) -> u64 {
+    base %= MODULUS;
+    let mut acc = 1u64;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mulmod(acc, base);
+        }
+        base = mulmod(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// A Diffie–Hellman private key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrivateKey(u64);
+
+/// A Diffie–Hellman public key (group element).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PublicKey(pub u64);
+
+impl PrivateKey {
+    /// Creates a private key from raw entropy. Zero exponents are remapped
+    /// so the public key is never the identity.
+    pub fn from_entropy(entropy: u64) -> Self {
+        let e = entropy % (MODULUS - 2);
+        PrivateKey(e.max(2))
+    }
+
+    /// The corresponding public key `g^x`.
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey(powmod(GENERATOR, self.0))
+    }
+
+    /// Computes the shared secret with a peer's public key, expanded to a
+    /// 32-byte key via SHA-256.
+    pub fn agree(&self, peer: &PublicKey) -> [u8; 32] {
+        let shared = powmod(peer.0, self.0);
+        crate::sha256::sha256(&shared.to_be_bytes())
+    }
+}
+
+impl PublicKey {
+    /// Serializes the public key for the wire.
+    pub fn to_bytes(self) -> [u8; 8] {
+        self.0.to_be_bytes()
+    }
+
+    /// Parses a public key from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the element is outside the group (0, 1, or ≥ modulus),
+    /// which rejects degenerate small-subgroup handshakes.
+    pub fn from_bytes(bytes: [u8; 8]) -> Result<Self, InvalidGroupElement> {
+        let v = u64::from_be_bytes(bytes);
+        if v <= 1 || v >= MODULUS {
+            return Err(InvalidGroupElement(v));
+        }
+        Ok(PublicKey(v))
+    }
+}
+
+/// Error for out-of-group public key material.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidGroupElement(pub u64);
+
+impl core::fmt::Display for InvalidGroupElement {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid Diffie-Hellman group element: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidGroupElement {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_secret_agrees() {
+        let a = PrivateKey::from_entropy(0x1234_5678_9abc_def0);
+        let b = PrivateKey::from_entropy(0x0fed_cba9_8765_4321);
+        let s1 = a.agree(&b.public_key());
+        let s2 = b.agree(&a.public_key());
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn different_peers_differ() {
+        let a = PrivateKey::from_entropy(11);
+        let b = PrivateKey::from_entropy(22);
+        let c = PrivateKey::from_entropy(33);
+        assert_ne!(a.agree(&b.public_key()), a.agree(&c.public_key()));
+    }
+
+    #[test]
+    fn powmod_small_cases() {
+        assert_eq!(powmod(2, 10), 1024);
+        assert_eq!(powmod(GENERATOR, 0), 1);
+        assert_eq!(powmod(GENERATOR, 1), GENERATOR);
+        // Fermat: g^(p-1) = 1 mod p.
+        assert_eq!(powmod(GENERATOR, MODULUS - 1), 1);
+    }
+
+    #[test]
+    fn public_key_wire_roundtrip() {
+        let k = PrivateKey::from_entropy(987654321).public_key();
+        let parsed = PublicKey::from_bytes(k.to_bytes()).unwrap();
+        assert_eq!(parsed, k);
+    }
+
+    #[test]
+    fn rejects_degenerate_elements() {
+        assert!(PublicKey::from_bytes(0u64.to_be_bytes()).is_err());
+        assert!(PublicKey::from_bytes(1u64.to_be_bytes()).is_err());
+        assert!(PublicKey::from_bytes(MODULUS.to_be_bytes()).is_err());
+        assert!(PublicKey::from_bytes(2u64.to_be_bytes()).is_ok());
+    }
+
+    #[test]
+    fn zero_entropy_still_valid() {
+        let k = PrivateKey::from_entropy(0);
+        assert!(k.public_key().0 > 1);
+    }
+}

@@ -1,0 +1,183 @@
+//! Statistical payload analysis used by the GFW's DPI heuristics: byte
+//! entropy, printable ratio, and a chi-squared uniformity score. Deployed
+//! censors flag flows whose payloads look like "uniform random bytes with no
+//! recognizable protocol header" — the heuristic that caught Shadowsocks.
+
+/// Shannon entropy of a byte slice, in bits per byte (0.0–8.0).
+///
+/// Returns 0.0 for empty input.
+///
+/// # Examples
+///
+/// ```
+/// use sc_crypto::entropy::shannon_entropy;
+///
+/// assert_eq!(shannon_entropy(&[7u8; 64]), 0.0);
+/// let all: Vec<u8> = (0..=255).collect();
+/// assert!((shannon_entropy(&all) - 8.0).abs() < 1e-9);
+/// ```
+pub fn shannon_entropy(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0usize; 256];
+    for &b in data {
+        counts[b as usize] += 1;
+    }
+    let n = data.len() as f64;
+    let mut h = 0.0;
+    for &c in counts.iter() {
+        if c > 0 {
+            let p = c as f64 / n;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Fraction of bytes that are printable ASCII (0x20–0x7e, plus tab/CR/LF).
+pub fn printable_ratio(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let printable = data
+        .iter()
+        .filter(|&&b| (0x20..=0x7e).contains(&b) || b == b'\t' || b == b'\r' || b == b'\n')
+        .count();
+    printable as f64 / data.len() as f64
+}
+
+/// Chi-squared statistic against the uniform byte distribution, normalized
+/// by the number of degrees of freedom (255). Values near 1.0 indicate
+/// uniform-random-looking data; structured data scores much higher.
+pub fn chi_squared_uniform(data: &[u8]) -> f64 {
+    if data.len() < 256 {
+        // Too little data to judge; report "structured" conservatively.
+        return f64::INFINITY;
+    }
+    let mut counts = [0f64; 256];
+    for &b in data {
+        counts[b as usize] += 1.0;
+    }
+    let expected = data.len() as f64 / 256.0;
+    let chi2: f64 = counts
+        .iter()
+        .map(|&c| (c - expected) * (c - expected) / expected)
+        .sum();
+    chi2 / 255.0
+}
+
+/// Summary of a payload's statistical fingerprint, as computed by the GFW's
+/// flow analyzer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PayloadStats {
+    /// Shannon entropy in bits/byte.
+    pub entropy: f64,
+    /// Printable-ASCII fraction.
+    pub printable: f64,
+    /// Normalized chi-squared vs uniform.
+    pub chi_squared: f64,
+    /// Number of bytes analyzed.
+    pub len: usize,
+}
+
+impl PayloadStats {
+    /// Analyzes a payload.
+    pub fn analyze(data: &[u8]) -> Self {
+        Self {
+            entropy: shannon_entropy(data),
+            printable: printable_ratio(data),
+            chi_squared: chi_squared_uniform(data),
+            len: data.len(),
+        }
+    }
+
+    /// Heuristic: does this look like unstructured high-entropy ciphertext
+    /// (the Shadowsocks "fully encrypted traffic" fingerprint)?
+    ///
+    /// The entropy threshold is length-aware: a uniform random sample of
+    /// `n` bytes can reach at most `log2(min(n, 256))` bits of measured
+    /// entropy, so small captures are judged against a scaled bound
+    /// rather than the asymptotic 8 bits.
+    pub fn looks_like_random(&self) -> bool {
+        if self.len < 64 || self.printable >= 0.5 {
+            return false;
+        }
+        let max_possible = (self.len.min(256) as f64).log2();
+        self.entropy > 0.87 * max_possible
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_bounds() {
+        assert_eq!(shannon_entropy(&[]), 0.0);
+        assert_eq!(shannon_entropy(&[0x41; 1000]), 0.0);
+        let uniform: Vec<u8> = (0..4096).map(|i| (i % 256) as u8).collect();
+        assert!((shannon_entropy(&uniform) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn text_is_low_entropy_high_printable() {
+        let text = b"GET /scholar?q=censorship HTTP/1.1\r\nHost: scholar.google.com\r\n\r\n";
+        let stats = PayloadStats::analyze(text);
+        assert!(stats.entropy < 6.0);
+        assert!(stats.printable > 0.95);
+        assert!(!stats.looks_like_random());
+    }
+
+    #[test]
+    fn short_ciphertext_still_flagged() {
+        use crate::aes::{Aes, KeySize};
+        use crate::modes::Ctr;
+        let aes = Aes::new(KeySize::Aes256, &[5; 32]).unwrap();
+        let mut ctr = Ctr::new(aes, [2; 16]);
+        // 300 bytes — the size of a Shadowsocks IV + header + TLS hello.
+        let mut data = vec![0u8; 300];
+        ctr.apply(&mut data);
+        assert!(PayloadStats::analyze(&data).looks_like_random());
+        // 80 bytes is enough too.
+        assert!(PayloadStats::analyze(&data[..80]).looks_like_random());
+    }
+
+    #[test]
+    fn short_text_not_flagged() {
+        let text = b"POST /api/sync HTTP/1.1
+Host: cdn.example
+Content-Length: 40
+
+";
+        assert!(!PayloadStats::analyze(text).looks_like_random());
+    }
+
+    #[test]
+    fn ciphertext_looks_random() {
+        use crate::aes::{Aes, KeySize};
+        use crate::modes::Ctr;
+        let aes = Aes::new(KeySize::Aes256, &[3; 32]).unwrap();
+        let mut ctr = Ctr::new(aes, [1; 16]);
+        let mut data = vec![0u8; 4096];
+        ctr.apply(&mut data);
+        let stats = PayloadStats::analyze(&data);
+        assert!(stats.entropy > 7.5, "entropy {}", stats.entropy);
+        assert!(stats.looks_like_random());
+        assert!(stats.chi_squared < 2.0, "chi2 {}", stats.chi_squared);
+    }
+
+    #[test]
+    fn chi_squared_flags_structured_data() {
+        let structured = vec![b'A'; 4096];
+        assert!(chi_squared_uniform(&structured) > 100.0);
+        assert_eq!(chi_squared_uniform(&[0u8; 10]), f64::INFINITY);
+    }
+
+    #[test]
+    fn printable_ratio_counts_whitespace() {
+        assert_eq!(printable_ratio(b"a\tb\r\n"), 1.0);
+        assert_eq!(printable_ratio(&[0u8, 1, 2, 3]), 0.0);
+        assert_eq!(printable_ratio(&[]), 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869), used for tunnel key
+//! derivation and message authentication in the simulated handshakes.
+
+use crate::sha256::{sha256, Sha256};
+
+/// Computes HMAC-SHA256 over `data` with `key`.
+///
+/// # Examples
+///
+/// ```
+/// use sc_crypto::hmac::hmac_sha256;
+///
+/// let tag = hmac_sha256(b"key", b"message");
+/// assert_eq!(tag.len(), 32);
+/// ```
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; 32] {
+    let mut mac = HmacSha256::new(key);
+    mac.update(data);
+    mac.finalize()
+}
+
+/// Incremental HMAC-SHA256.
+#[derive(Debug, Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    opad_key: [u8; 64],
+}
+
+impl HmacSha256 {
+    /// Creates a MAC keyed with `key` (any length; long keys are hashed).
+    pub fn new(key: &[u8]) -> Self {
+        let mut block_key = [0u8; 64];
+        if key.len() > 64 {
+            block_key[..32].copy_from_slice(&sha256(key));
+        } else {
+            block_key[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; 64];
+        let mut opad = [0u8; 64];
+        for i in 0..64 {
+            ipad[i] = block_key[i] ^ 0x36;
+            opad[i] = block_key[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        Self {
+            inner,
+            opad_key: opad,
+        }
+    }
+
+    /// Feeds message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Returns the 32-byte tag.
+    pub fn finalize(self) -> [u8; 32] {
+        let inner_hash = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_hash);
+        outer.finalize()
+    }
+}
+
+/// Constant-time equality for MAC tags.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// HKDF-Extract (RFC 5869 §2.2).
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand (RFC 5869 §2.3).
+///
+/// # Panics
+///
+/// Panics if `out_len > 255 * 32` (the RFC limit).
+pub fn hkdf_expand(prk: &[u8; 32], info: &[u8], out_len: usize) -> Vec<u8> {
+    assert!(out_len <= 255 * 32, "HKDF output length exceeds RFC 5869 limit");
+    let mut out = Vec::with_capacity(out_len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < out_len {
+        let mut mac = HmacSha256::new(prk);
+        mac.update(&t);
+        mac.update(info);
+        mac.update(&[counter]);
+        t = mac.finalize().to_vec();
+        let take = (out_len - out.len()).min(32);
+        out.extend_from_slice(&t[..take]);
+        counter = counter.checked_add(1).expect("HKDF counter overflow");
+    }
+    out
+}
+
+/// One-call HKDF (extract then expand).
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], out_len: usize) -> Vec<u8> {
+    hkdf_expand(&hkdf_extract(salt, ikm), info, out_len)
+}
+
+/// Derives a fixed-size key from a password the way Shadowsocks' `EVP_BytesToKey`
+/// does (MD5 chain in the original; we use a SHA-256 chain — the derivation
+/// shape, password → key bytes, is what matters to the simulation).
+pub fn bytes_to_key(password: &[u8], key_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(key_len);
+    let mut prev: Vec<u8> = Vec::new();
+    while out.len() < key_len {
+        let mut h = Sha256::new();
+        h.update(&prev);
+        h.update(password);
+        prev = h.finalize().to_vec();
+        let take = (key_len - out.len()).min(32);
+        out.extend_from_slice(&prev[..take]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case1() {
+        let key = vec![0x0b; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            tag.to_vec(),
+            hex("b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7")
+        );
+    }
+
+    // RFC 4231 test case 2 ("Jefe").
+    #[test]
+    fn rfc4231_case2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            tag.to_vec(),
+            hex("5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843")
+        );
+    }
+
+    // RFC 4231 test case 6 (key longer than block size).
+    #[test]
+    fn rfc4231_long_key() {
+        let key = vec![0xaa; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            tag.to_vec(),
+            hex("60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54")
+        );
+    }
+
+    // RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = vec![0x0b; 22];
+        let salt = hex("000102030405060708090a0b0c");
+        let info = hex("f0f1f2f3f4f5f6f7f8f9");
+        let okm = hkdf(&salt, &ikm, &info, 42);
+        assert_eq!(
+            okm,
+            hex("3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865")
+        );
+    }
+
+    #[test]
+    fn ct_eq_behaviour() {
+        assert!(ct_eq(b"same", b"same"));
+        assert!(!ct_eq(b"same", b"sane"));
+        assert!(!ct_eq(b"short", b"longer"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn bytes_to_key_is_deterministic_and_sized() {
+        let k1 = bytes_to_key(b"barfoo!", 32);
+        let k2 = bytes_to_key(b"barfoo!", 32);
+        assert_eq!(k1, k2);
+        assert_eq!(k1.len(), 32);
+        let k3 = bytes_to_key(b"other", 32);
+        assert_ne!(k1, k3);
+        assert_eq!(bytes_to_key(b"x", 48).len(), 48);
+    }
+}

@@ -1,0 +1,216 @@
+//! Block cipher modes of operation: CFB (as used by Shadowsocks'
+//! `aes-256-cfb` method) and CTR (used by the simulated TLS record layer).
+
+use crate::aes::Aes;
+
+/// AES-CFB streaming encryptor/decryptor with full-block (128-bit) feedback.
+///
+/// Shadowsocks' classic stream-cipher methods use CFB with a random IV sent
+/// in the clear at the start of each connection; this type reproduces that
+/// construction byte for byte.
+///
+/// # Examples
+///
+/// ```
+/// use sc_crypto::aes::{Aes, KeySize};
+/// use sc_crypto::modes::Cfb;
+///
+/// let aes = Aes::new(KeySize::Aes256, &[7u8; 32]).unwrap();
+/// let iv = [9u8; 16];
+/// let mut enc = Cfb::new(aes.clone(), iv);
+/// let mut dec = Cfb::new(aes, iv);
+///
+/// let mut data = b"attack at dawn".to_vec();
+/// enc.encrypt(&mut data);
+/// dec.decrypt(&mut data);
+/// assert_eq!(&data, b"attack at dawn");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cfb {
+    cipher: Aes,
+    register: [u8; 16],
+    keystream: [u8; 16],
+    offset: usize,
+}
+
+impl Cfb {
+    /// Creates a CFB stream from a block cipher and IV.
+    pub fn new(cipher: Aes, iv: [u8; 16]) -> Self {
+        Self {
+            cipher,
+            register: iv,
+            keystream: [0; 16],
+            offset: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        self.keystream = self.register;
+        self.cipher.encrypt_block(&mut self.keystream);
+        self.offset = 0;
+    }
+
+    /// Encrypts `data` in place, advancing the stream state.
+    pub fn encrypt(&mut self, data: &mut [u8]) {
+        for byte in data.iter_mut() {
+            if self.offset == 16 {
+                self.refill();
+            }
+            *byte ^= self.keystream[self.offset];
+            // In CFB the *ciphertext* feeds back into the shift register.
+            self.register[self.offset] = *byte;
+            self.offset += 1;
+            if self.offset == 16 {
+                // Register now holds the last ciphertext block; keystream
+                // will be refilled from it on the next byte.
+            }
+        }
+    }
+
+    /// Decrypts `data` in place, advancing the stream state.
+    pub fn decrypt(&mut self, data: &mut [u8]) {
+        for byte in data.iter_mut() {
+            if self.offset == 16 {
+                self.refill();
+            }
+            let cipher_byte = *byte;
+            *byte ^= self.keystream[self.offset];
+            self.register[self.offset] = cipher_byte;
+            self.offset += 1;
+        }
+    }
+}
+
+/// AES-CTR keystream cipher. Encryption and decryption are identical.
+///
+/// # Examples
+///
+/// ```
+/// use sc_crypto::aes::{Aes, KeySize};
+/// use sc_crypto::modes::Ctr;
+///
+/// let aes = Aes::new(KeySize::Aes128, &[1u8; 16]).unwrap();
+/// let mut a = Ctr::new(aes.clone(), [0u8; 16]);
+/// let mut b = Ctr::new(aes, [0u8; 16]);
+/// let mut data = vec![0u8; 100];
+/// a.apply(&mut data);
+/// b.apply(&mut data);
+/// assert_eq!(data, vec![0u8; 100]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ctr {
+    cipher: Aes,
+    counter: [u8; 16],
+    keystream: [u8; 16],
+    offset: usize,
+}
+
+impl Ctr {
+    /// Creates a CTR stream with the given initial counter block.
+    pub fn new(cipher: Aes, nonce: [u8; 16]) -> Self {
+        Self {
+            cipher,
+            counter: nonce,
+            keystream: [0; 16],
+            offset: 16,
+        }
+    }
+
+    fn increment_counter(&mut self) {
+        for i in (0..16).rev() {
+            self.counter[i] = self.counter[i].wrapping_add(1);
+            if self.counter[i] != 0 {
+                break;
+            }
+        }
+    }
+
+    fn refill(&mut self) {
+        self.keystream = self.counter;
+        self.cipher.encrypt_block(&mut self.keystream);
+        self.increment_counter();
+        self.offset = 0;
+    }
+
+    /// XORs the keystream into `data` (encrypts or decrypts).
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for byte in data.iter_mut() {
+            if self.offset == 16 {
+                self.refill();
+            }
+            *byte ^= self.keystream[self.offset];
+            self.offset += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::KeySize;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // NIST SP 800-38A F.3.13 (CFB128-AES256 encrypt, first two blocks).
+    #[test]
+    fn nist_cfb128_aes256() {
+        let key = hex("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4");
+        let iv: [u8; 16] = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let aes = Aes::new(KeySize::Aes256, &key).unwrap();
+        let mut cfb = Cfb::new(aes, iv);
+        let mut data = hex("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51");
+        cfb.encrypt(&mut data);
+        assert_eq!(
+            data,
+            hex("dc7e84bfda79164b7ecd8486985d386039ffed143b28b1c832113c6331e5407b")
+        );
+    }
+
+    // NIST SP 800-38A F.5.5 (CTR-AES256, first block).
+    #[test]
+    fn nist_ctr_aes256() {
+        let key = hex("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4");
+        let nonce: [u8; 16] = hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().unwrap();
+        let aes = Aes::new(KeySize::Aes256, &key).unwrap();
+        let mut ctr = Ctr::new(aes, nonce);
+        let mut data = hex("6bc1bee22e409f96e93d7e117393172a");
+        ctr.apply(&mut data);
+        assert_eq!(data, hex("601ec313775789a5b7a7f504bbf3d228"));
+    }
+
+    #[test]
+    fn cfb_roundtrip_across_block_boundaries() {
+        let aes = Aes::new(KeySize::Aes256, &[0x42; 32]).unwrap();
+        let iv = [0x17; 16];
+        let plain: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let mut enc = Cfb::new(aes.clone(), iv);
+        let mut dec = Cfb::new(aes, iv);
+        let mut data = plain.clone();
+        // Encrypt in irregular chunks to exercise stream-state carry-over.
+        let mut pos = 0;
+        for chunk in [1usize, 15, 16, 17, 31, 100, 300, 520] {
+            let end = (pos + chunk).min(data.len());
+            enc.encrypt(&mut data[pos..end]);
+            pos = end;
+        }
+        enc.encrypt(&mut data[pos..]);
+        dec.decrypt(&mut data);
+        assert_eq!(data, plain);
+    }
+
+    #[test]
+    fn ctr_counter_wraps_correctly() {
+        let aes = Aes::new(KeySize::Aes128, &[0; 16]).unwrap();
+        let mut ctr = Ctr::new(aes, [0xff; 16]);
+        // Consuming more than one block forces a counter increment across
+        // the all-0xff boundary (wrap to zero) without panicking.
+        let mut data = [0u8; 48];
+        ctr.apply(&mut data);
+        assert_ne!(&data[0..16], &data[16..32]);
+    }
+}

@@ -1,0 +1,234 @@
+//! DNS message wire format (simplified single-question A-record subset).
+//!
+//! The format is structured enough for the GFW's DNS-poisoning module to
+//! parse queries off the wire and fabricate answers — the attack described
+//! in the paper's §1/§5 (reference [2], "collateral damage of DNS
+//! injection") — while staying compact.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use sc_simnet::addr::Addr;
+
+/// Maximum length of a domain name on the wire.
+pub const MAX_NAME_LEN: usize = 253;
+
+/// Response codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rcode {
+    /// Success.
+    NoError,
+    /// Name does not exist.
+    NxDomain,
+    /// Server failure.
+    ServFail,
+}
+
+impl Rcode {
+    fn to_byte(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::NxDomain => 3,
+            Rcode::ServFail => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(Rcode::NoError),
+            3 => Some(Rcode::NxDomain),
+            2 => Some(Rcode::ServFail),
+            _ => None,
+        }
+    }
+}
+
+/// An address record in an answer section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ARecord {
+    /// The answer address.
+    pub addr: Addr,
+    /// Time-to-live in seconds.
+    pub ttl: u32,
+}
+
+/// A DNS message: either a query or a response for one A-record question.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsMessage {
+    /// Transaction id (matched between query and response).
+    pub id: u16,
+    /// True for responses.
+    pub is_response: bool,
+    /// Response code (meaningful for responses).
+    pub rcode: Rcode,
+    /// The queried domain name, lowercase.
+    pub qname: String,
+    /// Answer records.
+    pub answers: Vec<ARecord>,
+}
+
+impl DnsMessage {
+    /// Builds a query for `qname`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is empty or longer than [`MAX_NAME_LEN`].
+    pub fn query(id: u16, qname: &str) -> Self {
+        assert!(
+            !qname.is_empty() && qname.len() <= MAX_NAME_LEN,
+            "invalid query name"
+        );
+        DnsMessage {
+            id,
+            is_response: false,
+            rcode: Rcode::NoError,
+            qname: qname.to_ascii_lowercase(),
+            answers: Vec::new(),
+        }
+    }
+
+    /// Builds a response to `query` with the given answers.
+    pub fn response(query: &DnsMessage, rcode: Rcode, answers: Vec<ARecord>) -> Self {
+        DnsMessage {
+            id: query.id,
+            is_response: true,
+            rcode,
+            qname: query.qname.clone(),
+            answers,
+        }
+    }
+
+    /// Serializes to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16 + self.qname.len() + 8 * self.answers.len());
+        buf.put_u16(self.id);
+        buf.put_u8(self.is_response as u8);
+        buf.put_u8(self.rcode.to_byte());
+        buf.put_u8(self.qname.len() as u8);
+        buf.put_slice(self.qname.as_bytes());
+        buf.put_u8(self.answers.len() as u8);
+        for a in &self.answers {
+            buf.put_u32(a.addr.as_u32());
+            buf.put_u32(a.ttl);
+        }
+        buf.freeze()
+    }
+
+    /// Parses wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnsDecodeError`] for truncated or malformed input.
+    pub fn decode(data: &[u8]) -> Result<Self, DnsDecodeError> {
+        if data.len() < 5 {
+            return Err(DnsDecodeError::Truncated);
+        }
+        let id = u16::from_be_bytes([data[0], data[1]]);
+        let is_response = match data[2] {
+            0 => false,
+            1 => true,
+            _ => return Err(DnsDecodeError::Malformed("bad response flag")),
+        };
+        let rcode = Rcode::from_byte(data[3]).ok_or(DnsDecodeError::Malformed("bad rcode"))?;
+        let name_len = data[4] as usize;
+        if data.len() < 5 + name_len + 1 {
+            return Err(DnsDecodeError::Truncated);
+        }
+        let qname = std::str::from_utf8(&data[5..5 + name_len])
+            .map_err(|_| DnsDecodeError::Malformed("name not utf-8"))?
+            .to_string();
+        let mut pos = 5 + name_len;
+        let ancount = data[pos] as usize;
+        pos += 1;
+        if data.len() != pos + ancount * 8 {
+            return Err(DnsDecodeError::Truncated);
+        }
+        let mut answers = Vec::with_capacity(ancount);
+        for i in 0..ancount {
+            let off = pos + i * 8;
+            let addr = Addr::from_u32(u32::from_be_bytes(data[off..off + 4].try_into().unwrap()));
+            let ttl = u32::from_be_bytes(data[off + 4..off + 8].try_into().unwrap());
+            answers.push(ARecord { addr, ttl });
+        }
+        Ok(DnsMessage { id, is_response, rcode, qname, answers })
+    }
+}
+
+/// Error parsing a DNS message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DnsDecodeError {
+    /// Input too short.
+    Truncated,
+    /// A field had an invalid value.
+    Malformed(&'static str),
+}
+
+impl core::fmt::Display for DnsDecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DnsDecodeError::Truncated => write!(f, "truncated DNS message"),
+            DnsDecodeError::Malformed(what) => write!(f, "malformed DNS message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DnsDecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_roundtrip() {
+        let q = DnsMessage::query(0x1234, "Scholar.Google.COM");
+        assert_eq!(q.qname, "scholar.google.com"); // lowercased
+        let decoded = DnsMessage::decode(&q.encode()).unwrap();
+        assert_eq!(decoded, q);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let q = DnsMessage::query(7, "example.com");
+        let r = DnsMessage::response(
+            &q,
+            Rcode::NoError,
+            vec![
+                ARecord { addr: Addr::new(99, 1, 2, 3), ttl: 300 },
+                ARecord { addr: Addr::new(99, 1, 2, 4), ttl: 300 },
+            ],
+        );
+        let decoded = DnsMessage::decode(&r.encode()).unwrap();
+        assert_eq!(decoded, r);
+        assert_eq!(decoded.id, 7);
+        assert!(decoded.is_response);
+    }
+
+    #[test]
+    fn nxdomain_roundtrip() {
+        let q = DnsMessage::query(9, "no.such.domain");
+        let r = DnsMessage::response(&q, Rcode::NxDomain, vec![]);
+        assert_eq!(DnsMessage::decode(&r.encode()).unwrap().rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(DnsMessage::decode(&[]).is_err());
+        assert!(DnsMessage::decode(&[0, 1, 2]).is_err());
+        // Bad response flag.
+        let mut enc = DnsMessage::query(1, "a.b").encode().to_vec();
+        enc[2] = 9;
+        assert_eq!(
+            DnsMessage::decode(&enc).unwrap_err(),
+            DnsDecodeError::Malformed("bad response flag")
+        );
+        // Truncated answers.
+        let q = DnsMessage::query(7, "example.com");
+        let r = DnsMessage::response(&q, Rcode::NoError, vec![ARecord { addr: Addr::new(1, 1, 1, 1), ttl: 1 }]);
+        let enc = r.encode();
+        assert!(DnsMessage::decode(&enc[..enc.len() - 2]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid query name")]
+    fn empty_name_panics() {
+        let _ = DnsMessage::query(1, "");
+    }
+}

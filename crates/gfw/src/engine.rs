@@ -1,0 +1,261 @@
+//! The GFW middlebox: applies blocklists, poisons DNS, injects RSTs,
+//! requests active probes, and throttles classified flows.
+
+use std::cell::RefCell;
+use std::collections::{HashSet, VecDeque};
+use std::rc::Rc;
+
+use bytes::Bytes;
+use rand::Rng;
+use sc_dns::forge_response;
+use sc_simnet::addr::SocketAddr;
+use sc_simnet::middlebox::{MbCtx, Middlebox, Verdict};
+use sc_simnet::packet::{L4, Packet, TcpFlags, TcpSegmentBody};
+
+use crate::classify::{FlowTable, TrafficClass};
+use crate::config::GfwConfig;
+
+/// Counters describing everything the GFW did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GfwCounters {
+    /// Connections reset because a blocked SNI was found embedded in an
+    /// HTTP body (tunnelled TLS without blinding).
+    pub embedded_sni_resets: u64,
+    /// Packets dropped by the IP blacklist.
+    pub ip_blocked: u64,
+    /// DNS queries poisoned.
+    pub dns_poisoned: u64,
+    /// Connections reset for keyword hits.
+    pub keyword_resets: u64,
+    /// Connections reset for SNI hits.
+    pub sni_resets: u64,
+    /// Packets dropped by throttling policies.
+    pub throttled: u64,
+    /// Probes requested.
+    pub probes_requested: u64,
+    /// Servers confirmed as proxies.
+    pub servers_confirmed: u64,
+}
+
+/// Shared GFW state: the middlebox (data plane) and the active prober
+/// (an app on the same border node) both hold this handle.
+#[derive(Debug)]
+pub struct GfwState {
+    /// Configuration (blocklists, policies). May be updated mid-run to
+    /// model GFW rule pushes.
+    pub config: GfwConfig,
+    /// The DPI flow table.
+    pub flows: FlowTable,
+    /// Servers awaiting an active probe.
+    pub probe_queue: VecDeque<SocketAddr>,
+    /// Servers already probed (never re-probed).
+    pub probed: HashSet<SocketAddr>,
+    /// Servers confirmed as circumvention proxies.
+    pub confirmed: HashSet<SocketAddr>,
+    /// Activity counters.
+    pub counters: GfwCounters,
+}
+
+/// Shared handle to GFW state.
+pub type GfwHandle = Rc<RefCell<GfwState>>;
+
+/// Creates the shared state handle for a GFW deployment.
+pub fn new_gfw(config: GfwConfig) -> GfwHandle {
+    Rc::new(RefCell::new(GfwState {
+        config,
+        flows: FlowTable::new(),
+        probe_queue: VecDeque::new(),
+        probed: HashSet::new(),
+        confirmed: HashSet::new(),
+        counters: GfwCounters::default(),
+    }))
+}
+
+/// The packet-inspecting middlebox. Attach to the border router with
+/// [`sc_simnet::sim::Sim::set_middlebox`].
+pub struct GfwMiddlebox {
+    state: GfwHandle,
+}
+
+impl GfwMiddlebox {
+    /// Creates the middlebox over shared state.
+    pub fn new(state: GfwHandle) -> Self {
+        GfwMiddlebox { state }
+    }
+
+    fn spoof_rst(pkt: &Packet) -> Option<(Packet, Packet)> {
+        let (src, dst) = (pkt.src_socket()?, pkt.dst_socket()?);
+        let (seq, ack) = match &pkt.l4 {
+            L4::Tcp(t) => (t.seq, t.ack),
+            _ => return None,
+        };
+        let body = |seq: u64, ack: u64| TcpSegmentBody {
+            seq,
+            ack,
+            flags: TcpFlags::RST,
+            window: 0,
+            payload: Bytes::new(),
+        };
+        // One RST toward each endpoint, spoofed as from the other.
+        let to_dst = Packet::tcp(src, dst, body(seq, ack));
+        let to_src = Packet::tcp(dst, src, body(ack, seq));
+        Some((to_src, to_dst))
+    }
+}
+
+impl Middlebox for GfwMiddlebox {
+    fn name(&self) -> &str {
+        "gfw"
+    }
+
+    fn process(&mut self, pkt: &Packet, ctx: &mut MbCtx<'_>) -> Verdict {
+        let mut st = self.state.borrow_mut();
+
+        // --- IP blacklist (cheapest check, applied to both directions) ---
+        if st.config.ip_blocked(pkt.dst) || st.config.ip_blocked(pkt.src) {
+            st.counters.ip_blocked += 1;
+            return Verdict::Drop("gfw-ip-block");
+        }
+
+        // --- DNS poisoning ---
+        if let L4::Udp(u) = &pkt.l4 {
+            if u.dst_port == sc_dns::DNS_PORT {
+                if let Ok(query) = sc_dns::DnsMessage::decode(&u.payload) {
+                    if !query.is_response
+                        && GfwConfig::domain_matches(&st.config.dns_blocklist, &query.qname)
+                    {
+                        let poison = st.config.poison_addr;
+                        if let Some(forged) = forge_response(&u.payload, poison, 600) {
+                            // Spoofed answer "from" the queried server.
+                            let reply = Packet::udp(
+                                SocketAddr::new(pkt.dst, u.dst_port),
+                                SocketAddr::new(pkt.src, u.src_port),
+                                forged,
+                            );
+                            ctx.inject(reply);
+                        }
+                        st.counters.dns_poisoned += 1;
+                        return Verdict::Drop("gfw-dns-poison");
+                    }
+                }
+            }
+        }
+
+        // --- Flow classification ---
+        let now = ctx.now;
+        let st = &mut *st;
+        let Some(rec) = st.flows.observe(pkt, now, &st.config) else {
+            // No ports (GRE/ESP): tunnel data channels, covered by the VPN
+            // policy directly.
+            let class = match pkt.l4.protocol() {
+                sc_simnet::packet::proto::GRE => TrafficClass::Pptp,
+                sc_simnet::packet::proto::ESP => TrafficClass::L2tp,
+                _ => TrafficClass::Unknown,
+            };
+            let policy = st.config.policy_for(class);
+            if policy.block {
+                return Verdict::Drop("gfw-block");
+            }
+            if policy.drop_prob > 0.0 && ctx.rng.gen::<f64>() < policy.drop_prob {
+                st.counters.throttled += 1;
+                return Verdict::Drop("gfw-throttle");
+            }
+            return Verdict::Forward;
+        };
+
+        // Upgrade suspects whose server was since confirmed.
+        if rec.class == TrafficClass::Suspect && st.confirmed.contains(&rec.server) {
+            rec.class = TrafficClass::ShadowsocksConfirmed;
+        }
+
+        // --- Keyword filtering on plaintext HTTP ---
+        if rec.class == TrafficClass::Http && !st.config.http_keywords.is_empty() {
+            let haystack = rec.early_bytes.to_ascii_lowercase();
+            let hit = st
+                .config
+                .http_keywords
+                .iter()
+                .any(|k| !k.is_empty() && haystack.windows(k.len()).any(|w| w == k.as_bytes()));
+            if hit {
+                if let Some((a, b)) = Self::spoof_rst(pkt) {
+                    ctx.inject(a);
+                    ctx.inject(b);
+                }
+                st.counters.keyword_resets += 1;
+                return Verdict::Drop("gfw-keyword");
+            }
+        }
+
+        // --- embedded-TLS scan inside HTTP bodies ---
+        // The GFW inspects HTTP payloads (the keyword filter above is one
+        // face of that); the same scanner spots a TLS ClientHello carried
+        // inside an upload body — i.e. a naive HTTP-covered tunnel whose
+        // payload is NOT blinded — and resets it when the SNI is blocked.
+        if rec.class == TrafficClass::Http && !st.config.sni_blocklist.is_empty() {
+            let bytes = &rec.early_bytes;
+            let mut embedded_hit = false;
+            for off in 0..bytes.len().saturating_sub(42) {
+                if bytes[off] == 22 && bytes[off + 1] == 3 && bytes[off + 2] == 3 {
+                    if let Some(sni) = sc_netproto::sniff_sni(&bytes[off..]) {
+                        if GfwConfig::domain_matches(&st.config.sni_blocklist, &sni) {
+                            embedded_hit = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if embedded_hit {
+                if let Some((a, b)) = Self::spoof_rst(pkt) {
+                    ctx.inject(a);
+                    ctx.inject(b);
+                }
+                st.counters.embedded_sni_resets += 1;
+                return Verdict::Drop("gfw-embedded-sni");
+            }
+        }
+
+        // --- SNI filtering on TLS ---
+        if matches!(rec.class, TrafficClass::Tls | TrafficClass::Meek) {
+            if let Some(sni) = sc_netproto::sniff_sni(&rec.early_bytes) {
+                if GfwConfig::domain_matches(&st.config.sni_blocklist, &sni) {
+                    if let Some((a, b)) = Self::spoof_rst(pkt) {
+                        ctx.inject(a);
+                        ctx.inject(b);
+                    }
+                    st.counters.sni_resets += 1;
+                    return Verdict::Drop("gfw-sni");
+                }
+            }
+        }
+
+        // --- Active probing of suspects ---
+        if rec.class == TrafficClass::Suspect
+            && st.config.active_probing
+            && !rec.probe_requested
+            && !st.probed.contains(&rec.server)
+        {
+            rec.probe_requested = true;
+            st.probed.insert(rec.server);
+            st.probe_queue.push_back(rec.server);
+            st.counters.probes_requested += 1;
+        }
+
+        // --- Per-class policy (throttling) ---
+        let policy = st.config.policy_for(rec.class);
+        if policy.block {
+            return Verdict::Drop("gfw-block");
+        }
+        if policy.rst {
+            if let Some((a, b)) = Self::spoof_rst(pkt) {
+                ctx.inject(a);
+                ctx.inject(b);
+            }
+            return Verdict::Drop("gfw-rst");
+        }
+        if policy.drop_prob > 0.0 && ctx.rng.gen::<f64>() < policy.drop_prob {
+            st.counters.throttled += 1;
+            return Verdict::Drop("gfw-throttle");
+        }
+        Verdict::Forward
+    }
+}

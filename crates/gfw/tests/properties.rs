@@ -1,0 +1,75 @@
+//! Property-based tests on the GFW's classifier: it must never panic on
+//! arbitrary traffic, and its verdicts must respect structural guarantees.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use sc_gfw::{FlowTable, GfwConfig, TrafficClass};
+use sc_simnet::addr::{Addr, SocketAddr};
+use sc_simnet::packet::{Packet, TcpFlags, TcpSegmentBody};
+use sc_simnet::time::SimTime;
+
+fn tcp_packet(dst_port: u16, payload: Vec<u8>) -> Packet {
+    Packet::tcp(
+        SocketAddr::new(Addr::new(10, 0, 0, 1), 41_000),
+        SocketAddr::new(Addr::new(99, 0, 0, 1), dst_port),
+        TcpSegmentBody {
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::ACK,
+            window: 0,
+            payload: Bytes::from(payload),
+        },
+    )
+}
+
+proptest! {
+    /// Arbitrary bytes never panic the classifier, and every packet gets
+    /// *some* class.
+    #[test]
+    fn classifier_total(payloads in prop::collection::vec(
+                            prop::collection::vec(any::<u8>(), 0..600), 1..6),
+                        port in 1u16..65535) {
+        let cfg = GfwConfig::china_2017((Addr::new(99, 2, 0, 0), 16));
+        let mut table = FlowTable::new();
+        for (i, p) in payloads.into_iter().enumerate() {
+            let rec = table.observe(&tcp_packet(port, p), SimTime::from_micros(i as u64 * 1000), &cfg);
+            prop_assert!(rec.is_some());
+        }
+    }
+
+    /// A plaintext HTTP request is always classified Http, never Suspect —
+    /// the structural guarantee ScholarCloud's cover preamble exploits.
+    #[test]
+    fn http_prefix_never_suspect(body in prop::collection::vec(any::<u8>(), 0..1500)) {
+        let cfg = GfwConfig::default();
+        let mut table = FlowTable::new();
+        let mut payload = b"POST /upload HTTP/1.1\r\nHost: cdn.example\r\n\r\n".to_vec();
+        payload.extend(body);
+        let pkt = tcp_packet(8443, payload);
+        let rec = table.observe(&pkt, SimTime::ZERO, &cfg).unwrap();
+        prop_assert_eq!(rec.class, TrafficClass::Http);
+        // More high-entropy traffic on the same flow must not flip it.
+        let more = tcp_packet(8443, (0..900u16).map(|i| (i.wrapping_mul(251) >> 3) as u8).collect());
+        let rec = table.observe(&more, SimTime::from_micros(1000), &cfg).unwrap();
+        prop_assert_eq!(rec.class, TrafficClass::Http);
+    }
+
+    /// Suspect classification is sticky until confirmation, and confirming
+    /// the server upgrades the class.
+    #[test]
+    fn confirm_upgrades(seed: u64) {
+        use sc_crypto::aes::{Aes, KeySize};
+        use sc_crypto::modes::Ctr;
+        let cfg = GfwConfig::default();
+        let mut table = FlowTable::new();
+        let mut data = vec![0u8; 700];
+        let key = [(seed % 251) as u8 + 1; 32];
+        Ctr::new(Aes::new(KeySize::Aes256, &key).unwrap(), [1; 16]).apply(&mut data);
+        let pkt = tcp_packet(8388, data);
+        let class = table.observe(&pkt, SimTime::ZERO, &cfg).unwrap().class;
+        prop_assert_eq!(class, TrafficClass::Suspect);
+        table.confirm_server(SocketAddr::new(Addr::new(99, 0, 0, 1), 8388));
+        let key2 = sc_gfw::FlowKey::from_packet(&pkt).unwrap();
+        prop_assert_eq!(table.get(&key2).unwrap().class, TrafficClass::ShadowsocksConfirmed);
+    }
+}

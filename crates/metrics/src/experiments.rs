@@ -1,0 +1,259 @@
+//! One runner per figure in the paper's evaluation. Each returns typed
+//! rows that [`report`](crate::report) renders as the figure's data.
+
+use crate::overhead::{CpuModel, MemoryModel, TrafficSample};
+use crate::scenario::{Method, ScenarioConfig, ScenarioOutcome, run_scenario};
+use crate::stats::Summary;
+use sc_regulation::{SurveyDistribution, SurveyTabulation, sample_population};
+use sc_simnet::time::SimDuration;
+
+/// Figure 3: the access-method survey.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Row {
+    /// Respondents sampled.
+    pub respondents: usize,
+    /// Share who bypass the GFW at all.
+    pub bypass_share: f64,
+    /// Among bypassers: VPN share.
+    pub vpn: f64,
+    /// Among VPN users: native VPN share.
+    pub native_within_vpn: f64,
+    /// Among bypassers: Tor share.
+    pub tor: f64,
+    /// Among bypassers: Shadowsocks share.
+    pub shadowsocks: f64,
+    /// Among bypassers: other methods.
+    pub other: f64,
+}
+
+/// Runs the Figure-3 survey pipeline.
+pub fn fig3_survey(respondents: usize, seed: u64) -> Fig3Row {
+    let dist = SurveyDistribution::paper();
+    let population = sample_population(&dist, respondents, seed);
+    let t = SurveyTabulation::tabulate(&population);
+    let (vpn, tor, ss, other) = t.method_shares();
+    Fig3Row {
+        respondents,
+        bypass_share: t.bypass_share(),
+        vpn,
+        native_within_vpn: t.native_share_within_vpn(),
+        tor,
+        shadowsocks: ss,
+        other,
+    }
+}
+
+/// One method's row for Figures 5a–5c.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Access method.
+    pub method: Method,
+    /// First-time page load time (s).
+    pub plt_first: Summary,
+    /// Subsequent page load time (s).
+    pub plt_subsequent: Summary,
+    /// Round-trip time (ms).
+    pub rtt_ms: Summary,
+    /// Packet loss rate (fraction).
+    pub plr: f64,
+    /// Load failure rate (fraction).
+    pub failure_rate: f64,
+}
+
+/// Runs the full Figure-5 measurement (PLT/RTT/PLR) for one method.
+pub fn fig5_method(method: Method, seed: u64, loads: usize) -> Fig5Row {
+    let mut cfg = ScenarioConfig::paper(method, seed);
+    cfg.loads = loads;
+    let outcome = run_scenario(&cfg);
+    summarize_fig5(method, &outcome)
+}
+
+/// Summarizes an existing outcome into a Figure-5 row.
+pub fn summarize_fig5(method: Method, outcome: &ScenarioOutcome) -> Fig5Row {
+    let (first, subs) = outcome.plts();
+    Fig5Row {
+        method,
+        plt_first: Summary::of_or_empty(&first),
+        plt_subsequent: Summary::of_or_empty(&subs),
+        rtt_ms: Summary::of_or_empty(&outcome.rtts_ms()),
+        plr: outcome.plr,
+        failure_rate: outcome.failure_rate(),
+    }
+}
+
+/// Runs Figure 5 for all five measured methods.
+pub fn fig5_all(seed: u64, loads: usize) -> Vec<Fig5Row> {
+    Method::all_measured()
+        .into_iter()
+        .map(|m| fig5_method(m, seed, loads))
+        .collect()
+}
+
+/// One method's row for Figures 6a–6c.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// Access method.
+    pub method: Method,
+    /// Measured wire traffic per access.
+    pub traffic: TrafficSample,
+    /// Modelled browser CPU percent.
+    pub cpu_browser: f64,
+    /// Modelled extra-client CPU percent.
+    pub cpu_extra: f64,
+    /// Modelled memory before browsing (MB).
+    pub mem_before_mb: f64,
+    /// Modelled memory while browsing (MB).
+    pub mem_after_mb: f64,
+}
+
+/// Runs the Figure-6 overhead measurement for one method.
+///
+/// Traffic is the *marginal* cost of one access — the byte difference
+/// between a 5-load run and a 1-load run divided by 4 — so one-time setup
+/// (Tor's directory bootstrap, VPN handshakes) does not skew the
+/// per-access number, matching the paper's per-access methodology.
+pub fn fig6_method(method: Method, seed: u64) -> Fig6Row {
+    let mut cfg = ScenarioConfig::paper(method, seed);
+    cfg.loads = 5;
+    let outcome = run_scenario(&cfg);
+    let mut cfg1 = ScenarioConfig::paper(method, seed);
+    cfg1.loads = 1;
+    let base = run_scenario(&cfg1);
+    let traffic = TrafficSample {
+        sent: outcome.client_sent_bytes.saturating_sub(base.client_sent_bytes) / 4,
+        received: outcome.client_recv_bytes.saturating_sub(base.client_recv_bytes) / 4,
+    };
+    let kb = traffic.total_kb();
+    let cpu = CpuModel::for_method(method);
+    let mem = MemoryModel::for_method(method);
+    let mean_conns = {
+        let all: Vec<usize> = outcome
+            .loads
+            .iter()
+            .flatten()
+            .map(|r| r.connections)
+            .collect();
+        if all.is_empty() { 3 } else { all.iter().sum::<usize>() / all.len() }
+    };
+    Fig6Row {
+        method,
+        traffic,
+        cpu_browser: cpu.browser_percent(kb),
+        cpu_extra: cpu.extra_client_percent(kb),
+        mem_before_mb: mem.before_mb(),
+        mem_after_mb: mem.after_mb(mean_conns),
+    }
+}
+
+/// Runs Figure 6 for the baseline (direct from an uncensored vantage) and
+/// all methods.
+pub fn fig6_all(seed: u64) -> Vec<Fig6Row> {
+    let mut rows = Vec::new();
+    // Baseline: direct access with no GFW (the paper's US client).
+    let mut cfg = ScenarioConfig::paper(Method::Direct, seed);
+    cfg.gfw = false;
+    cfg.loads = 5;
+    let outcome = run_scenario(&cfg);
+    let accesses = cfg.loads as u64;
+    rows.push(Fig6Row {
+        method: Method::Direct,
+        traffic: TrafficSample {
+            sent: outcome.client_sent_bytes / accesses,
+            received: outcome.client_recv_bytes / accesses,
+        },
+        cpu_browser: CpuModel::for_method(Method::Direct).browser_percent(19.0),
+        cpu_extra: 0.0,
+        mem_before_mb: MemoryModel::for_method(Method::Direct).before_mb(),
+        mem_after_mb: MemoryModel::for_method(Method::Direct).after_mb(3),
+    });
+    for m in Method::all_measured() {
+        rows.push(fig6_method(m, seed));
+    }
+    rows
+}
+
+/// One point on a Figure-7 scalability curve.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Point {
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Mean subsequent PLT (s).
+    pub plt_mean: f64,
+    /// Failure rate.
+    pub failure_rate: f64,
+}
+
+/// The paper's client counts for Figure 7.
+pub const FIG7_CLIENTS: [usize; 8] = [5, 15, 30, 60, 90, 120, 150, 180];
+
+/// Runs the Figure-7 scalability sweep for one method. Tor is excluded in
+/// the paper (no control over bridges); callers usually sweep
+/// `[NativeVpn, OpenVpn, Shadowsocks, ScholarCloud]`.
+pub fn fig7_method(method: Method, seed: u64, client_counts: &[usize]) -> Vec<Fig7Point> {
+    client_counts
+        .iter()
+        .map(|&n| {
+            let mut cfg = ScenarioConfig::paper(method, seed ^ n as u64);
+            cfg.clients = n;
+            cfg.loads = 3;
+            cfg.interval = SimDuration::from_secs(12);
+            cfg.timeout = SimDuration::from_secs(30);
+            let outcome = run_scenario(&cfg);
+            let (_, subs) = outcome.plts();
+            Fig7Point {
+                clients: n,
+                plt_mean: Summary::of_or_empty(&subs).mean,
+                failure_rate: outcome.failure_rate(),
+            }
+        })
+        .collect()
+}
+
+/// Ablation: ScholarCloud with blinding disabled (Identity scheme): the
+/// GFW's embedded-SNI scan should reset the tunnel; with blinding the
+/// service is clean. Returns (blinded row, unblinded row, resets seen).
+pub fn ablation_blinding(seed: u64) -> (Fig5Row, Fig5Row, u64) {
+    let cfg_on = ScenarioConfig::paper(Method::ScholarCloud, seed);
+    let on = run_scenario(&cfg_on);
+    let mut cfg_off = ScenarioConfig::paper(Method::ScholarCloud, seed);
+    cfg_off.sc_scheme = sc_crypto::BlindingScheme::Identity;
+    let off = run_scenario(&cfg_off);
+    let resets = off.gfw.embedded_sni_resets;
+    (
+        summarize_fig5(Method::ScholarCloud, &on),
+        summarize_fig5(Method::ScholarCloud, &off),
+        resets,
+    )
+}
+
+/// Ablation: the GFW learns the current cover signature; rotation evades.
+/// Returns (failure rate before rotation, after rotation).
+pub fn ablation_agility(seed: u64) -> (f64, f64) {
+    // GFW learns the ByteMap cover path signature.
+    let mut learned = ScenarioConfig::paper(Method::ScholarCloud, seed);
+    learned.gfw_learned_signatures = vec![b"POST /api/sync".to_vec()];
+    let before = run_scenario(&learned);
+    // Operator rotates to XorRolling (different cover path).
+    let mut rotated = learned.clone();
+    rotated.sc_scheme = sc_crypto::BlindingScheme::XorRolling;
+    let after = run_scenario(&rotated);
+    (before.failure_rate().max(before.plr * 10.0), after.failure_rate().max(after.plr * 10.0))
+}
+
+/// Ablation: sweep the Shadowsocks keep-alive window (the paper blames
+/// the 10 s default for its PLT). Returns (keepalive s, mean subs PLT).
+pub fn ablation_ss_keepalive(seed: u64, windows_s: &[u64]) -> Vec<(u64, f64)> {
+    windows_s
+        .iter()
+        .map(|&w| {
+            let mut cfg = ScenarioConfig::paper(Method::Shadowsocks, seed);
+            cfg.ss_keepalive = SimDuration::from_secs(w);
+            // Isolate the keep-alive effect (shared auth window).
+            cfg.ss_auth_per_connection = false;
+            cfg.loads = 6;
+            let outcome = run_scenario(&cfg);
+            let (_, subs) = outcome.plts();
+            (w, Summary::of_or_empty(&subs).mean)
+        })
+        .collect()
+}

@@ -1,0 +1,83 @@
+//! # sc-metrics
+//!
+//! The measurement harness: [`scenario`] wires the full testbed (clients
+//! in CERNET, GFW at the border, VM servers in the US, Google Scholar)
+//! for any access method; [`experiments`] contains one runner per paper
+//! figure (3, 5a–c, 6a–c, 7) plus the ablations DESIGN.md calls out;
+//! [`report`] renders the results; [`overhead`] holds the Figure-6
+//! client-overhead models; [`stats`] the mean/min/max summaries.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod overhead;
+pub mod report;
+pub mod scenario;
+pub mod stats;
+
+pub use experiments::{
+    Fig3Row, Fig5Row, Fig6Row, Fig7Point, FIG7_CLIENTS, ablation_agility, ablation_blinding,
+    ablation_ss_keepalive, fig3_survey, fig5_all, fig5_method, fig6_all, fig6_method, fig7_method,
+};
+pub use scenario::{Method, ScenarioConfig, ScenarioOutcome, run_scenario};
+pub use stats::Summary;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scholarcloud_scenario_produces_clean_loads() {
+        let mut cfg = ScenarioConfig::paper(Method::ScholarCloud, 21);
+        cfg.loads = 3;
+        let out = run_scenario(&cfg);
+        assert_eq!(out.loads.len(), 1);
+        assert_eq!(out.loads[0].len(), 3, "{:?}", out.loads[0]);
+        assert!(out.failure_rate() == 0.0, "{:?}", out.loads[0]);
+        // PLR should be near the 0.2% baseline (no GFW interference).
+        assert!(out.plr < 0.01, "plr {}", out.plr);
+        assert_eq!(out.gfw.embedded_sni_resets, 0);
+    }
+
+    #[test]
+    fn native_vpn_scenario_produces_clean_loads() {
+        let mut cfg = ScenarioConfig::paper(Method::NativeVpn, 22);
+        cfg.loads = 3;
+        let out = run_scenario(&cfg);
+        assert_eq!(out.loads[0].len(), 3, "{:?}", out.loads[0]);
+        assert!(out.failure_rate() == 0.0, "{:?}", out.loads[0]);
+        assert!(out.plr < 0.01, "plr {}", out.plr);
+    }
+
+    #[test]
+    fn shadowsocks_is_slower_than_scholarcloud() {
+        let mut ss_cfg = ScenarioConfig::paper(Method::Shadowsocks, 23);
+        ss_cfg.loads = 4;
+        let ss = run_scenario(&ss_cfg);
+        let mut sc_cfg = ScenarioConfig::paper(Method::ScholarCloud, 23);
+        sc_cfg.loads = 4;
+        let sc = run_scenario(&sc_cfg);
+        let (_, ss_subs) = ss.plts();
+        let (_, sc_subs) = sc.plts();
+        let ss_mean = Summary::of_or_empty(&ss_subs).mean;
+        let sc_mean = Summary::of_or_empty(&sc_subs).mean;
+        assert!(ss_mean > sc_mean, "ss {ss_mean} vs sc {sc_mean}");
+    }
+
+    #[test]
+    fn direct_access_to_scholar_is_blocked() {
+        let mut cfg = ScenarioConfig::paper(Method::Direct, 24);
+        cfg.loads = 1;
+        cfg.timeout = sc_simnet::time::SimDuration::from_secs(20);
+        let out = run_scenario(&cfg);
+        assert!(out.failure_rate() > 0.99, "direct access must fail: {:?}", out.loads[0]);
+        assert!(out.gfw.dns_poisoned > 0 || out.gfw.ip_blocked > 0);
+    }
+
+    #[test]
+    fn fig3_converges() {
+        let row = fig3_survey(100_000, 3);
+        assert!((row.bypass_share - 0.26).abs() < 0.02);
+        assert!((row.shadowsocks - 0.21).abs() < 0.03);
+    }
+}

@@ -1,0 +1,139 @@
+//! Text renderers: print each figure's data the way the paper reports it.
+
+use crate::experiments::{Fig3Row, Fig5Row, Fig6Row, Fig7Point};
+use crate::scenario::Method;
+
+/// Renders Figure 3 as text.
+pub fn render_fig3(row: &Fig3Row) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 3 — methods for accessing Google Scholar (survey)\n");
+    out.push_str(&format!("  respondents:            {}\n", row.respondents));
+    out.push_str(&format!("  bypass the GFW:         {:.1}%   (paper: 26%)\n", row.bypass_share * 100.0));
+    out.push_str(&format!("  VPN (of bypassers):     {:.1}%   (paper: 43%)\n", row.vpn * 100.0));
+    out.push_str(&format!("    native VPN within VPN:{:.1}%   (paper: 93%)\n", row.native_within_vpn * 100.0));
+    out.push_str(&format!("  Tor:                    {:.1}%   (paper: 2%)\n", row.tor * 100.0));
+    out.push_str(&format!("  Shadowsocks:            {:.1}%   (paper: 21%)\n", row.shadowsocks * 100.0));
+    out.push_str(&format!("  other methods:          {:.1}%   (paper: 34%)\n", row.other * 100.0));
+    out
+}
+
+/// Renders Figures 5a–5c as a table.
+pub fn render_fig5(rows: &[Fig5Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 5 — performance and robustness\n");
+    out.push_str(&format!(
+        "{:<14} {:>16} {:>16} {:>12} {:>9} {:>9}\n",
+        "method", "PLT first (s)", "PLT subs (s)", "RTT (ms)", "PLR (%)", "fail (%)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>16} {:>16} {:>12} {:>9.3} {:>9.1}\n",
+            r.method.name(),
+            format_summary(&r.plt_first),
+            format_summary(&r.plt_subsequent),
+            format_summary(&r.rtt_ms),
+            r.plr * 100.0,
+            r.failure_rate * 100.0,
+        ));
+    }
+    out
+}
+
+fn format_summary(s: &crate::stats::Summary) -> String {
+    if s.n == 0 {
+        "—".to_string()
+    } else {
+        format!("{:.2} [{:.2},{:.2}]", s.mean, s.min, s.max)
+    }
+}
+
+/// Renders Figures 6a–6c as a table.
+pub fn render_fig6(rows: &[Fig6Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 6 — client-side overhead\n");
+    out.push_str(&format!(
+        "{:<14} {:>12} {:>12} {:>11} {:>11} {:>12} {:>12}\n",
+        "method", "sent (KB)", "recv (KB)", "CPU brw %", "CPU cli %", "mem before", "mem after"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>12.1} {:>12.1} {:>11.2} {:>11.2} {:>10.0}MB {:>10.0}MB\n",
+            r.method.name(),
+            r.traffic.sent as f64 / 1024.0,
+            r.traffic.received as f64 / 1024.0,
+            r.cpu_browser,
+            r.cpu_extra,
+            r.mem_before_mb,
+            r.mem_after_mb,
+        ));
+    }
+    out
+}
+
+/// Renders Figure 7 curves.
+pub fn render_fig7(curves: &[(Method, Vec<Fig7Point>)]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 7 — scalability (mean PLT in s vs concurrent clients)\n");
+    out.push_str(&format!("{:<14}", "clients"));
+    if let Some((_, first)) = curves.first() {
+        for p in first {
+            out.push_str(&format!("{:>8}", p.clients));
+        }
+    }
+    out.push('\n');
+    for (method, points) in curves {
+        out.push_str(&format!("{:<14}", method.name()));
+        for p in points {
+            out.push_str(&format!("{:>8.2}", p.plt_mean));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders rows as CSV (for external plotting).
+pub fn fig5_csv(rows: &[Fig5Row]) -> String {
+    let mut out = String::from(
+        "method,plt_first_mean,plt_first_min,plt_first_max,plt_subs_mean,plt_subs_min,plt_subs_max,rtt_ms_mean,plr,failure_rate\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.2},{:.6},{:.4}\n",
+            r.method.name(),
+            r.plt_first.mean,
+            r.plt_first.min,
+            r.plt_first.max,
+            r.plt_subsequent.mean,
+            r.plt_subsequent.min,
+            r.plt_subsequent.max,
+            r.rtt_ms.mean,
+            r.plr,
+            r.failure_rate,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+
+    #[test]
+    fn rendering_is_stable() {
+        let row = Fig5Row {
+            method: Method::ScholarCloud,
+            plt_first: Summary { n: 1, mean: 2.1, min: 2.0, max: 2.2 },
+            plt_subsequent: Summary { n: 9, mean: 1.3, min: 1.2, max: 1.5 },
+            rtt_ms: Summary { n: 9, mean: 150.0, min: 140.0, max: 160.0 },
+            plr: 0.0022,
+            failure_rate: 0.0,
+        };
+        let text = render_fig5(&[row.clone()]);
+        assert!(text.contains("ScholarCloud"));
+        assert!(text.contains("1.30"));
+        let csv = fig5_csv(&[row]);
+        assert!(csv.lines().count() == 2);
+        assert!(csv.contains("ScholarCloud,2.1"));
+    }
+}

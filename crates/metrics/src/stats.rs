@@ -1,0 +1,66 @@
+//! Summary statistics for experiment series (means with min/max error
+//! bars, as in the paper's figures).
+
+/// Mean / min / max summary of a sample series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice; `None` if empty.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(Summary { n, mean, min, max })
+    }
+
+    /// A zero summary for empty series (renders as n=0).
+    pub fn empty() -> Summary {
+        Summary { n: 0, mean: 0.0, min: 0.0, max: 0.0 }
+    }
+
+    /// Summarizes, defaulting to [`Summary::empty`].
+    pub fn of_or_empty(samples: &[f64]) -> Summary {
+        Summary::of(samples).unwrap_or_else(Summary::empty)
+    }
+}
+
+impl core::fmt::Display for Summary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.n == 0 {
+            write!(f, "—")
+        } else {
+            write!(f, "{:.3} [{:.3}, {:.3}] (n={})", self.mean, self.min, self.max, self.n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.n, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!(Summary::of(&[]).is_none());
+        assert_eq!(Summary::of_or_empty(&[]).n, 0);
+        assert_eq!(Summary::of_or_empty(&[]).to_string(), "—");
+    }
+}

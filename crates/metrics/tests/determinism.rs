@@ -1,0 +1,23 @@
+//! The whole harness is deterministic: identical seeds reproduce identical
+//! metrics for every access method.
+
+use sc_metrics::{Method, ScenarioConfig, run_scenario};
+
+#[test]
+fn scenarios_are_bit_for_bit_reproducible() {
+    for method in [Method::ScholarCloud, Method::Shadowsocks, Method::NativeVpn] {
+        let run = || {
+            let mut cfg = ScenarioConfig::paper(method, 4242);
+            cfg.loads = 3;
+            let out = run_scenario(&cfg);
+            let plts: Vec<Option<u64>> = out.loads[0]
+                .iter()
+                .map(|r| r.plt.map(|d| d.as_micros()))
+                .collect();
+            (plts, out.client_sent_bytes, out.client_recv_bytes, out.gfw)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "{method:?} must be deterministic");
+    }
+}

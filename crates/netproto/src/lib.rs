@@ -1,0 +1,29 @@
+//! # sc-netproto
+//!
+//! Application-layer protocol codecs shared across the ScholarCloud
+//! reproduction:
+//!
+//! * [`http`] — HTTP/1.1 messages + incremental parser (keep-alive,
+//!   Content-Length and chunked bodies).
+//! * [`tls`] — a simulated TLS 1.2-style protocol with a plaintext SNI
+//!   (DPI-readable), DH key agreement, and an encrypted record layer.
+//! * [`socks`] — SOCKS5 with RFC 1929 username/password auth, as spoken to
+//!   Shadowsocks local proxies; also the Shadowsocks target-address header.
+//! * [`pac`] — proxy auto-config generation/evaluation, ScholarCloud's
+//!   whole client-side configuration story.
+//!
+//! These are pure byte-level state machines with no dependency on the
+//! simulator loop, so they are unit-testable in isolation and reusable by
+//! every app in `sc-tunnels`, `sc-core`, and `sc-web`.
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod pac;
+pub mod socks;
+pub mod tls;
+
+pub use http::{HttpMessage, HttpParser, HttpRequest, HttpResponse};
+pub use pac::{PacFile, ProxyDecision};
+pub use socks::{SocksServerSession, TargetAddr};
+pub use tls::{TlsClient, TlsServer, sniff_sni};

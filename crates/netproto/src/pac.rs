@@ -1,0 +1,203 @@
+//! Proxy auto-config (PAC) files: generation and evaluation.
+//!
+//! ScholarCloud's entire client-side footprint is one browser setting
+//! pointing at a PAC file (§3). The PAC diverts only a *whitelist* of
+//! legal-but-blocked domains to the domestic proxy; everything else goes
+//! DIRECT. We generate real JavaScript PAC text (so the artifact matches
+//! what a browser would consume) and evaluate the restricted dialect we
+//! generate.
+
+use sc_simnet::addr::SocketAddr;
+
+/// A routing decision for one URL/host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProxyDecision {
+    /// Connect directly.
+    Direct,
+    /// Connect through the given HTTP proxy.
+    Proxy(SocketAddr),
+}
+
+/// A PAC policy: whitelisted domain suffixes routed to one proxy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacFile {
+    /// Domain suffixes diverted to the proxy (lowercase, no leading dot).
+    pub whitelist: Vec<String>,
+    /// The proxy that whitelisted traffic uses.
+    pub proxy: SocketAddr,
+}
+
+impl PacFile {
+    /// Creates a policy.
+    pub fn new(whitelist: impl IntoIterator<Item = impl Into<String>>, proxy: SocketAddr) -> Self {
+        let whitelist = whitelist
+            .into_iter()
+            .map(|d| d.into().to_ascii_lowercase())
+            .collect();
+        PacFile { whitelist, proxy }
+    }
+
+    /// Decides how `host` should be reached.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sc_netproto::pac::{PacFile, ProxyDecision};
+    /// use sc_simnet::addr::{Addr, SocketAddr};
+    ///
+    /// let proxy = SocketAddr::new(Addr::new(10, 1, 0, 1), 8080);
+    /// let pac = PacFile::new(["scholar.google.com"], proxy);
+    /// assert_eq!(pac.decide("scholar.google.com"), ProxyDecision::Proxy(proxy));
+    /// assert_eq!(pac.decide("baidu.com"), ProxyDecision::Direct);
+    /// ```
+    pub fn decide(&self, host: &str) -> ProxyDecision {
+        let host = host.to_ascii_lowercase();
+        for domain in &self.whitelist {
+            if host == *domain || host.ends_with(&format!(".{domain}")) {
+                return ProxyDecision::Proxy(self.proxy);
+            }
+        }
+        ProxyDecision::Direct
+    }
+
+    /// Renders the policy as JavaScript PAC text.
+    pub fn to_javascript(&self) -> String {
+        let mut out = String::from("function FindProxyForURL(url, host) {\n");
+        for domain in &self.whitelist {
+            out.push_str(&format!(
+                "    if (dnsDomainIs(host, \"{domain}\")) return \"PROXY {}:{}\";\n",
+                self.proxy.addr, self.proxy.port
+            ));
+        }
+        out.push_str("    return \"DIRECT\";\n}\n");
+        out
+    }
+
+    /// Parses PAC text in the dialect produced by [`PacFile::to_javascript`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error for files outside the supported dialect.
+    pub fn parse(text: &str) -> Result<Self, PacParseError> {
+        let mut whitelist = Vec::new();
+        let mut proxy: Option<SocketAddr> = None;
+        for line in text.lines() {
+            let line = line.trim();
+            let Some(rest) = line.strip_prefix("if (dnsDomainIs(host, \"") else { continue };
+            let Some((domain, rest)) = rest.split_once("\")) return \"PROXY ") else {
+                return Err(PacParseError::BadRule(line.to_string()));
+            };
+            let Some(endpoint) = rest.strip_suffix("\";") else {
+                return Err(PacParseError::BadRule(line.to_string()));
+            };
+            let Some((addr_str, port_str)) = endpoint.rsplit_once(':') else {
+                return Err(PacParseError::BadEndpoint(endpoint.to_string()));
+            };
+            let octets: Vec<u8> = addr_str
+                .split('.')
+                .map(|o| o.parse::<u8>())
+                .collect::<Result<_, _>>()
+                .map_err(|_| PacParseError::BadEndpoint(endpoint.to_string()))?;
+            if octets.len() != 4 {
+                return Err(PacParseError::BadEndpoint(endpoint.to_string()));
+            }
+            let port: u16 = port_str
+                .parse()
+                .map_err(|_| PacParseError::BadEndpoint(endpoint.to_string()))?;
+            let this_proxy = SocketAddr::new(
+                sc_simnet::addr::Addr::new(octets[0], octets[1], octets[2], octets[3]),
+                port,
+            );
+            match proxy {
+                None => proxy = Some(this_proxy),
+                Some(p) if p == this_proxy => {}
+                Some(_) => return Err(PacParseError::MultipleProxies),
+            }
+            whitelist.push(domain.to_ascii_lowercase());
+        }
+        let proxy = proxy.ok_or(PacParseError::NoRules)?;
+        Ok(PacFile { whitelist, proxy })
+    }
+}
+
+/// Errors parsing PAC text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacParseError {
+    /// A rule line did not match the supported dialect.
+    BadRule(String),
+    /// A proxy endpoint was malformed.
+    BadEndpoint(String),
+    /// Rules pointed at more than one proxy.
+    MultipleProxies,
+    /// No proxy rules were found.
+    NoRules,
+}
+
+impl core::fmt::Display for PacParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PacParseError::BadRule(l) => write!(f, "unsupported PAC rule: {l:?}"),
+            PacParseError::BadEndpoint(e) => write!(f, "bad proxy endpoint: {e:?}"),
+            PacParseError::MultipleProxies => write!(f, "multiple proxies not supported"),
+            PacParseError::NoRules => write!(f, "no proxy rules found"),
+        }
+    }
+}
+
+impl std::error::Error for PacParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_simnet::addr::Addr;
+
+    fn proxy() -> SocketAddr {
+        SocketAddr::new(Addr::new(10, 1, 0, 1), 8080)
+    }
+
+    #[test]
+    fn whitelist_matching_includes_subdomains() {
+        let pac = PacFile::new(["google.com"], proxy());
+        assert_eq!(pac.decide("google.com"), ProxyDecision::Proxy(proxy()));
+        assert_eq!(pac.decide("scholar.GOOGLE.com"), ProxyDecision::Proxy(proxy()));
+        // Suffix must be on a label boundary.
+        assert_eq!(pac.decide("notgoogle.com"), ProxyDecision::Direct);
+        assert_eq!(pac.decide("baidu.com"), ProxyDecision::Direct);
+    }
+
+    #[test]
+    fn generate_then_parse_roundtrip() {
+        let pac = PacFile::new(["scholar.google.com", "www.google.com"], proxy());
+        let js = pac.to_javascript();
+        assert!(js.contains("FindProxyForURL"));
+        assert!(js.contains("PROXY 10.1.0.1:8080"));
+        assert!(js.contains("return \"DIRECT\""));
+        let parsed = PacFile::parse(&js).unwrap();
+        assert_eq!(parsed, pac);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(PacFile::parse("function f() {}").unwrap_err(), PacParseError::NoRules);
+        let bad = "if (dnsDomainIs(host, \"a.com\")) return \"PROXY nonsense\";";
+        assert!(matches!(
+            PacFile::parse(bad).unwrap_err(),
+            PacParseError::BadEndpoint(_)
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_multiple_proxies() {
+        let text = concat!(
+            "if (dnsDomainIs(host, \"a.com\")) return \"PROXY 10.0.0.1:80\";\n",
+            "if (dnsDomainIs(host, \"b.com\")) return \"PROXY 10.0.0.2:80\";\n",
+        );
+        assert_eq!(PacFile::parse(text).unwrap_err(), PacParseError::MultipleProxies);
+    }
+
+    #[test]
+    fn empty_whitelist_is_all_direct() {
+        let pac = PacFile::new(Vec::<String>::new(), proxy());
+        assert_eq!(pac.decide("anything.example"), ProxyDecision::Direct);
+    }
+}

@@ -1,0 +1,425 @@
+//! SOCKS5 (RFC 1928) with username/password authentication (RFC 1929) —
+//! the protocol spoken between a browser and the Shadowsocks local proxy,
+//! and (in Shadowsocks' wire format) the address header sent to the remote.
+
+use sc_simnet::addr::Addr;
+
+/// SOCKS protocol version byte.
+pub const SOCKS_VERSION: u8 = 5;
+
+/// Authentication methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthMethod {
+    /// No authentication.
+    None,
+    /// Username/password (RFC 1929).
+    UserPass,
+}
+
+impl AuthMethod {
+    fn to_byte(self) -> u8 {
+        match self {
+            AuthMethod::None => 0x00,
+            AuthMethod::UserPass => 0x02,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0x00 => Some(AuthMethod::None),
+            0x02 => Some(AuthMethod::UserPass),
+            _ => None,
+        }
+    }
+}
+
+/// A connect target: domain name or literal address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TargetAddr {
+    /// A domain to be resolved by the proxy.
+    Domain(String, u16),
+    /// A literal address.
+    Ip(Addr, u16),
+}
+
+impl TargetAddr {
+    /// The port.
+    pub fn port(&self) -> u16 {
+        match self {
+            TargetAddr::Domain(_, p) | TargetAddr::Ip(_, p) => *p,
+        }
+    }
+
+    /// Encodes in SOCKS5 address format (ATYP + addr + port) — also the
+    /// header format Shadowsocks prepends to each proxied stream.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            TargetAddr::Ip(a, p) => {
+                out.push(0x01);
+                out.extend_from_slice(&a.octets());
+                out.extend_from_slice(&p.to_be_bytes());
+            }
+            TargetAddr::Domain(d, p) => {
+                out.push(0x03);
+                out.push(d.len() as u8);
+                out.extend_from_slice(d.as_bytes());
+                out.extend_from_slice(&p.to_be_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes from SOCKS5 address format. Returns the target and the
+    /// number of bytes consumed, or `None` if more data is needed or the
+    /// ATYP is unsupported.
+    pub fn decode(data: &[u8]) -> Option<(TargetAddr, usize)> {
+        match *data.first()? {
+            0x01 => {
+                if data.len() < 7 {
+                    return None;
+                }
+                let addr = Addr::new(data[1], data[2], data[3], data[4]);
+                let port = u16::from_be_bytes([data[5], data[6]]);
+                Some((TargetAddr::Ip(addr, port), 7))
+            }
+            0x03 => {
+                let len = *data.get(1)? as usize;
+                if data.len() < 2 + len + 2 {
+                    return None;
+                }
+                let domain = String::from_utf8_lossy(&data[2..2 + len]).to_string();
+                let port = u16::from_be_bytes([data[2 + len], data[3 + len]]);
+                Some((TargetAddr::Domain(domain, port), 2 + len + 2))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Messages in the SOCKS5 client→server direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientMsg {
+    /// Greeting offering auth methods.
+    Greeting(Vec<AuthMethod>),
+    /// Username/password credentials.
+    Auth {
+        /// Username.
+        username: String,
+        /// Password.
+        password: String,
+    },
+    /// CONNECT request.
+    Connect(TargetAddr),
+}
+
+impl ClientMsg {
+    /// Serializes the message.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            ClientMsg::Greeting(methods) => {
+                let mut out = vec![SOCKS_VERSION, methods.len() as u8];
+                out.extend(methods.iter().map(|m| m.to_byte()));
+                out
+            }
+            ClientMsg::Auth { username, password } => {
+                let mut out = vec![0x01, username.len() as u8];
+                out.extend_from_slice(username.as_bytes());
+                out.push(password.len() as u8);
+                out.extend_from_slice(password.as_bytes());
+                out
+            }
+            ClientMsg::Connect(target) => {
+                let mut out = vec![SOCKS_VERSION, 0x01, 0x00];
+                out.extend(target.encode());
+                out
+            }
+        }
+    }
+}
+
+/// Messages in the SOCKS5 server→client direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerMsg {
+    /// Method selection.
+    MethodSelected(AuthMethod),
+    /// Auth result.
+    AuthResult {
+        /// True on success.
+        ok: bool,
+    },
+    /// CONNECT reply.
+    ConnectReply {
+        /// 0 = success; otherwise a SOCKS error code.
+        code: u8,
+    },
+}
+
+impl ServerMsg {
+    /// Serializes the message.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            ServerMsg::MethodSelected(m) => vec![SOCKS_VERSION, m.to_byte()],
+            ServerMsg::AuthResult { ok } => vec![0x01, if *ok { 0 } else { 1 }],
+            ServerMsg::ConnectReply { code } => {
+                // Bind address is zeroed, as most implementations do.
+                vec![SOCKS_VERSION, *code, 0x00, 0x01, 0, 0, 0, 0, 0, 0]
+            }
+        }
+    }
+}
+
+/// Server-side SOCKS5 state machine, driven by stream bytes.
+#[derive(Debug)]
+pub struct SocksServerSession {
+    state: SocksState,
+    buf: Vec<u8>,
+    require_auth: Option<(String, String)>,
+    /// Established target once negotiation completes.
+    pub target: Option<TargetAddr>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SocksState {
+    Greeting,
+    Auth,
+    Request,
+    Ready,
+    Failed,
+}
+
+/// Output of feeding bytes to the server session.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct SocksOutput {
+    /// Bytes to send back to the client.
+    pub reply: Vec<u8>,
+    /// Set when the CONNECT target has been accepted.
+    pub connect: Option<TargetAddr>,
+    /// Leftover bytes that belong to the proxied stream (sent by an eager
+    /// client after its CONNECT).
+    pub leftover: Vec<u8>,
+    /// The session failed (bad version, bad credentials…).
+    pub failed: bool,
+}
+
+impl SocksServerSession {
+    /// A session that accepts anonymous clients.
+    pub fn new() -> Self {
+        SocksServerSession {
+            state: SocksState::Greeting,
+            buf: Vec::new(),
+            require_auth: None,
+            target: None,
+        }
+    }
+
+    /// A session that requires the given username/password.
+    pub fn with_auth(username: &str, password: &str) -> Self {
+        SocksServerSession {
+            state: SocksState::Greeting,
+            buf: Vec::new(),
+            require_auth: Some((username.to_string(), password.to_string())),
+            target: None,
+        }
+    }
+
+    /// Whether negotiation finished and the stream is proxied.
+    pub fn is_ready(&self) -> bool {
+        self.state == SocksState::Ready
+    }
+
+    /// Feeds client bytes.
+    pub fn on_bytes(&mut self, data: &[u8]) -> SocksOutput {
+        self.buf.extend_from_slice(data);
+        let mut out = SocksOutput::default();
+        loop {
+            match self.state {
+                SocksState::Greeting => {
+                    if self.buf.len() < 2 {
+                        break;
+                    }
+                    let nmethods = self.buf[1] as usize;
+                    if self.buf.len() < 2 + nmethods {
+                        break;
+                    }
+                    if self.buf[0] != SOCKS_VERSION {
+                        self.state = SocksState::Failed;
+                        out.failed = true;
+                        break;
+                    }
+                    let methods: Vec<AuthMethod> = self.buf[2..2 + nmethods]
+                        .iter()
+                        .filter_map(|b| AuthMethod::from_byte(*b))
+                        .collect();
+                    self.buf.drain(..2 + nmethods);
+                    let want = if self.require_auth.is_some() {
+                        AuthMethod::UserPass
+                    } else {
+                        AuthMethod::None
+                    };
+                    if !methods.contains(&want) {
+                        out.reply.extend([SOCKS_VERSION, 0xff]);
+                        self.state = SocksState::Failed;
+                        out.failed = true;
+                        break;
+                    }
+                    out.reply.extend(ServerMsg::MethodSelected(want).encode());
+                    self.state = if self.require_auth.is_some() {
+                        SocksState::Auth
+                    } else {
+                        SocksState::Request
+                    };
+                }
+                SocksState::Auth => {
+                    if self.buf.len() < 2 {
+                        break;
+                    }
+                    let ulen = self.buf[1] as usize;
+                    if self.buf.len() < 2 + ulen + 1 {
+                        break;
+                    }
+                    let plen = self.buf[2 + ulen] as usize;
+                    if self.buf.len() < 2 + ulen + 1 + plen {
+                        break;
+                    }
+                    let username = String::from_utf8_lossy(&self.buf[2..2 + ulen]).to_string();
+                    let password =
+                        String::from_utf8_lossy(&self.buf[3 + ulen..3 + ulen + plen]).to_string();
+                    self.buf.drain(..3 + ulen + plen);
+                    let (eu, ep) = self.require_auth.as_ref().expect("auth state implies auth");
+                    let ok = *eu == username && *ep == password;
+                    out.reply.extend(ServerMsg::AuthResult { ok }.encode());
+                    if ok {
+                        self.state = SocksState::Request;
+                    } else {
+                        self.state = SocksState::Failed;
+                        out.failed = true;
+                        break;
+                    }
+                }
+                SocksState::Request => {
+                    if self.buf.len() < 3 {
+                        break;
+                    }
+                    if self.buf[0] != SOCKS_VERSION || self.buf[1] != 0x01 {
+                        out.reply.extend(ServerMsg::ConnectReply { code: 7 }.encode());
+                        self.state = SocksState::Failed;
+                        out.failed = true;
+                        break;
+                    }
+                    let Some((target, consumed)) = TargetAddr::decode(&self.buf[3..]) else { break };
+                    self.buf.drain(..3 + consumed);
+                    out.reply.extend(ServerMsg::ConnectReply { code: 0 }.encode());
+                    self.target = Some(target.clone());
+                    out.connect = Some(target);
+                    self.state = SocksState::Ready;
+                }
+                SocksState::Ready => {
+                    out.leftover.extend(self.buf.drain(..));
+                    break;
+                }
+                SocksState::Failed => {
+                    self.buf.clear();
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for SocksServerSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anonymous_connect_flow() {
+        let mut s = SocksServerSession::new();
+        let o1 = s.on_bytes(&ClientMsg::Greeting(vec![AuthMethod::None]).encode());
+        assert_eq!(o1.reply, vec![5, 0]);
+        let target = TargetAddr::Domain("scholar.google.com".into(), 443);
+        let o2 = s.on_bytes(&ClientMsg::Connect(target.clone()).encode());
+        assert_eq!(o2.connect, Some(target));
+        assert!(s.is_ready());
+    }
+
+    #[test]
+    fn authenticated_flow() {
+        let mut s = SocksServerSession::with_auth("user", "hunter2");
+        let o1 = s.on_bytes(&ClientMsg::Greeting(vec![AuthMethod::UserPass]).encode());
+        assert_eq!(o1.reply, vec![5, 2]);
+        let o2 = s.on_bytes(
+            &ClientMsg::Auth { username: "user".into(), password: "hunter2".into() }.encode(),
+        );
+        assert_eq!(o2.reply, vec![1, 0]);
+        let o3 = s.on_bytes(&ClientMsg::Connect(TargetAddr::Ip(Addr::new(9, 9, 9, 9), 80)).encode());
+        assert!(o3.connect.is_some());
+    }
+
+    #[test]
+    fn wrong_password_fails() {
+        let mut s = SocksServerSession::with_auth("user", "hunter2");
+        s.on_bytes(&ClientMsg::Greeting(vec![AuthMethod::UserPass]).encode());
+        let o = s.on_bytes(
+            &ClientMsg::Auth { username: "user".into(), password: "wrong".into() }.encode(),
+        );
+        assert!(o.failed);
+        assert_eq!(o.reply, vec![1, 1]);
+    }
+
+    #[test]
+    fn auth_required_but_not_offered() {
+        let mut s = SocksServerSession::with_auth("u", "p");
+        let o = s.on_bytes(&ClientMsg::Greeting(vec![AuthMethod::None]).encode());
+        assert!(o.failed);
+        assert_eq!(o.reply, vec![5, 0xff]);
+    }
+
+    #[test]
+    fn eager_client_data_is_preserved() {
+        let mut s = SocksServerSession::new();
+        s.on_bytes(&ClientMsg::Greeting(vec![AuthMethod::None]).encode());
+        let mut bytes = ClientMsg::Connect(TargetAddr::Domain("h".into(), 80)).encode();
+        bytes.extend_from_slice(b"GET / HTTP/1.1\r\n\r\n");
+        let o = s.on_bytes(&bytes);
+        assert!(o.connect.is_some());
+        assert_eq!(o.leftover, b"GET / HTTP/1.1\r\n\r\n");
+    }
+
+    #[test]
+    fn fragmented_negotiation() {
+        let mut s = SocksServerSession::new();
+        let mut wire = ClientMsg::Greeting(vec![AuthMethod::None]).encode();
+        wire.extend(ClientMsg::Connect(TargetAddr::Domain("example.com".into(), 443)).encode());
+        let mut connected = None;
+        for b in wire {
+            let o = s.on_bytes(&[b]);
+            if o.connect.is_some() {
+                connected = o.connect;
+            }
+        }
+        assert_eq!(connected, Some(TargetAddr::Domain("example.com".into(), 443)));
+    }
+
+    #[test]
+    fn target_addr_roundtrip() {
+        for t in [
+            TargetAddr::Ip(Addr::new(1, 2, 3, 4), 8080),
+            TargetAddr::Domain("a.very.long.domain.example".into(), 443),
+        ] {
+            let enc = t.encode();
+            let (dec, used) = TargetAddr::decode(&enc).unwrap();
+            assert_eq!(dec, t);
+            assert_eq!(used, enc.len());
+            assert_eq!(t.port(), dec.port());
+        }
+        assert!(TargetAddr::decode(&[0x04, 0, 0]).is_none()); // IPv6 unsupported
+        assert!(TargetAddr::decode(&[0x01, 1, 2]).is_none()); // truncated
+    }
+}

@@ -1,0 +1,575 @@
+//! A simulated TLS 1.2-style protocol: two-round-trip handshake with a
+//! plaintext SNI (which the GFW's DPI reads — SNI filtering is one of its
+//! techniques), Diffie–Hellman key agreement, transcript-bound Finished
+//! MACs, and an encrypted record layer (AES-256-CTR + HMAC).
+//!
+//! The record framing is faithful enough that DPI can fingerprint it:
+//! record type byte, version bytes, length, then ciphertext.
+
+use sc_crypto::aes::{Aes, KeySize};
+use sc_crypto::dh::{PrivateKey, PublicKey};
+use sc_crypto::hmac::{ct_eq, hkdf, hmac_sha256};
+use sc_crypto::modes::Ctr;
+use sc_crypto::sha256::Sha256;
+
+/// TLS record content types (matching real TLS).
+pub mod record_type {
+    /// Handshake messages.
+    pub const HANDSHAKE: u8 = 22;
+    /// Application data.
+    pub const APPLICATION_DATA: u8 = 23;
+    /// Alerts.
+    pub const ALERT: u8 = 21;
+}
+
+/// The record-layer version bytes (TLS 1.2 = 0x0303).
+pub const VERSION: [u8; 2] = [0x03, 0x03];
+
+/// Handshake message types.
+mod hs_type {
+    pub const CLIENT_HELLO: u8 = 1;
+    pub const SERVER_HELLO: u8 = 2;
+    pub const CLIENT_KEY_EXCHANGE: u8 = 16;
+    pub const FINISHED: u8 = 20;
+}
+
+/// Errors from the TLS state machines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TlsError {
+    /// A record was malformed.
+    BadRecord,
+    /// A handshake message arrived out of order or malformed.
+    BadHandshake(&'static str),
+    /// The Finished MAC did not verify.
+    BadFinished,
+    /// Record MAC failed (tampering or key mismatch).
+    BadRecordMac,
+}
+
+impl core::fmt::Display for TlsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TlsError::BadRecord => write!(f, "malformed TLS record"),
+            TlsError::BadHandshake(w) => write!(f, "bad TLS handshake: {w}"),
+            TlsError::BadFinished => write!(f, "TLS finished verification failed"),
+            TlsError::BadRecordMac => write!(f, "TLS record MAC failed"),
+        }
+    }
+}
+
+impl std::error::Error for TlsError {}
+
+/// Output of feeding bytes into a TLS endpoint.
+#[derive(Debug, Default)]
+pub struct TlsOutput {
+    /// Bytes to transmit to the peer.
+    pub wire: Vec<u8>,
+    /// Decrypted application data received.
+    pub plaintext: Vec<u8>,
+    /// True once the handshake completed (edge-triggered: set on the call
+    /// that completes it).
+    pub handshake_complete: bool,
+}
+
+fn frame_record(rtype: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 7);
+    out.push(rtype);
+    out.extend_from_slice(&VERSION);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Incremental record deframer.
+#[derive(Debug, Default)]
+struct RecordBuf {
+    buf: Vec<u8>,
+}
+
+impl RecordBuf {
+    fn push(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    fn next_record(&mut self) -> Result<Option<(u8, Vec<u8>)>, TlsError> {
+        if self.buf.len() < 7 {
+            return Ok(None);
+        }
+        if self.buf[1..3] != VERSION {
+            return Err(TlsError::BadRecord);
+        }
+        let len = u32::from_be_bytes(self.buf[3..7].try_into().unwrap()) as usize;
+        if self.buf.len() < 7 + len {
+            return Ok(None);
+        }
+        let rtype = self.buf[0];
+        let payload = self.buf[7..7 + len].to_vec();
+        self.buf.drain(..7 + len);
+        Ok(Some((rtype, payload)))
+    }
+}
+
+/// Session keys derived from the handshake.
+#[derive(Debug)]
+struct SessionKeys {
+    client_write: Ctr,
+    server_write: Ctr,
+    client_mac: [u8; 32],
+    server_mac: [u8; 32],
+}
+
+fn derive_keys(shared: &[u8; 32], client_random: &[u8; 32], server_random: &[u8; 32]) -> SessionKeys {
+    let mut salt = Vec::with_capacity(64);
+    salt.extend_from_slice(client_random);
+    salt.extend_from_slice(server_random);
+    let okm = hkdf(&salt, shared, b"sc-tls key expansion", 32 + 32 + 32 + 32 + 16 + 16);
+    let cw = Aes::new(KeySize::Aes256, &okm[0..32]).expect("fixed-size key");
+    let sw = Aes::new(KeySize::Aes256, &okm[32..64]).expect("fixed-size key");
+    let mut cnonce = [0u8; 16];
+    cnonce.copy_from_slice(&okm[128..144]);
+    let mut snonce = [0u8; 16];
+    snonce.copy_from_slice(&okm[144..160]);
+    SessionKeys {
+        client_write: Ctr::new(cw, cnonce),
+        server_write: Ctr::new(sw, snonce),
+        client_mac: okm[64..96].try_into().unwrap(),
+        server_mac: okm[96..128].try_into().unwrap(),
+    }
+}
+
+/// Encrypt-then-MAC application record body: ciphertext || HMAC-tag(8).
+fn seal(ctr: &mut Ctr, mac_key: &[u8; 32], plaintext: &[u8]) -> Vec<u8> {
+    let mut ct = plaintext.to_vec();
+    ctr.apply(&mut ct);
+    let tag = hmac_sha256(mac_key, &ct);
+    let mut out = ct;
+    out.extend_from_slice(&tag[..8]);
+    out
+}
+
+fn open(ctr: &mut Ctr, mac_key: &[u8; 32], body: &[u8]) -> Result<Vec<u8>, TlsError> {
+    if body.len() < 8 {
+        return Err(TlsError::BadRecordMac);
+    }
+    let (ct, tag) = body.split_at(body.len() - 8);
+    let expect = hmac_sha256(mac_key, ct);
+    if !ct_eq(&expect[..8], tag) {
+        return Err(TlsError::BadRecordMac);
+    }
+    let mut pt = ct.to_vec();
+    ctr.apply(&mut pt);
+    Ok(pt)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClientState {
+    Start,
+    AwaitServerHello,
+    AwaitFinished,
+    Connected,
+}
+
+/// Client side of the simulated TLS protocol.
+#[derive(Debug)]
+pub struct TlsClient {
+    state: ClientState,
+    server_name: String,
+    records: RecordBuf,
+    transcript: Sha256,
+    client_random: [u8; 32],
+    dh: PrivateKey,
+    keys: Option<SessionKeys>,
+    shared: Option<[u8; 32]>,
+    server_random: Option<[u8; 32]>,
+}
+
+impl TlsClient {
+    /// Creates a client that will present `server_name` in its plaintext
+    /// SNI. `entropy` seeds randoms and the DH key deterministically.
+    pub fn new(server_name: &str, entropy: u64) -> Self {
+        let mut client_random = [0u8; 32];
+        let seed = sc_crypto::sha256(&[&entropy.to_be_bytes()[..], b"client-random"].concat());
+        client_random.copy_from_slice(&seed);
+        TlsClient {
+            state: ClientState::Start,
+            server_name: server_name.to_string(),
+            records: RecordBuf::default(),
+            transcript: Sha256::new(),
+            client_random,
+            dh: PrivateKey::from_entropy(entropy ^ 0x5a5a_5a5a_5a5a_5a5a),
+            keys: None,
+            shared: None,
+            server_random: None,
+        }
+    }
+
+    /// Produces the ClientHello. Call exactly once, first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn start_handshake(&mut self) -> Vec<u8> {
+        assert_eq!(self.state, ClientState::Start, "start_handshake called twice");
+        // ClientHello: type | random(32) | sni_len(2) | sni
+        let mut hello = vec![hs_type::CLIENT_HELLO];
+        hello.extend_from_slice(&self.client_random);
+        let sni = self.server_name.as_bytes();
+        hello.extend_from_slice(&(sni.len() as u16).to_be_bytes());
+        hello.extend_from_slice(sni);
+        self.transcript.update(&hello);
+        self.state = ClientState::AwaitServerHello;
+        frame_record(record_type::HANDSHAKE, &hello)
+    }
+
+    /// Encrypts application data for the wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handshake has not completed.
+    pub fn send(&mut self, plaintext: &[u8]) -> Vec<u8> {
+        let keys = self.keys.as_mut().expect("TLS handshake not complete");
+        let body = seal(&mut keys.client_write, &keys.client_mac, plaintext);
+        frame_record(record_type::APPLICATION_DATA, &body)
+    }
+
+    /// Feeds bytes received from the peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TlsError`] on protocol violations.
+    pub fn on_bytes(&mut self, data: &[u8]) -> Result<TlsOutput, TlsError> {
+        self.records.push(data);
+        let mut out = TlsOutput::default();
+        while let Some((rtype, payload)) = self.records.next_record()? {
+            match (rtype, self.state) {
+                (t, ClientState::AwaitServerHello) if t == record_type::HANDSHAKE => {
+                    if payload.first() != Some(&hs_type::SERVER_HELLO) || payload.len() < 1 + 32 + 8 {
+                        return Err(TlsError::BadHandshake("server hello"));
+                    }
+                    let mut server_random = [0u8; 32];
+                    server_random.copy_from_slice(&payload[1..33]);
+                    let server_pub = PublicKey::from_bytes(payload[33..41].try_into().unwrap())
+                        .map_err(|_| TlsError::BadHandshake("server dh key"))?;
+                    self.transcript.update(&payload);
+                    let shared = self.dh.agree(&server_pub);
+                    self.server_random = Some(server_random);
+                    self.shared = Some(shared);
+
+                    // ClientKeyExchange: type | dh_pub(8)
+                    let mut cke = vec![hs_type::CLIENT_KEY_EXCHANGE];
+                    cke.extend_from_slice(&self.dh.public_key().to_bytes());
+                    self.transcript.update(&cke);
+                    out.wire.extend(frame_record(record_type::HANDSHAKE, &cke));
+
+                    // Client Finished: HMAC(shared, transcript || "client")
+                    let th = self.transcript.clone().finalize();
+                    let mut fin = vec![hs_type::FINISHED];
+                    fin.extend_from_slice(&hmac_sha256(&shared, &[&th[..], b"client"].concat()));
+                    self.transcript.update(&fin);
+                    out.wire.extend(frame_record(record_type::HANDSHAKE, &fin));
+                    self.state = ClientState::AwaitFinished;
+                }
+                (t, ClientState::AwaitFinished) if t == record_type::HANDSHAKE => {
+                    if payload.first() != Some(&hs_type::FINISHED) {
+                        return Err(TlsError::BadHandshake("expected finished"));
+                    }
+                    let shared = self.shared.expect("set with server hello");
+                    let th = self.transcript.clone().finalize();
+                    let expect = hmac_sha256(&shared, &[&th[..], b"server"].concat());
+                    if !ct_eq(&expect, &payload[1..]) {
+                        return Err(TlsError::BadFinished);
+                    }
+                    self.keys = Some(derive_keys(
+                        &shared,
+                        &self.client_random,
+                        &self.server_random.expect("set with server hello"),
+                    ));
+                    self.state = ClientState::Connected;
+                    out.handshake_complete = true;
+                }
+                (t, ClientState::Connected) if t == record_type::APPLICATION_DATA => {
+                    let keys = self.keys.as_mut().expect("connected implies keys");
+                    out.plaintext
+                        .extend(open(&mut keys.server_write, &keys.server_mac, &payload)?);
+                }
+                _ => return Err(TlsError::BadHandshake("unexpected record")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether application data can flow.
+    pub fn is_connected(&self) -> bool {
+        self.state == ClientState::Connected
+    }
+
+    /// The SNI this client presents.
+    pub fn server_name(&self) -> &str {
+        &self.server_name
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServerState {
+    AwaitClientHello,
+    AwaitKeyExchange,
+    AwaitFinished,
+    Connected,
+}
+
+/// Server side of the simulated TLS protocol.
+#[derive(Debug)]
+pub struct TlsServer {
+    state: ServerState,
+    records: RecordBuf,
+    transcript: Sha256,
+    server_random: [u8; 32],
+    dh: PrivateKey,
+    keys: Option<SessionKeys>,
+    shared: Option<[u8; 32]>,
+    client_random: Option<[u8; 32]>,
+    sni: Option<String>,
+}
+
+impl TlsServer {
+    /// Creates a server endpoint with deterministic entropy.
+    pub fn new(entropy: u64) -> Self {
+        let mut server_random = [0u8; 32];
+        let seed = sc_crypto::sha256(&[&entropy.to_be_bytes()[..], b"server-random"].concat());
+        server_random.copy_from_slice(&seed);
+        TlsServer {
+            state: ServerState::AwaitClientHello,
+            records: RecordBuf::default(),
+            transcript: Sha256::new(),
+            server_random,
+            dh: PrivateKey::from_entropy(entropy ^ 0xa5a5_a5a5_a5a5_a5a5),
+            keys: None,
+            shared: None,
+            client_random: None,
+            sni: None,
+        }
+    }
+
+    /// The SNI the client presented (after the ClientHello).
+    pub fn sni(&self) -> Option<&str> {
+        self.sni.as_deref()
+    }
+
+    /// Whether application data can flow.
+    pub fn is_connected(&self) -> bool {
+        self.state == ServerState::Connected
+    }
+
+    /// Encrypts application data for the wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handshake has not completed.
+    pub fn send(&mut self, plaintext: &[u8]) -> Vec<u8> {
+        let keys = self.keys.as_mut().expect("TLS handshake not complete");
+        let body = seal(&mut keys.server_write, &keys.server_mac, plaintext);
+        frame_record(record_type::APPLICATION_DATA, &body)
+    }
+
+    /// Feeds bytes received from the peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TlsError`] on protocol violations.
+    pub fn on_bytes(&mut self, data: &[u8]) -> Result<TlsOutput, TlsError> {
+        self.records.push(data);
+        let mut out = TlsOutput::default();
+        while let Some((rtype, payload)) = self.records.next_record()? {
+            match (rtype, self.state) {
+                (t, ServerState::AwaitClientHello) if t == record_type::HANDSHAKE => {
+                    if payload.first() != Some(&hs_type::CLIENT_HELLO) || payload.len() < 35 {
+                        return Err(TlsError::BadHandshake("client hello"));
+                    }
+                    let mut client_random = [0u8; 32];
+                    client_random.copy_from_slice(&payload[1..33]);
+                    let sni_len = u16::from_be_bytes(payload[33..35].try_into().unwrap()) as usize;
+                    if payload.len() != 35 + sni_len {
+                        return Err(TlsError::BadHandshake("client hello sni"));
+                    }
+                    self.sni = Some(String::from_utf8_lossy(&payload[35..]).to_string());
+                    self.client_random = Some(client_random);
+                    self.transcript.update(&payload);
+
+                    // ServerHello: type | random(32) | dh_pub(8)
+                    let mut hello = vec![hs_type::SERVER_HELLO];
+                    hello.extend_from_slice(&self.server_random);
+                    hello.extend_from_slice(&self.dh.public_key().to_bytes());
+                    self.transcript.update(&hello);
+                    out.wire.extend(frame_record(record_type::HANDSHAKE, &hello));
+                    self.state = ServerState::AwaitKeyExchange;
+                }
+                (t, ServerState::AwaitKeyExchange) if t == record_type::HANDSHAKE => {
+                    if payload.first() != Some(&hs_type::CLIENT_KEY_EXCHANGE) || payload.len() != 9 {
+                        return Err(TlsError::BadHandshake("key exchange"));
+                    }
+                    let client_pub = PublicKey::from_bytes(payload[1..9].try_into().unwrap())
+                        .map_err(|_| TlsError::BadHandshake("client dh key"))?;
+                    self.transcript.update(&payload);
+                    self.shared = Some(self.dh.agree(&client_pub));
+                    self.state = ServerState::AwaitFinished;
+                }
+                (t, ServerState::AwaitFinished) if t == record_type::HANDSHAKE => {
+                    if payload.first() != Some(&hs_type::FINISHED) {
+                        return Err(TlsError::BadHandshake("expected finished"));
+                    }
+                    let shared = self.shared.expect("set at key exchange");
+                    let th = self.transcript.clone().finalize();
+                    let expect = hmac_sha256(&shared, &[&th[..], b"client"].concat());
+                    if !ct_eq(&expect, &payload[1..]) {
+                        return Err(TlsError::BadFinished);
+                    }
+                    self.transcript.update(&payload);
+                    // Server Finished.
+                    let th2 = self.transcript.clone().finalize();
+                    let mut fin = vec![hs_type::FINISHED];
+                    fin.extend_from_slice(&hmac_sha256(&shared, &[&th2[..], b"server"].concat()));
+                    out.wire.extend(frame_record(record_type::HANDSHAKE, &fin));
+                    self.keys = Some(derive_keys(
+                        &shared,
+                        &self.client_random.expect("set at client hello"),
+                        &self.server_random,
+                    ));
+                    self.state = ServerState::Connected;
+                    out.handshake_complete = true;
+                }
+                (t, ServerState::Connected) if t == record_type::APPLICATION_DATA => {
+                    let keys = self.keys.as_mut().expect("connected implies keys");
+                    out.plaintext
+                        .extend(open(&mut keys.client_write, &keys.client_mac, &payload)?);
+                }
+                _ => return Err(TlsError::BadHandshake("unexpected record")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Extracts the SNI from raw bytes if they begin with a ClientHello —
+/// the exact operation the GFW's SNI filter performs on passing traffic.
+pub fn sniff_sni(data: &[u8]) -> Option<String> {
+    // record header (7) + type(1) + random(32) + sni_len(2)
+    if data.len() < 7 + 35 || data[0] != record_type::HANDSHAKE || data[1..3] != VERSION {
+        return None;
+    }
+    let payload = &data[7..];
+    if payload.first() != Some(&hs_type::CLIENT_HELLO) {
+        return None;
+    }
+    let sni_len = u16::from_be_bytes(payload[33..35].try_into().ok()?) as usize;
+    if payload.len() < 35 + sni_len {
+        return None;
+    }
+    Some(String::from_utf8_lossy(&payload[35..35 + sni_len]).to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handshake() -> (TlsClient, TlsServer) {
+        let mut client = TlsClient::new("scholar.google.com", 1);
+        let mut server = TlsServer::new(2);
+        let ch = client.start_handshake();
+        let s1 = server.on_bytes(&ch).unwrap();
+        let c1 = client.on_bytes(&s1.wire).unwrap();
+        let s2 = server.on_bytes(&c1.wire).unwrap();
+        assert!(s2.handshake_complete);
+        let c2 = client.on_bytes(&s2.wire).unwrap();
+        assert!(c2.handshake_complete);
+        (client, server)
+    }
+
+    #[test]
+    fn full_handshake_and_data() {
+        let (mut client, mut server) = handshake();
+        assert!(client.is_connected() && server.is_connected());
+        assert_eq!(server.sni(), Some("scholar.google.com"));
+
+        let wire = client.send(b"GET / HTTP/1.1\r\n\r\n");
+        let got = server.on_bytes(&wire).unwrap();
+        assert_eq!(got.plaintext, b"GET / HTTP/1.1\r\n\r\n");
+
+        let wire = server.send(b"HTTP/1.1 200 OK\r\n\r\n");
+        let got = client.on_bytes(&wire).unwrap();
+        assert_eq!(got.plaintext, b"HTTP/1.1 200 OK\r\n\r\n");
+    }
+
+    #[test]
+    fn multiple_records_roundtrip() {
+        let (mut client, mut server) = handshake();
+        let mut wire = Vec::new();
+        for i in 0..10u8 {
+            wire.extend(client.send(&[i; 100]));
+        }
+        // Feed in odd-sized fragments.
+        let mut plain = Vec::new();
+        for chunk in wire.chunks(37) {
+            plain.extend(server.on_bytes(chunk).unwrap().plaintext);
+        }
+        assert_eq!(plain.len(), 1000);
+    }
+
+    #[test]
+    fn ciphertext_is_high_entropy() {
+        let (mut client, _server) = handshake();
+        let wire = client.send(&vec![b'A'; 4096]);
+        let stats = sc_crypto::entropy::PayloadStats::analyze(&wire[7..]);
+        assert!(stats.entropy > 7.0, "entropy {}", stats.entropy);
+    }
+
+    #[test]
+    fn sni_is_sniffable_from_client_hello() {
+        let mut client = TlsClient::new("www.google.com", 3);
+        let ch = client.start_handshake();
+        assert_eq!(sniff_sni(&ch).as_deref(), Some("www.google.com"));
+        // Application data must not leak an SNI.
+        let (mut c, _s) = handshake();
+        assert_eq!(sniff_sni(&c.send(b"data")), None);
+        assert_eq!(sniff_sni(b"short"), None);
+    }
+
+    #[test]
+    fn tampered_record_fails_mac() {
+        let (mut client, mut server) = handshake();
+        let mut wire = client.send(b"secret");
+        let n = wire.len();
+        wire[n - 9] ^= 0xff; // flip a ciphertext bit
+        assert_eq!(server.on_bytes(&wire).unwrap_err(), TlsError::BadRecordMac);
+    }
+
+    #[test]
+    fn tampered_finished_fails() {
+        let mut client = TlsClient::new("h", 1);
+        let mut server = TlsServer::new(2);
+        let ch = client.start_handshake();
+        let s1 = server.on_bytes(&ch).unwrap();
+        let mut c1 = client.on_bytes(&s1.wire).unwrap();
+        let n = c1.wire.len();
+        c1.wire[n - 1] ^= 1; // corrupt client finished MAC
+        assert_eq!(server.on_bytes(&c1.wire).unwrap_err(), TlsError::BadFinished);
+    }
+
+    #[test]
+    fn wrong_order_is_rejected() {
+        let mut server = TlsServer::new(2);
+        let (mut client, _s) = handshake();
+        let appdata = client.send(b"x");
+        assert!(matches!(
+            server.on_bytes(&appdata).unwrap_err(),
+            TlsError::BadHandshake(_)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "start_handshake called twice")]
+    fn double_start_panics() {
+        let mut client = TlsClient::new("h", 1);
+        let _ = client.start_handshake();
+        let _ = client.start_handshake();
+    }
+}

@@ -1,0 +1,210 @@
+//! The Figure-3 survey: how 371 Tsinghua scholars reported accessing
+//! Google Scholar in July 2015.
+//!
+//! The published numbers: 26% of respondents bypass the GFW at all; of
+//! those, 43% use VPNs (93% native VPN / 7% OpenVPN), 2% Tor, 21%
+//! Shadowsocks, and 34% other methods (web proxies, hosts-file edits).
+//! We reproduce the sampling + tabulation pipeline: a seeded population
+//! sampler draws respondents from the reported distribution and the
+//! tabulator recovers the shares.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How a (bypassing) respondent accesses Google Scholar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessMethod {
+    /// PPTP/L2TP native VPN.
+    NativeVpn,
+    /// OpenVPN.
+    OpenVpn,
+    /// Tor.
+    Tor,
+    /// Shadowsocks.
+    Shadowsocks,
+    /// Other (web proxies, hosts-file editing, …).
+    Other,
+}
+
+/// One survey response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Response {
+    /// Does not bypass the GFW.
+    NoBypass,
+    /// Bypasses using the given method.
+    Bypasses(AccessMethod),
+}
+
+/// The population distribution reported in the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurveyDistribution {
+    /// Fraction of scholars who bypass at all.
+    pub bypass: f64,
+    /// Among bypassers: VPN share.
+    pub vpn: f64,
+    /// Among VPN users: native VPN share (the rest is OpenVPN).
+    pub native_vpn_within_vpn: f64,
+    /// Among bypassers: Tor share.
+    pub tor: f64,
+    /// Among bypassers: Shadowsocks share.
+    pub shadowsocks: f64,
+    /// Among bypassers: other methods.
+    pub other: f64,
+}
+
+impl SurveyDistribution {
+    /// The distribution from Figure 3.
+    pub fn paper() -> Self {
+        SurveyDistribution {
+            bypass: 0.26,
+            vpn: 0.43,
+            native_vpn_within_vpn: 0.93,
+            tor: 0.02,
+            shadowsocks: 0.21,
+            other: 0.34,
+        }
+    }
+
+    /// Checks the within-bypassers shares sum to 1.
+    pub fn is_consistent(&self) -> bool {
+        (self.vpn + self.tor + self.shadowsocks + self.other - 1.0).abs() < 1e-9
+    }
+}
+
+/// Draws `n` responses from the distribution with a seeded RNG.
+pub fn sample_population(dist: &SurveyDistribution, n: usize, seed: u64) -> Vec<Response> {
+    assert!(dist.is_consistent(), "survey shares must sum to 1");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            if rng.gen::<f64>() >= dist.bypass {
+                return Response::NoBypass;
+            }
+            let x: f64 = rng.gen();
+            let method = if x < dist.vpn {
+                if rng.gen::<f64>() < dist.native_vpn_within_vpn {
+                    AccessMethod::NativeVpn
+                } else {
+                    AccessMethod::OpenVpn
+                }
+            } else if x < dist.vpn + dist.tor {
+                AccessMethod::Tor
+            } else if x < dist.vpn + dist.tor + dist.shadowsocks {
+                AccessMethod::Shadowsocks
+            } else {
+                AccessMethod::Other
+            };
+            Response::Bypasses(method)
+        })
+        .collect()
+}
+
+/// Tabulated survey results (Figure 3's numbers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurveyTabulation {
+    /// Respondents.
+    pub respondents: usize,
+    /// Count who bypass.
+    pub bypassers: usize,
+    /// Counts per method among bypassers.
+    pub native_vpn: usize,
+    /// OpenVPN count.
+    pub openvpn: usize,
+    /// Tor count.
+    pub tor: usize,
+    /// Shadowsocks count.
+    pub shadowsocks: usize,
+    /// Other-method count.
+    pub other: usize,
+}
+
+impl SurveyTabulation {
+    /// Tabulates raw responses.
+    pub fn tabulate(responses: &[Response]) -> Self {
+        let mut t = SurveyTabulation {
+            respondents: responses.len(),
+            bypassers: 0,
+            native_vpn: 0,
+            openvpn: 0,
+            tor: 0,
+            shadowsocks: 0,
+            other: 0,
+        };
+        for r in responses {
+            if let Response::Bypasses(m) = r {
+                t.bypassers += 1;
+                match m {
+                    AccessMethod::NativeVpn => t.native_vpn += 1,
+                    AccessMethod::OpenVpn => t.openvpn += 1,
+                    AccessMethod::Tor => t.tor += 1,
+                    AccessMethod::Shadowsocks => t.shadowsocks += 1,
+                    AccessMethod::Other => t.other += 1,
+                }
+            }
+        }
+        t
+    }
+
+    /// Fraction of respondents who bypass.
+    pub fn bypass_share(&self) -> f64 {
+        self.bypassers as f64 / self.respondents.max(1) as f64
+    }
+
+    /// Shares among bypassers: (vpn, tor, shadowsocks, other).
+    pub fn method_shares(&self) -> (f64, f64, f64, f64) {
+        let b = self.bypassers.max(1) as f64;
+        (
+            (self.native_vpn + self.openvpn) as f64 / b,
+            self.tor as f64 / b,
+            self.shadowsocks as f64 / b,
+            self.other as f64 / b,
+        )
+    }
+
+    /// Native-VPN share within VPN users.
+    pub fn native_share_within_vpn(&self) -> f64 {
+        let v = (self.native_vpn + self.openvpn).max(1) as f64;
+        self.native_vpn as f64 / v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_distribution_is_consistent() {
+        assert!(SurveyDistribution::paper().is_consistent());
+    }
+
+    #[test]
+    fn small_sample_is_deterministic() {
+        let d = SurveyDistribution::paper();
+        let a = sample_population(&d, 371, 42);
+        let b = sample_population(&d, 371, 42);
+        assert_eq!(a, b);
+        assert_ne!(a, sample_population(&d, 371, 43));
+    }
+
+    #[test]
+    fn large_sample_converges_to_figure3() {
+        let d = SurveyDistribution::paper();
+        let pop = sample_population(&d, 200_000, 7);
+        let t = SurveyTabulation::tabulate(&pop);
+        assert!((t.bypass_share() - 0.26).abs() < 0.01, "bypass {}", t.bypass_share());
+        let (vpn, tor, ss, other) = t.method_shares();
+        assert!((vpn - 0.43).abs() < 0.02, "vpn {vpn}");
+        assert!((tor - 0.02).abs() < 0.01, "tor {tor}");
+        assert!((ss - 0.21).abs() < 0.02, "ss {ss}");
+        assert!((other - 0.34).abs() < 0.02, "other {other}");
+        assert!((t.native_share_within_vpn() - 0.93).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "shares must sum to 1")]
+    fn inconsistent_distribution_panics() {
+        let mut d = SurveyDistribution::paper();
+        d.other = 0.9;
+        let _ = sample_population(&d, 10, 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! ScholarCloud deployment configuration and the operator's live
+//! blinding-scheme control.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sc_crypto::blinding::BlindingScheme;
+use sc_netproto::pac::PacFile;
+use sc_simnet::addr::{Addr, SocketAddr};
+
+/// The remote proxy's listening port.
+pub const REMOTE_PORT: u16 = 8443;
+/// The domestic proxy's listening port (what the PAC file points at).
+pub const DOMESTIC_PORT: u16 = 8080;
+
+/// A live handle to the blinding scheme in force. Because the operator
+/// controls both proxies, the scheme can be rotated at any time without
+/// touching clients — the paper's agility argument against a censor that
+/// learns one scheme's signature.
+#[derive(Debug, Clone)]
+pub struct SchemeHandle(Rc<RefCell<BlindingScheme>>);
+
+impl SchemeHandle {
+    /// Starts with the given scheme.
+    pub fn new(scheme: BlindingScheme) -> Self {
+        SchemeHandle(Rc::new(RefCell::new(scheme)))
+    }
+
+    /// The scheme currently in force.
+    pub fn get(&self) -> BlindingScheme {
+        *self.0.borrow()
+    }
+
+    /// Sets the scheme.
+    pub fn set(&self, scheme: BlindingScheme) {
+        *self.0.borrow_mut() = scheme;
+    }
+
+    /// Rotates to the next scheme in the rotation order.
+    pub fn rotate(&self) -> BlindingScheme {
+        let rotation = BlindingScheme::rotation();
+        let cur = self.get();
+        let idx = rotation.iter().position(|s| *s == cur).unwrap_or(0);
+        let next = rotation[(idx + 1) % rotation.len()];
+        self.set(next);
+        next
+    }
+}
+
+impl Default for SchemeHandle {
+    fn default() -> Self {
+        SchemeHandle::new(BlindingScheme::ByteMap)
+    }
+}
+
+/// Full ScholarCloud deployment parameters, shared by both proxies.
+#[derive(Debug, Clone)]
+pub struct ScConfig {
+    /// The domestic proxy's address (inside the wall).
+    pub domestic: SocketAddr,
+    /// The remote proxy's address (outside the wall).
+    pub remote: SocketAddr,
+    /// Operator shared secret (authenticates the inter-proxy channel).
+    pub secret: Vec<u8>,
+    /// Host header fronted in the cover preamble.
+    pub front_host: String,
+    /// The reviewable whitelist of legal-but-blocked domains (§3:
+    /// government agencies can inspect and amend it).
+    pub whitelist: Vec<String>,
+    /// Live blinding-scheme control.
+    pub scheme: SchemeHandle,
+}
+
+impl ScConfig {
+    /// The deployment shape from the paper: a domestic VM at Tsinghua and
+    /// a remote VM in San Mateo, whitelisting Google Scholar.
+    pub fn new(domestic_addr: Addr, remote_addr: Addr) -> Self {
+        ScConfig {
+            domestic: SocketAddr::new(domestic_addr, DOMESTIC_PORT),
+            remote: SocketAddr::new(remote_addr, REMOTE_PORT),
+            secret: b"scholarcloud-operator-secret-2016".to_vec(),
+            front_host: "cdn.thucloud.example".into(),
+            whitelist: vec!["scholar.google.com".into(), "www.google.com".into()],
+            scheme: SchemeHandle::default(),
+        }
+    }
+
+    /// The PAC file users point their browsers at: whitelisted domains go
+    /// to the domestic proxy, everything else DIRECT.
+    pub fn pac_file(&self) -> PacFile {
+        PacFile::new(self.whitelist.iter().cloned(), self.domestic)
+    }
+
+    /// Whether `host` is on the whitelist.
+    pub fn whitelisted(&self, host: &str) -> bool {
+        let host = host.to_ascii_lowercase();
+        self.whitelist
+            .iter()
+            .any(|d| host == *d || host.ends_with(&format!(".{d}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_netproto::pac::ProxyDecision;
+
+    fn config() -> ScConfig {
+        ScConfig::new(Addr::new(10, 1, 0, 1), Addr::new(99, 0, 0, 40))
+    }
+
+    #[test]
+    fn pac_routes_only_whitelist_to_proxy() {
+        let cfg = config();
+        let pac = cfg.pac_file();
+        assert_eq!(
+            pac.decide("scholar.google.com"),
+            ProxyDecision::Proxy(cfg.domestic)
+        );
+        assert_eq!(pac.decide("baidu.com"), ProxyDecision::Direct);
+        // The generated JavaScript parses back to the same policy.
+        let parsed = sc_netproto::pac::PacFile::parse(&pac.to_javascript()).unwrap();
+        assert_eq!(parsed, pac);
+    }
+
+    #[test]
+    fn scheme_rotation_cycles() {
+        let h = SchemeHandle::default();
+        let start = h.get();
+        let mut seen = vec![start];
+        for _ in 0..BlindingScheme::rotation().len() - 1 {
+            seen.push(h.rotate());
+        }
+        assert_eq!(h.rotate(), start, "rotation should cycle");
+        seen.sort_by_key(|s| s.wire_id());
+        seen.dedup();
+        assert_eq!(seen.len(), BlindingScheme::rotation().len());
+    }
+
+    #[test]
+    fn whitelist_matches_subdomains() {
+        let cfg = config();
+        assert!(cfg.whitelisted("scholar.google.com"));
+        assert!(cfg.whitelisted("cache.Scholar.google.com"));
+        assert!(!cfg.whitelisted("notscholar.example"));
+    }
+}

@@ -1,0 +1,223 @@
+//! The domestic proxy: the only thing users ever talk to. It terminates
+//! browser HTTP-proxy connections (CONNECT for HTTPS, absolute-form for
+//! plain HTTP), enforces the whitelist, and forwards whitelisted traffic
+//! to the remote proxy under the cover + blinding protocol.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use sc_netproto::http::{HttpMessage, HttpParser, HttpRequest, HttpResponse};
+use sc_netproto::socks::TargetAddr;
+use sc_simnet::api::{App, AppEvent, TcpEvent, TcpHandle};
+use sc_simnet::sim::Ctx;
+
+use crate::config::ScConfig;
+use crate::frame::{Hello, StreamCodec, StreamHeader};
+
+enum BrowserConn {
+    AwaitRequest(HttpParser),
+    Tunneling { remote: TcpHandle },
+    Dead,
+}
+
+struct RemoteConn {
+    browser: TcpHandle,
+    connected: bool,
+    /// Wire bytes queued until the remote TCP connects (hello + header
+    /// are pre-encoded here).
+    pending: Vec<u8>,
+    /// Outbound (domestic→remote) codec.
+    tx: StreamCodec,
+    /// Inbound (remote→domestic) codec.
+    rx: StreamCodec,
+}
+
+/// The domestic proxy app. Install on the domestic VM node.
+pub struct DomesticProxy {
+    config: ScConfig,
+    browsers: HashMap<TcpHandle, BrowserConn>,
+    remotes: HashMap<TcpHandle, RemoteConn>,
+    /// Whitelisted tunnels opened (diagnostics).
+    pub tunnels_opened: u64,
+    /// Requests refused as off-whitelist (diagnostics; should be zero
+    /// when clients honour the PAC file).
+    pub refused: u64,
+}
+
+impl DomesticProxy {
+    /// Creates the proxy.
+    pub fn new(config: ScConfig) -> Self {
+        DomesticProxy {
+            config,
+            browsers: HashMap::new(),
+            remotes: HashMap::new(),
+            tunnels_opened: 0,
+            refused: 0,
+        }
+    }
+
+    fn open_tunnel(
+        &mut self,
+        browser: TcpHandle,
+        header: StreamHeader,
+        initial_plain: Vec<u8>,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let scheme = self.config.scheme.get();
+        let nonce: u64 = ctx.rng().gen();
+        let hello = Hello { scheme, nonce };
+        let encrypt = !header.is_tls;
+        let mut tx = StreamCodec::new(&self.config.secret, &hello, encrypt, 0);
+        let rx = StreamCodec::new(&self.config.secret, &hello, encrypt, 1);
+        let mut pending = hello.encode(&self.config.secret, &self.config.front_host);
+        let mut head = header.encode();
+        tx.encode(&mut head);
+        pending.extend_from_slice(&head);
+        if !initial_plain.is_empty() {
+            let mut body = initial_plain;
+            tx.encode(&mut body);
+            pending.extend_from_slice(&body);
+        }
+        let remote = ctx.tcp_connect(self.config.remote);
+        self.remotes.insert(
+            remote,
+            RemoteConn { browser, connected: false, pending, tx, rx },
+        );
+        self.browsers.insert(browser, BrowserConn::Tunneling { remote });
+        self.tunnels_opened += 1;
+    }
+
+    fn handle_request(&mut self, browser: TcpHandle, req: HttpRequest, ctx: &mut Ctx<'_>) {
+        if req.method == "CONNECT" {
+            let Some((host, port_str)) = req.target.rsplit_once(':') else {
+                ctx.tcp_send(browser, &HttpResponse::new(400, Vec::new()).encode());
+                return;
+            };
+            let port: u16 = port_str.parse().unwrap_or(443);
+            if !self.config.whitelisted(host) {
+                self.refused += 1;
+                ctx.tcp_send(browser, &HttpResponse::new(403, Vec::new()).encode());
+                ctx.tcp_close(browser);
+                self.browsers.insert(browser, BrowserConn::Dead);
+                return;
+            }
+            ctx.tcp_send(browser, b"HTTP/1.1 200 Connection established\r\n\r\n");
+            let header = StreamHeader {
+                is_tls: port == 443,
+                target: TargetAddr::Domain(host.to_string(), port),
+            };
+            self.open_tunnel(browser, header, Vec::new(), ctx);
+        } else if let Some(rest) = req.target.strip_prefix("http://") {
+            // Absolute-form plain HTTP.
+            let (hostport, path) = match rest.find('/') {
+                Some(i) => (&rest[..i], &rest[i..]),
+                None => (rest, "/"),
+            };
+            let (host, port) = match hostport.rsplit_once(':') {
+                Some((h, p)) => (h, p.parse().unwrap_or(80)),
+                None => (hostport, 80),
+            };
+            if !self.config.whitelisted(host) {
+                self.refused += 1;
+                ctx.tcp_send(browser, &HttpResponse::new(403, Vec::new()).encode());
+                ctx.tcp_close(browser);
+                self.browsers.insert(browser, BrowserConn::Dead);
+                return;
+            }
+            // Rewrite to origin-form and push through the tunnel.
+            let mut origin_req = req.clone();
+            origin_req.target = path.to_string();
+            let header = StreamHeader {
+                is_tls: false,
+                target: TargetAddr::Domain(host.to_string(), port),
+            };
+            self.open_tunnel(browser, header, origin_req.encode(), ctx);
+        } else {
+            ctx.tcp_send(browser, &HttpResponse::new(400, Vec::new()).encode());
+        }
+    }
+}
+
+impl App for DomesticProxy {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.tcp_listen(self.config.domestic.port);
+    }
+
+    fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx<'_>) {
+        let AppEvent::Tcp(h, tcp_ev) = ev else { return };
+
+        // Remote side.
+        if self.remotes.contains_key(&h) {
+            match tcp_ev {
+                TcpEvent::Connected => {
+                    let conn = self.remotes.get_mut(&h).expect("checked");
+                    conn.connected = true;
+                    let pending = std::mem::take(&mut conn.pending);
+                    ctx.tcp_send(h, &pending);
+                }
+                TcpEvent::DataReceived => {
+                    let data = ctx.tcp_recv_all(h);
+                    let conn = self.remotes.get_mut(&h).expect("checked");
+                    let mut plain = data.to_vec();
+                    conn.rx.decode(&mut plain);
+                    ctx.tcp_send(conn.browser, &plain);
+                }
+                TcpEvent::PeerClosed | TcpEvent::Reset | TcpEvent::ConnectFailed => {
+                    if let Some(conn) = self.remotes.remove(&h) {
+                        ctx.tcp_close(conn.browser);
+                        self.browsers.insert(conn.browser, BrowserConn::Dead);
+                    }
+                }
+                _ => {}
+            }
+            return;
+        }
+
+        // Browser side.
+        match tcp_ev {
+            TcpEvent::Accepted { .. } => {
+                self.browsers.insert(h, BrowserConn::AwaitRequest(HttpParser::new()));
+            }
+            TcpEvent::DataReceived => {
+                let data = ctx.tcp_recv_all(h);
+                match self.browsers.get_mut(&h) {
+                    Some(BrowserConn::AwaitRequest(parser)) => {
+                        let Ok(msgs) = parser.push(&data) else {
+                            ctx.tcp_abort(h);
+                            self.browsers.insert(h, BrowserConn::Dead);
+                            return;
+                        };
+                        for msg in msgs {
+                            if let HttpMessage::Request(req) = msg {
+                                self.handle_request(h, req, ctx);
+                                break; // one request per proxy connection
+                            }
+                        }
+                    }
+                    Some(BrowserConn::Tunneling { remote }) => {
+                        let remote = *remote;
+                        if let Some(conn) = self.remotes.get_mut(&remote) {
+                            let mut wire = data.to_vec();
+                            conn.tx.encode(&mut wire);
+                            if conn.connected {
+                                ctx.tcp_send(remote, &wire);
+                            } else {
+                                conn.pending.extend_from_slice(&wire);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            TcpEvent::PeerClosed | TcpEvent::Reset => {
+                if let Some(BrowserConn::Tunneling { remote }) = self.browsers.get(&h) {
+                    let remote = *remote;
+                    ctx.tcp_close(remote);
+                    self.remotes.remove(&remote);
+                }
+                self.browsers.insert(h, BrowserConn::Dead);
+            }
+            _ => {}
+        }
+    }
+}

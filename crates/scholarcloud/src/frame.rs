@@ -1,0 +1,335 @@
+//! The ScholarCloud inter-proxy wire protocol.
+//!
+//! A domestic→remote connection looks, to an on-path observer, like an
+//! ordinary HTTP upload: a printable request head (the *cover preamble*)
+//! followed by an octet-stream body. The body is the user's traffic,
+//! passed through a confidential [`Blinder`] (and encrypted with a
+//! session key when it is not already TLS).
+//!
+//! The preamble carries an HMAC proof of the shared secret. Anything that
+//! fails the proof — including the GFW's active prober — receives a bland
+//! HTTP 400 decoy, which is why probing never confirms a ScholarCloud
+//! remote (§3, "message blinding"; probe resistance).
+
+use sc_crypto::blinding::{Blinder, BlindingScheme};
+use sc_crypto::hmac::{ct_eq, hkdf, hmac_sha256};
+use sc_crypto::modes::Ctr;
+use sc_crypto::{Aes, KeySize};
+use sc_netproto::socks::TargetAddr;
+
+/// Each blinding scheme fronts as a different innocuous endpoint, so a
+/// censor signature written against one scheme's cover does not match the
+/// next (the paper's agility argument).
+pub fn cover_path(scheme: BlindingScheme) -> &'static str {
+    match scheme {
+        BlindingScheme::Identity => "/raw",
+        BlindingScheme::ByteMap => "/api/sync",
+        BlindingScheme::XorRolling => "/cdn/upload",
+        BlindingScheme::NibbleSwap => "/static/blob",
+    }
+}
+
+/// The parsed cover preamble.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// Blinding scheme for the rest of the stream.
+    pub scheme: BlindingScheme,
+    /// Session nonce (keys are derived from secret + nonce).
+    pub nonce: u64,
+}
+
+fn mac_hex(secret: &[u8], scheme: BlindingScheme, nonce: u64) -> String {
+    let mut msg = Vec::with_capacity(16);
+    msg.push(scheme.wire_id());
+    msg.extend_from_slice(&nonce.to_be_bytes());
+    let tag = hmac_sha256(secret, &msg);
+    tag[..12].iter().map(|b| format!("{b:02x}")).collect()
+}
+
+impl Hello {
+    /// Renders the cover preamble (a complete HTTP request head).
+    pub fn encode(&self, secret: &[u8], front_host: &str) -> Vec<u8> {
+        let mac = mac_hex(secret, self.scheme, self.nonce);
+        format!(
+            "POST {} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/octet-stream\r\nX-Req-Id: {:016x}\r\nX-Trace: {}\r\nTransfer-Encoding: chunked\r\n\r\n",
+            cover_path(self.scheme),
+            front_host,
+            self.nonce,
+            mac,
+        )
+        .into_bytes()
+    }
+
+    /// Attempts to parse and authenticate a preamble from the start of a
+    /// stream. Returns the hello and bytes consumed, `Ok(None)` if more
+    /// data is needed, or `Err(())` if the head is complete but invalid
+    /// (serve the decoy).
+    #[allow(clippy::result_unit_err)]
+    pub fn parse(secret: &[u8], data: &[u8]) -> Result<Option<(Hello, usize)>, ()> {
+        let Some(head_end) = data.windows(4).position(|w| w == b"\r\n\r\n") else {
+            // An absurdly long "head" is not a preamble.
+            return if data.len() > 4096 { Err(()) } else { Ok(None) };
+        };
+        let head = std::str::from_utf8(&data[..head_end]).map_err(|_| ())?;
+        let mut lines = head.split("\r\n");
+        let start = lines.next().ok_or(())?;
+        let path = start.strip_prefix("POST ").and_then(|s| s.strip_suffix(" HTTP/1.1")).ok_or(())?;
+        let scheme = [
+            BlindingScheme::Identity,
+            BlindingScheme::ByteMap,
+            BlindingScheme::XorRolling,
+            BlindingScheme::NibbleSwap,
+        ]
+        .into_iter()
+        .find(|s| cover_path(*s) == path)
+        .ok_or(())?;
+        let mut nonce = None;
+        let mut trace = None;
+        for line in lines {
+            if let Some(v) = line.strip_prefix("X-Req-Id: ") {
+                nonce = u64::from_str_radix(v.trim(), 16).ok();
+            } else if let Some(v) = line.strip_prefix("X-Trace: ") {
+                trace = Some(v.trim().to_string());
+            }
+        }
+        let (Some(nonce), Some(trace)) = (nonce, trace) else { return Err(()) };
+        let expect = mac_hex(secret, scheme, nonce);
+        if !ct_eq(expect.as_bytes(), trace.as_bytes()) {
+            return Err(());
+        }
+        Ok(Some((Hello { scheme, nonce }, head_end + 4)))
+    }
+}
+
+/// Derives the session key for a hello.
+pub fn session_key(secret: &[u8], nonce: u64) -> [u8; 32] {
+    hkdf(&nonce.to_be_bytes(), secret, b"scholarcloud-session", 32)
+        .try_into()
+        .expect("32-byte output")
+}
+
+/// The per-stream header inside the tunnel: whether the payload is
+/// already TLS (in which case ScholarCloud does not re-encrypt) and the
+/// target the remote proxy should dial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamHeader {
+    /// Payload is already end-to-end encrypted (HTTPS).
+    pub is_tls: bool,
+    /// Where the remote proxy should connect.
+    pub target: TargetAddr,
+}
+
+impl StreamHeader {
+    /// Encodes: flag(1) ‖ target (SOCKS format), length-prefixed.
+    pub fn encode(&self) -> Vec<u8> {
+        let t = self.target.encode();
+        let mut out = Vec::with_capacity(t.len() + 3);
+        out.extend_from_slice(&((t.len() + 1) as u16).to_be_bytes());
+        out.push(self.is_tls as u8);
+        out.extend_from_slice(&t);
+        out
+    }
+
+    /// Decodes from the front of `data`; returns header + bytes consumed,
+    /// or `None` if incomplete/invalid.
+    pub fn decode(data: &[u8]) -> Option<(StreamHeader, usize)> {
+        if data.len() < 2 {
+            return None;
+        }
+        let len = u16::from_be_bytes([data[0], data[1]]) as usize;
+        if len < 2 || data.len() < 2 + len {
+            return None;
+        }
+        let is_tls = match data[2] {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        let (target, used) = TargetAddr::decode(&data[3..2 + len])?;
+        if used != len - 1 {
+            return None;
+        }
+        Some((StreamHeader { is_tls, target }, 2 + len))
+    }
+}
+
+/// The symmetric stream codec used on each side of the tunnel: blinding
+/// always; encryption only when the payload is not already TLS.
+pub struct StreamCodec {
+    blinder: Box<dyn Blinder>,
+    cipher: Option<Ctr>,
+    encode_pos: u64,
+    decode_pos: u64,
+}
+
+impl core::fmt::Debug for StreamCodec {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("StreamCodec")
+            .field("scheme", &self.blinder.scheme())
+            .field("encrypting", &self.cipher.is_some())
+            .finish()
+    }
+}
+
+impl StreamCodec {
+    /// Creates the codec for one direction of one stream.
+    ///
+    /// `dir` distinguishes the two directions so they use independent
+    /// cipher streams.
+    pub fn new(secret: &[u8], hello: &Hello, encrypt: bool, dir: u8) -> Self {
+        let blinder = hello.scheme.instantiate(&session_key(secret, hello.nonce));
+        let cipher = encrypt.then(|| {
+            let key = session_key(secret, hello.nonce ^ 0xd1d1_d1d1);
+            let mut nonce = [0u8; 16];
+            nonce[0] = dir;
+            Ctr::new(Aes::new(KeySize::Aes256, &key).expect("32-byte key"), nonce)
+        });
+        StreamCodec { blinder, cipher, encode_pos: 0, decode_pos: 0 }
+    }
+
+    /// Transforms plaintext into wire bytes (encrypt-then-blind).
+    pub fn encode(&mut self, data: &mut [u8]) {
+        if let Some(c) = self.cipher.as_mut() {
+            c.apply(data);
+        }
+        self.blinder.encode(data, self.encode_pos);
+        self.encode_pos += data.len() as u64;
+    }
+
+    /// Transforms wire bytes back into plaintext (deblind-then-decrypt).
+    ///
+    /// Note: each direction needs its own codec; `decode` here exists for
+    /// the peer's symmetric instance.
+    pub fn decode(&mut self, data: &mut [u8]) {
+        self.blinder.decode(data, self.decode_pos);
+        self.decode_pos += data.len() as u64;
+        if let Some(c) = self.cipher.as_mut() {
+            c.apply(data);
+        }
+    }
+}
+
+/// Whether `buf` could still grow into a valid cover preamble. The remote
+/// proxy serves the decoy as soon as this returns `false`, so probes (48
+/// bytes of garbage) are answered like a web server instead of hanging —
+/// hanging is exactly the signature the GFW's prober confirms.
+pub fn could_be_preamble(buf: &[u8]) -> bool {
+    if buf.len() > 4096 {
+        return false;
+    }
+    let prefix = b"POST /";
+    let n = buf.len().min(prefix.len());
+    buf[..n] == prefix[..n]
+}
+
+/// The decoy response served to anything that fails authentication.
+pub fn decoy_response() -> Vec<u8> {
+    b"HTTP/1.1 400 Bad Request\r\nServer: nginx/1.10.3\r\nContent-Type: text/html\r\nContent-Length: 166\r\nConnection: close\r\n\r\n<html>\r\n<head><title>400 Bad Request</title></head>\r\n<body bgcolor=\"white\">\r\n<center><h1>400 Bad Request</h1></center>\r\n<hr><center>nginx/1.10.3</center>\r\n</body>\r\n</html>"
+        .to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_simnet::addr::Addr;
+
+    const SECRET: &[u8] = b"shared-operator-secret";
+
+    #[test]
+    fn hello_roundtrip() {
+        let hello = Hello { scheme: BlindingScheme::ByteMap, nonce: 0xdead_beef };
+        let wire = hello.encode(SECRET, "cdn.front.example");
+        let (parsed, used) = Hello::parse(SECRET, &wire).unwrap().unwrap();
+        assert_eq!(parsed, hello);
+        assert_eq!(used, wire.len());
+        // The preamble must look like printable HTTP to DPI.
+        assert!(wire.starts_with(b"POST /api/sync HTTP/1.1\r\n"));
+        let stats = sc_crypto::entropy::PayloadStats::analyze(&wire);
+        assert!(stats.printable > 0.95);
+    }
+
+    #[test]
+    fn hello_rejects_wrong_secret() {
+        let hello = Hello { scheme: BlindingScheme::ByteMap, nonce: 7 };
+        let wire = hello.encode(SECRET, "h");
+        assert!(Hello::parse(b"other-secret", &wire).is_err());
+    }
+
+    #[test]
+    fn hello_rejects_garbage_and_honest_http() {
+        assert!(Hello::parse(SECRET, b"GET / HTTP/1.1\r\nHost: x\r\n\r\n").is_err());
+        let garbage = vec![0xa7u8; 5000];
+        assert!(Hello::parse(SECRET, &garbage).is_err());
+        // Incomplete head: need more data.
+        assert_eq!(Hello::parse(SECRET, b"POST /api/sync HTT").unwrap(), None);
+    }
+
+    #[test]
+    fn each_scheme_has_distinct_cover_path() {
+        let paths: std::collections::HashSet<&str> = BlindingScheme::rotation()
+            .into_iter()
+            .map(cover_path)
+            .collect();
+        assert_eq!(paths.len(), BlindingScheme::rotation().len());
+    }
+
+    #[test]
+    fn stream_header_roundtrip() {
+        for header in [
+            StreamHeader { is_tls: true, target: TargetAddr::Domain("scholar.google.com".into(), 443) },
+            StreamHeader { is_tls: false, target: TargetAddr::Ip(Addr::new(99, 2, 0, 1), 80) },
+        ] {
+            let enc = header.encode();
+            let (dec, used) = StreamHeader::decode(&enc).unwrap();
+            assert_eq!(dec, header);
+            assert_eq!(used, enc.len());
+        }
+        assert!(StreamHeader::decode(&[0, 1]).is_none());
+    }
+
+    #[test]
+    fn codec_roundtrip_with_and_without_encryption() {
+        let hello = Hello { scheme: BlindingScheme::ByteMap, nonce: 99 };
+        for encrypt in [false, true] {
+            let mut a = StreamCodec::new(SECRET, &hello, encrypt, 0);
+            let mut b = StreamCodec::new(SECRET, &hello, encrypt, 0);
+            let plain = b"GET /scholar HTTP/1.1\r\nHost: scholar.google.com\r\n\r\n".to_vec();
+            let mut wire = plain.clone();
+            a.encode(&mut wire);
+            assert_ne!(wire, plain);
+            b.decode(&mut wire);
+            assert_eq!(wire, plain, "encrypt={encrypt}");
+        }
+    }
+
+    #[test]
+    fn blinded_tls_hides_client_hello() {
+        // The core claim: a TLS ClientHello passed through the codec is no
+        // longer recognizable by the GFW's SNI sniffer.
+        let mut tls = sc_netproto::TlsClient::new("scholar.google.com", 5);
+        let hello_bytes = tls.start_handshake();
+        assert!(sc_netproto::sniff_sni(&hello_bytes).is_some());
+        let hello = Hello { scheme: BlindingScheme::ByteMap, nonce: 3 };
+        let mut codec = StreamCodec::new(SECRET, &hello, false, 0);
+        let mut wire = hello_bytes.clone();
+        codec.encode(&mut wire);
+        assert!(sc_netproto::sniff_sni(&wire).is_none());
+        // And no offset scan finds it either.
+        let found = (0..wire.len().saturating_sub(42))
+            .any(|off| sc_netproto::sniff_sni(&wire[off..]).is_some());
+        assert!(!found);
+    }
+
+    #[test]
+    fn decoy_looks_like_nginx() {
+        let d = decoy_response();
+        assert!(d.starts_with(b"HTTP/1.1 400"));
+        assert!(String::from_utf8_lossy(&d).contains("nginx"));
+    }
+
+    #[test]
+    fn session_keys_differ_by_nonce() {
+        assert_ne!(session_key(SECRET, 1), session_key(SECRET, 2));
+        assert_eq!(session_key(SECRET, 1), session_key(SECRET, 1));
+    }
+}

@@ -1,0 +1,227 @@
+//! The remote proxy: authenticates the cover preamble, deblinds the
+//! stream, dials the whitelisted target (resolving names outside the
+//! wall), and relays. Anything that fails authentication — garbage, web
+//! crawlers, the GFW's active prober — gets an nginx-style 400 decoy.
+
+use std::collections::HashMap;
+
+use sc_netproto::socks::TargetAddr;
+use sc_simnet::addr::SocketAddr;
+use sc_simnet::api::{App, AppEvent, TcpEvent, TcpHandle};
+use sc_simnet::sim::Ctx;
+use sc_tunnels::names::NameMap;
+
+use crate::config::ScConfig;
+use crate::frame::{could_be_preamble, decoy_response, Hello, StreamCodec, StreamHeader};
+
+enum ClientConn {
+    AwaitHello { buf: Vec<u8> },
+    Relaying { rx: StreamCodec, tx: StreamCodec, upstream: TcpHandle },
+    Decoyed,
+}
+
+/// The remote proxy app. Install on the foreign VM node.
+pub struct RemoteProxy {
+    config: ScConfig,
+    names: NameMap,
+    conns: HashMap<TcpHandle, ClientConn>,
+    upstreams: HashMap<TcpHandle, TcpHandle>,
+    upstream_pending: HashMap<TcpHandle, Vec<u8>>,
+    /// Authenticated tunnels served (diagnostics).
+    pub tunnels: u64,
+    /// Decoys served to unauthenticated connections (diagnostics: probes
+    /// land here).
+    pub decoys: u64,
+}
+
+impl RemoteProxy {
+    /// Creates the proxy; `names` is the uncensored DNS view.
+    pub fn new(config: ScConfig, names: NameMap) -> Self {
+        RemoteProxy {
+            config,
+            names,
+            conns: HashMap::new(),
+            upstreams: HashMap::new(),
+            upstream_pending: HashMap::new(),
+            tunnels: 0,
+            decoys: 0,
+        }
+    }
+
+    fn serve_decoy(&mut self, h: TcpHandle, ctx: &mut Ctx<'_>) {
+        ctx.tcp_send(h, &decoy_response());
+        ctx.tcp_close(h);
+        self.conns.insert(h, ClientConn::Decoyed);
+        self.decoys += 1;
+    }
+
+    fn advance(&mut self, h: TcpHandle, ctx: &mut Ctx<'_>) {
+        if let Some(ClientConn::AwaitHello { buf }) = self.conns.get_mut(&h) {
+            let snapshot = std::mem::take(buf);
+            match Hello::parse(&self.config.secret, &snapshot) {
+                Ok(None) => {
+                    if !could_be_preamble(&snapshot) {
+                        self.serve_decoy(h, ctx);
+                        return;
+                    }
+                    if let Some(ClientConn::AwaitHello { buf }) = self.conns.get_mut(&h) {
+                        *buf = snapshot;
+                    }
+                    return;
+                }
+                Err(()) => {
+                    self.serve_decoy(h, ctx);
+                    return;
+                }
+                Ok(Some((hello, used))) => {
+                    // The domestic side constructed its codec with
+                    // encrypt = !is_tls, but is_tls is only known after
+                    // decoding the header. Break the circularity by
+                    // trying both codec variants on the header bytes; the
+                    // header's strict framing disambiguates.
+                    let mut rest = snapshot[used..].to_vec();
+                    // First try: encrypt=false (TLS pass-through).
+                    let mut rx0 = StreamCodec::new(&self.config.secret, &hello, false, 0);
+                    let mut attempt = rest.clone();
+                    rx0.decode(&mut attempt);
+                    if let Some((header, consumed)) = StreamHeader::decode(&attempt) {
+                        if header.is_tls {
+                            let tx = StreamCodec::new(&self.config.secret, &hello, false, 1);
+                            let leftover = attempt[consumed..].to_vec();
+                            self.begin_relay(h, header, rx0, tx, leftover, ctx);
+                            return;
+                        }
+                    }
+                    // Second try: encrypt=true (plain-HTTP payloads).
+                    let mut rx1 = StreamCodec::new(&self.config.secret, &hello, true, 0);
+                    rx1.decode(&mut rest);
+                    if let Some((header, consumed)) = StreamHeader::decode(&rest) {
+                        if !header.is_tls {
+                            let tx = StreamCodec::new(&self.config.secret, &hello, true, 1);
+                            let leftover = rest[consumed..].to_vec();
+                            self.begin_relay(h, header, rx1, tx, leftover, ctx);
+                            return;
+                        }
+                    }
+                    // Header incomplete: stash raw bytes and wait. We must
+                    // re-run from scratch next time, so keep hello + rest.
+                    let mut restored = snapshot;
+                    self.conns.insert(h, ClientConn::AwaitHello { buf: Vec::new() });
+                    if let Some(ClientConn::AwaitHello { buf }) = self.conns.get_mut(&h) {
+                        buf.append(&mut restored);
+                    }
+                }
+            }
+        }
+    }
+
+    fn begin_relay(
+        &mut self,
+        h: TcpHandle,
+        header: StreamHeader,
+        rx: StreamCodec,
+        tx: StreamCodec,
+        leftover: Vec<u8>,
+        ctx: &mut Ctx<'_>,
+    ) {
+        // Whitelist enforcement happens here too: the remote proxy only
+        // dials whitelisted hosts, so a compromised domestic proxy cannot
+        // widen the service's scope.
+        let dest = match &header.target {
+            TargetAddr::Domain(name, port) => {
+                if !self.config.whitelisted(name) {
+                    self.serve_decoy(h, ctx);
+                    return;
+                }
+                match self.names.resolve(name) {
+                    Some(a) => SocketAddr::new(a, *port),
+                    None => {
+                        self.serve_decoy(h, ctx);
+                        return;
+                    }
+                }
+            }
+            // Literal addresses cannot be whitelist-checked; refuse them.
+            TargetAddr::Ip(_, _) => {
+                self.serve_decoy(h, ctx);
+                return;
+            }
+        };
+        let upstream = ctx.tcp_connect(dest);
+        self.upstreams.insert(upstream, h);
+        self.upstream_pending.insert(upstream, leftover);
+        self.conns.insert(h, ClientConn::Relaying { rx, tx, upstream });
+        self.tunnels += 1;
+    }
+}
+
+impl App for RemoteProxy {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.tcp_listen(self.config.remote.port);
+    }
+
+    fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx<'_>) {
+        let AppEvent::Tcp(h, tcp_ev) = ev else { return };
+
+        // Upstream side.
+        if let Some(&client) = self.upstreams.get(&h) {
+            match tcp_ev {
+                TcpEvent::Connected => {
+                    if let Some(pending) = self.upstream_pending.remove(&h) {
+                        if !pending.is_empty() {
+                            ctx.tcp_send(h, &pending);
+                        }
+                    }
+                }
+                TcpEvent::DataReceived => {
+                    let data = ctx.tcp_recv_all(h);
+                    if let Some(ClientConn::Relaying { tx, .. }) = self.conns.get_mut(&client) {
+                        let mut wire = data.to_vec();
+                        tx.encode(&mut wire);
+                        ctx.tcp_send(client, &wire);
+                    }
+                }
+                TcpEvent::PeerClosed | TcpEvent::Reset | TcpEvent::ConnectFailed => {
+                    ctx.tcp_close(client);
+                    self.upstreams.remove(&h);
+                }
+                _ => {}
+            }
+            return;
+        }
+
+        // Client (domestic proxy or prober) side.
+        match tcp_ev {
+            TcpEvent::Accepted { .. } => {
+                self.conns.insert(h, ClientConn::AwaitHello { buf: Vec::new() });
+            }
+            TcpEvent::DataReceived => {
+                let data = ctx.tcp_recv_all(h);
+                match self.conns.get_mut(&h) {
+                    Some(ClientConn::AwaitHello { buf }) => {
+                        buf.extend_from_slice(&data);
+                        self.advance(h, ctx);
+                    }
+                    Some(ClientConn::Relaying { rx, upstream, .. }) => {
+                        let upstream = *upstream;
+                        let mut plain = data.to_vec();
+                        rx.decode(&mut plain);
+                        if let Some(pending) = self.upstream_pending.get_mut(&upstream) {
+                            pending.extend_from_slice(&plain);
+                        } else {
+                            ctx.tcp_send(upstream, &plain);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            TcpEvent::PeerClosed | TcpEvent::Reset => {
+                if let Some(ClientConn::Relaying { upstream, .. }) = self.conns.remove(&h) {
+                    ctx.tcp_close(upstream);
+                    self.upstreams.remove(&upstream);
+                }
+            }
+            _ => {}
+        }
+    }
+}

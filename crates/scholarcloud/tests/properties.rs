@@ -1,0 +1,74 @@
+//! Property-based tests on ScholarCloud's wire protocol.
+
+use proptest::prelude::*;
+use sc_core::frame::{Hello, StreamCodec, StreamHeader, could_be_preamble};
+use sc_crypto::blinding::BlindingScheme;
+use sc_netproto::socks::TargetAddr;
+
+fn scheme_strategy() -> impl Strategy<Value = BlindingScheme> {
+    (0u8..4).prop_map(|i| BlindingScheme::from_wire_id(i).unwrap())
+}
+
+proptest! {
+    /// Hello encode/parse is the identity for any scheme/nonce/host.
+    #[test]
+    fn hello_roundtrip(scheme in scheme_strategy(), nonce: u64,
+                       secret in prop::collection::vec(any::<u8>(), 1..64),
+                       host in "[a-z]{1,10}\\.[a-z]{2,6}") {
+        let hello = Hello { scheme, nonce };
+        let wire = hello.encode(&secret, &host);
+        let (parsed, used) = Hello::parse(&secret, &wire).unwrap().unwrap();
+        prop_assert_eq!(parsed, hello);
+        prop_assert_eq!(used, wire.len());
+        prop_assert!(could_be_preamble(&wire[..wire.len().min(6)]));
+    }
+
+    /// A preamble never authenticates under a different secret.
+    #[test]
+    fn hello_secret_binding(scheme in scheme_strategy(), nonce: u64,
+                            s1 in prop::collection::vec(any::<u8>(), 1..32),
+                            s2 in prop::collection::vec(any::<u8>(), 1..32)) {
+        prop_assume!(s1 != s2);
+        let wire = Hello { scheme, nonce }.encode(&s1, "h.example");
+        prop_assert!(Hello::parse(&s2, &wire).is_err());
+    }
+
+    /// Stream headers round-trip for all targets.
+    #[test]
+    fn stream_header_roundtrip(is_tls: bool, port: u16,
+                               domain in "[a-z]{1,20}\\.[a-z]{2,8}") {
+        let header = StreamHeader { is_tls, target: TargetAddr::Domain(domain, port) };
+        let wire = header.encode();
+        let (parsed, used) = StreamHeader::decode(&wire).unwrap();
+        prop_assert_eq!(parsed, header);
+        prop_assert_eq!(used, wire.len());
+    }
+
+    /// The stream codec is lossless for any scheme, any chunking, with or
+    /// without the extra encryption layer.
+    #[test]
+    fn codec_roundtrip(scheme in scheme_strategy(), nonce: u64, encrypt: bool,
+                       secret in prop::collection::vec(any::<u8>(), 1..48),
+                       data in prop::collection::vec(any::<u8>(), 0..2000),
+                       chunk in 1usize..257) {
+        let hello = Hello { scheme, nonce };
+        let mut tx = StreamCodec::new(&secret, &hello, encrypt, 0);
+        let mut rx = StreamCodec::new(&secret, &hello, encrypt, 0);
+        let mut wire = data.clone();
+        for piece in wire.chunks_mut(chunk) {
+            tx.encode(piece);
+        }
+        for piece in wire.chunks_mut(chunk) {
+            rx.decode(piece);
+        }
+        prop_assert_eq!(wire, data);
+    }
+
+    /// Garbage (not starting with POST /) is immediately identified as
+    /// non-preamble, so probes get the decoy without delay.
+    #[test]
+    fn garbage_rejected_fast(garbage in prop::collection::vec(any::<u8>(), 6..64)) {
+        prop_assume!(!garbage.starts_with(b"POST /"));
+        prop_assert!(!could_be_preamble(&garbage));
+    }
+}

@@ -1,0 +1,201 @@
+//! Point-to-point links with propagation delay, serialization bandwidth,
+//! bounded queues, and base (non-censorship) loss.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a link in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(pub usize);
+
+/// Identifies a node in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub usize);
+
+/// Configuration for a link.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// Probability in `[0, 1)` that any packet is lost (background loss,
+    /// independent of censorship).
+    pub loss: f64,
+    /// Maximum bytes that may be queued awaiting serialization before the
+    /// link tail-drops.
+    pub queue_limit_bytes: usize,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            delay: SimDuration::from_millis(10),
+            bandwidth_bps: 100_000_000, // 100 Mbps, the paper's VM uplink
+            loss: 0.0,
+            // Sized near the bandwidth-delay product of a 100 Mbps
+            // trans-Pacific path so bulk transfers are not artificially
+            // loss-bound.
+            queue_limit_bytes: 3 * 1024 * 1024,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// Creates a config with the given delay and defaults elsewhere.
+    pub fn with_delay(delay: SimDuration) -> Self {
+        LinkConfig { delay, ..Default::default() }
+    }
+
+    /// Sets the loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= loss < 1.0`.
+    pub fn loss(mut self, loss: f64) -> Self {
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0,1)");
+        self.loss = loss;
+        self
+    }
+
+    /// Sets the bandwidth in bits per second.
+    pub fn bandwidth_bps(mut self, bps: u64) -> Self {
+        assert!(bps > 0, "bandwidth must be positive");
+        self.bandwidth_bps = bps;
+        self
+    }
+}
+
+/// A bidirectional link between two nodes. Each direction has independent
+/// serialization state.
+#[derive(Debug)]
+pub struct Link {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Link parameters.
+    pub config: LinkConfig,
+    /// Per-direction time at which the transmitter becomes free
+    /// (index 0 = a→b, 1 = b→a).
+    next_free: [SimTime; 2],
+}
+
+/// Outcome of offering a packet to a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkOutcome {
+    /// Packet will arrive at the far end at the given time.
+    Deliver(SimTime),
+    /// Packet dropped: transmit queue full.
+    QueueDrop,
+}
+
+impl Link {
+    /// Creates a link between `a` and `b`.
+    pub fn new(a: NodeId, b: NodeId, config: LinkConfig) -> Self {
+        Link { a, b, config, next_free: [SimTime::ZERO; 2] }
+    }
+
+    /// The far end as seen from `from`; `None` if `from` is not an endpoint.
+    pub fn other_end(&self, from: NodeId) -> Option<NodeId> {
+        if from == self.a {
+            Some(self.b)
+        } else if from == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// Offers a packet of `wire_len` bytes for transmission from `from` at
+    /// `now`. Background loss is decided by the caller (who owns the RNG);
+    /// this method models only queueing + serialization + propagation.
+    pub fn transmit(&mut self, from: NodeId, wire_len: usize, now: SimTime) -> LinkOutcome {
+        let dir = if from == self.a { 0 } else { 1 };
+        let backlog_end = self.next_free[dir].max(now);
+        // Bytes currently queued = time until free * bandwidth.
+        let queued_secs = (backlog_end - now).as_secs_f64();
+        let queued_bytes = queued_secs * self.config.bandwidth_bps as f64 / 8.0;
+        if queued_bytes as usize > self.config.queue_limit_bytes {
+            return LinkOutcome::QueueDrop;
+        }
+        let ser = SimDuration::from_secs_f64(wire_len as f64 * 8.0 / self.config.bandwidth_bps as f64);
+        let departure = backlog_end + ser;
+        self.next_free[dir] = departure;
+        LinkOutcome::Deliver(departure + self.config.delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_time_includes_serialization_and_propagation() {
+        let cfg = LinkConfig::with_delay(SimDuration::from_millis(50)).bandwidth_bps(8_000_000);
+        let mut link = Link::new(NodeId(0), NodeId(1), cfg);
+        // 1000 bytes at 8 Mbps = 1 ms serialization + 50 ms propagation.
+        match link.transmit(NodeId(0), 1000, SimTime::ZERO) {
+            LinkOutcome::Deliver(t) => assert_eq!(t.as_micros(), 51_000),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn back_to_back_packets_queue() {
+        let cfg = LinkConfig::with_delay(SimDuration::ZERO).bandwidth_bps(8_000_000);
+        let mut link = Link::new(NodeId(0), NodeId(1), cfg);
+        let t1 = match link.transmit(NodeId(0), 1000, SimTime::ZERO) {
+            LinkOutcome::Deliver(t) => t,
+            _ => panic!(),
+        };
+        let t2 = match link.transmit(NodeId(0), 1000, SimTime::ZERO) {
+            LinkOutcome::Deliver(t) => t,
+            _ => panic!(),
+        };
+        assert_eq!(t2.as_micros() - t1.as_micros(), 1_000);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let cfg = LinkConfig::with_delay(SimDuration::ZERO).bandwidth_bps(8_000_000);
+        let mut link = Link::new(NodeId(0), NodeId(1), cfg);
+        let _ = link.transmit(NodeId(0), 100_000, SimTime::ZERO);
+        // The reverse direction is unaffected by the forward backlog.
+        match link.transmit(NodeId(1), 1000, SimTime::ZERO) {
+            LinkOutcome::Deliver(t) => assert_eq!(t.as_micros(), 1_000),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let cfg = LinkConfig {
+            delay: SimDuration::ZERO,
+            bandwidth_bps: 8_000, // 1 KB/s
+            loss: 0.0,
+            queue_limit_bytes: 2_000,
+        };
+        let mut link = Link::new(NodeId(0), NodeId(1), cfg);
+        let mut drops = 0;
+        for _ in 0..10 {
+            if matches!(link.transmit(NodeId(0), 1000, SimTime::ZERO), LinkOutcome::QueueDrop) {
+                drops += 1;
+            }
+        }
+        assert!(drops >= 6, "expected most packets to tail-drop, got {drops}");
+    }
+
+    #[test]
+    fn other_end() {
+        let link = Link::new(NodeId(3), NodeId(7), LinkConfig::default());
+        assert_eq!(link.other_end(NodeId(3)), Some(NodeId(7)));
+        assert_eq!(link.other_end(NodeId(7)), Some(NodeId(3)));
+        assert_eq!(link.other_end(NodeId(5)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be in")]
+    fn invalid_loss_panics() {
+        let _ = LinkConfig::default().loss(1.5);
+    }
+}

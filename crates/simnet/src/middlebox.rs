@@ -1,0 +1,50 @@
+//! In-path middleboxes: the hook through which the GFW (or any other
+//! packet-inspecting appliance) is attached to a router.
+
+use rand::rngs::SmallRng;
+
+use crate::packet::Packet;
+use crate::time::SimTime;
+
+/// What a middlebox decided to do with a packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Forward unchanged.
+    Forward,
+    /// Silently discard. The label is recorded in drop statistics
+    /// (e.g. `"gfw-ip-block"`).
+    Drop(&'static str),
+}
+
+/// Context handed to a middlebox for each packet.
+pub struct MbCtx<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Deterministic RNG (shared with the whole simulation).
+    pub rng: &'a mut SmallRng,
+    /// Packets to inject *from this node* after the verdict is applied
+    /// (spoofed RSTs, poisoned DNS answers, …). They are routed normally.
+    pub inject: Vec<Packet>,
+}
+
+impl<'a> MbCtx<'a> {
+    /// Queues a packet for injection from the middlebox's node.
+    pub fn inject(&mut self, pkt: Packet) {
+        self.inject.push(pkt);
+    }
+}
+
+/// A packet-inspecting appliance sitting on the forwarding path of a node.
+///
+/// `process` sees every packet the node forwards (not packets addressed to
+/// the node itself). Implementations may keep per-flow state, inject
+/// packets, and consult the simulation clock and RNG.
+pub trait Middlebox {
+    /// Inspects one packet and renders a verdict.
+    fn process(&mut self, pkt: &Packet, ctx: &mut MbCtx<'_>) -> Verdict;
+
+    /// Diagnostic name.
+    fn name(&self) -> &str {
+        "middlebox"
+    }
+}

@@ -1,0 +1,614 @@
+//! The discrete-event simulation engine and the application [`Ctx`] API.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::addr::{Addr, SocketAddr};
+use crate::api::{App, AppEvent, AppId, PacketTunnel, TcpHandle, UdpHandle};
+use crate::link::{Link, LinkConfig, LinkId, LinkOutcome, NodeId};
+use crate::middlebox::{MbCtx, Middlebox, Verdict};
+use crate::node::Node;
+use crate::packet::{L4, Packet};
+use crate::stats::{DropReason, SimStats};
+use crate::tcp::{ConnStats, Effects, TcpTimer};
+use crate::time::{SimDuration, SimTime};
+
+#[derive(Debug)]
+enum Event {
+    Arrival { node: NodeId, packet: Packet },
+    TcpTimer { node: NodeId, timer: TcpTimer },
+    AppTimer { node: NodeId, app: AppId, token: u64 },
+    Start { node: NodeId, app: AppId },
+}
+
+struct Queued {
+    at: SimTime,
+    seq: u64,
+    ev: Event,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulator: topology, clock, event queue, and statistics.
+///
+/// # Examples
+///
+/// Build a two-host network and run it:
+///
+/// ```
+/// use sc_simnet::prelude::*;
+///
+/// let mut sim = Sim::new(42);
+/// let a = sim.add_node("a", Addr::new(10, 0, 0, 1));
+/// let b = sim.add_node("b", Addr::new(99, 0, 0, 1));
+/// sim.add_link(a, b, LinkConfig::with_delay(SimDuration::from_millis(20)));
+/// sim.compute_routes();
+/// sim.run_for(SimDuration::from_secs(1));
+/// assert_eq!(sim.now().as_secs_f64(), 1.0);
+/// ```
+pub struct Sim {
+    now: SimTime,
+    queue: BinaryHeap<Reverse<Queued>>,
+    seq: u64,
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    addr_map: HashMap<Addr, NodeId>,
+    rng: SmallRng,
+    /// Packet accounting.
+    pub stats: SimStats,
+}
+
+impl core::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("queued", &self.queue.len())
+            .finish()
+    }
+}
+
+impl Sim {
+    /// Creates an empty simulation with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            nodes: Vec::new(),
+            links: Vec::new(),
+            addr_map: HashMap::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Adds a node with a unique address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is already assigned.
+    pub fn add_node(&mut self, name: impl Into<String>, addr: Addr) -> NodeId {
+        assert!(
+            !self.addr_map.contains_key(&addr),
+            "address {addr} already assigned"
+        );
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node::new(name, addr));
+        self.addr_map.insert(addr, id);
+        id
+    }
+
+    /// Adds a bidirectional link between two nodes.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, config: LinkConfig) -> LinkId {
+        let id = LinkId(self.links.len());
+        self.links.push(Link::new(a, b, config));
+        self.nodes[a.0].links.push(id);
+        self.nodes[b.0].links.push(id);
+        id
+    }
+
+    /// Computes shortest-path (hop count) routes for every node via BFS.
+    /// Call after the topology is complete and before running.
+    pub fn compute_routes(&mut self) {
+        let n = self.nodes.len();
+        for start in 0..n {
+            let mut first_link: Vec<Option<LinkId>> = vec![None; n];
+            let mut visited = vec![false; n];
+            let mut q = VecDeque::new();
+            visited[start] = true;
+            q.push_back(start);
+            while let Some(u) = q.pop_front() {
+                let links = self.nodes[u].links.clone();
+                for lid in links {
+                    let link = &self.links[lid.0];
+                    let Some(v) = link.other_end(NodeId(u)) else { continue };
+                    if visited[v.0] {
+                        continue;
+                    }
+                    visited[v.0] = true;
+                    // The first hop out of `start` toward v.
+                    first_link[v.0] = if u == start { Some(lid) } else { first_link[u] };
+                    q.push_back(v.0);
+                }
+            }
+            let routes: HashMap<Addr, LinkId> = (0..n)
+                .filter(|&v| v != start)
+                .filter_map(|v| first_link[v].map(|l| (self.nodes[v].addr, l)))
+                .collect();
+            self.nodes[start].routes = routes;
+        }
+    }
+
+    /// Installs an application on a node; its `on_start` runs at the
+    /// current simulation time (when the event loop next runs).
+    pub fn install_app(&mut self, node: NodeId, app: Box<dyn App>) -> AppId {
+        let id = AppId(self.nodes[node.0].apps.len());
+        self.nodes[node.0].apps.push(Some(app));
+        self.schedule(SimDuration::ZERO, Event::Start { node, app: id });
+        id
+    }
+
+    /// Attaches a middlebox to a node's forwarding path.
+    pub fn set_middlebox(&mut self, node: NodeId, mb: Box<dyn Middlebox>) {
+        self.nodes[node.0].middlebox = Some(mb);
+    }
+
+    /// Installs (or replaces) a packet tunnel on a node.
+    pub fn set_tunnel(&mut self, node: NodeId, tunnel: Box<dyn PacketTunnel>) {
+        self.nodes[node.0].tunnel = Some(tunnel);
+    }
+
+    /// Removes a node's packet tunnel.
+    pub fn clear_tunnel(&mut self, node: NodeId) {
+        self.nodes[node.0].tunnel = None;
+    }
+
+    /// The node id owning `addr`.
+    pub fn node_by_addr(&self, addr: Addr) -> Option<NodeId> {
+        self.addr_map.get(&addr).copied()
+    }
+
+    /// The address of `node`.
+    pub fn addr_of(&self, node: NodeId) -> Addr {
+        self.nodes[node.0].addr
+    }
+
+    /// Immutable access to a node (diagnostics/tests).
+    pub fn node(&self, node: NodeId) -> &Node {
+        &self.nodes[node.0]
+    }
+
+    fn schedule(&mut self, delay: SimDuration, ev: Event) {
+        let at = self.now + delay;
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Queued { at, seq, ev }));
+    }
+
+    /// Runs until the queue is exhausted or `deadline` is reached.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(q)) = self.queue.peek() {
+            if q.at > deadline {
+                break;
+            }
+            let Reverse(q) = self.queue.pop().unwrap();
+            self.now = q.at;
+            self.handle(q.ev);
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `d` of simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Runs until no events remain (beware apps that re-arm timers forever).
+    pub fn run_until_idle(&mut self) {
+        while let Some(Reverse(q)) = self.queue.pop() {
+            self.now = q.at;
+            self.handle(q.ev);
+        }
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Start { node, app } => {
+                if let Some(mut a) = self.nodes[node.0].apps[app.0].take() {
+                    let mut ctx = Ctx { sim: self, node, app };
+                    a.on_start(&mut ctx);
+                    self.nodes[node.0].apps[app.0] = Some(a);
+                }
+                self.drain_pending(node);
+            }
+            Event::AppTimer { node, app, token } => {
+                self.nodes[node.0]
+                    .pending
+                    .push_back((app, AppEvent::TimerFired(token)));
+                self.drain_pending(node);
+            }
+            Event::TcpTimer { node, timer } => {
+                let mut fx = Effects::default();
+                let now = self.now;
+                self.nodes[node.0].tcp.on_timer(timer, now, &mut fx);
+                self.flush(node, fx);
+                self.drain_pending(node);
+            }
+            Event::Arrival { node, packet } => {
+                self.on_arrival(node, packet);
+                self.drain_pending(node);
+            }
+        }
+    }
+
+    fn on_arrival(&mut self, node: NodeId, mut packet: Packet) {
+        let local_addr = self.nodes[node.0].addr;
+        let transit = packet.dst != local_addr;
+
+        // Middlebox inspection of transit traffic.
+        if transit && self.nodes[node.0].middlebox.is_some() {
+            let mut mb = self.nodes[node.0].middlebox.take().expect("checked");
+            let mut mctx = MbCtx { now: self.now, rng: &mut self.rng, inject: Vec::new() };
+            let verdict = mb.process(&packet, &mut mctx);
+            let injected = std::mem::take(&mut mctx.inject);
+            self.nodes[node.0].middlebox = Some(mb);
+            for p in injected {
+                self.send_from(node, p, false);
+            }
+            if let Verdict::Drop(label) = verdict {
+                self.stats
+                    .record_drop(packet.src, packet.dst, DropReason::Censor(label));
+                return;
+            }
+        }
+
+        if !transit {
+            // Loopback traffic (browser ↔ local proxy on one machine)
+            // never touches a wire; keep it out of the traffic stats.
+            if packet.src != packet.dst {
+                self.stats.record_delivered(local_addr, packet.wire_len());
+            }
+            self.deliver_local(node, packet);
+            return;
+        }
+
+        // Forward.
+        if packet.ttl <= 1 {
+            self.stats
+                .record_drop(packet.src, packet.dst, DropReason::TtlExpired);
+            return;
+        }
+        packet.ttl -= 1;
+        self.route_out(node, packet);
+    }
+
+    fn deliver_local(&mut self, node: NodeId, packet: Packet) {
+        let src = packet.src;
+        let dst = packet.dst;
+        // Port taps (NAT): intercept before transport demux.
+        if let Some(dst_port) = packet.dst_socket().map(|s| s.port) {
+            let tap = self.nodes[node.0]
+                .port_taps
+                .iter()
+                .find(|(lo, hi, _)| (*lo..=*hi).contains(&dst_port))
+                .map(|(_, _, app)| *app);
+            if let Some(app) = tap {
+                self.nodes[node.0]
+                    .pending
+                    .push_back((app, AppEvent::RawPacket(packet)));
+                return;
+            }
+        }
+        match packet.l4 {
+            L4::Tcp(seg) => {
+                let mut fx = Effects::default();
+                let now = self.now;
+                self.nodes[node.0].tcp.on_segment(src, dst, seg, now, &mut fx);
+                self.flush(node, fx);
+            }
+            L4::Udp(dgram) => {
+                let app = self.nodes[node.0].udp.lookup(dgram.dst_port);
+                if let Some(app) = app {
+                    let ev = AppEvent::Udp {
+                        socket: UdpHandle(dgram.dst_port),
+                        from: SocketAddr::new(src, dgram.src_port),
+                        payload: dgram.payload,
+                    };
+                    self.nodes[node.0].pending.push_back((app, ev));
+                }
+                // Unbound ports silently drop (no ICMP in this simulation).
+            }
+            L4::Raw { protocol, payload } => {
+                let app = self.nodes[node.0].raw_handlers.get(&protocol).copied();
+                if let Some(app) = app {
+                    let pkt = Packet { src, dst, ttl: 0, l4: L4::Raw { protocol, payload } };
+                    self.nodes[node.0]
+                        .pending
+                        .push_back((app, AppEvent::RawPacket(pkt)));
+                }
+            }
+        }
+    }
+
+    /// Sends a packet originating at `node` (applying the node's tunnel
+    /// unless `bypass_tunnel`).
+    fn send_from(&mut self, node: NodeId, packet: Packet, bypass_tunnel: bool) {
+        let packets = if !bypass_tunnel && self.nodes[node.0].tunnel.is_some() {
+            let mut tun = self.nodes[node.0].tunnel.take().expect("checked");
+            let out = tun.wrap(packet, self.now);
+            self.nodes[node.0].tunnel = Some(tun);
+            out
+        } else {
+            vec![packet]
+        };
+        for pkt in packets {
+            if pkt.dst == self.nodes[node.0].addr {
+                // Loopback: deliver after a negligible delay.
+                self.schedule(SimDuration::from_micros(10), Event::Arrival { node, packet: pkt });
+                continue;
+            }
+            self.route_out(node, pkt);
+        }
+    }
+
+    fn route_out(&mut self, node: NodeId, packet: Packet) {
+        let Some(&lid) = self.nodes[node.0].routes.get(&packet.dst) else {
+            self.stats
+                .record_drop(packet.src, packet.dst, DropReason::NoRoute);
+            return;
+        };
+        let wire_len = packet.wire_len();
+        // Origination accounting: "sent" counts once per packet (at the
+        // node owning the source address), so loss rates are end-to-end
+        // rather than per-hop.
+        if self.nodes[node.0].addr == packet.src {
+            self.stats.record_sent(packet.src, wire_len);
+        }
+        let link = &mut self.links[lid.0];
+        let dest_node = link.other_end(NodeId(node.0)).expect("link endpoint");
+        // Background loss.
+        if link.config.loss > 0.0 && self.rng.gen::<f64>() < link.config.loss {
+            self.stats
+                .record_drop(packet.src, packet.dst, DropReason::LinkLoss);
+            return;
+        }
+        match link.transmit(NodeId(node.0), wire_len, self.now) {
+            LinkOutcome::QueueDrop => {
+                self.stats
+                    .record_drop(packet.src, packet.dst, DropReason::QueueOverflow);
+            }
+            LinkOutcome::Deliver(at) => {
+                let delay = at - self.now;
+                self.schedule(delay, Event::Arrival { node: dest_node, packet });
+            }
+        }
+    }
+
+    fn flush(&mut self, node: NodeId, fx: Effects) {
+        for pkt in fx.out {
+            self.send_from(node, pkt, false);
+        }
+        for (delay, timer) in fx.timers {
+            self.schedule(delay, Event::TcpTimer { node, timer });
+        }
+        for (app, ev) in fx.app_events {
+            self.nodes[node.0].pending.push_back((app, ev));
+        }
+    }
+
+    fn drain_pending(&mut self, node: NodeId) {
+        loop {
+            let Some((app, ev)) = self.nodes[node.0].pending.pop_front() else {
+                break;
+            };
+            let Some(mut a) = self.nodes[node.0].apps.get_mut(app.0).and_then(Option::take) else {
+                // App slot missing (shouldn't happen at top level) — drop.
+                continue;
+            };
+            let mut ctx = Ctx { sim: self, node, app };
+            a.on_event(ev, &mut ctx);
+            self.nodes[node.0].apps[app.0] = Some(a);
+        }
+    }
+}
+
+/// The API surface an [`App`] uses to interact with the network.
+pub struct Ctx<'a> {
+    sim: &'a mut Sim,
+    /// The node this app runs on.
+    pub node: NodeId,
+    /// This app's id.
+    pub app: AppId,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now
+    }
+
+    /// This node's address.
+    pub fn addr(&self) -> Addr {
+        self.sim.nodes[self.node.0].addr
+    }
+
+    /// Deterministic RNG shared by the simulation.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.sim.rng
+    }
+
+    /// Schedules [`AppEvent::TimerFired`] with `token` after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        let node = self.node;
+        let app = self.app;
+        self.sim.schedule(delay, Event::AppTimer { node, app, token });
+    }
+
+    /// Opens a TCP connection to `remote`.
+    pub fn tcp_connect(&mut self, remote: SocketAddr) -> TcpHandle {
+        let mut fx = Effects::default();
+        let local = self.addr();
+        let h = self.sim.nodes[self.node.0]
+            .tcp
+            .connect(self.app, local, remote, &mut fx);
+        self.sim.flush(self.node, fx);
+        h
+    }
+
+    /// Listens for TCP connections on `port`. Returns `false` if taken.
+    pub fn tcp_listen(&mut self, port: u16) -> bool {
+        self.sim.nodes[self.node.0].tcp.listen(port, self.app)
+    }
+
+    /// Sends bytes on a connection. Returns bytes accepted, or `None` if
+    /// the connection cannot send.
+    pub fn tcp_send(&mut self, h: TcpHandle, data: &[u8]) -> Option<usize> {
+        let mut fx = Effects::default();
+        let now = self.sim.now;
+        let r = self.sim.nodes[self.node.0].tcp.send(h, data, now, &mut fx);
+        self.sim.flush(self.node, fx);
+        r
+    }
+
+    /// Drains up to `max` received bytes.
+    pub fn tcp_recv(&mut self, h: TcpHandle, max: usize) -> Bytes {
+        self.sim.nodes[self.node.0].tcp.recv(h, max)
+    }
+
+    /// Drains everything currently buffered.
+    pub fn tcp_recv_all(&mut self, h: TcpHandle) -> Bytes {
+        self.tcp_recv(h, usize::MAX)
+    }
+
+    /// Bytes available to read.
+    pub fn tcp_available(&self, h: TcpHandle) -> usize {
+        self.sim.nodes[self.node.0].tcp.recv_available(h)
+    }
+
+    /// Begins a graceful close.
+    pub fn tcp_close(&mut self, h: TcpHandle) {
+        let mut fx = Effects::default();
+        let now = self.sim.now;
+        self.sim.nodes[self.node.0].tcp.close(h, now, &mut fx);
+        self.sim.flush(self.node, fx);
+    }
+
+    /// Aborts with RST.
+    pub fn tcp_abort(&mut self, h: TcpHandle) {
+        let mut fx = Effects::default();
+        self.sim.nodes[self.node.0].tcp.abort(h, &mut fx);
+        self.sim.flush(self.node, fx);
+    }
+
+    /// The peer address of a connection.
+    pub fn tcp_peer(&self, h: TcpHandle) -> Option<SocketAddr> {
+        self.sim.nodes[self.node.0].tcp.peer(h)
+    }
+
+    /// The local address of a connection.
+    pub fn tcp_local(&self, h: TcpHandle) -> Option<SocketAddr> {
+        self.sim.nodes[self.node.0].tcp.local(h)
+    }
+
+    /// Connection statistics.
+    pub fn tcp_stats(&self, h: TcpHandle) -> Option<ConnStats> {
+        self.sim.nodes[self.node.0].tcp.stats(h)
+    }
+
+    /// Binds a UDP port (0 = ephemeral). Returns `None` if taken.
+    pub fn udp_bind(&mut self, port: u16) -> Option<UdpHandle> {
+        self.sim.nodes[self.node.0]
+            .udp
+            .bind(port, self.app)
+            .map(UdpHandle)
+    }
+
+    /// Sends a UDP datagram from a bound socket.
+    pub fn udp_send(&mut self, socket: UdpHandle, to: SocketAddr, payload: Bytes) {
+        let from = SocketAddr::new(self.addr(), socket.0);
+        let pkt = Packet::udp(from, to, payload);
+        self.sim.send_from(self.node, pkt, false);
+    }
+
+    /// Registers this app to receive all packets whose destination port is
+    /// in `[lo, hi]`, bypassing the transport stack (NAT port ranges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn register_port_tap(&mut self, lo: u16, hi: u16) {
+        assert!(lo <= hi, "invalid port range");
+        let app = self.app;
+        self.sim.nodes[self.node.0].port_taps.push((lo, hi, app));
+    }
+
+    /// Registers this app as the handler for a raw IP protocol number.
+    pub fn register_raw(&mut self, protocol: u8) {
+        self.sim.nodes[self.node.0]
+            .raw_handlers
+            .insert(protocol, self.app);
+    }
+
+    /// Sends a raw-protocol packet.
+    pub fn raw_send(&mut self, dst: Addr, protocol: u8, payload: Bytes) {
+        let src = self.addr();
+        let pkt = Packet::raw(src, dst, protocol, payload);
+        self.sim.send_from(self.node, pkt, false);
+    }
+
+    /// Injects an arbitrary packet from this node (router/NAT behaviour:
+    /// the source address need not be the node's own).
+    pub fn send_packet(&mut self, pkt: Packet) {
+        self.sim.send_from(self.node, pkt, false);
+    }
+
+    /// Injects a packet bypassing the node's tunnel (used by tunnel control
+    /// planes that must not capture their own handshake).
+    pub fn send_packet_untunneled(&mut self, pkt: Packet) {
+        self.sim.send_from(self.node, pkt, true);
+    }
+
+    /// Installs a packet tunnel on this node.
+    pub fn install_tunnel(&mut self, tunnel: Box<dyn PacketTunnel>) {
+        self.sim.set_tunnel(self.node, tunnel);
+    }
+
+    /// Removes this node's packet tunnel.
+    pub fn remove_tunnel(&mut self) {
+        self.sim.clear_tunnel(self.node);
+    }
+
+    /// Approximate bytes of transport state on this node (memory model).
+    pub fn transport_state_bytes(&self) -> usize {
+        self.sim.nodes[self.node.0].tcp.state_bytes()
+    }
+}

@@ -1,0 +1,140 @@
+//! Simulation-wide packet accounting, the source of the paper's packet
+//! loss rate (PLR) metric and the per-method traffic overhead numbers.
+
+use std::collections::HashMap;
+
+use crate::addr::Addr;
+
+/// Why a packet failed to reach the next hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// Random link loss.
+    LinkLoss,
+    /// Transmit queue overflow.
+    QueueOverflow,
+    /// Middlebox (GFW) verdict; the label identifies the rule.
+    Censor(&'static str),
+    /// TTL expired.
+    TtlExpired,
+    /// No route to destination.
+    NoRoute,
+}
+
+/// Per-address packet counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AddrCounters {
+    /// Packets this address originated that were offered to a link.
+    pub sent: u64,
+    /// Bytes this address originated (wire bytes).
+    pub sent_bytes: u64,
+    /// Packets destined to / originated by this address that were dropped.
+    pub dropped: u64,
+    /// Packets delivered to this address.
+    pub delivered: u64,
+    /// Bytes delivered to this address.
+    pub delivered_bytes: u64,
+}
+
+/// Global statistics collected by the simulator core.
+#[derive(Debug, Default)]
+pub struct SimStats {
+    /// Total packets offered to links.
+    pub packets_sent: u64,
+    /// Total packets delivered to their destination node.
+    pub packets_delivered: u64,
+    /// Drop counts by reason.
+    pub drops: HashMap<DropReason, u64>,
+    /// Per-source-address counters.
+    pub by_addr: HashMap<Addr, AddrCounters>,
+}
+
+impl SimStats {
+    /// Records a transmission attempt by `src`.
+    pub fn record_sent(&mut self, src: Addr, wire_len: usize) {
+        self.packets_sent += 1;
+        let c = self.by_addr.entry(src).or_default();
+        c.sent += 1;
+        c.sent_bytes += wire_len as u64;
+    }
+
+    /// Records a drop of a packet from `src` to `dst`.
+    pub fn record_drop(&mut self, src: Addr, dst: Addr, reason: DropReason) {
+        *self.drops.entry(reason).or_insert(0) += 1;
+        self.by_addr.entry(src).or_default().dropped += 1;
+        if dst != src {
+            self.by_addr.entry(dst).or_default().dropped += 1;
+        }
+    }
+
+    /// Records final delivery to `dst`.
+    pub fn record_delivered(&mut self, dst: Addr, wire_len: usize) {
+        self.packets_delivered += 1;
+        let c = self.by_addr.entry(dst).or_default();
+        c.delivered += 1;
+        c.delivered_bytes += wire_len as u64;
+    }
+
+    /// Total drops across all reasons.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.values().sum()
+    }
+
+    /// Drops attributed to censorship verdicts.
+    pub fn censor_drops(&self) -> u64 {
+        self.drops
+            .iter()
+            .filter(|(r, _)| matches!(r, DropReason::Censor(_)))
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
+    /// End-to-end packet loss rate for traffic involving `addr`: drops of
+    /// packets to/from the address divided by packets it originated plus
+    /// packets delivered to it.
+    pub fn loss_rate_for(&self, addr: Addr) -> f64 {
+        let Some(c) = self.by_addr.get(&addr) else { return 0.0 };
+        let denom = c.sent + c.delivered;
+        if denom == 0 {
+            return 0.0;
+        }
+        c.dropped as f64 / denom as f64
+    }
+
+    /// Overall packet loss rate.
+    pub fn overall_loss_rate(&self) -> f64 {
+        if self.packets_sent == 0 {
+            return 0.0;
+        }
+        self.total_drops() as f64 / self.packets_sent as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = SimStats::default();
+        let a = Addr::new(10, 0, 0, 1);
+        let b = Addr::new(99, 0, 0, 1);
+        s.record_sent(a, 100);
+        s.record_sent(a, 200);
+        s.record_delivered(b, 100);
+        s.record_drop(a, b, DropReason::Censor("gfw-dpi"));
+        assert_eq!(s.packets_sent, 2);
+        assert_eq!(s.packets_delivered, 1);
+        assert_eq!(s.total_drops(), 1);
+        assert_eq!(s.censor_drops(), 1);
+        assert_eq!(s.by_addr[&a].sent_bytes, 300);
+        assert!((s.loss_rate_for(a) - 0.5).abs() < 1e-12);
+        assert!((s.overall_loss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_rate_of_unknown_addr_is_zero() {
+        let s = SimStats::default();
+        assert_eq!(s.loss_rate_for(Addr::new(1, 2, 3, 4)), 0.0);
+        assert_eq!(s.overall_loss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,941 @@
+//! A simulation-grade TCP: three-way handshake, cumulative ACKs,
+//! go-back-N retransmission with RFC 6298 RTO estimation, fast retransmit
+//! on triple duplicate ACKs, slow start + AIMD congestion control, FIN
+//! teardown, RST handling, and TIME_WAIT.
+//!
+//! Loss injected by links or by the GFW shows up here as retransmissions
+//! and congestion backoff, which is exactly how censorship-induced loss
+//! degrades page load time in the paper's measurements.
+
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use crate::addr::SocketAddr;
+use crate::api::{AppEvent, AppId, TcpEvent, TcpHandle};
+use crate::packet::{Packet, TcpFlags, TcpSegment, TcpSegmentBody};
+use crate::time::{SimDuration, SimTime};
+
+/// Maximum segment size (payload bytes per segment).
+pub const MSS: usize = 1400;
+/// Receive window advertised by every endpoint.
+pub const RECV_WINDOW: u32 = 1 << 20;
+/// Initial congestion window (bytes) — 10 segments, like modern stacks.
+pub const INITIAL_CWND: usize = 10 * MSS;
+/// Lower bound on the retransmission timeout.
+pub const MIN_RTO: SimDuration = SimDuration::from_millis(200);
+/// Upper bound on the retransmission timeout.
+pub const MAX_RTO: SimDuration = SimDuration::from_secs(10);
+/// Initial RTO before any RTT sample (RFC 6298 says 1 s).
+pub const INITIAL_RTO: SimDuration = SimDuration::from_secs(1);
+/// TIME_WAIT linger.
+pub const TIME_WAIT: SimDuration = SimDuration::from_secs(1);
+/// Retransmission attempts before giving up on an established connection.
+pub const MAX_RETRIES: u32 = 8;
+/// SYN retransmission attempts before reporting connect failure.
+pub const MAX_SYN_RETRIES: u32 = 5;
+
+/// TCP connection states (RFC 793 subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    /// SYN sent, waiting for SYN-ACK.
+    SynSent,
+    /// SYN received on a listener, SYN-ACK sent.
+    SynRcvd,
+    /// Data transfer.
+    Established,
+    /// We closed first; FIN sent, not yet acknowledged.
+    FinWait1,
+    /// Our FIN acknowledged; waiting for peer's FIN.
+    FinWait2,
+    /// Peer closed first; we may still send.
+    CloseWait,
+    /// Peer closed, then we closed; FIN sent.
+    LastAck,
+    /// Both sent FINs simultaneously.
+    Closing,
+    /// Waiting out stray segments before freeing state.
+    TimeWait,
+    /// Fully closed; slot retained for handle stability.
+    Closed,
+}
+
+/// Timer kinds owned by the TCP layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpTimerKind {
+    /// Retransmission timeout.
+    Rto,
+    /// TIME_WAIT expiry.
+    TimeWait,
+}
+
+/// A timer token scheduled by the TCP layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpTimer {
+    /// Connection slot.
+    pub conn: usize,
+    /// Generation at scheduling time; stale timers are ignored.
+    pub gen: u64,
+    /// What the timer means.
+    pub kind: TcpTimerKind,
+}
+
+/// Side effects produced by TCP processing, drained by the simulator core.
+#[derive(Debug, Default)]
+pub struct Effects {
+    /// Packets to transmit from this node.
+    pub out: Vec<Packet>,
+    /// Events to deliver to applications on this node.
+    pub app_events: Vec<(AppId, AppEvent)>,
+    /// Timers to schedule.
+    pub timers: Vec<(SimDuration, TcpTimer)>,
+}
+
+#[derive(Debug)]
+struct Conn {
+    app: AppId,
+    local: SocketAddr,
+    remote: SocketAddr,
+    state: TcpState,
+    /// First unacknowledged sequence number.
+    snd_una: u64,
+    /// Next sequence number to send.
+    snd_nxt: u64,
+    /// Bytes queued for sending; `send_buf[0]` is sequence `snd_una`.
+    send_buf: VecDeque<u8>,
+    /// Peer's advertised window.
+    snd_wnd: u32,
+    /// Next expected receive sequence.
+    rcv_nxt: u64,
+    /// In-order received bytes not yet drained by the app.
+    recv_buf: VecDeque<u8>,
+    cwnd: usize,
+    ssthresh: usize,
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    rto: SimDuration,
+    /// (sequence end, send time) of the segment being timed for RTT.
+    rtt_sample: Option<(u64, SimTime)>,
+    timer_gen: u64,
+    rto_armed: bool,
+    dup_acks: u32,
+    retries: u32,
+    /// App called close: FIN should be sent once the buffer drains.
+    fin_pending: bool,
+    /// Sequence number consumed by our FIN once sent.
+    fin_seq: Option<u64>,
+    /// Peer's FIN has been processed.
+    peer_fin_rcvd: bool,
+    /// Total payload bytes retransmitted (diagnostics).
+    retransmitted_bytes: u64,
+}
+
+impl Conn {
+    fn flight(&self) -> usize {
+        (self.snd_nxt - self.snd_una) as usize
+    }
+
+    /// Unsent bytes sitting in the buffer.
+    fn unsent(&self) -> usize {
+        self.send_buf.len() - self.flight().min(self.send_buf.len())
+    }
+}
+
+/// Per-node TCP layer: connections, listeners, and the demux table.
+#[derive(Debug, Default)]
+pub struct TcpLayer {
+    conns: Vec<Conn>,
+    /// (local port, remote socket) → connection slot.
+    demux: HashMap<(u16, SocketAddr), usize>,
+    /// Listening port → owning app.
+    listeners: HashMap<u16, AppId>,
+    next_ephemeral: u16,
+    /// Deterministic ISS counter.
+    next_iss: u64,
+}
+
+/// Statistics snapshot for one connection (used by tests and metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Current state.
+    pub state: TcpState,
+    /// Bytes retransmitted so far.
+    pub retransmitted_bytes: u64,
+    /// Current congestion window in bytes.
+    pub cwnd: usize,
+    /// Smoothed RTT, if sampled.
+    pub srtt: Option<SimDuration>,
+}
+
+impl TcpLayer {
+    /// Creates an empty TCP layer.
+    pub fn new() -> Self {
+        TcpLayer {
+            conns: Vec::new(),
+            demux: HashMap::new(),
+            listeners: HashMap::new(),
+            next_ephemeral: 40_000,
+            next_iss: 1_000,
+        }
+    }
+
+    /// Begins listening on `port` for `app`. Returns `false` if the port is
+    /// already bound.
+    pub fn listen(&mut self, port: u16, app: AppId) -> bool {
+        if self.listeners.contains_key(&port) {
+            return false;
+        }
+        self.listeners.insert(port, app);
+        true
+    }
+
+    /// Stops listening on `port`.
+    pub fn unlisten(&mut self, port: u16) {
+        self.listeners.remove(&port);
+    }
+
+    fn alloc_ephemeral(&mut self, remote: SocketAddr) -> u16 {
+        loop {
+            let p = self.next_ephemeral;
+            self.next_ephemeral = self.next_ephemeral.checked_add(1).unwrap_or(40_000);
+            if !self.demux.contains_key(&(p, remote)) && !self.listeners.contains_key(&p) {
+                return p;
+            }
+        }
+    }
+
+    fn new_conn(&mut self, app: AppId, local: SocketAddr, remote: SocketAddr, state: TcpState, iss: u64) -> usize {
+        let conn = Conn {
+            app,
+            local,
+            remote,
+            state,
+            snd_una: iss,
+            snd_nxt: iss,
+            send_buf: VecDeque::new(),
+            snd_wnd: RECV_WINDOW,
+            rcv_nxt: 0,
+            recv_buf: VecDeque::new(),
+            cwnd: INITIAL_CWND,
+            ssthresh: usize::MAX / 2,
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            rto: INITIAL_RTO,
+            rtt_sample: None,
+            timer_gen: 0,
+            rto_armed: false,
+            dup_acks: 0,
+            retries: 0,
+            fin_pending: false,
+            fin_seq: None,
+            peer_fin_rcvd: false,
+            retransmitted_bytes: 0,
+        };
+        let idx = self.conns.len();
+        self.conns.push(conn);
+        self.demux.insert((local.port, remote), idx);
+        idx
+    }
+
+    /// Opens a connection from `local_addr` to `remote`. Returns the handle;
+    /// the app hears `Connected` or `ConnectFailed` later.
+    pub fn connect(
+        &mut self,
+        app: AppId,
+        local_addr: crate::addr::Addr,
+        remote: SocketAddr,
+        fx: &mut Effects,
+    ) -> TcpHandle {
+        let port = self.alloc_ephemeral(remote);
+        let local = SocketAddr::new(local_addr, port);
+        let iss = self.next_iss;
+        self.next_iss += 100_000;
+        let idx = self.new_conn(app, local, remote, TcpState::SynSent, iss);
+        let c = &mut self.conns[idx];
+        c.snd_nxt = iss + 1; // SYN consumes one sequence number
+        let syn = Packet::tcp(
+            local,
+            remote,
+            TcpSegmentBody {
+                seq: iss,
+                ack: 0,
+                flags: TcpFlags::SYN,
+                window: RECV_WINDOW,
+                payload: Bytes::new(),
+            },
+        );
+        fx.out.push(syn);
+        Self::arm_rto(c, idx, fx);
+        TcpHandle(idx)
+    }
+
+    /// Queues `data` on the connection's send buffer and transmits what the
+    /// windows allow. Returns the number of bytes accepted (all of them —
+    /// the simulated buffer is unbounded) or `None` for an invalid handle
+    /// or a connection that can no longer send.
+    pub fn send(&mut self, h: TcpHandle, data: &[u8], now: SimTime, fx: &mut Effects) -> Option<usize> {
+        let c = self.conns.get_mut(h.0)?;
+        match c.state {
+            TcpState::Established | TcpState::CloseWait | TcpState::SynSent | TcpState::SynRcvd => {}
+            _ => return None,
+        }
+        c.send_buf.extend(data.iter().copied());
+        self.pump(h.0, now, fx);
+        Some(data.len())
+    }
+
+    /// Drains up to `max` bytes of received data.
+    pub fn recv(&mut self, h: TcpHandle, max: usize) -> Bytes {
+        let Some(c) = self.conns.get_mut(h.0) else {
+            return Bytes::new();
+        };
+        let n = c.recv_buf.len().min(max);
+        let drained: Vec<u8> = c.recv_buf.drain(..n).collect();
+        Bytes::from(drained)
+    }
+
+    /// Bytes currently waiting in the receive buffer.
+    pub fn recv_available(&self, h: TcpHandle) -> usize {
+        self.conns.get(h.0).map_or(0, |c| c.recv_buf.len())
+    }
+
+    /// Initiates a graceful close (half-close of our direction).
+    pub fn close(&mut self, h: TcpHandle, now: SimTime, fx: &mut Effects) {
+        let Some(c) = self.conns.get_mut(h.0) else { return };
+        match c.state {
+            TcpState::Established => {
+                c.fin_pending = true;
+                c.state = TcpState::FinWait1;
+            }
+            TcpState::CloseWait => {
+                c.fin_pending = true;
+                c.state = TcpState::LastAck;
+            }
+            TcpState::SynSent | TcpState::SynRcvd => {
+                // Abort a half-open connection quietly.
+                let local_port = c.local.port;
+                let remote = c.remote;
+                c.state = TcpState::Closed;
+                c.timer_gen += 1;
+                self.demux.remove(&(local_port, remote));
+                return;
+            }
+            _ => return,
+        }
+        self.pump(h.0, now, fx);
+    }
+
+    /// Aborts the connection with a RST.
+    pub fn abort(&mut self, h: TcpHandle, fx: &mut Effects) {
+        let Some(c) = self.conns.get_mut(h.0) else { return };
+        if matches!(c.state, TcpState::Closed) {
+            return;
+        }
+        let rst = Packet::tcp(
+            c.local,
+            c.remote,
+            TcpSegmentBody {
+                seq: c.snd_nxt,
+                ack: c.rcv_nxt,
+                flags: TcpFlags::RST,
+                window: 0,
+                payload: Bytes::new(),
+            },
+        );
+        fx.out.push(rst);
+        let key = (c.local.port, c.remote);
+        c.state = TcpState::Closed;
+        c.timer_gen += 1;
+        self.demux.remove(&key);
+    }
+
+    /// Connection statistics for tests/metrics.
+    pub fn stats(&self, h: TcpHandle) -> Option<ConnStats> {
+        self.conns.get(h.0).map(|c| ConnStats {
+            state: c.state,
+            retransmitted_bytes: c.retransmitted_bytes,
+            cwnd: c.cwnd,
+            srtt: c.srtt,
+        })
+    }
+
+    /// The remote socket address of a connection.
+    pub fn peer(&self, h: TcpHandle) -> Option<SocketAddr> {
+        self.conns.get(h.0).map(|c| c.remote)
+    }
+
+    /// The local socket address of a connection.
+    pub fn local(&self, h: TcpHandle) -> Option<SocketAddr> {
+        self.conns.get(h.0).map(|c| c.local)
+    }
+
+    fn arm_rto(c: &mut Conn, idx: usize, fx: &mut Effects) {
+        c.timer_gen += 1;
+        c.rto_armed = true;
+        fx.timers.push((
+            c.rto,
+            TcpTimer { conn: idx, gen: c.timer_gen, kind: TcpTimerKind::Rto },
+        ));
+    }
+
+    fn cancel_rto(c: &mut Conn) {
+        c.timer_gen += 1;
+        c.rto_armed = false;
+    }
+
+    /// Transmits whatever the congestion and peer windows allow, including a
+    /// pending FIN once the buffer is drained.
+    fn pump(&mut self, idx: usize, now: SimTime, fx: &mut Effects) {
+        let c = &mut self.conns[idx];
+        if !matches!(
+            c.state,
+            TcpState::Established | TcpState::CloseWait | TcpState::FinWait1 | TcpState::LastAck | TcpState::Closing
+        ) {
+            return;
+        }
+        let wnd = c.cwnd.min(c.snd_wnd as usize);
+        let mut sent_any = false;
+        while c.unsent() > 0 && c.flight() < wnd {
+            let offset = c.flight();
+            let n = c.unsent().min(MSS).min(wnd - c.flight());
+            if n == 0 {
+                break;
+            }
+            let payload: Vec<u8> = c.send_buf.iter().skip(offset).take(n).copied().collect();
+            let seq = c.snd_nxt;
+            if c.rtt_sample.is_none() {
+                c.rtt_sample = Some((seq + n as u64, now));
+            }
+            let pkt = Packet::tcp(
+                c.local,
+                c.remote,
+                TcpSegmentBody {
+                    seq,
+                    ack: c.rcv_nxt,
+                    flags: TcpFlags::ACK,
+                    window: RECV_WINDOW,
+                    payload: Bytes::from(payload),
+                },
+            );
+            c.snd_nxt += n as u64;
+            fx.out.push(pkt);
+            sent_any = true;
+        }
+        // FIN once all data is out.
+        if c.fin_pending && c.unsent() == 0 && c.fin_seq.is_none() {
+            let seq = c.snd_nxt;
+            c.fin_seq = Some(seq);
+            c.snd_nxt += 1;
+            let pkt = Packet::tcp(
+                c.local,
+                c.remote,
+                TcpSegmentBody {
+                    seq,
+                    ack: c.rcv_nxt,
+                    flags: TcpFlags::FIN_ACK,
+                    window: RECV_WINDOW,
+                    payload: Bytes::new(),
+                },
+            );
+            fx.out.push(pkt);
+            sent_any = true;
+        }
+        if sent_any && !c.rto_armed {
+            Self::arm_rto(c, idx, fx);
+        }
+    }
+
+    /// Processes an incoming segment addressed to this node.
+    pub fn on_segment(
+        &mut self,
+        src: crate::addr::Addr,
+        dst: crate::addr::Addr,
+        seg: TcpSegment,
+        now: SimTime,
+        fx: &mut Effects,
+    ) {
+        let remote = SocketAddr::new(src, seg.src_port);
+        let local = SocketAddr::new(dst, seg.dst_port);
+        if let Some(&idx) = self.demux.get(&(seg.dst_port, remote)) {
+            self.on_conn_segment(idx, seg, now, fx);
+            return;
+        }
+        // No existing connection: maybe a listener.
+        if seg.flags.syn && !seg.flags.ack {
+            if let Some(&app) = self.listeners.get(&seg.dst_port) {
+                let iss = self.next_iss;
+                self.next_iss += 100_000;
+                let idx = self.new_conn(app, local, remote, TcpState::SynRcvd, iss);
+                let c = &mut self.conns[idx];
+                c.rcv_nxt = seg.seq + 1;
+                c.snd_nxt = iss + 1;
+                c.snd_wnd = seg.window;
+                let synack = Packet::tcp(
+                    local,
+                    remote,
+                    TcpSegmentBody {
+                        seq: iss,
+                        ack: c.rcv_nxt,
+                        flags: TcpFlags::SYN_ACK,
+                        window: RECV_WINDOW,
+                        payload: Bytes::new(),
+                    },
+                );
+                fx.out.push(synack);
+                Self::arm_rto(c, idx, fx);
+                return;
+            }
+        }
+        // Closed port: RST anything but a RST.
+        if !seg.flags.rst {
+            let rst = Packet::tcp(
+                local,
+                remote,
+                TcpSegmentBody {
+                    seq: seg.ack,
+                    ack: seg.seq + seg.payload.len() as u64 + (seg.flags.syn as u64) + (seg.flags.fin as u64),
+                    flags: TcpFlags::RST,
+                    window: 0,
+                    payload: Bytes::new(),
+                },
+            );
+            fx.out.push(rst);
+        }
+    }
+
+    fn free(&mut self, idx: usize) {
+        let c = &mut self.conns[idx];
+        let key = (c.local.port, c.remote);
+        c.state = TcpState::Closed;
+        c.timer_gen += 1;
+        c.send_buf.clear();
+        self.demux.remove(&key);
+    }
+
+    fn on_conn_segment(&mut self, idx: usize, seg: TcpSegment, now: SimTime, fx: &mut Effects) {
+        let app = self.conns[idx].app;
+        // RST: tear down immediately.
+        if seg.flags.rst {
+            let was = self.conns[idx].state;
+            self.free(idx);
+            let ev = if was == TcpState::SynSent {
+                TcpEvent::ConnectFailed
+            } else {
+                TcpEvent::Reset
+            };
+            fx.app_events.push((app, AppEvent::Tcp(TcpHandle(idx), ev)));
+            return;
+        }
+
+        let state = self.conns[idx].state;
+        match state {
+            TcpState::SynSent => {
+                if seg.flags.syn && seg.flags.ack && seg.ack == self.conns[idx].snd_nxt {
+                    let c = &mut self.conns[idx];
+                    c.snd_una = seg.ack;
+                    c.rcv_nxt = seg.seq + 1;
+                    c.snd_wnd = seg.window;
+                    c.state = TcpState::Established;
+                    c.retries = 0;
+                    Self::cancel_rto(c);
+                    // Handshake RTT sample: SYN was sent at connect time,
+                    // but we didn't stamp it; skip (data segments sample).
+                    let ack = Packet::tcp(
+                        c.local,
+                        c.remote,
+                        TcpSegmentBody {
+                            seq: c.snd_nxt,
+                            ack: c.rcv_nxt,
+                            flags: TcpFlags::ACK,
+                            window: RECV_WINDOW,
+                            payload: Bytes::new(),
+                        },
+                    );
+                    fx.out.push(ack);
+                    fx.app_events.push((app, AppEvent::Tcp(TcpHandle(idx), TcpEvent::Connected)));
+                    self.pump(idx, now, fx);
+                }
+            }
+            TcpState::SynRcvd => {
+                if seg.flags.syn && !seg.flags.ack {
+                    // Retransmitted SYN: re-send SYN-ACK.
+                    let c = &self.conns[idx];
+                    let synack = Packet::tcp(
+                        c.local,
+                        c.remote,
+                        TcpSegmentBody {
+                            seq: c.snd_una,
+                            ack: c.rcv_nxt,
+                            flags: TcpFlags::SYN_ACK,
+                            window: RECV_WINDOW,
+                            payload: Bytes::new(),
+                        },
+                    );
+                    fx.out.push(synack);
+                    return;
+                }
+                if seg.flags.ack && seg.ack == self.conns[idx].snd_nxt {
+                    {
+                        let c = &mut self.conns[idx];
+                        c.snd_una = seg.ack;
+                        c.snd_wnd = seg.window;
+                        c.state = TcpState::Established;
+                        c.retries = 0;
+                        Self::cancel_rto(c);
+                    }
+                    let peer = self.conns[idx].remote;
+                    fx.app_events.push((
+                        app,
+                        AppEvent::Tcp(TcpHandle(idx), TcpEvent::Accepted { peer }),
+                    ));
+                    // The third ACK can carry data; fall through to data
+                    // processing below by re-dispatching.
+                    if !seg.payload.is_empty() || seg.flags.fin {
+                        self.process_established(idx, seg, now, fx);
+                    }
+                }
+            }
+            TcpState::Established
+            | TcpState::FinWait1
+            | TcpState::FinWait2
+            | TcpState::CloseWait
+            | TcpState::LastAck
+            | TcpState::Closing => {
+                self.process_established(idx, seg, now, fx);
+            }
+            TcpState::TimeWait => {
+                if seg.flags.fin {
+                    // Retransmitted FIN: re-ACK it.
+                    let c = &self.conns[idx];
+                    let ack = Packet::tcp(
+                        c.local,
+                        c.remote,
+                        TcpSegmentBody {
+                            seq: c.snd_nxt,
+                            ack: c.rcv_nxt,
+                            flags: TcpFlags::ACK,
+                            window: RECV_WINDOW,
+                            payload: Bytes::new(),
+                        },
+                    );
+                    fx.out.push(ack);
+                }
+            }
+            TcpState::Closed => {}
+        }
+    }
+
+    fn process_established(&mut self, idx: usize, seg: TcpSegment, now: SimTime, fx: &mut Effects) {
+        let app = self.conns[idx].app;
+        let mut need_ack = false;
+
+        // --- ACK processing ---
+        if seg.flags.ack {
+            let c = &mut self.conns[idx];
+            c.snd_wnd = seg.window;
+            if seg.ack > c.snd_una && seg.ack <= c.snd_nxt {
+                let acked = (seg.ack - c.snd_una) as usize;
+                // Our FIN consumes a sequence number that is not in send_buf.
+                let fin_acked = c.fin_seq.is_some_and(|f| seg.ack > f);
+                let data_acked = if fin_acked { acked.saturating_sub(1) } else { acked };
+                let drain = data_acked.min(c.send_buf.len());
+                c.send_buf.drain(..drain);
+                c.snd_una = seg.ack;
+                c.dup_acks = 0;
+                c.retries = 0;
+                // RTT sampling (Karn: only segments never retransmitted —
+                // approximated by sampling whenever an ACK advances and a
+                // sample is armed).
+                if let Some((end, sent_at)) = c.rtt_sample {
+                    if seg.ack >= end {
+                        let sample = now - sent_at;
+                        match c.srtt {
+                            None => {
+                                c.srtt = Some(sample);
+                                c.rttvar = SimDuration::from_micros(sample.as_micros() / 2);
+                            }
+                            Some(srtt) => {
+                                let err = if sample > srtt { sample - srtt } else { srtt - sample };
+                                c.rttvar = SimDuration::from_micros(
+                                    (3 * c.rttvar.as_micros() + err.as_micros()) / 4,
+                                );
+                                c.srtt = Some(SimDuration::from_micros(
+                                    (7 * srtt.as_micros() + sample.as_micros()) / 8,
+                                ));
+                            }
+                        }
+                        let srtt = c.srtt.unwrap();
+                        c.rto = (srtt + c.rttvar.saturating_mul(4)).clamp(MIN_RTO, MAX_RTO);
+                        c.rtt_sample = None;
+                    }
+                }
+                // Congestion control.
+                if c.cwnd < c.ssthresh {
+                    c.cwnd += data_acked.min(MSS); // slow start
+                } else {
+                    c.cwnd += (MSS * MSS / c.cwnd.max(1)).max(1); // congestion avoidance
+                }
+                // Restart or cancel the RTO.
+                if c.snd_una < c.snd_nxt {
+                    Self::arm_rto(c, idx, fx);
+                } else {
+                    Self::cancel_rto(c);
+                }
+                // State transitions on FIN acknowledgement.
+                if fin_acked {
+                    match c.state {
+                        TcpState::FinWait1 => c.state = TcpState::FinWait2,
+                        TcpState::LastAck => {
+                            self.free(idx);
+                            return;
+                        }
+                        TcpState::Closing => {
+                            c.state = TcpState::TimeWait;
+                            c.timer_gen += 1;
+                            fx.timers.push((
+                                TIME_WAIT,
+                                TcpTimer { conn: idx, gen: c.timer_gen, kind: TcpTimerKind::TimeWait },
+                            ));
+                        }
+                        _ => {}
+                    }
+                }
+            } else if seg.ack == c.snd_una
+                && c.snd_una < c.snd_nxt
+                && seg.payload.is_empty()
+                && !seg.flags.fin
+            {
+                c.dup_acks += 1;
+                if c.dup_acks == 3 {
+                    c.dup_acks = 0;
+                    // Tahoe-style recovery: the receiver discards
+                    // out-of-order segments, so go back to snd_una.
+                    self.enter_loss_recovery(idx, now, fx);
+                }
+            }
+        }
+
+        // --- payload processing (in-order only; out-of-order dropped) ---
+        if !seg.payload.is_empty() {
+            let c = &mut self.conns[idx];
+            if seg.seq == c.rcv_nxt {
+                c.recv_buf.extend(seg.payload.iter().copied());
+                c.rcv_nxt += seg.payload.len() as u64;
+                need_ack = true;
+                fx.app_events.push((app, AppEvent::Tcp(TcpHandle(idx), TcpEvent::DataReceived)));
+            } else if seg.seq < c.rcv_nxt {
+                // Duplicate (retransmission already received): just re-ACK.
+                need_ack = true;
+            } else {
+                // Out of order: dup-ACK to trigger sender fast retransmit.
+                need_ack = true;
+            }
+        }
+
+        // --- FIN processing ---
+        if seg.flags.fin {
+            let c = &mut self.conns[idx];
+            let fin_seq = seg.seq + seg.payload.len() as u64;
+            if fin_seq == c.rcv_nxt && !c.peer_fin_rcvd {
+                c.rcv_nxt += 1;
+                c.peer_fin_rcvd = true;
+                need_ack = true;
+                fx.app_events.push((app, AppEvent::Tcp(TcpHandle(idx), TcpEvent::PeerClosed)));
+                match c.state {
+                    TcpState::Established => c.state = TcpState::CloseWait,
+                    TcpState::FinWait1 => {
+                        // Their FIN before our FIN was ACKed: simultaneous close.
+                        c.state = TcpState::Closing;
+                    }
+                    TcpState::FinWait2 => {
+                        c.state = TcpState::TimeWait;
+                        c.timer_gen += 1;
+                        fx.timers.push((
+                            TIME_WAIT,
+                            TcpTimer { conn: idx, gen: c.timer_gen, kind: TcpTimerKind::TimeWait },
+                        ));
+                    }
+                    _ => {}
+                }
+            } else if c.peer_fin_rcvd {
+                need_ack = true; // retransmitted FIN
+            }
+        }
+
+        if need_ack {
+            let c = &self.conns[idx];
+            if c.state != TcpState::Closed {
+                let ack = Packet::tcp(
+                    c.local,
+                    c.remote,
+                    TcpSegmentBody {
+                        seq: c.snd_nxt,
+                        ack: c.rcv_nxt,
+                        flags: TcpFlags::ACK,
+                        window: RECV_WINDOW,
+                        payload: Bytes::new(),
+                    },
+                );
+                fx.out.push(ack);
+            }
+        }
+
+        // New window space may allow more transmission.
+        self.pump(idx, now, fx);
+    }
+
+    /// Loss detected: multiplicative decrease and go-back-N from `snd_una`
+    /// (the receive side discards out-of-order segments, so everything past
+    /// the loss must be re-sent anyway — Tahoe-style recovery).
+    fn enter_loss_recovery(&mut self, idx: usize, now: SimTime, fx: &mut Effects) {
+        let c = &mut self.conns[idx];
+        if matches!(c.state, TcpState::SynSent | TcpState::SynRcvd) {
+            self.retransmit_first(idx, fx);
+            return;
+        }
+        let flight = c.flight();
+        c.ssthresh = (flight / 2).max(2 * MSS);
+        c.cwnd = MSS;
+        // Rewind: everything unacknowledged will be re-sent by pump.
+        c.snd_nxt = c.snd_una;
+        if let Some(f) = c.fin_seq {
+            if c.snd_una <= f {
+                c.fin_seq = None; // FIN unacked: pump re-sends it after data
+            }
+        }
+        // Karn's algorithm: no RTT sample across retransmission.
+        c.rtt_sample = None;
+        c.retransmitted_bytes += c.send_buf.len().min(MSS) as u64;
+        self.pump(idx, now, fx);
+        let c = &mut self.conns[idx];
+        if !c.rto_armed {
+            Self::arm_rto(c, idx, fx);
+        }
+    }
+
+    fn retransmit_first(&mut self, idx: usize, fx: &mut Effects) {
+        let c = &mut self.conns[idx];
+        match c.state {
+            TcpState::SynSent => {
+                let syn = Packet::tcp(
+                    c.local,
+                    c.remote,
+                    TcpSegmentBody {
+                        seq: c.snd_una,
+                        ack: 0,
+                        flags: TcpFlags::SYN,
+                        window: RECV_WINDOW,
+                        payload: Bytes::new(),
+                    },
+                );
+                fx.out.push(syn);
+                return;
+            }
+            TcpState::SynRcvd => {
+                let synack = Packet::tcp(
+                    c.local,
+                    c.remote,
+                    TcpSegmentBody {
+                        seq: c.snd_una,
+                        ack: c.rcv_nxt,
+                        flags: TcpFlags::SYN_ACK,
+                        window: RECV_WINDOW,
+                        payload: Bytes::new(),
+                    },
+                );
+                fx.out.push(synack);
+                return;
+            }
+            _ => {}
+        }
+        // Data (or FIN) retransmission from snd_una.
+        let data_len = c.send_buf.len();
+        if data_len > 0 {
+            let n = data_len.min(MSS);
+            let payload: Vec<u8> = c.send_buf.iter().take(n).copied().collect();
+            c.retransmitted_bytes += n as u64;
+            let pkt = Packet::tcp(
+                c.local,
+                c.remote,
+                TcpSegmentBody {
+                    seq: c.snd_una,
+                    ack: c.rcv_nxt,
+                    flags: TcpFlags::ACK,
+                    window: RECV_WINDOW,
+                    payload: Bytes::from(payload),
+                },
+            );
+            fx.out.push(pkt);
+        } else if let Some(fin_seq) = c.fin_seq {
+            if c.snd_una <= fin_seq {
+                let pkt = Packet::tcp(
+                    c.local,
+                    c.remote,
+                    TcpSegmentBody {
+                        seq: fin_seq,
+                        ack: c.rcv_nxt,
+                        flags: TcpFlags::FIN_ACK,
+                        window: RECV_WINDOW,
+                        payload: Bytes::new(),
+                    },
+                );
+                fx.out.push(pkt);
+            }
+        }
+        // Karn's algorithm: invalidate the RTT sample after retransmission.
+        c.rtt_sample = None;
+    }
+
+    /// Handles a TCP timer firing.
+    pub fn on_timer(&mut self, t: TcpTimer, now: SimTime, fx: &mut Effects) {
+        let Some(c) = self.conns.get_mut(t.conn) else { return };
+        if c.timer_gen != t.gen {
+            return; // stale
+        }
+        match t.kind {
+            TcpTimerKind::TimeWait => {
+                self.free(t.conn);
+            }
+            TcpTimerKind::Rto => {
+                let app = c.app;
+                let is_syn_phase = matches!(c.state, TcpState::SynSent | TcpState::SynRcvd);
+                c.retries += 1;
+                let max = if is_syn_phase { MAX_SYN_RETRIES } else { MAX_RETRIES };
+                if c.retries > max {
+                    let was = c.state;
+                    self.free(t.conn);
+                    let ev = if was == TcpState::SynSent {
+                        TcpEvent::ConnectFailed
+                    } else {
+                        TcpEvent::Reset
+                    };
+                    fx.app_events.push((app, AppEvent::Tcp(TcpHandle(t.conn), ev)));
+                    return;
+                }
+                // Exponential backoff + window collapse.
+                c.rto = c.rto.saturating_mul(2).clamp(MIN_RTO, MAX_RTO);
+                if is_syn_phase {
+                    self.retransmit_first(t.conn, fx);
+                } else {
+                    self.enter_loss_recovery(t.conn, now, fx);
+                }
+                let c = &mut self.conns[t.conn];
+                Self::arm_rto(c, t.conn, fx);
+            }
+        }
+    }
+
+    /// Number of connection slots ever created (diagnostics).
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Approximate bytes of state held by this layer (used by the client
+    /// memory-overhead model: per-connection buffers are real allocations).
+    pub fn state_bytes(&self) -> usize {
+        self.conns
+            .iter()
+            .map(|c| std::mem::size_of::<Conn>() + c.send_buf.len() + c.recv_buf.len())
+            .sum()
+    }
+}

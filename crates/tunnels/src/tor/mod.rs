@@ -1,0 +1,21 @@
+//! The Tor subsystem: cells with onion encryption, onion routers, the
+//! directory server, the meek pluggable transport, and the client.
+//!
+//! A minimal deployment is one [`client::TorClient`] (on the user's
+//! machine), a bridge node running [`meek::MeekGateway`] +
+//! [`relay::OrRelay`], a middle [`relay::OrRelay`], an exit
+//! [`relay::OrRelay`] (constructed with the outside world's
+//! [`NameMap`](crate::names::NameMap)), and a
+//! [`directory::DirectoryServer`].
+
+pub mod cells;
+pub mod client;
+pub mod directory;
+pub mod meek;
+pub mod relay;
+
+pub use cells::{Cell, CellBuf, OnionLayer};
+pub use client::{TorClient, TorConfig, TOR_SOCKS_PORT};
+pub use directory::{DirectoryServer, DIR_PORT};
+pub use meek::{MeekGateway, MEEK_PORT};
+pub use relay::{OrRelay, OR_PORT};

@@ -1,0 +1,695 @@
+//! The browser model: loads pages over any access method (direct, SOCKS
+//! proxy, HTTP proxy, PAC policy), with a DNS cache and a content cache —
+//! the two caches whose cold state makes first-time page loads slower
+//! (§4.3), plus the first-visit account-recording connection (TCP-4).
+//!
+//! Page load time is measured exactly as in the paper's methodology: from
+//! navigation start until every referenced resource has arrived; a page
+//! is loaded once a minute so consecutive accesses do not overlap.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+
+use sc_dns::stub::{ResolveOutcome, StubResolver};
+use sc_netproto::http::{HttpMessage, HttpParser, HttpRequest};
+use sc_netproto::pac::{PacFile, ProxyDecision};
+use sc_netproto::tls::TlsClient;
+use sc_simnet::addr::{Addr, SocketAddr};
+use sc_simnet::api::{App, AppEvent, TcpEvent, TcpHandle};
+use sc_simnet::sim::Ctx;
+use sc_simnet::time::{SimDuration, SimTime};
+
+/// How the browser reaches the network.
+#[derive(Debug, Clone)]
+pub enum ProxyPolicy {
+    /// Connect directly (also used under transparent VPN tunnels).
+    Direct,
+    /// All traffic through a local SOCKS5 proxy (Shadowsocks, Tor).
+    Socks(SocketAddr),
+    /// Route per PAC file (ScholarCloud).
+    Pac(PacFile),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Route {
+    Direct,
+    Socks(SocketAddr),
+    HttpProxy(SocketAddr),
+}
+
+/// Poll interval while waiting for a tunnel to come up.
+const WAIT_POLL: SimDuration = SimDuration::from_millis(50);
+const TIMER_NEXT_LOAD: u64 = 1;
+const TIMER_WAIT: u64 = 2;
+const TIMER_DNS_RETRY: u64 = 3;
+/// Stub resolver retransmission interval.
+const DNS_RETRY: SimDuration = SimDuration::from_secs(1);
+
+/// Readiness gate the browser waits on before its first load (Tor's
+/// bootstrap, a VPN handshake). `None` means start immediately.
+pub type ReadyGate = Option<sc_ready::ReadyProbe>;
+
+/// Minimal readiness probe, kept separate so sc-web does not depend on
+/// sc-tunnels: any `Fn() -> bool` shared handle.
+pub mod sc_ready {
+    use std::rc::Rc;
+
+    /// A cloneable readiness probe.
+    #[derive(Clone)]
+    pub struct ReadyProbe(Rc<dyn Fn() -> bool>);
+
+    impl ReadyProbe {
+        /// Wraps a readiness check.
+        pub fn new(f: impl Fn() -> bool + 'static) -> Self {
+            ReadyProbe(Rc::new(f))
+        }
+
+        /// Whether the gate is open.
+        pub fn is_ready(&self) -> bool {
+            (self.0)()
+        }
+    }
+
+    impl core::fmt::Debug for ReadyProbe {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.debug_struct("ReadyProbe").finish_non_exhaustive()
+        }
+    }
+}
+
+/// Browser configuration.
+#[derive(Debug, Clone)]
+pub struct BrowserConfig {
+    /// DNS resolver used for direct routes.
+    pub resolver: Addr,
+    /// Access method.
+    pub policy: ProxyPolicy,
+    /// Host of the page to load.
+    pub page_host: String,
+    /// 443 for HTTPS pages, 80 for plain HTTP.
+    pub page_port: u16,
+    /// Gap between consecutive page loads (the paper used 60 s).
+    pub interval: SimDuration,
+    /// Number of loads to perform.
+    pub loads: usize,
+    /// Deterministic entropy for TLS.
+    pub entropy: u64,
+    /// Per-load timeout after which the load is recorded as failed.
+    pub timeout: SimDuration,
+}
+
+impl BrowserConfig {
+    /// A typical scholar-measurement config: HTTPS page, one load per
+    /// minute.
+    pub fn scholar(resolver: Addr, policy: ProxyPolicy) -> Self {
+        BrowserConfig {
+            resolver,
+            policy,
+            page_host: "scholar.google.com".into(),
+            page_port: 443,
+            interval: SimDuration::from_secs(60),
+            loads: 10,
+            entropy: 7,
+            timeout: SimDuration::from_secs(55),
+        }
+    }
+}
+
+/// Result of one page load.
+#[derive(Debug, Clone)]
+pub struct PageLoadResult {
+    /// Load index (0 = first).
+    pub index: usize,
+    /// Navigation start.
+    pub started: SimTime,
+    /// Page load time, if the load completed.
+    pub plt: Option<SimDuration>,
+    /// Whether caches were cold.
+    pub first_time: bool,
+    /// Application-level round-trip time sampled after the load.
+    pub rtt: Option<SimDuration>,
+    /// The load failed (reset, refused, or timed out).
+    pub failed: bool,
+    /// TCP connections opened for this load.
+    pub connections: usize,
+}
+
+/// Shared log the harness reads results from.
+pub type LoadLog = Rc<RefCell<Vec<PageLoadResult>>>;
+
+/// Creates an empty load log.
+pub fn new_load_log() -> LoadLog {
+    Rc::new(RefCell::new(Vec::new()))
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnPhase {
+    Connecting,
+    SocksGreetSent,
+    SocksConnectSent,
+    ProxyConnectSent,
+    TlsHandshake,
+    Ready,
+}
+
+struct Conn {
+    host: String,
+    port: u16,
+    phase: ConnPhase,
+    route: Route,
+    tls: Option<TlsClient>,
+    http: HttpParser,
+    proxy_http: HttpParser,
+    queue: VecDeque<String>,
+    current: Option<String>,
+    rtt_probe_sent: Option<SimTime>,
+}
+
+struct ActiveLoad {
+    index: usize,
+    started: SimTime,
+    pending: usize,
+    first_time: bool,
+    connections: usize,
+    deadline_token: u64,
+}
+
+/// The browser app.
+pub struct Browser {
+    config: BrowserConfig,
+    gate: ReadyGate,
+    stub: StubResolver,
+    conns: HashMap<TcpHandle, Conn>,
+    /// host:port → open connection (reused within a load).
+    by_host: HashMap<(String, u16), TcpHandle>,
+    pending_dns: HashMap<u64, (String, u16, String)>,
+    next_dns_token: u64,
+    content_cache: HashSet<(String, String)>,
+    load: Option<ActiveLoad>,
+    loads_done: usize,
+    visited: bool,
+    /// When the browser itself started (load 0's PLT clock includes any
+    /// tunnel bootstrap the gate made it wait for, like the paper's Tor
+    /// first-time measurements).
+    browser_started: SimTime,
+    log: LoadLog,
+    deadline_seq: u64,
+    rtt_conn: Option<TcpHandle>,
+}
+
+impl Browser {
+    /// Creates a browser writing results into `log`; if `gate` is given,
+    /// the first load waits for it.
+    pub fn new(config: BrowserConfig, gate: ReadyGate, log: LoadLog) -> Self {
+        let stub = StubResolver::new(config.resolver);
+        Browser {
+            config,
+            gate,
+            stub,
+            conns: HashMap::new(),
+            by_host: HashMap::new(),
+            pending_dns: HashMap::new(),
+            next_dns_token: 1,
+            content_cache: HashSet::new(),
+            load: None,
+            loads_done: 0,
+            visited: false,
+            browser_started: SimTime::ZERO,
+            log,
+            deadline_seq: 0,
+            rtt_conn: None,
+        }
+    }
+
+    fn route_for(&self, host: &str) -> Route {
+        match &self.config.policy {
+            ProxyPolicy::Direct => Route::Direct,
+            ProxyPolicy::Socks(p) => Route::Socks(*p),
+            ProxyPolicy::Pac(pac) => match pac.decide(host) {
+                ProxyDecision::Direct => Route::Direct,
+                ProxyDecision::Proxy(p) => Route::HttpProxy(p),
+            },
+        }
+    }
+
+    fn begin_load(&mut self, ctx: &mut Ctx<'_>) {
+        let index = self.loads_done;
+        self.deadline_seq += 1;
+        let deadline_token = 1_000 + self.deadline_seq;
+        // The very first load's clock starts at browser launch, so tunnel
+        // bootstrap (waited out via the gate) counts into first-time PLT.
+        let started = if index == 0 { self.browser_started } else { ctx.now() };
+        self.load = Some(ActiveLoad {
+            index,
+            started,
+            pending: 1, // the HTML itself
+            first_time: !self.visited,
+            connections: 0,
+            deadline_token,
+        });
+        ctx.set_timer(self.config.timeout, deadline_token);
+        let host = self.config.page_host.clone();
+        let port = self.config.page_port;
+        self.fetch(&host, port, "/", ctx);
+    }
+
+    /// Requests `path` from `host:port`, opening or reusing a connection.
+    fn fetch(&mut self, host: &str, port: u16, path: &str, ctx: &mut Ctx<'_>) {
+        if let Some(&h) = self.by_host.get(&(host.to_string(), port)) {
+            if let Some(conn) = self.conns.get_mut(&h) {
+                conn.queue.push_back(path.to_string());
+                self.pump_conn(h, ctx);
+                return;
+            }
+        }
+        let route = self.route_for(host);
+        match route {
+            Route::Direct => {
+                // Resolve first (the DNS stub returns synchronously on a
+                // cache hit — the warm-cache fast path).
+                let token = self.next_dns_token;
+                self.next_dns_token += 1;
+                self.pending_dns
+                    .insert(token, (host.to_string(), port, path.to_string()));
+                if let Some(res) = self.stub.resolve(host, token, ctx) {
+                    self.on_resolved(res.token, res.outcome, ctx);
+                } else {
+                    ctx.set_timer(DNS_RETRY, TIMER_DNS_RETRY);
+                }
+            }
+            Route::Socks(p) | Route::HttpProxy(p) => {
+                let h = ctx.tcp_connect(p);
+                self.register_conn(h, host, port, route, path, ctx);
+            }
+        }
+    }
+
+    fn on_resolved(&mut self, token: u64, outcome: ResolveOutcome, ctx: &mut Ctx<'_>) {
+        let Some((host, port, path)) = self.pending_dns.remove(&token) else { return };
+        match outcome {
+            ResolveOutcome::Resolved(addrs) if !addrs.is_empty() => {
+                let h = ctx.tcp_connect(SocketAddr::new(addrs[0], port));
+                self.register_conn(h, &host, port, Route::Direct, &path, ctx);
+            }
+            _ => self.fail_load(ctx),
+        }
+    }
+
+    fn register_conn(
+        &mut self,
+        h: TcpHandle,
+        host: &str,
+        port: u16,
+        route: Route,
+        path: &str,
+        _ctx: &mut Ctx<'_>,
+    ) {
+        let mut queue = VecDeque::new();
+        queue.push_back(path.to_string());
+        self.conns.insert(
+            h,
+            Conn {
+                host: host.to_string(),
+                port,
+                phase: ConnPhase::Connecting,
+                route,
+                tls: None,
+                http: HttpParser::new(),
+                proxy_http: HttpParser::new(),
+                queue,
+                current: None,
+                rtt_probe_sent: None,
+            },
+        );
+        self.by_host.insert((host.to_string(), port), h);
+        if let Some(load) = self.load.as_mut() {
+            load.connections += 1;
+        }
+    }
+
+    /// Called when a connection's tunnel/TLS is ready or a response
+    /// completed: sends the next queued request.
+    fn pump_conn(&mut self, h: TcpHandle, ctx: &mut Ctx<'_>) {
+        let Some(conn) = self.conns.get_mut(&h) else { return };
+        if conn.phase != ConnPhase::Ready || conn.current.is_some() {
+            return;
+        }
+        let Some(path) = conn.queue.pop_front() else { return };
+        let req = if path == "\u{0}rtt" {
+            conn.rtt_probe_sent = Some(ctx.now());
+            HttpRequest {
+                method: "HEAD".into(),
+                target: "/".into(),
+                headers: vec![("Host".into(), conn.host.clone())],
+                body: Vec::new(),
+            }
+        } else if conn.route != Route::Direct
+            && matches!(conn.route, Route::HttpProxy(_))
+            && conn.port == 80
+        {
+            // Absolute-form through an HTTP proxy.
+            HttpRequest::get(&conn.host, &format!("http://{}{}", conn.host, path))
+        } else {
+            HttpRequest::get(&conn.host, &path)
+        };
+        conn.current = Some(path);
+        let wire = match conn.tls.as_mut() {
+            Some(tls) => tls.send(&req.encode()),
+            None => req.encode(),
+        };
+        ctx.tcp_send(h, &wire);
+    }
+
+    fn begin_app_layer(&mut self, h: TcpHandle, ctx: &mut Ctx<'_>) {
+        let Some(conn) = self.conns.get_mut(&h) else { return };
+        if conn.port == 443 {
+            let mut tls = TlsClient::new(&conn.host, self.config.entropy ^ h.0 as u64);
+            let hello = tls.start_handshake();
+            conn.tls = Some(tls);
+            conn.phase = ConnPhase::TlsHandshake;
+            ctx.tcp_send(h, &hello);
+        } else {
+            conn.phase = ConnPhase::Ready;
+            self.pump_conn(h, ctx);
+        }
+    }
+
+    fn on_response(&mut self, h: TcpHandle, body: Vec<u8>, status: u16, ctx: &mut Ctx<'_>) {
+        let (host, path, probe_start) = {
+            let Some(conn) = self.conns.get_mut(&h) else { return };
+            let path = conn.current.take().unwrap_or_default();
+            (conn.host.clone(), path, conn.rtt_probe_sent.take())
+        };
+        // RTT probe response?
+        if path == "\u{0}rtt" {
+            if let Some(sent) = probe_start {
+                let rtt = ctx.now() - sent;
+                self.finish_load(Some(rtt), ctx);
+            }
+            return;
+        }
+        if status >= 400 {
+            self.fail_load(ctx);
+            return;
+        }
+        let Some(load) = self.load.as_mut() else { return };
+        load.pending -= 1;
+        self.content_cache.insert((host.clone(), path.clone()));
+        // The HTML: schedule subresource fetches.
+        if path == "/" && host == self.config.page_host {
+            let resources = crate::page::PageSpec::parse_manifest(&body);
+            let first_time = load.first_time;
+            let mut to_fetch = Vec::new();
+            for r in resources {
+                if r.first_visit_only && !first_time {
+                    continue;
+                }
+                if self.content_cache.contains(&(r.host.clone(), r.path.clone())) {
+                    continue;
+                }
+                to_fetch.push(r);
+            }
+            if let Some(load) = self.load.as_mut() {
+                load.pending += to_fetch.len();
+            }
+            for r in to_fetch {
+                self.fetch(&r.host.clone(), self.config.page_port_for(&r.host), &r.path, ctx);
+            }
+        }
+        let done = self.load.as_ref().is_some_and(|l| l.pending == 0);
+        if done {
+            // Page complete: sample RTT with a HEAD on the main connection.
+            let key = (self.config.page_host.clone(), self.config.page_port);
+            if let Some(&main) = self.by_host.get(&key) {
+                if self.conns.get(&main).is_some_and(|c| c.phase == ConnPhase::Ready) {
+                    self.rtt_conn = Some(main);
+                    if let Some(conn) = self.conns.get_mut(&main) {
+                        conn.queue.push_back("\u{0}rtt".to_string());
+                    }
+                    self.pump_conn(main, ctx);
+                    return;
+                }
+            }
+            self.finish_load(None, ctx);
+        } else {
+            self.pump_conn(h, ctx);
+        }
+    }
+
+    fn finish_load(&mut self, rtt: Option<SimDuration>, ctx: &mut Ctx<'_>) {
+        let Some(load) = self.load.take() else { return };
+        let now = ctx.now();
+        self.log.borrow_mut().push(PageLoadResult {
+            index: load.index,
+            started: load.started,
+            plt: Some(now - load.started),
+            first_time: load.first_time,
+            rtt,
+            failed: false,
+            connections: load.connections,
+        });
+        self.visited = true;
+        self.loads_done += 1;
+        self.teardown_conns(ctx);
+        self.schedule_next(load.started, ctx);
+    }
+
+    fn fail_load(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(load) = self.load.take() else { return };
+        self.log.borrow_mut().push(PageLoadResult {
+            index: load.index,
+            started: load.started,
+            plt: None,
+            first_time: load.first_time,
+            rtt: None,
+            failed: true,
+            connections: load.connections,
+        });
+        self.visited = true;
+        self.loads_done += 1;
+        self.teardown_conns(ctx);
+        self.schedule_next(load.started, ctx);
+    }
+
+    fn teardown_conns(&mut self, ctx: &mut Ctx<'_>) {
+        for (&h, _) in self.conns.iter() {
+            ctx.tcp_close(h);
+        }
+        self.conns.clear();
+        self.by_host.clear();
+        self.pending_dns.clear();
+        self.rtt_conn = None;
+    }
+
+    fn schedule_next(&mut self, last_start: SimTime, ctx: &mut Ctx<'_>) {
+        if self.loads_done >= self.config.loads {
+            return;
+        }
+        let next_at = last_start + self.config.interval;
+        let delay = next_at.saturating_since(ctx.now()).clamp(
+            SimDuration::from_millis(1),
+            self.config.interval,
+        );
+        ctx.set_timer(delay, TIMER_NEXT_LOAD);
+    }
+}
+
+impl BrowserConfig {
+    fn page_port_for(&self, host: &str) -> u16 {
+        // Subresources use the page's scheme; the account host is HTTPS.
+        if host == self.page_host {
+            self.page_port
+        } else {
+            443
+        }
+    }
+}
+
+impl App for Browser {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.browser_started = ctx.now();
+        self.stub.bind(ctx);
+        match &self.gate {
+            Some(gate) if !gate.is_ready() => ctx.set_timer(WAIT_POLL, TIMER_WAIT),
+            _ => self.begin_load(ctx),
+        }
+    }
+
+    fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx<'_>) {
+        match ev {
+            AppEvent::TimerFired(TIMER_WAIT) => {
+                match &self.gate {
+                    Some(gate) if !gate.is_ready() => ctx.set_timer(WAIT_POLL, TIMER_WAIT),
+                    _ => self.begin_load(ctx),
+                }
+            }
+            AppEvent::TimerFired(TIMER_DNS_RETRY) => {
+                if self.stub.has_pending() && self.load.is_some() {
+                    self.stub.retry_pending(ctx);
+                    ctx.set_timer(DNS_RETRY, TIMER_DNS_RETRY);
+                }
+            }
+            AppEvent::TimerFired(TIMER_NEXT_LOAD) => {
+                if self.load.is_none() && self.loads_done < self.config.loads {
+                    self.begin_load(ctx);
+                }
+            }
+            AppEvent::TimerFired(token) if token > 1_000 => {
+                // Load deadline.
+                if self.load.as_ref().is_some_and(|l| l.deadline_token == token) {
+                    self.fail_load(ctx);
+                }
+            }
+            AppEvent::Udp { socket, payload, .. } => {
+                if let Some(res) = self.stub.on_datagram(socket, &payload, ctx.now()) {
+                    self.on_resolved(res.token, res.outcome, ctx);
+                }
+            }
+            AppEvent::Tcp(h, tcp_ev) => {
+                if !self.conns.contains_key(&h) {
+                    return;
+                }
+                match tcp_ev {
+                    TcpEvent::Connected => {
+                        let conn = self.conns.get_mut(&h).expect("checked");
+                        match conn.route {
+                            Route::Direct => self.begin_app_layer(h, ctx),
+                            Route::Socks(_) => {
+                                conn.phase = ConnPhase::SocksGreetSent;
+                                ctx.tcp_send(h, &[5, 1, 0]);
+                            }
+                            Route::HttpProxy(_) => {
+                                if conn.port == 80 {
+                                    // Absolute-form proxying, no CONNECT.
+                                    conn.phase = ConnPhase::Ready;
+                                    self.pump_conn(h, ctx);
+                                } else {
+                                    conn.phase = ConnPhase::ProxyConnectSent;
+                                    let req = format!(
+                                        "CONNECT {}:{} HTTP/1.1\r\nHost: {}\r\n\r\n",
+                                        conn.host, conn.port, conn.host
+                                    );
+                                    ctx.tcp_send(h, req.as_bytes());
+                                }
+                            }
+                        }
+                    }
+                    TcpEvent::DataReceived => {
+                        let data = ctx.tcp_recv_all(h);
+                        self.on_bytes(h, &data, ctx);
+                    }
+                    TcpEvent::ConnectFailed | TcpEvent::Reset => {
+                        self.fail_load(ctx);
+                    }
+                    TcpEvent::PeerClosed => {
+                        // Server closed (keep-alive expiry): drop the conn;
+                        // outstanding work fails the load.
+                        let had_work = self
+                            .conns
+                            .get(&h)
+                            .is_some_and(|c| c.current.is_some() || !c.queue.is_empty());
+                        if let Some(conn) = self.conns.remove(&h) {
+                            self.by_host.remove(&(conn.host, conn.port));
+                        }
+                        if had_work {
+                            self.fail_load(ctx);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Browser {
+    fn on_bytes(&mut self, h: TcpHandle, data: &[u8], ctx: &mut Ctx<'_>) {
+        let Some(conn) = self.conns.get_mut(&h) else { return };
+        let mut stream_bytes: Vec<u8> = Vec::new();
+        match conn.phase {
+            ConnPhase::SocksGreetSent => {
+                if data.starts_with(&[5, 0]) {
+                    conn.phase = ConnPhase::SocksConnectSent;
+                    let mut req = vec![5, 1, 0, 3, conn.host.len() as u8];
+                    req.extend_from_slice(conn.host.as_bytes());
+                    req.extend_from_slice(&conn.port.to_be_bytes());
+                    ctx.tcp_send(h, &req);
+                } else {
+                    self.fail_load(ctx);
+                }
+                return;
+            }
+            ConnPhase::SocksConnectSent => {
+                if data.len() >= 10 && data[0] == 5 && data[1] == 0 {
+                    stream_bytes.extend_from_slice(&data[10..]);
+                    self.begin_app_layer(h, ctx);
+                    if stream_bytes.is_empty() {
+                        return;
+                    }
+                } else {
+                    self.fail_load(ctx);
+                    return;
+                }
+            }
+            ConnPhase::ProxyConnectSent => {
+                let Ok(msgs) = conn.proxy_http.push(data) else {
+                    self.fail_load(ctx);
+                    return;
+                };
+                let mut ok = false;
+                for m in msgs {
+                    if let HttpMessage::Response(r) = m {
+                        if r.status == 200 {
+                            ok = true;
+                        } else {
+                            self.fail_load(ctx);
+                            return;
+                        }
+                    }
+                }
+                if ok {
+                    self.begin_app_layer(h, ctx);
+                }
+                return;
+            }
+            _ => stream_bytes.extend_from_slice(data),
+        }
+
+        // TLS / plain processing.
+        let Some(conn) = self.conns.get_mut(&h) else { return };
+        let plaintext = match conn.tls.as_mut() {
+            Some(tls) => {
+                let Ok(out) = tls.on_bytes(&stream_bytes) else {
+                    self.fail_load(ctx);
+                    return;
+                };
+                if !out.wire.is_empty() {
+                    ctx.tcp_send(h, &out.wire);
+                }
+                if out.handshake_complete {
+                    conn.phase = ConnPhase::Ready;
+                    self.pump_conn(h, ctx);
+                }
+                let Some(conn) = self.conns.get_mut(&h) else { return };
+                let _ = conn;
+                out.plaintext
+            }
+            None => stream_bytes,
+        };
+        if plaintext.is_empty() {
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(&h) else { return };
+        let Ok(msgs) = conn.http.push(&plaintext) else {
+            self.fail_load(ctx);
+            return;
+        };
+        for m in msgs {
+            if let HttpMessage::Response(resp) = m {
+                self.on_response(h, resp.body, resp.status, ctx);
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Origin servers: the Google Scholar model (Figure 4's session
+//! structure) and a generic static site for baselines.
+//!
+//! The Scholar server:
+//! * on port 80 answers every request with an HTTPS redirect (TCP-2);
+//! * on port 443 speaks the simulated TLS and serves the page and its
+//!   subresources (TCP-3);
+//! * the separate `accounts.google.com` host serves the first-visit
+//!   account-recording request (TCP-4).
+
+use std::collections::HashMap;
+
+use sc_netproto::http::{HttpMessage, HttpParser, HttpRequest, HttpResponse};
+use sc_netproto::tls::TlsServer;
+use sc_simnet::api::{App, AppEvent, TcpEvent, TcpHandle};
+use sc_simnet::sim::Ctx;
+
+use crate::page::PageSpec;
+
+/// Server processing capacity model: requests are answered after a
+/// service delay of `base + queued * per_request`, modelling the paper's
+/// single-core VM saturating under concurrent clients (Figure 7).
+#[derive(Debug, Clone, Copy)]
+pub struct Capacity {
+    /// Fixed per-request service time in microseconds.
+    pub service_us: u64,
+    /// Whether to model queueing at all.
+    pub enabled: bool,
+}
+
+impl Default for Capacity {
+    fn default() -> Self {
+        // A 2.3 GHz single-core VM serving ~3000 simple requests/s.
+        Capacity { service_us: 330, enabled: true }
+    }
+}
+
+struct Session {
+    tls: Option<TlsServer>,
+    http: HttpParser,
+}
+
+/// An HTTPS (and redirecting HTTP) origin serving a [`PageSpec`].
+pub struct OriginServer {
+    host: String,
+    page: PageSpec,
+    entropy: u64,
+    capacity: Capacity,
+    sessions: HashMap<TcpHandle, Session>,
+    /// Pending responses waiting out the service delay: token → (conn,
+    /// wire bytes, via TLS).
+    pending: HashMap<u64, (TcpHandle, Vec<u8>)>,
+    next_token: u64,
+    /// Time at which the single service core frees up (µs).
+    busy_until_us: u64,
+    /// Requests served (diagnostics).
+    pub requests: u64,
+}
+
+impl OriginServer {
+    /// Creates an origin for `host` serving `page`.
+    pub fn new(host: &str, page: PageSpec, entropy: u64) -> Self {
+        OriginServer {
+            host: host.to_string(),
+            page,
+            entropy,
+            capacity: Capacity::default(),
+            sessions: HashMap::new(),
+            pending: HashMap::new(),
+            next_token: 1,
+            busy_until_us: 0,
+            requests: 0,
+        }
+    }
+
+    /// Overrides the capacity model.
+    pub fn with_capacity(mut self, capacity: Capacity) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    fn response_for(&self, req: &HttpRequest) -> HttpResponse {
+        if req.method == "HEAD" {
+            return HttpResponse::new(204, Vec::new());
+        }
+        if req.target == "/" || req.target.starts_with("/scholar") {
+            return HttpResponse::new(200, self.page.render_html())
+                .header("Content-Type", "text/html");
+        }
+        if let Some(res) = self.page.resources.iter().find(|r| r.path == req.target) {
+            return HttpResponse::new(200, vec![b'x'; res.len])
+                .header("Content-Type", "application/octet-stream");
+        }
+        HttpResponse::new(404, Vec::new())
+    }
+
+    /// Queues `wire` for transmission after the modelled service delay.
+    fn respond(&mut self, h: TcpHandle, wire: Vec<u8>, ctx: &mut Ctx<'_>) {
+        self.requests += 1;
+        if !self.capacity.enabled {
+            ctx.tcp_send(h, &wire);
+            return;
+        }
+        let now_us = ctx.now().as_micros();
+        let start = self.busy_until_us.max(now_us);
+        let done = start + self.capacity.service_us;
+        self.busy_until_us = done;
+        let delay = sc_simnet::time::SimDuration::from_micros(done - now_us);
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending.insert(token, (h, wire));
+        ctx.set_timer(delay, token);
+    }
+}
+
+impl App for OriginServer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.tcp_listen(80);
+        ctx.tcp_listen(443);
+    }
+
+    fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx<'_>) {
+        match ev {
+            AppEvent::TimerFired(token) => {
+                if let Some((h, wire)) = self.pending.remove(&token) {
+                    ctx.tcp_send(h, &wire);
+                }
+            }
+            AppEvent::Tcp(h, TcpEvent::Accepted { .. }) => {
+                let port = ctx.tcp_local(h).map(|l| l.port).unwrap_or(443);
+                let tls = (port == 443).then(|| TlsServer::new(self.entropy ^ h.0 as u64));
+                self.sessions.insert(h, Session { tls, http: HttpParser::new() });
+            }
+            AppEvent::Tcp(h, TcpEvent::DataReceived) => {
+                let data = ctx.tcp_recv_all(h);
+                let Some(session) = self.sessions.get_mut(&h) else { return };
+                let mut requests = Vec::new();
+                match session.tls.as_mut() {
+                    Some(tls) => {
+                        let Ok(out) = tls.on_bytes(&data) else {
+                            ctx.tcp_abort(h);
+                            self.sessions.remove(&h);
+                            return;
+                        };
+                        if !out.wire.is_empty() {
+                            ctx.tcp_send(h, &out.wire);
+                        }
+                        if !out.plaintext.is_empty() {
+                            if let Ok(msgs) = session.http.push(&out.plaintext) {
+                                for m in msgs {
+                                    if let HttpMessage::Request(r) = m {
+                                        requests.push(r);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        if let Ok(msgs) = session.http.push(&data) {
+                            for m in msgs {
+                                if let HttpMessage::Request(r) = m {
+                                    requests.push(r);
+                                }
+                            }
+                        }
+                    }
+                }
+                for req in requests {
+                    let is_tls = session_is_tls(&self.sessions, h);
+                    if !is_tls {
+                        // Port 80: HTTPS redirect (Figure 4's TCP-2).
+                        let resp = HttpResponse::new(301, Vec::new())
+                            .header("Location", &format!("https://{}{}", self.host, req.target));
+                        self.respond(h, resp.encode(), ctx);
+                        continue;
+                    }
+                    let resp = self.response_for(&req);
+                    let wire = {
+                        let session = self.sessions.get_mut(&h).expect("session exists");
+                        let tls = session.tls.as_mut().expect("tls session");
+                        tls.send(&resp.encode())
+                    };
+                    self.respond(h, wire, ctx);
+                }
+            }
+            AppEvent::Tcp(h, TcpEvent::PeerClosed | TcpEvent::Reset) => {
+                self.sessions.remove(&h);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn session_is_tls(sessions: &HashMap<TcpHandle, Session>, h: TcpHandle) -> bool {
+    sessions.get(&h).is_some_and(|s| s.tls.is_some())
+}
+
+/// A plain-HTTP static site (baseline measurements, decoys).
+pub struct StaticSite {
+    page: PageSpec,
+    parsers: HashMap<TcpHandle, HttpParser>,
+}
+
+impl StaticSite {
+    /// Creates a site serving `page` over plain HTTP on port 80.
+    pub fn new(page: PageSpec) -> Self {
+        StaticSite { page, parsers: HashMap::new() }
+    }
+}
+
+impl App for StaticSite {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.tcp_listen(80);
+    }
+
+    fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx<'_>) {
+        let AppEvent::Tcp(h, tcp_ev) = ev else { return };
+        match tcp_ev {
+            TcpEvent::Accepted { .. } => {
+                self.parsers.insert(h, HttpParser::new());
+            }
+            TcpEvent::DataReceived => {
+                let data = ctx.tcp_recv_all(h);
+                let Some(parser) = self.parsers.get_mut(&h) else { return };
+                let Ok(msgs) = parser.push(&data) else {
+                    ctx.tcp_abort(h);
+                    return;
+                };
+                for m in msgs {
+                    if let HttpMessage::Request(req) = m {
+                        let resp = if req.target == "/" {
+                            HttpResponse::new(200, self.page.render_html())
+                        } else if let Some(r) =
+                            self.page.resources.iter().find(|r| r.path == req.target)
+                        {
+                            HttpResponse::new(200, vec![b'y'; r.len])
+                        } else if req.method == "HEAD" {
+                            HttpResponse::new(204, Vec::new())
+                        } else {
+                            HttpResponse::new(404, Vec::new())
+                        };
+                        ctx.tcp_send(h, &resp.encode());
+                    }
+                }
+            }
+            TcpEvent::PeerClosed | TcpEvent::Reset => {
+                self.parsers.remove(&h);
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The page model: what a Google Scholar page load consists of.
+//!
+//! A page is an HTML document plus subresources. The HTML body carries a
+//! plain-text manifest the browser model parses; the Figure-4 structure is
+//! reproduced by an extra "account recording" resource on a separate host
+//! that is fetched only on a first visit (TCP-4 in the paper).
+
+/// One subresource referenced by a page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resource {
+    /// Host serving the resource.
+    pub host: String,
+    /// Path on that host.
+    pub path: String,
+    /// Body size in bytes.
+    pub len: usize,
+    /// Fetched only on first visits (the account-recording connection).
+    pub first_visit_only: bool,
+}
+
+/// A page: HTML plus subresources.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageSpec {
+    /// Size of the HTML document body (manifest lines + padding).
+    pub html_len: usize,
+    /// Subresources.
+    pub resources: Vec<Resource>,
+}
+
+impl PageSpec {
+    /// The Google Scholar home page model. Sized so that one full direct
+    /// access moves ≈19 KB — the paper's Figure 6a baseline.
+    pub fn google_scholar() -> Self {
+        PageSpec {
+            html_len: 6_000,
+            resources: vec![
+                Resource {
+                    host: "scholar.google.com".into(),
+                    path: "/css/scholar.css".into(),
+                    len: 3_000,
+                    first_visit_only: false,
+                },
+                Resource {
+                    host: "scholar.google.com".into(),
+                    path: "/js/scholar.js".into(),
+                    len: 5_000,
+                    first_visit_only: false,
+                },
+                Resource {
+                    host: "scholar.google.com".into(),
+                    path: "/img/scholar-logo.png".into(),
+                    len: 3_500,
+                    first_visit_only: false,
+                },
+                Resource {
+                    host: "accounts.google.com".into(),
+                    path: "/recordlogin".into(),
+                    len: 400,
+                    first_visit_only: true,
+                },
+            ],
+        }
+    }
+
+    /// A host that serves a handful of standalone endpoints (the
+    /// account-recording host): each endpoint is exposed as a resource so
+    /// [`OriginServer`](crate::origin::OriginServer) will serve it.
+    pub fn endpoints(host: &str, paths: &[(&str, usize)]) -> Self {
+        PageSpec {
+            html_len: 200,
+            resources: paths
+                .iter()
+                .map(|(path, len)| Resource {
+                    host: host.into(),
+                    path: (*path).into(),
+                    len: *len,
+                    first_visit_only: false,
+                })
+                .collect(),
+        }
+    }
+
+    /// A small unblocked page (the Amazon-like domestic/US baseline).
+    pub fn simple(host: &str, html_len: usize) -> Self {
+        PageSpec {
+            html_len,
+            resources: vec![Resource {
+                host: host.into(),
+                path: "/style.css".into(),
+                len: 2_000,
+                first_visit_only: false,
+            }],
+        }
+    }
+
+    /// Renders the HTML body: manifest lines followed by padding.
+    pub fn render_html(&self) -> Vec<u8> {
+        let mut body = String::from("<!doctype html><!-- scholar page -->\n");
+        for r in &self.resources {
+            body.push_str(&format!(
+                "RES {} {} {} {}\n",
+                r.host,
+                r.path,
+                r.len,
+                if r.first_visit_only { "first" } else { "always" }
+            ));
+        }
+        let mut bytes = body.into_bytes();
+        while bytes.len() < self.html_len {
+            bytes.extend_from_slice(b"<p>scholarly padding content for realistic sizing</p>\n");
+        }
+        bytes.truncate(self.html_len);
+        bytes
+    }
+
+    /// Parses the manifest back out of an HTML body.
+    pub fn parse_manifest(html: &[u8]) -> Vec<Resource> {
+        let text = String::from_utf8_lossy(html);
+        text.lines()
+            .filter_map(|line| {
+                let mut parts = line.strip_prefix("RES ")?.split(' ');
+                let host = parts.next()?.to_string();
+                let path = parts.next()?.to_string();
+                let len: usize = parts.next()?.parse().ok()?;
+                let first = parts.next()? == "first";
+                Some(Resource { host, path, len, first_visit_only: first })
+            })
+            .collect()
+    }
+
+    /// Total bytes fetched on a first visit (HTML + all resources).
+    pub fn first_visit_bytes(&self) -> usize {
+        self.html_len + self.resources.iter().map(|r| r.len).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_roundtrip() {
+        let page = PageSpec::google_scholar();
+        let html = page.render_html();
+        assert_eq!(html.len(), page.html_len);
+        let parsed = PageSpec::parse_manifest(&html);
+        assert_eq!(parsed, page.resources);
+    }
+
+    #[test]
+    fn scholar_page_is_about_19_kb() {
+        // The paper's direct-access baseline traffic is ~19 KB.
+        let total = PageSpec::google_scholar().first_visit_bytes();
+        assert!((17_000..=20_000).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn account_resource_is_first_visit_only() {
+        let page = PageSpec::google_scholar();
+        let firsts: Vec<_> = page.resources.iter().filter(|r| r.first_visit_only).collect();
+        assert_eq!(firsts.len(), 1);
+        assert_eq!(firsts[0].host, "accounts.google.com");
+    }
+
+    #[test]
+    fn manifest_ignores_padding() {
+        let page = PageSpec::simple("example.com", 4_000);
+        let html = page.render_html();
+        let parsed = PageSpec::parse_manifest(&html);
+        assert_eq!(parsed.len(), 1);
+    }
+}

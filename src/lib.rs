@@ -1,0 +1,30 @@
+//! # scholarcloud-repro
+//!
+//! A full reproduction of *"Accessing Google Scholar under Extreme
+//! Internet Censorship: A Legal Avenue"* (Middleware 2017) as a Rust
+//! workspace: a deterministic network simulator, a simulated Great
+//! Firewall, from-scratch implementations of every studied circumvention
+//! middleware (native VPN, OpenVPN, Tor+meek, Shadowsocks), the
+//! ScholarCloud split-proxy system itself, and a measurement harness that
+//! regenerates every figure in the paper's evaluation.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
+//! paper-vs-measured results. Start with the examples:
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! cargo run --release --example paper_figures
+//! cargo run --example scholarcloud_ops
+//! cargo run --example censorship_lab
+//! ```
+
+pub use sc_core as scholarcloud;
+pub use sc_crypto as crypto;
+pub use sc_dns as dns;
+pub use sc_gfw as gfw;
+pub use sc_metrics as metrics;
+pub use sc_netproto as netproto;
+pub use sc_regulation as regulation;
+pub use sc_simnet as simnet;
+pub use sc_tunnels as tunnels;
+pub use sc_web as web;

@@ -1,0 +1,108 @@
+//! Workspace-level integration tests: the whole stack — simulator, GFW,
+//! tunnels, ScholarCloud, web substrate, measurement harness — exercised
+//! through the public facade.
+
+use scholarcloud_repro::metrics::{Method, ScenarioConfig, Summary, run_scenario};
+
+/// The paper's central comparison, end to end: every method completes its
+/// loads; ScholarCloud and the VPNs see baseline loss; Tor and Shadowsocks
+/// are throttled; direct access is blocked.
+#[test]
+fn headline_comparison_holds() {
+    let mut results = Vec::new();
+    for method in Method::all_measured() {
+        let mut cfg = ScenarioConfig::paper(method, 99);
+        cfg.loads = 8;
+        let out = run_scenario(&cfg);
+        // Tor is "severely censored" (the paper's words): under heavy
+        // throttling an occasional load may time out. Everything else
+        // must be spotless.
+        let tolerated = if method == Method::Tor { 0.26 } else { 0.0 };
+        assert!(
+            out.failure_rate() <= tolerated,
+            "{method:?} failure rate {}: {:?}",
+            out.failure_rate(),
+            out.loads[0]
+        );
+        let (_, subs) = out.plts();
+        results.push((method, Summary::of_or_empty(&subs).mean, out.plr));
+    }
+    let get = |m: Method| results.iter().find(|(mm, _, _)| *mm == m).copied().unwrap();
+    let (_, sc_plt, sc_plr) = get(Method::ScholarCloud);
+    let (_, vpn_plt, vpn_plr) = get(Method::NativeVpn);
+    let (_, tor_plt, tor_plr) = get(Method::Tor);
+    let (_, ss_plt, ss_plr) = get(Method::Shadowsocks);
+
+    // Figure 5a orderings: SC and VPN fast; SS and Tor slow.
+    assert!(sc_plt < ss_plt, "SC {sc_plt} vs SS {ss_plt}");
+    assert!(vpn_plt < ss_plt, "VPN {vpn_plt} vs SS {ss_plt}");
+    assert!(sc_plt < tor_plt, "SC {sc_plt} vs Tor {tor_plt}");
+
+    // Figure 5c orderings: Tor worst, SS elevated, SC/VPN at baseline.
+    assert!(tor_plr > ss_plr, "Tor {tor_plr} vs SS {ss_plr}");
+    assert!(ss_plr >= sc_plr, "SS {ss_plr} vs SC {sc_plr}");
+    assert!(tor_plr > 5.0 * vpn_plr.max(0.0001), "Tor {tor_plr} vs VPN {vpn_plr}");
+}
+
+#[test]
+fn direct_access_blocked_but_unblocked_methods_survive() {
+    let mut cfg = ScenarioConfig::paper(Method::Direct, 5);
+    cfg.loads = 1;
+    cfg.timeout = scholarcloud_repro::simnet::time::SimDuration::from_secs(15);
+    let out = run_scenario(&cfg);
+    assert!(out.failure_rate() > 0.99);
+    assert!(out.gfw.dns_poisoned > 0, "DNS poisoning must fire");
+}
+
+#[test]
+fn tor_first_load_is_much_slower_than_subsequent() {
+    let mut cfg = ScenarioConfig::paper(Method::Tor, 11);
+    cfg.loads = 4;
+    let out = run_scenario(&cfg);
+    let (first, subs) = out.plts();
+    let first = first[0];
+    let subs_mean = Summary::of_or_empty(&subs).mean;
+    // The paper: 5.4× (15 s vs 2.8 s). Bootstrap cost varies with the
+    // random loss pattern, so require a conservative 1.8×.
+    assert!(
+        first > 1.8 * subs_mean,
+        "Tor first {first} vs subsequent {subs_mean}"
+    );
+}
+
+#[test]
+fn blinding_ablation_exposes_scholarcloud() {
+    let (on, off, resets) = scholarcloud_repro::metrics::ablation_blinding(13);
+    assert_eq!(on.failure_rate, 0.0, "blinded SC must be clean");
+    assert!(
+        resets > 0,
+        "without blinding the embedded-SNI scan must fire"
+    );
+    assert!(
+        off.failure_rate > 0.0,
+        "unblinded loads should be reset by the GFW"
+    );
+}
+
+#[test]
+fn survey_and_ops_reproduce_reported_numbers() {
+    let row = scholarcloud_repro::metrics::fig3_survey(150_000, 1);
+    assert!((row.bypass_share - 0.26).abs() < 0.02);
+    assert!((row.vpn - 0.43).abs() < 0.03);
+    let d = scholarcloud_repro::scholarcloud::Deployment::paper();
+    assert!((d.daily_cost_usd() - 2.2).abs() < 1e-9);
+}
+
+#[test]
+fn scalability_shadowsocks_knees_while_scholarcloud_grows_gently() {
+    use scholarcloud_repro::metrics::fig7_method;
+    let counts = [15usize, 120];
+    let ss = fig7_method(Method::Shadowsocks, 31, &counts);
+    let sc = fig7_method(Method::ScholarCloud, 31, &counts);
+    let ss_growth = ss[1].plt_mean / ss[0].plt_mean.max(0.01);
+    let sc_growth = sc[1].plt_mean / sc[0].plt_mean.max(0.01);
+    assert!(
+        ss_growth > 1.5 * sc_growth,
+        "SS growth {ss_growth:.2} should dwarf SC growth {sc_growth:.2} (ss={ss:?} sc={sc:?})"
+    );
+}
