@@ -103,6 +103,33 @@ impl GfwMiddlebox {
     }
 }
 
+
+/// Records one GFW verdict in the observability layer: a counter plus,
+/// when tracing is enabled, an event carrying the rule label (and how
+/// many spoofed RSTs were injected alongside the drop).
+fn trace_drop(now: sc_simnet::time::SimTime, rule: &'static str, pkt: &Packet, rsts: u32) {
+    sc_obs::counter_add("gfw.drops", 1);
+    if rsts > 0 {
+        sc_obs::counter_add("gfw.rst_injected", rsts as u64);
+    }
+    if sc_obs::is_enabled(sc_obs::Level::Info, "gfw") {
+        let mut ev = sc_obs::Event::new(
+            now.as_micros(),
+            sc_obs::Level::Info,
+            "gfw",
+            "verdict",
+            "drop",
+        )
+        .field("rule", rule)
+        .field("src", pkt.src.to_string())
+        .field("dst", pkt.dst.to_string());
+        if rsts > 0 {
+            ev = ev.field("rsts", rsts);
+        }
+        sc_obs::emit(ev);
+    }
+}
+
 impl Middlebox for GfwMiddlebox {
     fn name(&self) -> &str {
         "gfw"
@@ -114,6 +141,7 @@ impl Middlebox for GfwMiddlebox {
         // --- IP blacklist (cheapest check, applied to both directions) ---
         if st.config.ip_blocked(pkt.dst) || st.config.ip_blocked(pkt.src) {
             st.counters.ip_blocked += 1;
+            trace_drop(ctx.now, "gfw-ip-block", pkt, 0);
             return Verdict::Drop("gfw-ip-block");
         }
 
@@ -135,6 +163,7 @@ impl Middlebox for GfwMiddlebox {
                             ctx.inject(reply);
                         }
                         st.counters.dns_poisoned += 1;
+                        trace_drop(ctx.now, "gfw-dns-poison", pkt, 0);
                         return Verdict::Drop("gfw-dns-poison");
                     }
                 }
@@ -154,12 +183,15 @@ impl Middlebox for GfwMiddlebox {
             };
             let policy = st.config.policy_for(class);
             if policy.block {
+                trace_drop(ctx.now, "gfw-block", pkt, 0);
                 return Verdict::Drop("gfw-block");
             }
             if policy.drop_prob > 0.0 && ctx.rng.gen::<f64>() < policy.drop_prob {
                 st.counters.throttled += 1;
+                trace_drop(ctx.now, "gfw-throttle", pkt, 0);
                 return Verdict::Drop("gfw-throttle");
             }
+            sc_obs::counter_add("gfw.forwarded", 1);
             return Verdict::Forward;
         };
 
@@ -182,6 +214,7 @@ impl Middlebox for GfwMiddlebox {
                     ctx.inject(b);
                 }
                 st.counters.keyword_resets += 1;
+                trace_drop(ctx.now, "gfw-keyword", pkt, 2);
                 return Verdict::Drop("gfw-keyword");
             }
         }
@@ -210,6 +243,7 @@ impl Middlebox for GfwMiddlebox {
                     ctx.inject(b);
                 }
                 st.counters.embedded_sni_resets += 1;
+                trace_drop(ctx.now, "gfw-embedded-sni", pkt, 2);
                 return Verdict::Drop("gfw-embedded-sni");
             }
         }
@@ -223,6 +257,7 @@ impl Middlebox for GfwMiddlebox {
                         ctx.inject(b);
                     }
                     st.counters.sni_resets += 1;
+                    trace_drop(ctx.now, "gfw-sni", pkt, 2);
                     return Verdict::Drop("gfw-sni");
                 }
             }
@@ -238,11 +273,25 @@ impl Middlebox for GfwMiddlebox {
             st.probed.insert(rec.server);
             st.probe_queue.push_back(rec.server);
             st.counters.probes_requested += 1;
+            sc_obs::counter_add("gfw.probes_requested", 1);
+            if sc_obs::is_enabled(sc_obs::Level::Info, "gfw") {
+                sc_obs::emit(
+                    sc_obs::Event::new(
+                        now.as_micros(),
+                        sc_obs::Level::Info,
+                        "gfw",
+                        "probe",
+                        "requested",
+                    )
+                    .field("server", rec.server.to_string()),
+                );
+            }
         }
 
         // --- Per-class policy (throttling) ---
         let policy = st.config.policy_for(rec.class);
         if policy.block {
+            trace_drop(ctx.now, "gfw-block", pkt, 0);
             return Verdict::Drop("gfw-block");
         }
         if policy.rst {
@@ -250,12 +299,15 @@ impl Middlebox for GfwMiddlebox {
                 ctx.inject(a);
                 ctx.inject(b);
             }
+            trace_drop(ctx.now, "gfw-rst", pkt, 2);
             return Verdict::Drop("gfw-rst");
         }
         if policy.drop_prob > 0.0 && ctx.rng.gen::<f64>() < policy.drop_prob {
             st.counters.throttled += 1;
+            trace_drop(ctx.now, "gfw-throttle", pkt, 0);
             return Verdict::Drop("gfw-throttle");
         }
+        sc_obs::counter_add("gfw.forwarded", 1);
         Verdict::Forward
     }
 }

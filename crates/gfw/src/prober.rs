@@ -71,7 +71,7 @@ impl ActiveProber {
         }
     }
 
-    fn conclude(&mut self, h: TcpHandle, verdict: ProbeVerdict) {
+    fn conclude(&mut self, h: TcpHandle, verdict: ProbeVerdict, now_us: u64) {
         let Some(probe) = self.probes.get_mut(&h) else { return };
         if probe.done {
             return;
@@ -84,6 +84,21 @@ impl ActiveProber {
             st.confirmed.insert(server);
             st.flows.confirm_server(server);
             st.counters.servers_confirmed += 1;
+            sc_obs::counter_add("gfw.servers_confirmed", 1);
+        }
+        if sc_obs::is_enabled(sc_obs::Level::Info, "gfw") {
+            sc_obs::emit(
+                sc_obs::Event::new(now_us, sc_obs::Level::Info, "gfw", "probe", "verdict")
+                    .field("server", server.to_string())
+                    .field(
+                        "verdict",
+                        match verdict {
+                            ProbeVerdict::Innocent => "innocent",
+                            ProbeVerdict::Confirmed => "confirmed",
+                            ProbeVerdict::Unreachable => "unreachable",
+                        },
+                    ),
+            );
         }
     }
 }
@@ -100,6 +115,19 @@ impl App for ActiveProber {
                     let target = self.state.borrow_mut().probe_queue.pop_front();
                     let Some(server) = target else { break };
                     let h = ctx.tcp_connect(server);
+                    sc_obs::counter_add("gfw.probes_launched", 1);
+                    if sc_obs::is_enabled(sc_obs::Level::Info, "gfw") {
+                        sc_obs::emit(
+                            sc_obs::Event::new(
+                                ctx.now().as_micros(),
+                                sc_obs::Level::Info,
+                                "gfw",
+                                "probe",
+                                "launched",
+                            )
+                            .field("server", server.to_string()),
+                        );
+                    }
                     let check_token = self.next_check;
                     self.next_check += 1;
                     self.probes.insert(
@@ -130,7 +158,7 @@ impl App for ActiveProber {
                     if timed_out {
                         // Silent server: fingerprint of an authenticated
                         // proxy dropping garbage.
-                        self.conclude(h, ProbeVerdict::Confirmed);
+                        self.conclude(h, ProbeVerdict::Confirmed, ctx.now().as_micros());
                         ctx.tcp_abort(h);
                     }
                 }
@@ -157,18 +185,18 @@ impl App for ActiveProber {
                             // but not the silent-proxy signature.
                             ProbeVerdict::Innocent
                         };
-                        self.conclude(h, verdict);
+                        self.conclude(h, verdict, ctx.now().as_micros());
                         ctx.tcp_close(h);
                     }
                     TcpEvent::PeerClosed | TcpEvent::Reset => {
                         let got_data = probe.got_data;
                         if !got_data {
                             // Closed without a byte in response to garbage.
-                            self.conclude(h, ProbeVerdict::Confirmed);
+                            self.conclude(h, ProbeVerdict::Confirmed, ctx.now().as_micros());
                         }
                     }
                     TcpEvent::ConnectFailed => {
-                        self.conclude(h, ProbeVerdict::Unreachable);
+                        self.conclude(h, ProbeVerdict::Unreachable, ctx.now().as_micros());
                     }
                     _ => {}
                 }

@@ -5,7 +5,8 @@
 //! for any access method; [`experiments`] contains one runner per paper
 //! figure (3, 5a–c, 6a–c, 7) plus the ablations DESIGN.md calls out;
 //! [`report`] renders the results; [`overhead`] holds the Figure-6
-//! client-overhead models; [`stats`] the mean/min/max summaries.
+//! client-overhead models; [`stats`] the mean/min/max summaries;
+//! [`trace`] wires the `SC_TRACE` env var to a JSONL event trace.
 
 #![warn(missing_docs)]
 
@@ -14,6 +15,7 @@ pub mod overhead;
 pub mod report;
 pub mod scenario;
 pub mod stats;
+pub mod trace;
 
 pub use experiments::{
     Fig3Row, Fig5Row, Fig6Row, Fig7Point, FIG7_CLIENTS, ablation_agility, ablation_blinding,

@@ -1,7 +1,56 @@
-//! Text renderers: print each figure's data the way the paper reports it.
+//! Text renderers: print each figure's data the way the paper reports it,
+//! plus the per-scenario interference report and the observability
+//! metrics summary.
 
 use crate::experiments::{Fig3Row, Fig5Row, Fig6Row, Fig7Point};
-use crate::scenario::Method;
+use crate::scenario::{Method, ScenarioOutcome};
+
+/// Renders one scenario run's censorship-interference breakdown: what the
+/// GFW did, and which rule each censor-dropped packet died to.
+pub fn render_scenario(method: Method, o: &ScenarioOutcome) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("Scenario — {}
+", method.name()));
+    out.push_str(&format!("  sim time:               {:.1} s
+", o.sim_end.as_secs_f64()));
+    out.push_str(&format!("  packet loss rate:       {:.3}%
+", o.plr * 100.0));
+    out.push_str(&format!("  load failure rate:      {:.1}%
+", o.failure_rate() * 100.0));
+    out.push_str(&format!("  dns poisoned:           {}
+", o.gfw.dns_poisoned));
+    out.push_str(&format!("  keyword resets:         {}
+", o.gfw.keyword_resets));
+    out.push_str(&format!("  sni resets:             {}
+", o.gfw.sni_resets));
+    out.push_str(&format!("  embedded-sni resets:    {}
+", o.gfw.embedded_sni_resets));
+    out.push_str(&format!("  probes requested:       {}
+", o.gfw.probes_requested));
+    out.push_str(&format!("  servers confirmed:      {}
+", o.gfw.servers_confirmed));
+    if o.censor_by_rule.is_empty() {
+        out.push_str("  censor drops:           none
+");
+    } else {
+        out.push_str("  censor drops by rule:
+");
+        for (rule, n) in &o.censor_by_rule {
+            out.push_str(&format!("    {rule:<22}{n}
+"));
+        }
+    }
+    out
+}
+
+/// Renders the installed observability registry (counters, gauges,
+/// histogram percentiles), or a placeholder when no collector is
+/// installed. Plugs the `sc-obs` metrics into the report output.
+pub fn render_obs_summary() -> String {
+    sc_obs::with_registry(|r| r.render_summary())
+        .unwrap_or_else(|| "observability: no collector installed
+".to_string())
+}
 
 /// Renders Figure 3 as text.
 pub fn render_fig3(row: &Fig3Row) -> String {

@@ -202,6 +202,8 @@ pub struct ScenarioOutcome {
     pub client_recv_bytes: u64,
     /// Packets originated by the first client.
     pub client_sent_packets: u64,
+    /// Censor drops broken out by GFW rule label, sorted by label.
+    pub censor_by_rule: Vec<(&'static str, u64)>,
     /// Simulated duration.
     pub sim_end: SimTime,
 }
@@ -259,6 +261,19 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
     use calibration::*;
 
     let mut sim = Sim::new(cfg.seed);
+    let span = sc_obs::span_start(
+        0,
+        sc_obs::Level::Info,
+        "metrics",
+        "scenario",
+        "run",
+        vec![
+            ("method", cfg.method.name().into()),
+            ("seed", cfg.seed.into()),
+            ("clients", (cfg.clients as u64).into()),
+            ("loads", (cfg.loads as u64).into()),
+        ],
+    );
 
     // --- nodes ---
     let clients: Vec<_> = (0..cfg.clients)
@@ -513,13 +528,23 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
             }
         }
     }
-    ScenarioOutcome {
+    let outcome = ScenarioOutcome {
         loads: logs.iter().map(|l| l.borrow().clone()).collect(),
         plr: plr_sum / cfg.clients as f64,
         gfw: gfw.map(|g| g.borrow().counters).unwrap_or_default(),
         client_sent_bytes: counters.sent_bytes,
         client_recv_bytes: counters.delivered_bytes,
         client_sent_packets: counters.sent,
+        censor_by_rule: sim.stats.censor_by_rule(),
         sim_end: sim.now(),
-    }
+    };
+    sc_obs::span_end(
+        sim.now().as_micros(),
+        span,
+        vec![
+            ("censor_drops", sim.stats.censor_drops().into()),
+            ("packets_sent", sim.stats.packets_sent.into()),
+        ],
+    );
+    outcome
 }

@@ -1,0 +1,54 @@
+//! Environment-driven trace collection for the examples and harnesses.
+//!
+//! Setting `SC_TRACE=/path/to/trace.jsonl` before running any example
+//! installs a [`sc_obs`] dispatcher with a JSONL sink at `Debug` level,
+//! so every instrumented component (simnet, gfw, scholarcloud, tunnels,
+//! web, metrics) streams its events to that file. Traces are keyed to
+//! simulation time and are byte-identical across runs of the same seeded
+//! scenario.
+
+use sc_obs::{Dispatcher, JsonlSink, Level, ObsGuard};
+
+/// The environment variable naming the JSONL trace destination.
+pub const SC_TRACE_ENV: &str = "SC_TRACE";
+
+/// Installs a JSONL trace collector if `SC_TRACE` is set, returning the
+/// guard that keeps it active (drop it to flush and uninstall). Returns
+/// `None` — and collects nothing — when the variable is unset or the
+/// file cannot be created.
+///
+/// ```no_run
+/// let _obs = sc_metrics::trace::obs_from_env();
+/// // ... run scenarios; drop the guard (end of scope) to flush.
+/// ```
+pub fn obs_from_env() -> Option<ObsGuard> {
+    let path = std::env::var(SC_TRACE_ENV).ok()?;
+    if path.is_empty() {
+        return None;
+    }
+    match JsonlSink::create(&path) {
+        Ok(sink) => {
+            eprintln!("[sc-obs] tracing to {path} (SC_TRACE)");
+            Some(
+                Dispatcher::new()
+                    .with_level(Level::Debug)
+                    .with_sink(Box::new(sink))
+                    .install(),
+            )
+        }
+        Err(e) => {
+            eprintln!("[sc-obs] SC_TRACE={path}: cannot create trace file: {e}");
+            None
+        }
+    }
+}
+
+/// Installs a JSONL trace collector writing to `path` unconditionally.
+/// Used by tests that assert on trace contents.
+pub fn obs_to_file(path: &str) -> std::io::Result<ObsGuard> {
+    let sink = JsonlSink::create(path)?;
+    Ok(Dispatcher::new()
+        .with_level(Level::Debug)
+        .with_sink(Box::new(sink))
+        .install())
+}

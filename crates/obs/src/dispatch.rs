@@ -1,0 +1,367 @@
+//! The dispatcher: routes events to sinks and hosts the shared
+//! [`Registry`].
+//!
+//! Instrumented code never threads an observability handle through its
+//! call graph — deep layers like `sc-simnet`'s TCP engine have no
+//! context parameter to hang one on. Instead a [`Dispatcher`] is
+//! **installed into a thread-local slot** for the duration of a run
+//! (RAII [`ObsGuard`]), and instrumentation calls the free functions
+//! ([`emit`], [`counter_add`], [`span_start`], …), which are no-ops
+//! when nothing is installed. The simulator is single-threaded and
+//! tests run one scenario per thread, so thread-locality also keeps
+//! parallel test binaries from interleaving traces — a prerequisite for
+//! the byte-identical determinism guarantee.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+use crate::event::{Event, Level, SpanId};
+use crate::metrics::Registry;
+use crate::sink::Sink;
+
+thread_local! {
+    static CURRENT: RefCell<Option<Dispatcher>> = const { RefCell::new(None) };
+}
+
+/// Routes events to sinks, applying per-component level filters, and
+/// owns the run's metrics [`Registry`].
+pub struct Dispatcher {
+    sinks: Vec<Box<dyn Sink>>,
+    default_level: Level,
+    component_levels: BTreeMap<&'static str, Level>,
+    registry: Registry,
+    next_span: u64,
+    open_spans: BTreeMap<u64, SpanStart>,
+}
+
+struct SpanStart {
+    t_us: u64,
+    component: &'static str,
+    target: &'static str,
+    name: &'static str,
+}
+
+impl Default for Dispatcher {
+    fn default() -> Dispatcher {
+        Dispatcher::new()
+    }
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher accepting `Info` and above with no sinks.
+    pub fn new() -> Dispatcher {
+        Dispatcher {
+            sinks: Vec::new(),
+            default_level: Level::Info,
+            component_levels: BTreeMap::new(),
+            registry: Registry::new(),
+            next_span: 0,
+            open_spans: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the minimum level accepted for components without an
+    /// explicit override.
+    pub fn with_level(mut self, level: Level) -> Dispatcher {
+        self.default_level = level;
+        self
+    }
+
+    /// Overrides the minimum level for one component (e.g. keep
+    /// `simnet` at `Info` while tracing `gfw` at `Trace`).
+    pub fn with_component_level(mut self, component: &'static str, level: Level) -> Dispatcher {
+        self.component_levels.insert(component, level);
+        self
+    }
+
+    /// Adds a sink; every accepted event is offered to all sinks in
+    /// registration order.
+    pub fn with_sink(mut self, sink: Box<dyn Sink>) -> Dispatcher {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Installs this dispatcher into the thread-local slot, returning a
+    /// guard that uninstalls (and flushes sinks into) it on drop. The
+    /// previously installed dispatcher, if any, is restored afterwards,
+    /// so scopes nest.
+    pub fn install(self) -> ObsGuard {
+        let prev = CURRENT.with(|c| c.borrow_mut().replace(self));
+        ObsGuard { prev }
+    }
+
+    /// The metrics registry accumulated so far.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Consumes the dispatcher, yielding its final registry (typically
+    /// after [`ObsGuard::uninstall`]).
+    pub fn into_registry(self) -> Registry {
+        self.registry
+    }
+
+    fn enabled(&self, level: Level, component: &str) -> bool {
+        let min = self
+            .component_levels
+            .get(component)
+            .copied()
+            .unwrap_or(self.default_level);
+        level >= min
+    }
+
+    fn dispatch(&mut self, ev: &Event) {
+        for sink in &mut self.sinks {
+            sink.record(ev);
+        }
+    }
+}
+
+/// RAII guard from [`Dispatcher::install`]; dropping it flushes sinks
+/// and restores the previously installed dispatcher.
+pub struct ObsGuard {
+    prev: Option<Dispatcher>,
+}
+
+impl ObsGuard {
+    /// Uninstalls explicitly and hands back the dispatcher (flushed),
+    /// giving access to its final [`Registry`].
+    pub fn uninstall(mut self) -> Dispatcher {
+        let mut d = CURRENT
+            .with(|c| std::mem::replace(&mut *c.borrow_mut(), self.prev.take()))
+            .expect("dispatcher slot emptied while guard alive");
+        for sink in &mut d.sinks {
+            sink.flush();
+        }
+        d
+    }
+
+    /// Snapshot of the installed dispatcher's registry.
+    pub fn registry(&self) -> Registry {
+        CURRENT.with(|c| {
+            c.borrow()
+                .as_ref()
+                .map(|d| d.registry.clone())
+                .unwrap_or_default()
+        })
+    }
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        let restored = self.prev.take();
+        CURRENT.with(|c| {
+            let mut slot = c.borrow_mut();
+            if let Some(mut d) = std::mem::replace(&mut *slot, restored) {
+                for sink in &mut d.sinks {
+                    sink.flush();
+                }
+            }
+        });
+    }
+}
+
+fn with_installed<R>(f: impl FnOnce(&mut Dispatcher) -> R) -> Option<R> {
+    CURRENT.with(|c| c.borrow_mut().as_mut().map(f))
+}
+
+/// Whether an event at `level` from `component` would be accepted.
+/// Hot paths use this to skip building field vectors entirely.
+pub fn is_enabled(level: Level, component: &str) -> bool {
+    with_installed(|d| d.enabled(level, component)).unwrap_or(false)
+}
+
+/// Whether any dispatcher is installed on this thread.
+pub fn is_active() -> bool {
+    with_installed(|_| ()).is_some()
+}
+
+/// Sends an event through the installed dispatcher (no-op without one,
+/// or when filtered out by level).
+pub fn emit(ev: Event) {
+    with_installed(|d| {
+        if d.enabled(ev.level, ev.component) {
+            d.dispatch(&ev);
+        }
+    });
+}
+
+/// Opens a span: emits a `span_start` event and returns the id to close
+/// it with. Returns [`SpanId::NONE`] (which [`span_end`] ignores) when
+/// no dispatcher is installed or the span's level is filtered out.
+pub fn span_start(
+    t_us: u64,
+    level: Level,
+    component: &'static str,
+    target: &'static str,
+    name: &'static str,
+    fields: Vec<(&'static str, crate::event::Value)>,
+) -> SpanId {
+    with_installed(|d| {
+        if !d.enabled(level, component) {
+            return SpanId::NONE;
+        }
+        d.next_span += 1;
+        let id = d.next_span;
+        d.open_spans.insert(id, SpanStart { t_us, component, target, name });
+        let mut ev = Event::new(t_us, level, component, target, "span_start").in_span(SpanId(id));
+        ev.fields.push(("span_name", crate::event::Value::Str(name)));
+        ev.fields.extend(fields);
+        d.dispatch(&ev);
+        SpanId(id)
+    })
+    .unwrap_or(SpanId::NONE)
+}
+
+/// Closes a span opened by [`span_start`], emitting a `span_end` event
+/// carrying the span's simulated duration in `dur_us`.
+pub fn span_end(t_us: u64, span: SpanId, fields: Vec<(&'static str, crate::event::Value)>) {
+    if span.is_none() {
+        return;
+    }
+    with_installed(|d| {
+        let Some(start) = d.open_spans.remove(&span.0) else {
+            return;
+        };
+        let mut ev = Event::new(
+            t_us,
+            Level::Info,
+            start.component,
+            start.target,
+            "span_end",
+        )
+        .in_span(span);
+        ev.fields.push(("span_name", crate::event::Value::Str(start.name)));
+        ev.fields
+            .push(("dur_us", crate::event::Value::U64(t_us.saturating_sub(start.t_us))));
+        ev.fields.extend(fields);
+        d.dispatch(&ev);
+    });
+}
+
+/// Adds to a named counter in the installed registry (no-op without a
+/// dispatcher).
+pub fn counter_add(name: &str, by: u64) {
+    with_installed(|d| d.registry.counter_add(name, by));
+}
+
+/// Sets a named gauge in the installed registry.
+pub fn gauge_set(name: &str, v: i64) {
+    with_installed(|d| d.registry.gauge_set(name, v));
+}
+
+/// Adds (possibly negatively) to a named gauge in the installed
+/// registry.
+pub fn gauge_add(name: &str, by: i64) {
+    with_installed(|d| d.registry.gauge_add(name, by));
+}
+
+/// Records a histogram sample in the installed registry.
+pub fn observe(name: &str, v: u64) {
+    with_installed(|d| d.registry.observe(name, v));
+}
+
+/// Runs `f` against the installed registry, returning `None` without a
+/// dispatcher. Used by report renderers to snapshot metrics.
+pub fn with_registry<R>(f: impl FnOnce(&Registry) -> R) -> Option<R> {
+    with_installed(|d| f(&d.registry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::RingSink;
+
+    fn info(t: u64, component: &'static str) -> Event {
+        Event::new(t, Level::Info, component, "t", "e")
+    }
+
+    #[test]
+    fn no_dispatcher_means_noop() {
+        assert!(!is_active());
+        assert!(!is_enabled(Level::Error, "simnet"));
+        emit(info(1, "simnet")); // must not panic
+        counter_add("x", 1);
+        let id = span_start(0, Level::Info, "simnet", "t", "s", vec![]);
+        assert!(id.is_none());
+        span_end(5, id, vec![]);
+    }
+
+    #[test]
+    fn level_filtering_per_component() {
+        let ring = RingSink::with_capacity(64);
+        let h = ring.handle();
+        let guard = Dispatcher::new()
+            .with_level(Level::Info)
+            .with_component_level("gfw", Level::Trace)
+            .with_sink(Box::new(ring))
+            .install();
+        emit(Event::new(1, Level::Trace, "simnet", "t", "a")); // filtered
+        emit(Event::new(2, Level::Trace, "gfw", "t", "b")); // kept (override)
+        emit(Event::new(3, Level::Info, "simnet", "t", "c")); // kept
+        assert!(is_enabled(Level::Trace, "gfw"));
+        assert!(!is_enabled(Level::Trace, "simnet"));
+        drop(guard);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.events()[0].name, "b");
+        assert_eq!(h.events()[1].name, "c");
+    }
+
+    #[test]
+    fn spans_carry_duration_and_sequential_ids() {
+        let ring = RingSink::with_capacity(64);
+        let h = ring.handle();
+        let guard = Dispatcher::new().with_sink(Box::new(ring)).install();
+        let a = span_start(100, Level::Info, "web", "load", "page", vec![]);
+        let b = span_start(150, Level::Info, "web", "load", "dns", vec![]);
+        span_end(250, b, vec![]);
+        span_end(400, a, vec![("ok", crate::event::Value::Bool(true))]);
+        drop(guard);
+        let evs = h.events();
+        assert_eq!(a, SpanId(1));
+        assert_eq!(b, SpanId(2));
+        let end_b = &evs[2];
+        assert_eq!(end_b.name, "span_end");
+        assert_eq!(end_b.get_u64("dur_us"), Some(100));
+        let end_a = &evs[3];
+        assert_eq!(end_a.get_u64("dur_us"), Some(300));
+        assert_eq!(end_a.get("ok"), Some(&crate::event::Value::Bool(true)));
+        assert_eq!(end_a.get_str("span_name"), Some("page"));
+    }
+
+    #[test]
+    fn guards_nest_and_restore() {
+        let outer_ring = RingSink::with_capacity(8);
+        let oh = outer_ring.handle();
+        let outer = Dispatcher::new().with_sink(Box::new(outer_ring)).install();
+        emit(info(1, "a"));
+        {
+            let inner_ring = RingSink::with_capacity(8);
+            let ih = inner_ring.handle();
+            let inner = Dispatcher::new().with_sink(Box::new(inner_ring)).install();
+            emit(info(2, "b"));
+            drop(inner);
+            assert_eq!(ih.len(), 1);
+        }
+        emit(info(3, "c"));
+        drop(outer);
+        assert_eq!(oh.len(), 2);
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn registry_is_reachable_through_free_functions() {
+        let guard = Dispatcher::new().install();
+        counter_add("pkts", 2);
+        counter_add("pkts", 3);
+        gauge_set("depth", 7);
+        gauge_add("depth", -2);
+        observe("lat", 100);
+        let reg = guard.registry();
+        assert_eq!(reg.counter("pkts"), 5);
+        assert_eq!(reg.gauge("depth"), 5);
+        assert_eq!(reg.histogram("lat").unwrap().count(), 1);
+        let final_reg = guard.uninstall().into_registry();
+        assert_eq!(final_reg.counter("pkts"), 5);
+    }
+}

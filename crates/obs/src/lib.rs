@@ -1,0 +1,71 @@
+//! `sc-obs`: zero-dependency observability for the ScholarCloud
+//! reproduction.
+//!
+//! The paper's contribution is *measurement* — packet-loss rates,
+//! page-load times, per-method overhead — so the reproduction needs to
+//! explain not just *what* a scenario measured but *why*: which GFW
+//! rule killed a flow, where a page load spent its time, how deep a
+//! bottleneck queue ran. This crate provides that layer, std-only (the
+//! build environment is fully offline), with three pieces:
+//!
+//! 1. **Structured tracing** ([`Event`], [`span_start`]/[`span_end`])
+//!    keyed to **simulation time**: every record carries `t_us`,
+//!    microseconds of `sc-simnet` clock, never wall clock. Events are
+//!    addressed `component → target → name` (see [`event`]) and
+//!    filtered per component by [`Level`].
+//! 2. **Metrics** ([`Registry`]): saturating [`Counter`]s, [`Gauge`]s,
+//!    and HDR-style log-bucketed [`Histogram`]s with p50/p95/p99.
+//! 3. **Sinks** ([`RingSink`] for tests, [`JsonlSink`] for offline
+//!    analysis, [`Registry::render_summary`] for human-readable
+//!    reports via `sc-metrics`).
+//!
+//! # Usage
+//!
+//! A run installs a [`Dispatcher`] into a thread-local slot and keeps
+//! the RAII guard alive for the duration; instrumented code anywhere
+//! below calls the free functions, which no-op when nothing is
+//! installed (the un-instrumented fast path is a thread-local read):
+//!
+//! ```
+//! use sc_obs::{Dispatcher, Event, Level, RingSink};
+//!
+//! let ring = RingSink::with_capacity(1024);
+//! let handle = ring.handle();
+//! let guard = Dispatcher::new()
+//!     .with_level(Level::Debug)
+//!     .with_sink(Box::new(ring))
+//!     .install();
+//!
+//! // ... deep inside instrumented code, with no handle in scope:
+//! sc_obs::emit(
+//!     Event::new(1_500, Level::Info, "gfw", "verdict", "drop").field("rule", "gfw-sni"),
+//! );
+//! sc_obs::counter_add("gfw.drops", 1);
+//!
+//! let registry = guard.uninstall().into_registry();
+//! assert_eq!(registry.counter("gfw.drops"), 1);
+//! assert_eq!(handle.count_named("gfw", "drop"), 1);
+//! ```
+//!
+//! # Determinism
+//!
+//! Traces of the same seeded scenario are **byte-identical**: sim-time
+//! timestamps, sequential span ids, insertion-ordered fields,
+//! `BTreeMap`-ordered registries, and a hand-rolled JSON writer with a
+//! fixed key order leave no room for wall-clock or hash-order noise.
+//! `tests/obs_determinism.rs` in the workspace root enforces this.
+
+#![warn(missing_docs)]
+
+pub mod dispatch;
+pub mod event;
+pub mod metrics;
+pub mod sink;
+
+pub use dispatch::{
+    counter_add, emit, gauge_add, gauge_set, is_active, is_enabled, observe, span_end, span_start,
+    with_registry, Dispatcher, ObsGuard,
+};
+pub use event::{Event, Level, SpanId, Value};
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use sink::{JsonlSink, RingHandle, RingSink, Sink};

@@ -1,0 +1,443 @@
+//! Metrics: counters, gauges, and log-bucketed histograms.
+//!
+//! A [`Registry`] owns every metric, keyed by a dotted name
+//! (`"simnet.packets_sent"`). Iteration order is the `BTreeMap` key
+//! order, so rendered summaries and exports are deterministic.
+//!
+//! [`Histogram`] uses HDR-style logarithmic bucketing: values below
+//! 2^[`SUB_BITS`] are recorded exactly; above that, each power-of-two
+//! octave is split into 2^[`SUB_BITS`] sub-buckets, bounding relative
+//! quantile error at `1 / 2^SUB_BITS` (≈ 3% with the default of 5 bits)
+//! while keeping the bucket array a few hundred entries.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Sub-bucket resolution: each octave splits into `2^SUB_BITS` buckets.
+pub const SUB_BITS: u32 = 5;
+
+const SUB: usize = 1 << SUB_BITS;
+
+/// A monotonically increasing count. Saturates at `u64::MAX` instead of
+/// wrapping or panicking, so a runaway counter can never corrupt a
+/// report or abort a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Adds `by`, saturating at `u64::MAX`.
+    pub fn add(&mut self, by: u64) {
+        self.0 = self.0.saturating_add(by);
+    }
+
+    /// Adds one, saturating.
+    pub fn inc(&mut self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A value that can go up and down (queue depths, open tunnels).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gauge(i64);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&mut self, v: i64) {
+        self.0 = v;
+    }
+
+    /// Adds `by` (may be negative), saturating at the `i64` extremes.
+    pub fn add(&mut self, by: i64) {
+        self.0 = self.0.saturating_add(by);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0
+    }
+}
+
+/// Index of the bucket covering `v`.
+fn bucket_of(v: u64) -> usize {
+    let top = 64 - v.leading_zeros() as usize;
+    if top <= SUB_BITS as usize + 1 {
+        // v < 2 * SUB: exact buckets.
+        return v as usize;
+    }
+    let shift = top - 1 - SUB_BITS as usize;
+    let mantissa = (v >> shift) as usize; // in [SUB, 2*SUB)
+    shift * SUB + mantissa
+}
+
+/// Lowest value falling in bucket `idx` (inverse of [`bucket_of`]).
+fn bucket_lo(idx: usize) -> u64 {
+    if idx < 2 * SUB {
+        return idx as u64;
+    }
+    let shift = idx / SUB - 1;
+    let mantissa = SUB + idx % SUB;
+    (mantissa as u64) << shift
+}
+
+/// Width of bucket `idx` in value space.
+fn bucket_width(idx: usize) -> u64 {
+    if idx < 2 * SUB {
+        1
+    } else {
+        1u64 << (idx / SUB - 1)
+    }
+}
+
+const BUCKETS: usize = (64 - SUB_BITS as usize) * SUB + SUB;
+
+/// Log-bucketed histogram of `u64` samples (latencies in µs, sizes in
+/// bytes).
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of all samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, estimated from buckets.
+    ///
+    /// The estimate is the midpoint of the bucket containing the target
+    /// rank, clamped into the observed `[min, max]` range; relative
+    /// error is bounded by the sub-bucket resolution. Returns 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                let mid = bucket_lo(idx) + (bucket_width(idx) - 1) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// p50 shorthand.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// p95 shorthand.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// p99 shorthand.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("p50", &self.p50())
+            .field("p95", &self.p95())
+            .field("p99", &self.p99())
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+/// Central store of named metrics with deterministic iteration order.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `by` to the named counter, creating it on first use.
+    pub fn counter_add(&mut self, name: &str, by: u64) {
+        self.counters.entry(name.to_string()).or_default().add(by);
+    }
+
+    /// Reads a counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, Counter::get)
+    }
+
+    /// Sets the named gauge, creating it on first use.
+    pub fn gauge_set(&mut self, name: &str, v: i64) {
+        self.gauges.entry(name.to_string()).or_default().set(v);
+    }
+
+    /// Adds `by` (may be negative) to the named gauge.
+    pub fn gauge_add(&mut self, name: &str, by: i64) {
+        self.gauges.entry(name.to_string()).or_default().add(by);
+    }
+
+    /// Reads a gauge (0 when never touched).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).map_or(0, Gauge::get)
+    }
+
+    /// Records a sample into the named histogram, creating it on first
+    /// use.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        self.histograms.entry(name.to_string()).or_default().observe(v);
+    }
+
+    /// Reads a histogram, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), v.get()))
+    }
+
+    /// Iterates gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), v.get()))
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders a human-readable summary, deterministic for a given
+    /// registry state. This is the text block `sc-metrics::report`
+    /// embeds in scenario reports.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in self.counters() {
+                let _ = writeln!(out, "  {name:<42} {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in self.gauges() {
+                let _ = writeln!(out, "  {name:<42} {v}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms (µs or bytes):\n");
+            for (name, h) in self.histograms() {
+                let _ = writeln!(
+                    out,
+                    "  {name:<42} n={} min={} p50={} p95={} p99={} max={} mean={:.1}",
+                    h.count(),
+                    h.min(),
+                    h.p50(),
+                    h.p95(),
+                    h.p99(),
+                    h.max(),
+                    h.mean(),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let mut c = Counter::default();
+        c.add(u64::MAX - 1);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+        c.inc(); // would wrap to 0 with wrapping arithmetic
+        assert_eq!(c.get(), u64::MAX);
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn gauge_saturates_both_directions() {
+        let mut g = Gauge::default();
+        g.add(i64::MAX);
+        g.add(1);
+        assert_eq!(g.get(), i64::MAX);
+        g.set(i64::MIN);
+        g.add(-1);
+        assert_eq!(g.get(), i64::MIN);
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_invertible() {
+        // Every value maps into a bucket whose [lo, lo+width) contains it,
+        // and bucket indices are monotonically non-decreasing in v.
+        let mut prev_idx = 0;
+        for v in (0..4096u64).chain([u64::MAX / 2, u64::MAX - 1, u64::MAX]) {
+            let idx = bucket_of(v);
+            assert!(idx >= prev_idx || v < 4096, "non-monotonic at {v}");
+            prev_idx = idx.max(prev_idx);
+            let lo = bucket_lo(idx);
+            let w = bucket_width(idx);
+            assert!(
+                v >= lo && v - lo < w,
+                "v={v} idx={idx} lo={lo} width={w}"
+            );
+            assert!(idx < BUCKETS, "idx {idx} out of range for v={v}");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..=40u64 {
+            h.observe(v);
+        }
+        // Values below 2*SUB (64) are bucketed exactly: the median of
+        // 0..=40 is 20 precisely.
+        assert_eq!(h.quantile(0.5), 20);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 40);
+        assert_eq!(h.count(), 41);
+    }
+
+    #[test]
+    fn quantiles_have_bounded_relative_error() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.observe(v);
+        }
+        for (q, exact) in [(0.50, 50_000.0), (0.95, 95_000.0), (0.99, 99_000.0)] {
+            let est = h.quantile(q) as f64;
+            let rel = (est - exact).abs() / exact;
+            assert!(rel < 0.04, "q={q}: est={est} exact={exact} rel={rel}");
+        }
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0) , h.max());
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.observe(0);
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        assert!(h.quantile(0.9) > u64::MAX / 2);
+    }
+
+    #[test]
+    fn registry_orders_names_and_renders() {
+        let mut r = Registry::new();
+        r.counter_add("z.last", 1);
+        r.counter_add("a.first", 2);
+        r.gauge_set("queue.depth", -3);
+        r.observe("latency_us", 100);
+        r.observe("latency_us", 200);
+        let names: Vec<&str> = r.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, ["a.first", "z.last"]);
+        let text = r.render_summary();
+        assert!(text.contains("a.first"));
+        assert!(text.contains("queue.depth"));
+        assert!(text.contains("latency_us"));
+        assert!(text.contains("n=2"));
+    }
+}

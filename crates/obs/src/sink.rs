@@ -1,0 +1,313 @@
+//! Event sinks: where dispatched events go.
+//!
+//! Three sinks cover the workspace's needs:
+//!
+//! * [`RingSink`] — bounded in-memory buffer for tests and ad-hoc
+//!   inspection (read through a cloned [`RingHandle`]);
+//! * [`JsonlSink`] — one JSON object per line, hand-serialized with a
+//!   fixed field order so traces of the same seeded run are
+//!   **byte-identical**;
+//! * anything custom implementing [`Sink`].
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::rc::Rc;
+
+use crate::event::{Event, Value};
+
+/// Receives every event that passes the dispatcher's level filter.
+///
+/// Sinks must not emit events themselves: the dispatcher is borrowed
+/// while a sink runs, and re-entrant emission would panic.
+pub trait Sink {
+    /// Records one event.
+    fn record(&mut self, ev: &Event);
+
+    /// Flushes buffered output (called when the dispatcher uninstalls).
+    fn flush(&mut self) {}
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    cap: usize,
+    buf: VecDeque<Event>,
+    /// Total events offered, including ones evicted by the cap.
+    seen: u64,
+}
+
+/// Bounded in-memory collector; the oldest events are evicted once
+/// `capacity` is reached.
+#[derive(Debug)]
+pub struct RingSink {
+    inner: Rc<RefCell<RingInner>>,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> RingSink {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingSink {
+            inner: Rc::new(RefCell::new(RingInner {
+                cap: capacity,
+                buf: VecDeque::with_capacity(capacity),
+                seen: 0,
+            })),
+        }
+    }
+
+    /// A handle that stays readable after the sink moves into a
+    /// dispatcher.
+    pub fn handle(&self) -> RingHandle {
+        RingHandle { inner: Rc::clone(&self.inner) }
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&mut self, ev: &Event) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.buf.len() == inner.cap {
+            inner.buf.pop_front();
+        }
+        inner.buf.push_back(ev.clone());
+        inner.seen += 1;
+    }
+}
+
+/// Shared read access to a [`RingSink`]'s contents.
+#[derive(Debug, Clone)]
+pub struct RingHandle {
+    inner: Rc<RefCell<RingInner>>,
+}
+
+impl RingHandle {
+    /// Snapshot of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.borrow().buf.iter().cloned().collect()
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events offered over the sink's lifetime, including any the
+    /// cap evicted.
+    pub fn total_seen(&self) -> u64 {
+        self.inner.borrow().seen
+    }
+
+    /// Counts buffered events matching a predicate.
+    pub fn count(&self, mut pred: impl FnMut(&Event) -> bool) -> usize {
+        self.inner.borrow().buf.iter().filter(|e| pred(e)).count()
+    }
+
+    /// Counts buffered events by `(component, name)`.
+    pub fn count_named(&self, component: &str, name: &str) -> usize {
+        self.count(|e| e.component == component && e.name == name)
+    }
+
+    /// Whether any buffered event matches a predicate.
+    pub fn any(&self, mut pred: impl FnMut(&Event) -> bool) -> bool {
+        self.inner.borrow().buf.iter().any(|e| pred(e))
+    }
+}
+
+/// Writes one JSON object per event, newline-delimited, with a fixed
+/// key order (`t_us`, `level`, `component`, `target`, `event`, `span`,
+/// `fields`) so same-seed traces compare byte-for-byte.
+pub struct JsonlSink {
+    out: Box<dyn Write>,
+    line: String,
+}
+
+impl JsonlSink {
+    /// Wraps any writer.
+    pub fn new(out: Box<dyn Write>) -> JsonlSink {
+        JsonlSink { out, line: String::with_capacity(256) }
+    }
+
+    /// Creates (truncating) a trace file at `path`, buffered.
+    pub fn create(path: &str) -> io::Result<JsonlSink> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink::new(Box::new(io::BufWriter::new(file))))
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&mut self, ev: &Event) {
+        self.line.clear();
+        write_event_json(&mut self.line, ev);
+        self.line.push('\n');
+        // A full disk mid-trace is not worth aborting a simulation for;
+        // drop the line rather than panic.
+        let _ = self.out.write_all(self.line.as_bytes());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Serializes `ev` as a single JSON object into `out`.
+pub fn write_event_json(out: &mut String, ev: &Event) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "{{\"t_us\":{},\"level\":\"{}\",\"component\":\"{}\",\"target\":\"{}\",\"event\":\"{}\"",
+        ev.t_us,
+        ev.level.as_str(),
+        Escaped(ev.component),
+        Escaped(ev.target),
+        Escaped(ev.name),
+    );
+    if !ev.span.is_none() {
+        let _ = write!(out, ",\"span\":{}", ev.span.0);
+    }
+    if !ev.fields.is_empty() {
+        out.push_str(",\"fields\":{");
+        for (i, (key, value)) in ev.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":", Escaped(key));
+            write_value_json(out, value);
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+fn write_value_json(out: &mut String, v: &Value) {
+    use std::fmt::Write as _;
+    match v {
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(x) => {
+            // JSON has no NaN/Inf; encode them as null.
+            if x.is_finite() {
+                let _ = write!(out, "{x}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => {
+            let _ = write!(out, "\"{}\"", Escaped(s));
+        }
+        Value::String(s) => {
+            let _ = write!(out, "\"{}\"", Escaped(s));
+        }
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+/// Display adaptor applying JSON string escaping.
+struct Escaped<'a>(&'a str);
+
+impl std::fmt::Display for Escaped<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for c in self.0.chars() {
+            match c {
+                '"' => f.write_str("\\\"")?,
+                '\\' => f.write_str("\\\\")?,
+                '\n' => f.write_str("\\n")?,
+                '\r' => f.write_str("\\r")?,
+                '\t' => f.write_str("\\t")?,
+                c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                c => std::fmt::Write::write_char(f, c)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Level, SpanId};
+
+    fn ev(t: u64, name: &'static str) -> Event {
+        Event::new(t, Level::Info, "simnet", "packet", name)
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_all() {
+        let sink = RingSink::with_capacity(3);
+        let h = sink.handle();
+        let mut s = sink;
+        for t in 0..5 {
+            s.record(&ev(t, "send"));
+        }
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.total_seen(), 5);
+        assert_eq!(h.events()[0].t_us, 2);
+        assert_eq!(h.count_named("simnet", "send"), 3);
+        assert!(h.any(|e| e.t_us == 4));
+        assert!(!h.any(|e| e.t_us == 1));
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let e = Event::new(17, Level::Warn, "gfw", "verdict", "drop")
+            .field("rule", "gfw-\"sni\"")
+            .field("bytes", 1500u64)
+            .field("ratio", 0.5f64)
+            .field("ok", false)
+            .in_span(SpanId(3));
+        let mut s = String::new();
+        write_event_json(&mut s, &e);
+        assert_eq!(
+            s,
+            "{\"t_us\":17,\"level\":\"warn\",\"component\":\"gfw\",\"target\":\"verdict\",\
+             \"event\":\"drop\",\"span\":3,\"fields\":{\"rule\":\"gfw-\\\"sni\\\"\",\
+             \"bytes\":1500,\"ratio\":0.5,\"ok\":false}}"
+        );
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_event() {
+        let buf: Rc<RefCell<Vec<u8>>> = Rc::default();
+        struct Shared(Rc<RefCell<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(Box::new(Shared(Rc::clone(&buf))));
+        sink.record(&ev(1, "send"));
+        sink.record(&ev(2, "deliver"));
+        sink.flush();
+        let text = String::from_utf8(buf.borrow().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn control_chars_escape_to_unicode() {
+        let mut s = String::new();
+        write_value_json(&mut s, &Value::String("a\u{1}b\nc".to_string()));
+        assert_eq!(s, "\"a\\u0001b\\nc\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut s = String::new();
+        write_value_json(&mut s, &Value::F64(f64::NAN));
+        assert_eq!(s, "null");
+    }
+}

@@ -43,6 +43,16 @@ impl SchemeHandle {
         let idx = rotation.iter().position(|s| *s == cur).unwrap_or(0);
         let next = rotation[(idx + 1) % rotation.len()];
         self.set(next);
+        sc_obs::counter_add("scholarcloud.scheme_rotations", 1);
+        if sc_obs::is_enabled(sc_obs::Level::Info, "scholarcloud") {
+            // Rotation is an operator control-plane action with no sim
+            // clock in scope; events are stamped t_us = 0 by convention.
+            sc_obs::emit(
+                sc_obs::Event::new(0, sc_obs::Level::Info, "scholarcloud", "scheme", "rotate")
+                    .field("from", format!("{cur:?}"))
+                    .field("to", format!("{next:?}")),
+            );
+        }
         next
     }
 }

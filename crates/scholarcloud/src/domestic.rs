@@ -30,6 +30,10 @@ struct RemoteConn {
     tx: StreamCodec,
     /// Inbound (remote→domestic) codec.
     rx: StreamCodec,
+    /// Plaintext bytes relayed browser→remote on this stream.
+    up_bytes: u64,
+    /// Plaintext bytes relayed remote→browser on this stream.
+    down_bytes: u64,
 }
 
 /// The domestic proxy app. Install on the domestic VM node.
@@ -63,6 +67,10 @@ impl DomesticProxy {
         initial_plain: Vec<u8>,
         ctx: &mut Ctx<'_>,
     ) {
+        let header_label = match &header.target {
+            TargetAddr::Domain(host, port) => format!("{host}:{port}"),
+            other => format!("{other:?}"),
+        };
         let scheme = self.config.scheme.get();
         let nonce: u64 = ctx.rng().gen();
         let hello = Hello { scheme, nonce };
@@ -81,10 +89,40 @@ impl DomesticProxy {
         let remote = ctx.tcp_connect(self.config.remote);
         self.remotes.insert(
             remote,
-            RemoteConn { browser, connected: false, pending, tx, rx },
+            RemoteConn { browser, connected: false, pending, tx, rx, up_bytes: 0, down_bytes: 0 },
         );
         self.browsers.insert(browser, BrowserConn::Tunneling { remote });
         self.tunnels_opened += 1;
+        sc_obs::counter_add("scholarcloud.tunnels_opened", 1);
+        if sc_obs::is_enabled(sc_obs::Level::Info, "scholarcloud") {
+            sc_obs::emit(
+                sc_obs::Event::new(
+                    ctx.now().as_micros(),
+                    sc_obs::Level::Info,
+                    "scholarcloud",
+                    "domestic",
+                    "tunnel_open",
+                )
+                .field("target", header_label)
+                .field("encrypted", encrypt),
+            );
+        }
+    }
+
+    fn trace_refusal(&self, host: &str, ctx: &mut Ctx<'_>) {
+        sc_obs::counter_add("scholarcloud.whitelist_refusals", 1);
+        if sc_obs::is_enabled(sc_obs::Level::Warn, "scholarcloud") {
+            sc_obs::emit(
+                sc_obs::Event::new(
+                    ctx.now().as_micros(),
+                    sc_obs::Level::Warn,
+                    "scholarcloud",
+                    "domestic",
+                    "whitelist_refused",
+                )
+                .field("host", host.to_string()),
+            );
+        }
     }
 
     fn handle_request(&mut self, browser: TcpHandle, req: HttpRequest, ctx: &mut Ctx<'_>) {
@@ -96,6 +134,7 @@ impl DomesticProxy {
             let port: u16 = port_str.parse().unwrap_or(443);
             if !self.config.whitelisted(host) {
                 self.refused += 1;
+                self.trace_refusal(host, ctx);
                 ctx.tcp_send(browser, &HttpResponse::new(403, Vec::new()).encode());
                 ctx.tcp_close(browser);
                 self.browsers.insert(browser, BrowserConn::Dead);
@@ -119,6 +158,7 @@ impl DomesticProxy {
             };
             if !self.config.whitelisted(host) {
                 self.refused += 1;
+                self.trace_refusal(host, ctx);
                 ctx.tcp_send(browser, &HttpResponse::new(403, Vec::new()).encode());
                 ctx.tcp_close(browser);
                 self.browsers.insert(browser, BrowserConn::Dead);
@@ -160,10 +200,14 @@ impl App for DomesticProxy {
                     let conn = self.remotes.get_mut(&h).expect("checked");
                     let mut plain = data.to_vec();
                     conn.rx.decode(&mut plain);
+                    conn.down_bytes += plain.len() as u64;
+                    sc_obs::counter_add("scholarcloud.bytes_down", plain.len() as u64);
                     ctx.tcp_send(conn.browser, &plain);
                 }
                 TcpEvent::PeerClosed | TcpEvent::Reset | TcpEvent::ConnectFailed => {
                     if let Some(conn) = self.remotes.remove(&h) {
+                        sc_obs::observe("scholarcloud.stream_bytes_up", conn.up_bytes);
+                        sc_obs::observe("scholarcloud.stream_bytes_down", conn.down_bytes);
                         ctx.tcp_close(conn.browser);
                         self.browsers.insert(conn.browser, BrowserConn::Dead);
                     }
@@ -177,6 +221,7 @@ impl App for DomesticProxy {
         match tcp_ev {
             TcpEvent::Accepted { .. } => {
                 self.browsers.insert(h, BrowserConn::AwaitRequest(HttpParser::new()));
+                sc_obs::counter_add("scholarcloud.domestic_accepts", 1);
             }
             TcpEvent::DataReceived => {
                 let data = ctx.tcp_recv_all(h);
@@ -198,6 +243,8 @@ impl App for DomesticProxy {
                         let remote = *remote;
                         if let Some(conn) = self.remotes.get_mut(&remote) {
                             let mut wire = data.to_vec();
+                            conn.up_bytes += wire.len() as u64;
+                            sc_obs::counter_add("scholarcloud.bytes_up", wire.len() as u64);
                             conn.tx.encode(&mut wire);
                             if conn.connected {
                                 ctx.tcp_send(remote, &wire);
@@ -213,7 +260,10 @@ impl App for DomesticProxy {
                 if let Some(BrowserConn::Tunneling { remote }) = self.browsers.get(&h) {
                     let remote = *remote;
                     ctx.tcp_close(remote);
-                    self.remotes.remove(&remote);
+                    if let Some(conn) = self.remotes.remove(&remote) {
+                        sc_obs::observe("scholarcloud.stream_bytes_up", conn.up_bytes);
+                        sc_obs::observe("scholarcloud.stream_bytes_down", conn.down_bytes);
+                    }
                 }
                 self.browsers.insert(h, BrowserConn::Dead);
             }

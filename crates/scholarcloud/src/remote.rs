@@ -48,11 +48,24 @@ impl RemoteProxy {
         }
     }
 
-    fn serve_decoy(&mut self, h: TcpHandle, ctx: &mut Ctx<'_>) {
+    fn serve_decoy(&mut self, h: TcpHandle, reason: &'static str, ctx: &mut Ctx<'_>) {
         ctx.tcp_send(h, &decoy_response());
         ctx.tcp_close(h);
         self.conns.insert(h, ClientConn::Decoyed);
         self.decoys += 1;
+        sc_obs::counter_add("scholarcloud.decoys_served", 1);
+        if sc_obs::is_enabled(sc_obs::Level::Info, "scholarcloud") {
+            sc_obs::emit(
+                sc_obs::Event::new(
+                    ctx.now().as_micros(),
+                    sc_obs::Level::Info,
+                    "scholarcloud",
+                    "remote",
+                    "auth_fail",
+                )
+                .field("reason", reason),
+            );
+        }
     }
 
     fn advance(&mut self, h: TcpHandle, ctx: &mut Ctx<'_>) {
@@ -61,7 +74,7 @@ impl RemoteProxy {
             match Hello::parse(&self.config.secret, &snapshot) {
                 Ok(None) => {
                     if !could_be_preamble(&snapshot) {
-                        self.serve_decoy(h, ctx);
+                        self.serve_decoy(h, "not_preamble", ctx);
                         return;
                     }
                     if let Some(ClientConn::AwaitHello { buf }) = self.conns.get_mut(&h) {
@@ -70,7 +83,7 @@ impl RemoteProxy {
                     return;
                 }
                 Err(()) => {
-                    self.serve_decoy(h, ctx);
+                    self.serve_decoy(h, "bad_preamble_auth", ctx);
                     return;
                 }
                 Ok(Some((hello, used))) => {
@@ -130,20 +143,20 @@ impl RemoteProxy {
         let dest = match &header.target {
             TargetAddr::Domain(name, port) => {
                 if !self.config.whitelisted(name) {
-                    self.serve_decoy(h, ctx);
+                    self.serve_decoy(h, "off_whitelist", ctx);
                     return;
                 }
                 match self.names.resolve(name) {
                     Some(a) => SocketAddr::new(a, *port),
                     None => {
-                        self.serve_decoy(h, ctx);
+                        self.serve_decoy(h, "unresolvable", ctx);
                         return;
                     }
                 }
             }
             // Literal addresses cannot be whitelist-checked; refuse them.
             TargetAddr::Ip(_, _) => {
-                self.serve_decoy(h, ctx);
+                self.serve_decoy(h, "ip_literal", ctx);
                 return;
             }
         };
@@ -152,6 +165,19 @@ impl RemoteProxy {
         self.upstream_pending.insert(upstream, leftover);
         self.conns.insert(h, ClientConn::Relaying { rx, tx, upstream });
         self.tunnels += 1;
+        sc_obs::counter_add("scholarcloud.remote_tunnels", 1);
+        if sc_obs::is_enabled(sc_obs::Level::Info, "scholarcloud") {
+            sc_obs::emit(
+                sc_obs::Event::new(
+                    ctx.now().as_micros(),
+                    sc_obs::Level::Info,
+                    "scholarcloud",
+                    "remote",
+                    "auth_ok",
+                )
+                .field("dest", dest.to_string()),
+            );
+        }
     }
 }
 
@@ -194,6 +220,7 @@ impl App for RemoteProxy {
         match tcp_ev {
             TcpEvent::Accepted { .. } => {
                 self.conns.insert(h, ClientConn::AwaitHello { buf: Vec::new() });
+                sc_obs::counter_add("scholarcloud.remote_accepts", 1);
             }
             TcpEvent::DataReceived => {
                 let data = ctx.tcp_recv_all(h);

@@ -287,6 +287,21 @@ impl Sim {
             if let Verdict::Drop(label) = verdict {
                 self.stats
                     .record_drop(packet.src, packet.dst, DropReason::Censor(label));
+                sc_obs::counter_add("simnet.censor_drops", 1);
+                if sc_obs::is_enabled(sc_obs::Level::Info, "simnet") {
+                    sc_obs::emit(
+                        sc_obs::Event::new(
+                            self.now.as_micros(),
+                            sc_obs::Level::Info,
+                            "simnet",
+                            "packet",
+                            "censor_drop",
+                        )
+                        .field("rule", label)
+                        .field("src", packet.src.to_string())
+                        .field("dst", packet.dst.to_string()),
+                    );
+                }
                 return;
             }
         }
@@ -296,6 +311,7 @@ impl Sim {
             // never touches a wire; keep it out of the traffic stats.
             if packet.src != packet.dst {
                 self.stats.record_delivered(local_addr, packet.wire_len());
+                sc_obs::counter_add("simnet.packets_delivered", 1);
             }
             self.deliver_local(node, packet);
             return;
@@ -384,6 +400,7 @@ impl Sim {
         let Some(&lid) = self.nodes[node.0].routes.get(&packet.dst) else {
             self.stats
                 .record_drop(packet.src, packet.dst, DropReason::NoRoute);
+            self.trace_drop(&packet, "no_route");
             return;
         };
         let wire_len = packet.wire_len();
@@ -392,6 +409,8 @@ impl Sim {
         // rather than per-hop.
         if self.nodes[node.0].addr == packet.src {
             self.stats.record_sent(packet.src, wire_len);
+            sc_obs::counter_add("simnet.packets_sent", 1);
+            sc_obs::counter_add("simnet.bytes_sent", wire_len as u64);
         }
         let link = &mut self.links[lid.0];
         let dest_node = link.other_end(NodeId(node.0)).expect("link endpoint");
@@ -399,17 +418,46 @@ impl Sim {
         if link.config.loss > 0.0 && self.rng.gen::<f64>() < link.config.loss {
             self.stats
                 .record_drop(packet.src, packet.dst, DropReason::LinkLoss);
+            self.trace_drop(&packet, "link_loss");
             return;
         }
         match link.transmit(NodeId(node.0), wire_len, self.now) {
             LinkOutcome::QueueDrop => {
                 self.stats
                     .record_drop(packet.src, packet.dst, DropReason::QueueOverflow);
+                self.trace_drop(&packet, "queue_overflow");
             }
             LinkOutcome::Deliver(at) => {
                 let delay = at - self.now;
+                // Serialization backlog ahead of this packet = queueing
+                // delay beyond pure propagation; exported as a depth
+                // histogram so congested links stand out in reports.
+                let queued_us = delay
+                    .as_micros()
+                    .saturating_sub(link.config.delay.as_micros());
+                sc_obs::observe("simnet.link_queue_us", queued_us);
                 self.schedule(delay, Event::Arrival { node: dest_node, packet });
             }
+        }
+    }
+
+    /// Emits a non-censor drop event (censor drops carry the rule label
+    /// and are emitted at their verdict site instead).
+    fn trace_drop(&self, packet: &Packet, reason: &'static str) {
+        sc_obs::counter_add("simnet.packets_dropped", 1);
+        if sc_obs::is_enabled(sc_obs::Level::Debug, "simnet") {
+            sc_obs::emit(
+                sc_obs::Event::new(
+                    self.now.as_micros(),
+                    sc_obs::Level::Debug,
+                    "simnet",
+                    "packet",
+                    "drop",
+                )
+                .field("reason", reason)
+                .field("src", packet.src.to_string())
+                .field("dst", packet.dst.to_string()),
+            );
         }
     }
 

@@ -58,6 +58,15 @@ impl SimStats {
     }
 
     /// Records a drop of a packet from `src` to `dst`.
+    ///
+    /// The global `drops` map counts each dropped packet **exactly
+    /// once**, no matter where on the path it died. The per-address
+    /// attribution below intentionally charges both endpoints (each
+    /// "experienced" the loss), which is what [`loss_rate_for`]'s
+    /// to/from-denominator expects — it is not double counting in the
+    /// global totals.
+    ///
+    /// [`loss_rate_for`]: SimStats::loss_rate_for
     pub fn record_drop(&mut self, src: Addr, dst: Addr, reason: DropReason) {
         *self.drops.entry(reason).or_insert(0) += 1;
         self.by_addr.entry(src).or_default().dropped += 1;
@@ -86,6 +95,21 @@ impl SimStats {
             .filter(|(r, _)| matches!(r, DropReason::Censor(_)))
             .map(|(_, n)| *n)
             .sum()
+    }
+
+    /// Censor drops broken out by GFW rule label, sorted by label so
+    /// reports and ablations are deterministic.
+    pub fn censor_by_rule(&self) -> Vec<(&'static str, u64)> {
+        let mut out: Vec<(&'static str, u64)> = self
+            .drops
+            .iter()
+            .filter_map(|(r, n)| match r {
+                DropReason::Censor(label) => Some((*label, *n)),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable_by_key(|(label, _)| *label);
+        out
     }
 
     /// End-to-end packet loss rate for traffic involving `addr`: drops of
@@ -129,6 +153,43 @@ mod tests {
         assert_eq!(s.by_addr[&a].sent_bytes, 300);
         assert!((s.loss_rate_for(a) - 0.5).abs() < 1e-12);
         assert!((s.overall_loss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mid_path_drop_counts_once_globally() {
+        // A packet dropped mid-path (e.g. a GFW verdict at a border
+        // router, neither src nor dst) must appear exactly once in the
+        // global drop totals; per-address attribution charges both
+        // endpoints, which feeds the to/from denominator of
+        // loss_rate_for and is deliberate.
+        let mut s = SimStats::default();
+        let src = Addr::new(10, 0, 0, 1);
+        let dst = Addr::new(99, 0, 0, 1);
+        s.record_drop(src, dst, DropReason::Censor("gfw-sni"));
+        assert_eq!(s.total_drops(), 1);
+        assert_eq!(s.censor_drops(), 1);
+        assert_eq!(s.drops[&DropReason::Censor("gfw-sni")], 1);
+        assert_eq!(s.by_addr[&src].dropped, 1);
+        assert_eq!(s.by_addr[&dst].dropped, 1);
+        // Self-addressed traffic is charged once, not twice.
+        s.record_drop(src, src, DropReason::NoRoute);
+        assert_eq!(s.by_addr[&src].dropped, 2);
+        assert_eq!(s.total_drops(), 2);
+    }
+
+    #[test]
+    fn censor_breakdown_is_sorted_by_label() {
+        let mut s = SimStats::default();
+        let a = Addr::new(10, 0, 0, 1);
+        let b = Addr::new(99, 0, 0, 1);
+        s.record_drop(a, b, DropReason::Censor("gfw-sni"));
+        s.record_drop(a, b, DropReason::Censor("gfw-ip-block"));
+        s.record_drop(a, b, DropReason::Censor("gfw-sni"));
+        s.record_drop(a, b, DropReason::LinkLoss);
+        assert_eq!(
+            s.censor_by_rule(),
+            vec![("gfw-ip-block", 1), ("gfw-sni", 2)]
+        );
     }
 
     #[test]

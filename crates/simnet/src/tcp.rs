@@ -805,7 +805,24 @@ impl TcpLayer {
         }
         // Karn's algorithm: no RTT sample across retransmission.
         c.rtt_sample = None;
-        c.retransmitted_bytes += c.send_buf.len().min(MSS) as u64;
+        let retx = c.send_buf.len().min(MSS) as u64;
+        c.retransmitted_bytes += retx;
+        sc_obs::counter_add("simnet.tcp_retransmits", 1);
+        if sc_obs::is_enabled(sc_obs::Level::Debug, "simnet") {
+            let (local, remote) = (c.local, c.remote);
+            sc_obs::emit(
+                sc_obs::Event::new(
+                    now.as_micros(),
+                    sc_obs::Level::Debug,
+                    "simnet",
+                    "tcp",
+                    "loss_recovery",
+                )
+                .field("bytes", retx)
+                .field("local", local.to_string())
+                .field("remote", remote.to_string()),
+            );
+        }
         self.pump(idx, now, fx);
         let c = &mut self.conns[idx];
         if !c.rto_armed {
@@ -854,6 +871,8 @@ impl TcpLayer {
             let n = data_len.min(MSS);
             let payload: Vec<u8> = c.send_buf.iter().take(n).copied().collect();
             c.retransmitted_bytes += n as u64;
+            sc_obs::counter_add("simnet.tcp_retransmits", 1);
+            sc_obs::counter_add("simnet.tcp_retransmitted_bytes", n as u64);
             let pkt = Packet::tcp(
                 c.local,
                 c.remote,

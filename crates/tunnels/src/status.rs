@@ -31,9 +31,30 @@ impl TunnelStatus {
         TunnelStatus::default()
     }
 
-    /// Updates the state.
+    /// Updates the state, emitting a `tunnels/status` transition event.
     pub fn set(&self, state: TunnelState) {
+        let prev = *self.0.borrow();
         *self.0.borrow_mut() = state;
+        if prev == state {
+            return;
+        }
+        let (name, t_us) = match state {
+            TunnelState::Connecting => ("connecting", 0),
+            TunnelState::Up { established_at } => {
+                sc_obs::counter_add("tunnels.established", 1);
+                ("up", established_at.as_micros())
+            }
+            TunnelState::Failed => {
+                sc_obs::counter_add("tunnels.failed", 1);
+                ("failed", 0)
+            }
+        };
+        if sc_obs::is_enabled(sc_obs::Level::Info, "tunnels") {
+            sc_obs::emit(
+                sc_obs::Event::new(t_us, sc_obs::Level::Info, "tunnels", "status", "transition")
+                    .field("state", name),
+            );
+        }
     }
 
     /// Reads the current state.

@@ -157,6 +157,9 @@ struct Conn {
     host: String,
     port: u16,
     phase: ConnPhase,
+    connect_span: sc_obs::SpanId,
+    tunnel_span: sc_obs::SpanId,
+    fetch_span: sc_obs::SpanId,
     route: Route,
     tls: Option<TlsClient>,
     http: HttpParser,
@@ -169,6 +172,7 @@ struct Conn {
 struct ActiveLoad {
     index: usize,
     started: SimTime,
+    span: sc_obs::SpanId,
     pending: usize,
     first_time: bool,
     connections: usize,
@@ -184,6 +188,7 @@ pub struct Browser {
     /// host:port → open connection (reused within a load).
     by_host: HashMap<(String, u16), TcpHandle>,
     pending_dns: HashMap<u64, (String, u16, String)>,
+    dns_spans: HashMap<u64, sc_obs::SpanId>,
     next_dns_token: u64,
     content_cache: HashSet<(String, String)>,
     load: Option<ActiveLoad>,
@@ -210,6 +215,7 @@ impl Browser {
             conns: HashMap::new(),
             by_host: HashMap::new(),
             pending_dns: HashMap::new(),
+            dns_spans: HashMap::new(),
             next_dns_token: 1,
             content_cache: HashSet::new(),
             load: None,
@@ -240,9 +246,22 @@ impl Browser {
         // The very first load's clock starts at browser launch, so tunnel
         // bootstrap (waited out via the gate) counts into first-time PLT.
         let started = if index == 0 { self.browser_started } else { ctx.now() };
+        sc_obs::counter_add("web.loads_started", 1);
+        let span = sc_obs::span_start(
+            started.as_micros(),
+            sc_obs::Level::Info,
+            "web",
+            "load",
+            "page_load",
+            vec![
+                ("index", (index as u64).into()),
+                ("first_time", (!self.visited).into()),
+            ],
+        );
         self.load = Some(ActiveLoad {
             index,
             started,
+            span,
             pending: 1, // the HTML itself
             first_time: !self.visited,
             connections: 0,
@@ -272,6 +291,17 @@ impl Browser {
                 self.next_dns_token += 1;
                 self.pending_dns
                     .insert(token, (host.to_string(), port, path.to_string()));
+                let dns_span = sc_obs::span_start(
+                    ctx.now().as_micros(),
+                    sc_obs::Level::Debug,
+                    "web",
+                    "load",
+                    "dns",
+                    vec![("host", host.to_string().into())],
+                );
+                if !dns_span.is_none() {
+                    self.dns_spans.insert(token, dns_span);
+                }
                 if let Some(res) = self.stub.resolve(host, token, ctx) {
                     self.on_resolved(res.token, res.outcome, ctx);
                 } else {
@@ -287,6 +317,10 @@ impl Browser {
 
     fn on_resolved(&mut self, token: u64, outcome: ResolveOutcome, ctx: &mut Ctx<'_>) {
         let Some((host, port, path)) = self.pending_dns.remove(&token) else { return };
+        if let Some(sp) = self.dns_spans.remove(&token) {
+            let ok = matches!(&outcome, ResolveOutcome::Resolved(a) if !a.is_empty());
+            sc_obs::span_end(ctx.now().as_micros(), sp, vec![("ok", ok.into())]);
+        }
         match outcome {
             ResolveOutcome::Resolved(addrs) if !addrs.is_empty() => {
                 let h = ctx.tcp_connect(SocketAddr::new(addrs[0], port));
@@ -303,8 +337,17 @@ impl Browser {
         port: u16,
         route: Route,
         path: &str,
-        _ctx: &mut Ctx<'_>,
+        ctx: &mut Ctx<'_>,
     ) {
+        sc_obs::counter_add("web.connections_opened", 1);
+        let connect_span = sc_obs::span_start(
+            ctx.now().as_micros(),
+            sc_obs::Level::Debug,
+            "web",
+            "load",
+            "connect",
+            vec![("host", host.to_string().into())],
+        );
         let mut queue = VecDeque::new();
         queue.push_back(path.to_string());
         self.conns.insert(
@@ -313,6 +356,9 @@ impl Browser {
                 host: host.to_string(),
                 port,
                 phase: ConnPhase::Connecting,
+                connect_span,
+                tunnel_span: sc_obs::SpanId::NONE,
+                fetch_span: sc_obs::SpanId::NONE,
                 route,
                 tls: None,
                 http: HttpParser::new(),
@@ -336,6 +382,18 @@ impl Browser {
             return;
         }
         let Some(path) = conn.queue.pop_front() else { return };
+        conn.fetch_span = if path == "\u{0}rtt" {
+            sc_obs::SpanId::NONE
+        } else {
+            sc_obs::span_start(
+                ctx.now().as_micros(),
+                sc_obs::Level::Debug,
+                "web",
+                "load",
+                "fetch",
+                vec![("path", path.clone().into())],
+            )
+        };
         let req = if path == "\u{0}rtt" {
             conn.rtt_probe_sent = Some(ctx.now());
             HttpRequest {
@@ -371,6 +429,8 @@ impl Browser {
             ctx.tcp_send(h, &hello);
         } else {
             conn.phase = ConnPhase::Ready;
+            let sp = std::mem::replace(&mut conn.tunnel_span, sc_obs::SpanId::NONE);
+            sc_obs::span_end(ctx.now().as_micros(), sp, Vec::new());
             self.pump_conn(h, ctx);
         }
     }
@@ -379,6 +439,8 @@ impl Browser {
         let (host, path, probe_start) = {
             let Some(conn) = self.conns.get_mut(&h) else { return };
             let path = conn.current.take().unwrap_or_default();
+            let sp = std::mem::replace(&mut conn.fetch_span, sc_obs::SpanId::NONE);
+            sc_obs::span_end(ctx.now().as_micros(), sp, vec![("status", u64::from(status).into())]);
             (conn.host.clone(), path, conn.rtt_probe_sent.take())
         };
         // RTT probe response?
@@ -440,6 +502,19 @@ impl Browser {
     fn finish_load(&mut self, rtt: Option<SimDuration>, ctx: &mut Ctx<'_>) {
         let Some(load) = self.load.take() else { return };
         let now = ctx.now();
+        sc_obs::counter_add("web.loads_ok", 1);
+        sc_obs::observe("web.plt_us", (now - load.started).as_micros());
+        if let Some(rtt) = rtt {
+            sc_obs::observe("web.rtt_us", rtt.as_micros());
+        }
+        sc_obs::span_end(
+            now.as_micros(),
+            load.span,
+            vec![
+                ("ok", true.into()),
+                ("connections", (load.connections as u64).into()),
+            ],
+        );
         self.log.borrow_mut().push(PageLoadResult {
             index: load.index,
             started: load.started,
@@ -457,6 +532,15 @@ impl Browser {
 
     fn fail_load(&mut self, ctx: &mut Ctx<'_>) {
         let Some(load) = self.load.take() else { return };
+        sc_obs::counter_add("web.loads_failed", 1);
+        sc_obs::span_end(
+            ctx.now().as_micros(),
+            load.span,
+            vec![
+                ("ok", false.into()),
+                ("connections", (load.connections as u64).into()),
+            ],
+        );
         self.log.borrow_mut().push(PageLoadResult {
             index: load.index,
             started: load.started,
@@ -553,6 +637,21 @@ impl App for Browser {
                 match tcp_ev {
                     TcpEvent::Connected => {
                         let conn = self.conns.get_mut(&h).expect("checked");
+                        let sp = std::mem::replace(&mut conn.connect_span, sc_obs::SpanId::NONE);
+                        sc_obs::span_end(ctx.now().as_micros(), sp, Vec::new());
+                        let via = match conn.route {
+                            Route::Direct => "direct",
+                            Route::Socks(_) => "socks",
+                            Route::HttpProxy(_) => "http_proxy",
+                        };
+                        conn.tunnel_span = sc_obs::span_start(
+                            ctx.now().as_micros(),
+                            sc_obs::Level::Debug,
+                            "web",
+                            "load",
+                            "tunnel",
+                            vec![("via", via.into())],
+                        );
                         match conn.route {
                             Route::Direct => self.begin_app_layer(h, ctx),
                             Route::Socks(_) => {
@@ -563,6 +662,11 @@ impl App for Browser {
                                 if conn.port == 80 {
                                     // Absolute-form proxying, no CONNECT.
                                     conn.phase = ConnPhase::Ready;
+                                    let sp = std::mem::replace(
+                                        &mut conn.tunnel_span,
+                                        sc_obs::SpanId::NONE,
+                                    );
+                                    sc_obs::span_end(ctx.now().as_micros(), sp, Vec::new());
                                     self.pump_conn(h, ctx);
                                 } else {
                                     conn.phase = ConnPhase::ProxyConnectSent;
@@ -670,6 +774,8 @@ impl Browser {
                 }
                 if out.handshake_complete {
                     conn.phase = ConnPhase::Ready;
+                    let sp = std::mem::replace(&mut conn.tunnel_span, sc_obs::SpanId::NONE);
+                    sc_obs::span_end(ctx.now().as_micros(), sp, Vec::new());
                     self.pump_conn(h, ctx);
                 }
                 let Some(conn) = self.conns.get_mut(&h) else { return };

@@ -7,6 +7,8 @@
 use sc_metrics::{Method, ScenarioConfig, run_scenario};
 
 fn main() {
+    // SC_TRACE=trace.jsonl streams every instrumented event to a file.
+    let _obs = sc_metrics::trace::obs_from_env();
     println!("=== GFW techniques against each access method ===\n");
 
     // Direct: DNS poisoning + IP blocking.
@@ -20,6 +22,7 @@ fn main() {
         direct.gfw.dns_poisoned,
         direct.gfw.ip_blocked,
     );
+    print!("{}", sc_metrics::report::render_scenario(Method::Direct, &direct));
 
     // Shadowsocks: entropy suspicion → active probe → confirmation → loss.
     let mut cfg = ScenarioConfig::paper(Method::Shadowsocks, 7);
@@ -65,4 +68,8 @@ fn main() {
         naked.gfw.embedded_sni_resets,
         naked.failure_rate() * 100.0,
     );
+    print!("{}", sc_metrics::report::render_scenario(Method::ScholarCloud, &naked));
+    // Counters/histograms collected this run (empty without SC_TRACE
+    // unless another collector is installed).
+    print!("{}", sc_metrics::report::render_obs_summary());
 }

@@ -10,6 +10,8 @@ use sc_metrics::{
 use sc_metrics::report::{render_fig3, render_fig5, render_fig6, render_fig7};
 
 fn main() {
+    // SC_TRACE=trace.jsonl streams every instrumented event to a file.
+    let _obs = sc_metrics::trace::obs_from_env();
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let seed = 2017;
 

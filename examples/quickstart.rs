@@ -6,6 +6,8 @@
 use sc_metrics::{Method, ScenarioConfig, run_scenario};
 
 fn main() {
+    // SC_TRACE=trace.jsonl streams every instrumented event to a file.
+    let _obs = sc_metrics::trace::obs_from_env();
     // 1. Direct access: blocked by the GFW (DNS poisoning + IP blacklist).
     let mut direct = ScenarioConfig::paper(Method::Direct, 42);
     direct.loads = 1;

@@ -1,0 +1,7 @@
+#!/usr/bin/env sh
+# Tier-1 gate: build and test the reproduction, fully offline.
+# Everything external is vendored under vendor/, so no network is needed.
+set -eu
+cd "$(dirname "$0")/.."
+cargo build --release --offline
+cargo test -q --offline

@@ -1,0 +1,703 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a std-only property-testing harness covering the API surface its tests
+//! use: the [`proptest!`] macro, [`Strategy`] with `prop_map`,
+//! `any::<T>()`, integer-range strategies, `prop::collection::vec`,
+//! string-literal regex strategies, tuple strategies, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream: cases are generated from a seed derived
+//! deterministically from the test name (fully reproducible, no
+//! persistence files) and failing inputs are **not shrunk** — the macro
+//! panics with the case number so a failure can be replayed exactly.
+
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Deterministic case driver used by the [`proptest!`](crate::proptest)
+    //! macro expansion.
+
+    /// Number of random cases each property runs.
+    pub const CASES: u32 = 64;
+
+    /// Deterministic random source for value generation (xoshiro256++
+    /// seeded from a hash of the test name).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Creates the generator for a named test; the same name always
+        /// yields the same case sequence.
+        pub fn for_test(name: &str) -> TestRng {
+            // FNV-1a over the test name, expanded through SplitMix64.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = h;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                *slot = z ^ (z >> 31);
+            }
+            if s == [0; 4] {
+                s[3] = 1;
+            }
+            TestRng { s }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform value in `[0, n)` (`n > 0`), via Lemire-style widening
+        /// multiply (slight modulo bias is irrelevant for test-case
+        /// generation).
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        /// Uniform value in `[lo, hi]` inclusive.
+        pub fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+            debug_assert!(lo <= hi);
+            let span = hi - lo;
+            if span == u64::MAX {
+                self.next_u64()
+            } else {
+                lo + self.below(span + 1)
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike upstream there is no shrinking tree: a strategy simply
+    /// produces one value per call.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value from `rng`.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.in_range(self.start as u64, (self.end - 1) as u64) as $t
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    rng.in_range(*self.start() as u64, *self.end() as u64) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // Shift into unsigned space to avoid overflow at the
+                    // extremes, then shift back.
+                    let lo = (self.start as i64).wrapping_sub(i64::MIN) as u64;
+                    let hi = ((self.end - 1) as i64).wrapping_sub(i64::MIN) as u64;
+                    (rng.in_range(lo, hi) as i64).wrapping_add(i64::MIN) as $t
+                }
+            }
+        )*};
+    }
+
+    signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($(ref $name,)+) = *self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+        (A, B, C, D, E, F, G, H, I)
+        (A, B, C, D, E, F, G, H, I, J)
+        (A, B, C, D, E, F, G, H, I, J, K)
+        (A, B, C, D, E, F, G, H, I, J, K, L)
+    }
+}
+
+pub mod string {
+    //! `&'static str` regex-subset strategies.
+    //!
+    //! Upstream proptest treats a string literal as a regular expression
+    //! and generates matching strings. This stand-in supports the subset
+    //! the workspace's tests use: literal characters, `\`-escapes,
+    //! character classes (`[a-z0-9-]`, with ranges and trailing literal
+    //! `-`), groups, and the quantifiers `{n}`, `{m,n}`, `*`, `+`, `?`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Node {
+        Literal(char),
+        /// Flattened set of candidate characters.
+        Class(Vec<char>),
+        Group(Vec<(Node, u32, u32)>),
+    }
+
+    /// Parses `pattern` into a sequence of (node, min, max) repetitions.
+    /// Panics on syntax outside the supported subset, which is a bug in
+    /// the *test*, not an input-dependent condition.
+    fn parse_seq(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, in_group: bool) -> Vec<(Node, u32, u32)> {
+        let mut out = Vec::new();
+        while let Some(&c) = chars.peek() {
+            let node = match c {
+                ')' if in_group => break,
+                '(' => {
+                    chars.next();
+                    let inner = parse_seq(chars, true);
+                    assert_eq!(chars.next(), Some(')'), "unclosed group in pattern");
+                    Node::Group(inner)
+                }
+                '[' => {
+                    chars.next();
+                    Node::Class(parse_class(chars))
+                }
+                '\\' => {
+                    chars.next();
+                    let esc = chars.next().expect("dangling escape in pattern");
+                    Node::Literal(unescape(esc))
+                }
+                '.' => {
+                    chars.next();
+                    // Any printable ASCII character.
+                    Node::Class((0x20u8..0x7f).map(|b| b as char).collect())
+                }
+                _ => {
+                    chars.next();
+                    Node::Literal(c)
+                }
+            };
+            let (min, max) = parse_quantifier(chars);
+            out.push((node, min, max));
+        }
+        out
+    }
+
+    fn unescape(esc: char) -> char {
+        match esc {
+            'n' => '\n',
+            'r' => '\r',
+            't' => '\t',
+            other => other,
+        }
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+        let mut set = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            let c = chars.next().expect("unclosed character class");
+            match c {
+                ']' => break,
+                '\\' => {
+                    let esc = chars.next().expect("dangling escape in class");
+                    let lit = unescape(esc);
+                    set.push(lit);
+                    prev = Some(lit);
+                }
+                '-' => {
+                    // Range if sandwiched between two chars; else literal.
+                    match (prev, chars.peek()) {
+                        (Some(lo), Some(&hi)) if hi != ']' => {
+                            chars.next();
+                            assert!(lo <= hi, "inverted class range");
+                            // `lo` itself is already in the set.
+                            let mut ch = lo;
+                            while ch < hi {
+                                ch = (ch as u8 + 1) as char;
+                                set.push(ch);
+                            }
+                            prev = None;
+                        }
+                        _ => {
+                            set.push('-');
+                            prev = Some('-');
+                        }
+                    }
+                }
+                other => {
+                    set.push(other);
+                    prev = Some(other);
+                }
+            }
+        }
+        assert!(!set.is_empty(), "empty character class");
+        set
+    }
+
+    fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (u32, u32) {
+        match chars.peek() {
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('{') => {
+                chars.next();
+                let mut min_s = String::new();
+                let mut max_s = String::new();
+                let mut saw_comma = false;
+                loop {
+                    match chars.next().expect("unclosed quantifier") {
+                        '}' => break,
+                        ',' => saw_comma = true,
+                        d if d.is_ascii_digit() => {
+                            if saw_comma {
+                                max_s.push(d);
+                            } else {
+                                min_s.push(d);
+                            }
+                        }
+                        other => panic!("bad quantifier char {other:?}"),
+                    }
+                }
+                let min: u32 = min_s.parse().expect("quantifier min");
+                let max: u32 = if saw_comma {
+                    max_s.parse().expect("quantifier max")
+                } else {
+                    min
+                };
+                assert!(min <= max, "inverted quantifier");
+                (min, max)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn gen_seq(seq: &[(Node, u32, u32)], rng: &mut TestRng, out: &mut String) {
+        for (node, min, max) in seq {
+            let reps = rng.in_range(*min as u64, *max as u64) as u32;
+            for _ in 0..reps {
+                match node {
+                    Node::Literal(c) => out.push(*c),
+                    Node::Class(set) => {
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                    Node::Group(inner) => gen_seq(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            let mut chars = self.chars().peekable();
+            let seq = parse_seq(&mut chars, false);
+            let mut out = String::new();
+            gen_seq(&seq, rng, &mut out);
+            out
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()`: the default strategy for a type.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "generate anything" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy generating any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! arb_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Printable ASCII keeps generated text debuggable.
+            (0x20 + rng.below(0x5f) as u8) as char
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> [T; N] {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Number of elements a [`vec`] strategy may generate.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.in_range(self.size.lo as u64, self.size.hi as u64) as usize;
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Generates a `Vec` whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// Commonly imported items, mirroring upstream's `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespaced access to strategy modules (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests.
+///
+/// Each `fn name(params) { body }` item becomes a `#[test]`-style function
+/// running [`test_runner::CASES`] deterministic cases. Parameters are
+/// either `pattern in strategy` or `name: Type` (shorthand for
+/// `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut __pt_rng =
+                $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __pt_case in 0..$crate::test_runner::CASES {
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $crate::__pt_bind!(__pt_rng, $($params)*);
+                    $body
+                }));
+                if let Err(panic) = result {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed (deterministic; rerun reproduces it)",
+                        __pt_case + 1,
+                        $crate::test_runner::CASES,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+/// Binds one `proptest!` parameter list entry after another.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __pt_bind {
+    ($rng:ident) => {};
+    ($rng:ident,) => {};
+    ($rng:ident, $p:pat in $s:expr) => {
+        let $p = $crate::strategy::Strategy::new_value(&$s, &mut $rng);
+    };
+    ($rng:ident, $p:pat in $s:expr, $($rest:tt)*) => {
+        let $p = $crate::strategy::Strategy::new_value(&$s, &mut $rng);
+        $crate::__pt_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $p:ident : $t:ty) => {
+        let $p: $t = $crate::strategy::Strategy::new_value(
+            &$crate::arbitrary::any::<$t>(),
+            &mut $rng,
+        );
+    };
+    ($rng:ident, $p:ident : $t:ty, $($rest:tt)*) => {
+        let $p: $t = $crate::strategy::Strategy::new_value(
+            &$crate::arbitrary::any::<$t>(),
+            &mut $rng,
+        );
+        $crate::__pt_bind!($rng, $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts two values differ inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when its precondition does not hold.
+///
+/// Upstream rejects and regenerates; this stand-in simply returns from
+/// the case body, which is equivalent for the properties in this
+/// workspace.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_matching_domains() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let pat = "[a-z][a-z0-9-]{0,10}(\\.[a-z][a-z0-9]{1,8}){1,3}";
+        let mut rng = TestRng::for_test("regex_subset");
+        for _ in 0..200 {
+            let s = pat.new_value(&mut rng);
+            let labels: Vec<&str> = s.split('.').collect();
+            assert!(labels.len() >= 2 && labels.len() <= 4, "{s}");
+            assert!(labels[0].len() <= 11 && !labels[0].is_empty(), "{s}");
+            for label in &labels[1..] {
+                assert!(label.len() >= 2 && label.len() <= 9, "{s}");
+            }
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '.'),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn determinism_per_test_name() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = crate::collection::vec(any::<u8>(), 0..16);
+        let mut a = TestRng::for_test("same");
+        let mut b = TestRng::for_test("same");
+        for _ in 0..50 {
+            assert_eq!(strat.new_value(&mut a), strat.new_value(&mut b));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_binds_both_param_forms(xs in prop::collection::vec(any::<u8>(), 3), seed: u64, pair in (0u8..4, 1usize..9)) {
+            prop_assert_eq!(xs.len(), 3);
+            let _ = seed;
+            prop_assume!(pair.1 != 1000); // always true; exercises the macro
+            prop_assert!(pair.0 < 4 && pair.1 >= 1 && pair.1 < 9);
+        }
+    }
+}
