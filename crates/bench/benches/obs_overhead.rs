@@ -1,0 +1,79 @@
+//! Observability-overhead benchmark: how much does instrumenting the
+//! simulation cost, per sink configuration?
+//!
+//! The same small ScholarCloud scenario is run with:
+//! * no dispatcher installed (the free functions' thread-local-read
+//!   fast path),
+//! * a `RingSink` at `Debug` (in-memory event cloning),
+//! * a `JsonlSink` writing to `io::sink()` at `Debug` (serialization
+//!   without disk),
+//! * windows + SLO evaluation on top of the ring sink (the full
+//!   operator configuration driven by the simnet tick hook).
+//!
+//! Numbers are recorded in EXPERIMENTS.md.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use sc_metrics::scenario::default_slos;
+use sc_metrics::{Method, ScenarioConfig, run_scenario};
+use sc_obs::{Dispatcher, JsonlSink, Level, RingSink, WindowSpec};
+use sc_simnet::time::SimDuration;
+
+fn small_cfg(seed: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper(Method::ScholarCloud, seed);
+    cfg.loads = 3;
+    cfg.interval = SimDuration::from_secs(5);
+    cfg.timeout = SimDuration::from_secs(15);
+    cfg
+}
+
+fn obs_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead");
+    g.sample_size(10);
+
+    g.bench_function("scenario_no_dispatcher", |b| {
+        b.iter(|| run_scenario(&small_cfg(7)))
+    });
+
+    g.bench_function("scenario_ring_sink_debug", |b| {
+        b.iter(|| {
+            let guard = Dispatcher::new()
+                .with_level(Level::Debug)
+                .with_sink(Box::new(RingSink::with_capacity(64 * 1024)))
+                .install();
+            let out = run_scenario(&small_cfg(7));
+            drop(guard);
+            out
+        })
+    });
+
+    g.bench_function("scenario_jsonl_sink_debug", |b| {
+        b.iter(|| {
+            let guard = Dispatcher::new()
+                .with_level(Level::Debug)
+                .with_sink(Box::new(JsonlSink::new(Box::new(std::io::sink()))))
+                .install();
+            let out = run_scenario(&small_cfg(7));
+            drop(guard);
+            out
+        })
+    });
+
+    g.bench_function("scenario_windows_slos_ring", |b| {
+        b.iter(|| {
+            let guard = Dispatcher::new()
+                .with_level(Level::Debug)
+                .with_sink(Box::new(RingSink::with_capacity(64 * 1024)))
+                .with_windows(WindowSpec::seconds(10))
+                .with_slos(default_slos())
+                .install();
+            let out = run_scenario(&small_cfg(7));
+            drop(guard);
+            out
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, obs_overhead);
+criterion_main!(benches);

@@ -109,6 +109,7 @@ impl GfwMiddlebox {
 /// many spoofed RSTs were injected alongside the drop).
 fn trace_drop(now: sc_simnet::time::SimTime, rule: &'static str, pkt: &Packet, rsts: u32) {
     sc_obs::counter_add("gfw.drops", 1);
+    sc_obs::ts_bump(now.as_micros(), "gfw.drops", 1);
     if rsts > 0 {
         sc_obs::counter_add("gfw.rst_injected", rsts as u64);
     }

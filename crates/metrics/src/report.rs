@@ -52,6 +52,36 @@ pub fn render_obs_summary() -> String {
 ".to_string())
 }
 
+/// Renders the installed time-series store's per-window timeline for
+/// one series (rates for counter series, p50/p95/p99 for sample
+/// series), or a placeholder when no window-enabled collector is
+/// installed.
+pub fn render_timeline(series: &str) -> String {
+    sc_obs::with_timeseries(|ts| ts.render_timeline(series))
+        .unwrap_or_else(|| format!("timeline — {series}: no window-enabled collector installed\n"))
+}
+
+/// Renders the SLO engine's verdict table (one row per SLO: state,
+/// worst burn rate, fire/resolve counts), or a placeholder when no SLO
+/// engine is installed.
+pub fn render_slo_verdicts() -> String {
+    sc_obs::with_slo_engine(|e| e.verdict_table())
+        .unwrap_or_else(|| "SLOs: no SLO-enabled collector installed\n".to_string())
+}
+
+/// Renders the full operator dashboard: one timeline per requested
+/// series followed by the SLO verdict table. The shape an operator of
+/// the paper's deployment would glance at first.
+pub fn render_ops_dashboard(series: &[&str]) -> String {
+    let mut out = String::from("=== operator dashboard ===\n");
+    for s in series {
+        out.push_str(&render_timeline(s));
+        out.push('\n');
+    }
+    out.push_str(&render_slo_verdicts());
+    out
+}
+
 /// Renders Figure 3 as text.
 pub fn render_fig3(row: &Fig3Row) -> String {
     let mut out = String::new();

@@ -165,6 +165,14 @@ pub struct ScenarioConfig {
     pub timeout: SimDuration,
     /// Extra signatures pushed to the GFW (agility ablation).
     pub gfw_learned_signatures: Vec<Vec<u8>>,
+    /// Stagger between consecutive clients' start times (load-ramp
+    /// scenarios: client `i` comes online at `i × ramp_stagger`).
+    /// `ZERO` starts everyone together, the paper's shape.
+    pub ramp_stagger: SimDuration,
+    /// Overrides the method's calibrated server access bandwidth
+    /// (bits/s) — the operator "capacity incident" knob used by the
+    /// ops dashboard demo to drive the server into saturation.
+    pub server_bandwidth_override: Option<u64>,
 }
 
 impl ScenarioConfig {
@@ -183,8 +191,24 @@ impl ScenarioConfig {
             consensus_len: 400 * 1024,
             timeout: SimDuration::from_secs(55),
             gfw_learned_signatures: Vec::new(),
+            ramp_stagger: SimDuration::ZERO,
+            server_bandwidth_override: None,
         }
     }
+}
+
+/// The SLOs an operator of the paper's deployment would watch, in the
+/// workspace's time-series vocabulary (see `sc_obs::slo`):
+///
+/// * **plt-p95** — 95th-percentile page-load time under 6 s (the paper's
+///   Figure 5a puts well-behaved subsequent loads around 3–4 s; 6 s is
+///   the "users start complaining" line);
+/// * **availability** — at least 99% of finished loads succeed.
+pub fn default_slos() -> Vec<sc_obs::SloSpec> {
+    vec![
+        sc_obs::SloSpec::quantile("plt-p95", "web.plt_us", 0.95, 6_000_000),
+        sc_obs::SloSpec::availability("availability", "web.loads_ok", "web.loads_failed", 0.99),
+    ]
 }
 
 /// Everything a scenario run produces.
@@ -315,15 +339,26 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
     sim.add_link(us, resolver_us, lan);
     sim.add_link(us, auth_dns, lan);
     // Per-method server access links model single-core VM throughput.
-    sim.add_link(us, vpn, lan.bandwidth_bps(server_bandwidth_bps(Method::NativeVpn).max(
-        server_bandwidth_bps(Method::OpenVpn),
-    )));
-    sim.add_link(us, ss, lan.bandwidth_bps(server_bandwidth_bps(Method::Shadowsocks)));
+    // The override (when set) replaces the calibrated figure for the
+    // method under test only — other methods' servers are idle anyway.
+    let server_bw = |m: Method| {
+        if cfg.method == m {
+            cfg.server_bandwidth_override.unwrap_or_else(|| server_bandwidth_bps(m))
+        } else {
+            server_bandwidth_bps(m)
+        }
+    };
+    sim.add_link(
+        us,
+        vpn,
+        lan.bandwidth_bps(server_bw(Method::NativeVpn).max(server_bw(Method::OpenVpn))),
+    );
+    sim.add_link(us, ss, lan.bandwidth_bps(server_bw(Method::Shadowsocks)));
     sim.add_link(us, bridge, lan);
     sim.add_link(us, middle, lan);
     sim.add_link(us, exit, lan);
     sim.add_link(us, directory, lan);
-    sim.add_link(us, sc_remote, lan.bandwidth_bps(server_bandwidth_bps(Method::ScholarCloud)));
+    sim.add_link(us, sc_remote, lan.bandwidth_bps(server_bw(Method::ScholarCloud)));
     sim.add_link(us, scholar, lan);
     sim.add_link(us, accounts, lan);
     sim.compute_routes();
@@ -384,6 +419,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
                 bcfg.interval = cfg.interval;
                 bcfg.timeout = cfg.timeout;
                 bcfg.entropy = cfg.seed ^ (i as u64);
+                bcfg.start_delay = cfg.ramp_stagger.saturating_mul(i as u64);
                 sim.install_app(c, Box::new(Browser::new(bcfg, None, log.clone())));
                 logs.push(log);
             }
@@ -407,6 +443,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
                 bcfg.interval = cfg.interval;
                 bcfg.timeout = cfg.timeout;
                 bcfg.entropy = cfg.seed ^ (i as u64);
+                bcfg.start_delay = cfg.ramp_stagger.saturating_mul(i as u64);
                 let gate = {
                     let status = status.clone();
                     ReadyProbe::new(move || status.is_up())
@@ -431,6 +468,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
                 bcfg.interval = cfg.interval;
                 bcfg.timeout = cfg.timeout;
                 bcfg.entropy = cfg.seed ^ (i as u64);
+                bcfg.start_delay = cfg.ramp_stagger.saturating_mul(i as u64);
                 sim.install_app(c, Box::new(Browser::new(bcfg, None, log.clone())));
                 logs.push(log);
             }
@@ -467,6 +505,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
                 bcfg.interval = cfg.interval;
                 bcfg.timeout = cfg.timeout;
                 bcfg.entropy = cfg.seed ^ (i as u64);
+                bcfg.start_delay = cfg.ramp_stagger.saturating_mul(i as u64);
                 let gate = {
                     let status = status.clone();
                     ReadyProbe::new(move || status.is_up())
@@ -494,6 +533,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
                 bcfg.interval = cfg.interval;
                 bcfg.timeout = cfg.timeout;
                 bcfg.entropy = cfg.seed ^ (i as u64);
+                bcfg.start_delay = cfg.ramp_stagger.saturating_mul(i as u64);
                 sim.install_app(c, Box::new(Browser::new(bcfg, None, log.clone())));
                 logs.push(log);
             }
@@ -503,7 +543,10 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
     // --- run ---
     // Budget: tunnel/bootstrap time + loads * interval + slack.
     let bootstrap = SimDuration::from_secs(30);
-    let runtime = bootstrap + cfg.interval.saturating_mul(cfg.loads as u64) + cfg.timeout;
+    let runtime = bootstrap
+        + cfg.interval.saturating_mul(cfg.loads as u64)
+        + cfg.ramp_stagger.saturating_mul(cfg.clients.saturating_sub(1) as u64)
+        + cfg.timeout;
     sim.run_for(runtime);
 
     // --- collect ---

@@ -7,7 +7,7 @@
 //! simulation time and are byte-identical across runs of the same seeded
 //! scenario.
 
-use sc_obs::{Dispatcher, JsonlSink, Level, ObsGuard};
+use sc_obs::{Dispatcher, JsonlSink, Level, ObsGuard, SloSpec, WindowSpec};
 
 /// The environment variable naming the JSONL trace destination.
 pub const SC_TRACE_ENV: &str = "SC_TRACE";
@@ -41,6 +41,42 @@ pub fn obs_from_env() -> Option<ObsGuard> {
             None
         }
     }
+}
+
+/// Installs an operator-grade collector: windowed time-series with the
+/// given geometry, the given SLOs evaluated as simulation time advances
+/// (alerts flow through the normal sink path), and — if `SC_TRACE` is
+/// set — a JSONL sink capturing everything including the alerts.
+///
+/// ```no_run
+/// let guard = sc_metrics::trace::ops_obs(
+///     sc_obs::WindowSpec::seconds(10),
+///     sc_metrics::scenario::default_slos(),
+/// );
+/// // ... run the scenario, render dashboards, then:
+/// let fired = sc_obs::with_slo_engine(|e| e.total_fired()).unwrap_or(0);
+/// drop(guard);
+/// # let _ = fired;
+/// ```
+pub fn ops_obs(windows: WindowSpec, slos: Vec<SloSpec>) -> ObsGuard {
+    let mut d = Dispatcher::new()
+        .with_level(Level::Debug)
+        .with_windows(windows)
+        .with_slos(slos);
+    if let Ok(path) = std::env::var(SC_TRACE_ENV) {
+        if !path.is_empty() {
+            match JsonlSink::create(&path) {
+                Ok(sink) => {
+                    eprintln!("[sc-obs] tracing to {path} (SC_TRACE)");
+                    d = d.with_sink(Box::new(sink));
+                }
+                Err(e) => {
+                    eprintln!("[sc-obs] SC_TRACE={path}: cannot create trace file: {e}");
+                }
+            }
+        }
+    }
+    d.install()
 }
 
 /// Installs a JSONL trace collector writing to `path` unconditionally.

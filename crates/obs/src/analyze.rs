@@ -1,0 +1,836 @@
+//! Offline trace analytics: parse `SC_TRACE` JSONL files and explain
+//! where runs spent their time and when the censor interfered.
+//!
+//! The JSONL trace a run leaves behind (see [`crate::JsonlSink`]) is
+//! the raw material; this module turns it into the three views an
+//! operator of the paper's service would start from:
+//!
+//! 1. **Critical-path decomposition** of `page_load` spans — how much
+//!    of each page load went to DNS, TCP connect, tunnel/TLS setup, and
+//!    fetching, and how much of the load's wall-clock the instrumented
+//!    phases actually cover (the rest is think/queue time);
+//! 2. **Per-rule interference timeline** — which GFW rules fired, in
+//!    which simulation-time window (motivated by arXiv:1709.08718's
+//!    observation that interference *clusters* in time);
+//! 3. **Per-component event rates** and windowed `page_load`
+//!    percentiles (PTPerf, arXiv:2309.14856, shows transport
+//!    comparisons hinge on time-resolved percentiles, not run-wide
+//!    aggregates).
+//!
+//! The parser is hand-rolled (std-only, like everything in `sc-obs`)
+//! and accepts exactly the JSON subset [`crate::write_event_json`]
+//! emits: one object per line, string/number/bool/null values, one
+//! level of `fields` nesting. The `scholar-obs` binary wraps this
+//! module as a CLI.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value from a trace line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (e.g. a non-finite float).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String (unescaped).
+    Str(String),
+    /// Nested object, order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(v) => Some(*v as f64),
+            Json::I64(v) => Some(*v as f64),
+            Json::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// One trace record, the offline twin of [`crate::Event`] (owned
+/// strings instead of `&'static str`).
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Simulation time in microseconds.
+    pub t_us: u64,
+    /// Severity string (`"info"`, …).
+    pub level: String,
+    /// Emitting component.
+    pub component: String,
+    /// Subsystem within the component.
+    pub target: String,
+    /// Event name.
+    pub name: String,
+    /// Enclosing span id, if any.
+    pub span: Option<u64>,
+    /// Ordered payload.
+    pub fields: Vec<(String, Json)>,
+}
+
+impl TraceEvent {
+    /// Looks up a field by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Field as `u64`.
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        self.get(key).and_then(Json::as_u64)
+    }
+
+    /// Field as string slice.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(Json::as_str)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser { b: s.as_bytes(), i: 0 }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.i)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.i += 1;
+        }
+    }
+
+    fn object(&mut self) -> Result<Vec<(String, Json)>, String> {
+        self.eat(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(out);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            out.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'{') => Ok(Json::Obj(self.object()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.i += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.i += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).map_err(|_| self.err("utf8"))?;
+        if !float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::I64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| self.err("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("truncated escape"));
+                    };
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.i + 4 > self.b.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.b[self.i..self.i + 4])
+                                .map_err(|_| self.err("utf8"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.i += 4;
+                            // Surrogate pairs never appear in our traces
+                            // (the writer only \u-escapes control chars);
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-borrow as str to copy whole UTF-8 sequences.
+                    let rest = &self.b[self.i - 1..];
+                    let ch_len = utf8_len(c);
+                    if ch_len == 1 {
+                        out.push(c as char);
+                    } else {
+                        let s = std::str::from_utf8(&rest[..ch_len.min(rest.len())])
+                            .map_err(|_| self.err("utf8"))?;
+                        let ch = s.chars().next().ok_or_else(|| self.err("utf8"))?;
+                        out.push(ch);
+                        self.i += ch_len - 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Parses one JSONL trace line into a [`TraceEvent`].
+pub fn parse_line(line: &str) -> Result<TraceEvent, String> {
+    let mut p = Parser::new(line);
+    let obj = p.object()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(p.err("trailing data"));
+    }
+    let mut t_us = None;
+    let mut level = None;
+    let mut component = None;
+    let mut target = None;
+    let mut name = None;
+    let mut span = None;
+    let mut fields = Vec::new();
+    for (k, v) in obj {
+        match (k.as_str(), v) {
+            ("t_us", v) => t_us = v.as_u64(),
+            ("level", Json::Str(s)) => level = Some(s),
+            ("component", Json::Str(s)) => component = Some(s),
+            ("target", Json::Str(s)) => target = Some(s),
+            ("event", Json::Str(s)) => name = Some(s),
+            ("span", v) => span = v.as_u64(),
+            ("fields", Json::Obj(f)) => fields = f,
+            (k, _) => return Err(format!("unexpected key {k:?}")),
+        }
+    }
+    Ok(TraceEvent {
+        t_us: t_us.ok_or("missing t_us")?,
+        level: level.ok_or("missing level")?,
+        component: component.ok_or("missing component")?,
+        target: target.ok_or("missing target")?,
+        name: name.ok_or("missing event")?,
+        span,
+        fields,
+    })
+}
+
+/// Parses a whole JSONL trace; blank lines are skipped, any malformed
+/// line is an error carrying its 1-based line number.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Analysis
+// ---------------------------------------------------------------------
+
+/// A closed span reconstructed from its `span_start`/`span_end` pair.
+#[derive(Debug, Clone)]
+pub struct ClosedSpan {
+    /// Span id.
+    pub id: u64,
+    /// Emitting component.
+    pub component: String,
+    /// Span name (`page_load`, `connect`, …).
+    pub name: String,
+    /// Start time (µs).
+    pub start_us: u64,
+    /// End time (µs).
+    pub end_us: u64,
+    /// `ok` field on the end event, if present.
+    pub ok: Option<bool>,
+}
+
+impl ClosedSpan {
+    /// Span duration in microseconds.
+    pub fn dur_us(&self) -> u64 {
+        self.end_us - self.start_us
+    }
+}
+
+/// Per-phase aggregate over all attributed phase spans.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseAgg {
+    /// Phase spans attributed.
+    pub spans: u64,
+    /// Total phase time (µs), summed (phases on parallel connections
+    /// may overlap).
+    pub total_us: u64,
+}
+
+/// One reconstructed `page_load` with its attributed phases.
+#[derive(Debug, Clone)]
+pub struct PageLoad {
+    /// The load span.
+    pub span: ClosedSpan,
+    /// Summed attributed phase time by phase name.
+    pub phase_us: BTreeMap<String, u64>,
+    /// Length of the union of attributed phase intervals (µs): the part
+    /// of the load that instrumented phases account for.
+    pub covered_us: u64,
+}
+
+/// Everything the analyzer extracts from one trace.
+#[derive(Debug)]
+pub struct TraceAnalysis {
+    /// Events parsed.
+    pub events: usize,
+    /// Last event timestamp (µs).
+    pub t_end_us: u64,
+    /// Events per component.
+    pub component_counts: BTreeMap<String, u64>,
+    /// Closed spans, in end order.
+    pub spans: Vec<ClosedSpan>,
+    /// `span_start`s never matched by a `span_end`.
+    pub unclosed_spans: usize,
+    /// Reconstructed page loads, in end order.
+    pub page_loads: Vec<PageLoad>,
+    /// Phase aggregates across all page loads.
+    pub phase_totals: BTreeMap<String, PhaseAgg>,
+    /// rule → window index → interference event count.
+    pub rule_timeline: BTreeMap<String, BTreeMap<u64, u64>>,
+    /// SLO alerts found in the trace: `(t_us, fire|resolve, slo, burn)`.
+    pub slo_alerts: Vec<(u64, String, String, f64)>,
+    /// Window width used for timelines (µs).
+    pub window_us: u64,
+}
+
+/// The page-load phases the browser instruments, in pipeline order.
+pub const PHASES: [&str; 4] = ["dns", "connect", "tunnel", "fetch"];
+
+/// Analyzes a parsed trace with `window_us`-wide timeline windows.
+pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
+    let window_us = window_us.max(1);
+    let mut component_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut open: BTreeMap<u64, (u64, String, String)> = BTreeMap::new(); // id → (start, component, name)
+    let mut spans: Vec<ClosedSpan> = Vec::new();
+    let mut rule_timeline: BTreeMap<String, BTreeMap<u64, u64>> = BTreeMap::new();
+    let mut slo_alerts = Vec::new();
+    let mut t_end_us = 0;
+
+    for ev in events {
+        t_end_us = t_end_us.max(ev.t_us);
+        *component_counts.entry(ev.component.clone()).or_insert(0) += 1;
+        match ev.name.as_str() {
+            "span_start" => {
+                if let (Some(id), Some(name)) = (ev.span, ev.get_str("span_name")) {
+                    open.insert(id, (ev.t_us, ev.component.clone(), name.to_string()));
+                }
+            }
+            "span_end" => {
+                if let Some(id) = ev.span {
+                    if let Some((start_us, component, name)) = open.remove(&id) {
+                        let ok = match ev.get("ok") {
+                            Some(Json::Bool(b)) => Some(*b),
+                            _ => None,
+                        };
+                        spans.push(ClosedSpan {
+                            id,
+                            component,
+                            name,
+                            start_us,
+                            end_us: ev.t_us,
+                            ok,
+                        });
+                    }
+                }
+            }
+            // Interference: GFW verdicts and the simnet drops they cause
+            // both carry the rule label.
+            "drop" | "censor_drop" if matches!(ev.component.as_str(), "gfw" | "simnet") => {
+                if let Some(rule) = ev.get_str("rule") {
+                    *rule_timeline
+                        .entry(rule.to_string())
+                        .or_default()
+                        .entry(ev.t_us / window_us)
+                        .or_insert(0) += 1;
+                }
+            }
+            "fire" | "resolve" if ev.component == "slo" => {
+                slo_alerts.push((
+                    ev.t_us,
+                    ev.name.clone(),
+                    ev.get_str("slo").unwrap_or("?").to_string(),
+                    ev.get("burn").and_then(Json::as_f64).unwrap_or(0.0),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    // Attribute phase spans to page loads by time containment: a phase
+    // belongs to the latest-starting page_load whose interval contains
+    // the phase's start. (Concurrent clients share one trace without a
+    // client id, so this is a heuristic; aggregates stay exact.)
+    let mut loads: Vec<PageLoad> = spans
+        .iter()
+        .filter(|s| s.component == "web" && s.name == "page_load")
+        .map(|s| PageLoad {
+            span: s.clone(),
+            phase_us: BTreeMap::new(),
+            covered_us: 0,
+        })
+        .collect();
+    loads.sort_by_key(|l| (l.span.start_us, l.span.id));
+    let mut phase_totals: BTreeMap<String, PhaseAgg> = BTreeMap::new();
+    let mut intervals: Vec<Vec<(u64, u64)>> = vec![Vec::new(); loads.len()];
+    for s in &spans {
+        if s.component != "web" || !PHASES.contains(&s.name.as_str()) {
+            continue;
+        }
+        let agg = phase_totals.entry(s.name.clone()).or_default();
+        agg.spans += 1;
+        agg.total_us += s.dur_us();
+        // Latest-starting load containing the phase start.
+        let owner = loads
+            .iter()
+            .rposition(|l| l.span.start_us <= s.start_us && s.start_us <= l.span.end_us);
+        if let Some(i) = owner {
+            let clipped_end = s.end_us.min(loads[i].span.end_us);
+            *loads[i].phase_us.entry(s.name.clone()).or_insert(0) +=
+                clipped_end.saturating_sub(s.start_us);
+            intervals[i].push((s.start_us, clipped_end));
+        }
+    }
+    for (load, ivs) in loads.iter_mut().zip(intervals.iter_mut()) {
+        load.covered_us = union_len(ivs);
+    }
+
+    TraceAnalysis {
+        events: events.len(),
+        t_end_us,
+        component_counts,
+        unclosed_spans: open.len(),
+        spans,
+        page_loads: loads,
+        phase_totals,
+        rule_timeline,
+        slo_alerts,
+        window_us,
+    }
+}
+
+/// Total length of the union of `[start, end)` intervals (sorts in
+/// place).
+fn union_len(intervals: &mut [(u64, u64)]) -> u64 {
+    intervals.sort_unstable();
+    let mut total = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for &(s, e) in intervals.iter() {
+        match cur {
+            Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+            Some((cs, ce)) => {
+                total += ce - cs;
+                let _ = cs;
+                cur = Some((s, e));
+            }
+            None => cur = Some((s, e)),
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        total += ce - cs;
+    }
+    total
+}
+
+/// Exact quantile of a sorted slice (nearest-rank).
+fn quantile_sorted(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Renders the full analysis report: header, per-component rates,
+/// critical-path table, windowed page-load percentiles, interference
+/// timeline, and SLO alerts. Deterministic for a given trace.
+pub fn render_report(a: &TraceAnalysis) -> String {
+    let mut out = String::new();
+    let sim_s = a.t_end_us as f64 / 1e6;
+    let wsec = a.window_us as f64 / 1e6;
+    let _ = writeln!(out, "scholar-obs — trace analysis");
+    let _ = writeln!(
+        out,
+        "  events: {}   sim span: {:.1} s   spans: {} closed, {} unclosed",
+        a.events,
+        sim_s,
+        a.spans.len(),
+        a.unclosed_spans
+    );
+
+    out.push_str("\nper-component event rates:\n");
+    for (comp, n) in &a.component_counts {
+        let rate = if sim_s > 0.0 { *n as f64 / sim_s } else { 0.0 };
+        let _ = writeln!(out, "  {comp:<14} {n:>8} events {rate:>10.2}/sim-s");
+    }
+
+    // Critical path.
+    let ok_loads: Vec<&PageLoad> =
+        a.page_loads.iter().filter(|l| l.span.ok != Some(false)).collect();
+    let _ = writeln!(
+        out,
+        "\npage_load critical path ({} loads, {} failed):",
+        a.page_loads.len(),
+        a.page_loads.iter().filter(|l| l.span.ok == Some(false)).count(),
+    );
+    if ok_loads.is_empty() {
+        out.push_str("  (no completed page_load spans)\n");
+    } else {
+        let n = ok_loads.len() as f64;
+        let mean_plt = ok_loads.iter().map(|l| l.span.dur_us()).sum::<u64>() as f64 / n;
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>7} {:>16} {:>14}",
+            "phase", "spans", "mean/load (ms)", "share of PLT"
+        );
+        for phase in PHASES {
+            let agg = a.phase_totals.get(phase).copied().unwrap_or_default();
+            let attr: u64 = ok_loads
+                .iter()
+                .filter_map(|l| l.phase_us.get(phase))
+                .sum();
+            let mean_ms = attr as f64 / n / 1000.0;
+            let share = if mean_plt > 0.0 { attr as f64 / n / mean_plt * 100.0 } else { 0.0 };
+            let _ = writeln!(
+                out,
+                "  {phase:<10} {:>7} {mean_ms:>16.1} {share:>13.1}%",
+                agg.spans
+            );
+        }
+        let covered = ok_loads.iter().map(|l| l.covered_us).sum::<u64>() as f64 / n;
+        let _ = writeln!(
+            out,
+            "  mean PLT {:.1} ms; instrumented phases cover {:.1}% of it \
+             (phases on parallel connections may overlap)",
+            mean_plt / 1000.0,
+            if mean_plt > 0.0 { covered / mean_plt * 100.0 } else { 0.0 },
+        );
+    }
+
+    // Windowed percentiles of page_load durations.
+    let _ = writeln!(out, "\npage_load windowed percentiles (window {wsec:.0} s, µs):");
+    let mut by_window: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for l in &ok_loads {
+        by_window
+            .entry(l.span.end_us / a.window_us)
+            .or_default()
+            .push(l.span.dur_us());
+    }
+    if by_window.is_empty() {
+        out.push_str("  (no completed loads)\n");
+    } else {
+        for (w, durs) in &mut by_window {
+            durs.sort_unstable();
+            let lo = w * a.window_us / 1_000_000;
+            let hi = (w + 1) * a.window_us / 1_000_000;
+            let _ = writeln!(
+                out,
+                "  [{lo:>5}–{hi:<5}s) n={:<4} p50={:<9} p95={:<9} p99={}",
+                durs.len(),
+                quantile_sorted(durs, 0.50),
+                quantile_sorted(durs, 0.95),
+                quantile_sorted(durs, 0.99),
+            );
+        }
+    }
+
+    // Interference timeline.
+    let _ = writeln!(out, "\nGFW interference timeline (window {wsec:.0} s):");
+    if a.rule_timeline.is_empty() {
+        out.push_str("  (no interference events)\n");
+    } else {
+        let last_w = a.t_end_us / a.window_us;
+        for (rule, windows) in &a.rule_timeline {
+            let total: u64 = windows.values().sum();
+            let peak = windows.values().copied().max().unwrap_or(0);
+            let mut lane = String::new();
+            for w in 0..=last_w {
+                let n = windows.get(&w).copied().unwrap_or(0);
+                lane.push(density_char(n, peak));
+            }
+            let _ = writeln!(out, "  {rule:<22} |{lane}| total {total}");
+        }
+    }
+
+    // SLO alerts.
+    out.push_str("\nSLO alerts in trace:\n");
+    if a.slo_alerts.is_empty() {
+        out.push_str("  (none)\n");
+    } else {
+        for (t, kind, slo, burn) in &a.slo_alerts {
+            let _ = writeln!(
+                out,
+                "  {:>8.1} s  {kind:<8} {slo:<16} burn={burn:.3}",
+                *t as f64 / 1e6
+            );
+        }
+    }
+    out
+}
+
+/// A density character for the interference lanes.
+fn density_char(n: u64, peak: u64) -> char {
+    if n == 0 || peak == 0 {
+        return '.';
+    }
+    const RAMP: [char; 5] = [':', '-', '=', '#', '@'];
+    let idx = ((n as f64 / peak as f64) * RAMP.len() as f64).ceil() as usize;
+    RAMP[idx.clamp(1, RAMP.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, Level, SpanId};
+    use crate::sink::write_event_json;
+
+    fn line(ev: &Event) -> String {
+        let mut s = String::new();
+        write_event_json(&mut s, ev);
+        s
+    }
+
+    #[test]
+    fn parses_what_the_writer_emits_including_hostile_strings() {
+        let ev = Event::new(17, Level::Warn, "gfw", "verdict", "drop")
+            .field("rule", "gfw-\"sni\"")
+            .field("host", "例子.测试\n\u{1}".to_string())
+            .field("bytes", 1500u64)
+            .field("delta", -3i64)
+            .field("ratio", 0.5f64)
+            .field("nan", f64::NAN)
+            .field("ok", false)
+            .in_span(SpanId(3));
+        let parsed = parse_line(&line(&ev)).unwrap();
+        assert_eq!(parsed.t_us, 17);
+        assert_eq!(parsed.level, "warn");
+        assert_eq!(parsed.component, "gfw");
+        assert_eq!(parsed.name, "drop");
+        assert_eq!(parsed.span, Some(3));
+        assert_eq!(parsed.get_str("rule"), Some("gfw-\"sni\""));
+        assert_eq!(parsed.get_str("host"), Some("例子.测试\n\u{1}"));
+        assert_eq!(parsed.get_u64("bytes"), Some(1500));
+        assert_eq!(parsed.get("delta"), Some(&Json::I64(-3)));
+        assert_eq!(parsed.get("ratio"), Some(&Json::F64(0.5)));
+        assert_eq!(parsed.get("nan"), Some(&Json::Null));
+        assert_eq!(parsed.get("ok"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn malformed_lines_are_errors_with_line_numbers() {
+        assert!(parse_line("{").is_err());
+        assert!(parse_line("{\"t_us\":1}").is_err()); // missing keys
+        assert!(parse_line("not json").is_err());
+        let text = format!(
+            "{}\n\n{}\n{{broken",
+            line(&Event::new(1, Level::Info, "a", "b", "c")),
+            line(&Event::new(2, Level::Info, "a", "b", "c")),
+        );
+        let err = parse_trace(&text).unwrap_err();
+        assert!(err.starts_with("line 4:"), "{err}");
+    }
+
+    fn span_pair(
+        id: u64,
+        component: &'static str,
+        name: &'static str,
+        start: u64,
+        end: u64,
+    ) -> Vec<TraceEvent> {
+        let s = Event::new(start, Level::Info, component, "load", "span_start")
+            .field("span_name", name)
+            .in_span(SpanId(id));
+        let e = Event::new(end, Level::Info, component, "load", "span_end")
+            .field("span_name", name)
+            .field("dur_us", end - start)
+            .field("ok", true)
+            .in_span(SpanId(id));
+        vec![parse_line(&line(&s)).unwrap(), parse_line(&line(&e)).unwrap()]
+    }
+
+    #[test]
+    fn critical_path_attributes_phases_to_containing_load() {
+        let mut evs = Vec::new();
+        evs.extend(span_pair(1, "web", "page_load", 0, 1_000_000));
+        evs.extend(span_pair(2, "web", "connect", 0, 200_000));
+        evs.extend(span_pair(3, "web", "fetch", 200_000, 900_000));
+        // A second, later load with one phase.
+        evs.extend(span_pair(4, "web", "page_load", 2_000_000, 2_500_000));
+        evs.extend(span_pair(5, "web", "fetch", 2_100_000, 2_400_000));
+        // An orphan phase outside any load: counted in totals only.
+        evs.extend(span_pair(6, "web", "connect", 5_000_000, 5_100_000));
+        let a = analyze(&evs, 1_000_000);
+        assert_eq!(a.page_loads.len(), 2);
+        let l0 = &a.page_loads[0];
+        assert_eq!(l0.phase_us.get("connect"), Some(&200_000));
+        assert_eq!(l0.phase_us.get("fetch"), Some(&700_000));
+        assert_eq!(l0.covered_us, 900_000); // contiguous union
+        assert_eq!(a.page_loads[1].phase_us.get("fetch"), Some(&300_000));
+        assert_eq!(a.phase_totals.get("connect").unwrap().spans, 2);
+        let report = render_report(&a);
+        assert!(report.contains("page_load critical path (2 loads"));
+        assert!(report.contains("share of PLT"));
+    }
+
+    #[test]
+    fn interference_and_slo_events_build_timelines() {
+        let mk = |t, rule: &'static str| {
+            parse_line(&line(
+                &Event::new(t, Level::Info, "gfw", "verdict", "drop").field("rule", rule),
+            ))
+            .unwrap()
+        };
+        let mut evs = vec![mk(100, "gfw-dns"), mk(200, "gfw-dns"), mk(2_500_000, "gfw-sni")];
+        evs.push(
+            parse_line(&line(
+                &Event::new(3_000_000, Level::Warn, "slo", "alert", "fire")
+                    .field("slo", "plt-p95".to_string())
+                    .field("burn", 2.5),
+            ))
+            .unwrap(),
+        );
+        let a = analyze(&evs, 1_000_000);
+        assert_eq!(a.rule_timeline["gfw-dns"][&0], 2);
+        assert_eq!(a.rule_timeline["gfw-sni"][&2], 1);
+        assert_eq!(a.slo_alerts.len(), 1);
+        assert_eq!(a.slo_alerts[0].2, "plt-p95");
+        let report = render_report(&a);
+        assert!(report.contains("gfw-dns"));
+        assert!(report.contains("fire"));
+        assert!(report.contains("burn=2.500"));
+    }
+
+    #[test]
+    fn union_len_merges_overlaps() {
+        let mut ivs = vec![(0, 10), (5, 15), (20, 30)];
+        assert_eq!(union_len(&mut ivs), 25);
+        assert_eq!(union_len(&mut []), 0);
+    }
+}

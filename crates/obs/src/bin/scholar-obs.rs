@@ -1,0 +1,81 @@
+//! `scholar-obs`: offline analyzer for `SC_TRACE` JSONL traces.
+//!
+//! ```text
+//! scholar-obs <trace.jsonl> [--window SECS]
+//! ```
+//!
+//! Prints the critical-path decomposition of `page_load` spans, the
+//! per-GFW-rule interference timeline, per-component event rates,
+//! windowed page-load percentiles, and any SLO alerts recorded in the
+//! trace (see `sc_obs::analyze`).
+//!
+//! Exit codes (used by `scripts/check.sh` as a smoke gate):
+//! * `0` — analysis printed;
+//! * `1` — usage / IO error;
+//! * `2` — trace unparseable or empty;
+//! * `3` — trace parsed but carries no closed spans and no events worth
+//!   analyzing (empty analysis).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    let mut window_s: u64 = 10;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--window" => {
+                let Some(v) = args.next().and_then(|v| v.parse::<u64>().ok()).filter(|v| *v > 0)
+                else {
+                    eprintln!("scholar-obs: --window expects a positive integer (seconds)");
+                    return ExitCode::from(1);
+                };
+                window_s = v;
+            }
+            "-h" | "--help" => {
+                println!("usage: scholar-obs <trace.jsonl> [--window SECS]");
+                return ExitCode::SUCCESS;
+            }
+            _ if path.is_none() && !arg.starts_with('-') => path = Some(arg),
+            _ => {
+                eprintln!("scholar-obs: unexpected argument {arg:?}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: scholar-obs <trace.jsonl> [--window SECS]");
+        return ExitCode::from(1);
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("scholar-obs: cannot read {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let events = match sc_obs::analyze::parse_trace(&text) {
+        Ok(evs) => evs,
+        Err(e) => {
+            eprintln!("scholar-obs: parse error in {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if events.is_empty() {
+        eprintln!("scholar-obs: {path} contains no events");
+        return ExitCode::from(2);
+    }
+
+    let analysis = sc_obs::analyze::analyze(&events, window_s * 1_000_000);
+    if analysis.spans.is_empty() && analysis.rule_timeline.is_empty() {
+        eprintln!(
+            "scholar-obs: {path} parsed ({} events) but contains no spans or interference \
+             events — was the trace captured at Debug level?",
+            analysis.events
+        );
+        return ExitCode::from(3);
+    }
+    print!("{}", sc_obs::analyze::render_report(&analysis));
+    ExitCode::SUCCESS
+}

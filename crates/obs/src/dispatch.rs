@@ -18,6 +18,8 @@ use std::collections::BTreeMap;
 use crate::event::{Event, Level, SpanId};
 use crate::metrics::Registry;
 use crate::sink::Sink;
+use crate::slo::{SloEngine, SloSpec};
+use crate::timeseries::{TimeSeries, WindowSpec};
 
 thread_local! {
     static CURRENT: RefCell<Option<Dispatcher>> = const { RefCell::new(None) };
@@ -30,6 +32,8 @@ pub struct Dispatcher {
     default_level: Level,
     component_levels: BTreeMap<&'static str, Level>,
     registry: Registry,
+    timeseries: TimeSeries,
+    slos: SloEngine,
     next_span: u64,
     open_spans: BTreeMap<u64, SpanStart>,
 }
@@ -55,6 +59,8 @@ impl Dispatcher {
             default_level: Level::Info,
             component_levels: BTreeMap::new(),
             registry: Registry::new(),
+            timeseries: TimeSeries::default(),
+            slos: SloEngine::default(),
             next_span: 0,
             open_spans: BTreeMap::new(),
         }
@@ -81,6 +87,28 @@ impl Dispatcher {
         self
     }
 
+    /// Replaces the windowed time-series store with one of the given
+    /// geometry (the default is 1-second windows, 512 kept per series).
+    pub fn with_windows(mut self, spec: WindowSpec) -> Dispatcher {
+        self.timeseries = TimeSeries::new(spec);
+        self
+    }
+
+    /// Adds one SLO; alerts are evaluated as windows close (see
+    /// [`tick`]) and dispatched through the sinks like any other event.
+    pub fn with_slo(mut self, spec: SloSpec) -> Dispatcher {
+        self.slos.push(spec);
+        self
+    }
+
+    /// Adds several SLOs.
+    pub fn with_slos(mut self, specs: Vec<SloSpec>) -> Dispatcher {
+        for spec in specs {
+            self.slos.push(spec);
+        }
+        self
+    }
+
     /// Installs this dispatcher into the thread-local slot, returning a
     /// guard that uninstalls (and flushes sinks into) it on drop. The
     /// previously installed dispatcher, if any, is restored afterwards,
@@ -93,6 +121,16 @@ impl Dispatcher {
     /// The metrics registry accumulated so far.
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// The windowed time-series accumulated so far.
+    pub fn timeseries(&self) -> &TimeSeries {
+        &self.timeseries
+    }
+
+    /// The SLO engine with its current alerting state.
+    pub fn slo_engine(&self) -> &SloEngine {
+        &self.slos
     }
 
     /// Consumes the dispatcher, yielding its final registry (typically
@@ -261,10 +299,61 @@ pub fn observe(name: &str, v: u64) {
     with_installed(|d| d.registry.observe(name, v));
 }
 
+/// Records a sample into the named windowed time-series at simulation
+/// time `t_us` (no-op without a dispatcher). Pairs with [`observe`]:
+/// `observe` feeds the run-wide histogram, `ts_record` the per-window
+/// one.
+pub fn ts_record(t_us: u64, name: &str, v: u64) {
+    with_installed(|d| d.timeseries.record(name, t_us, v));
+}
+
+/// Adds a counter-style increment to the named windowed time-series at
+/// simulation time `t_us` (no-op without a dispatcher).
+pub fn ts_bump(t_us: u64, name: &str, by: u64) {
+    with_installed(|d| d.timeseries.bump(name, t_us, by));
+}
+
+/// Advances the observability clock to simulation time `t_us`. The
+/// simulator calls this as its clock moves; every time-series window
+/// that closes is evaluated against the configured SLOs, and resulting
+/// burn-rate alerts are dispatched through the sinks like any other
+/// event (component `slo`, target `alert`, names `fire`/`resolve`).
+/// No-op without a dispatcher; cheap when no window closed.
+pub fn tick(t_us: u64) {
+    with_installed(|d| {
+        d.timeseries.advance(t_us);
+        if d.slos.is_empty() {
+            return;
+        }
+        let alerts = d.slos.evaluate(&d.timeseries);
+        for ev in alerts {
+            match ev.name {
+                "fire" => d.registry.counter_add("slo.alerts_fired", 1),
+                _ => d.registry.counter_add("slo.alerts_resolved", 1),
+            }
+            if d.enabled(ev.level, ev.component) {
+                d.dispatch(&ev);
+            }
+        }
+    });
+}
+
 /// Runs `f` against the installed registry, returning `None` without a
 /// dispatcher. Used by report renderers to snapshot metrics.
 pub fn with_registry<R>(f: impl FnOnce(&Registry) -> R) -> Option<R> {
     with_installed(|d| f(&d.registry))
+}
+
+/// Runs `f` against the installed windowed time-series, returning
+/// `None` without a dispatcher. Used by timeline renderers.
+pub fn with_timeseries<R>(f: impl FnOnce(&TimeSeries) -> R) -> Option<R> {
+    with_installed(|d| f(&d.timeseries))
+}
+
+/// Runs `f` against the installed SLO engine, returning `None` without
+/// a dispatcher. Used by verdict-table renderers.
+pub fn with_slo_engine<R>(f: impl FnOnce(&SloEngine) -> R) -> Option<R> {
+    with_installed(|d| f(&d.slos))
 }
 
 #[cfg(test)]
@@ -347,6 +436,50 @@ mod tests {
         drop(outer);
         assert_eq!(oh.len(), 2);
         assert!(!is_active());
+    }
+
+    #[test]
+    fn tick_drives_windows_and_slo_alerts_through_sinks() {
+        use crate::slo::SloSpec;
+        use crate::timeseries::WindowSpec;
+
+        let ring = RingSink::with_capacity(64);
+        let h = ring.handle();
+        let mut spec = SloSpec::quantile("plt", "web.plt_us", 0.95, 1_000);
+        spec.eval_windows = 1;
+        spec.budget = 0.5;
+        let guard = Dispatcher::new()
+            .with_windows(WindowSpec::new(1_000_000, 32))
+            .with_slo(spec)
+            .with_sink(Box::new(ring))
+            .install();
+
+        ts_record(100, "web.plt_us", 50_000); // bad window 0
+        tick(500_000); // window still open: nothing closes
+        assert_eq!(h.len(), 0);
+        tick(1_200_000); // window 0 closes → burn 2.0 → fire
+        tick(2_200_000); // window 1 empty → burn 0 → resolve
+
+        let d = guard.uninstall();
+        let evs = h.events();
+        let names: Vec<&str> = evs.iter().map(|e| e.name).collect();
+        assert_eq!(names, ["fire", "resolve"], "{evs:?}");
+        assert_eq!(evs[0].component, "slo");
+        assert_eq!(evs[0].get_str("slo"), Some("plt"));
+        assert_eq!(d.registry().counter("slo.alerts_fired"), 1);
+        assert_eq!(d.registry().counter("slo.alerts_resolved"), 1);
+        assert_eq!(d.timeseries().window("web.plt_us", 0).unwrap().count(), 1);
+        assert!(d.slo_engine().any_fired());
+    }
+
+    #[test]
+    fn ts_free_functions_are_noops_without_dispatcher() {
+        assert!(!is_active());
+        ts_record(0, "x", 1);
+        ts_bump(0, "y", 1);
+        tick(1_000_000); // must not panic
+        assert!(with_timeseries(|_| ()).is_none());
+        assert!(with_slo_engine(|_| ()).is_none());
     }
 
     #[test]

@@ -57,15 +57,21 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod dispatch;
 pub mod event;
 pub mod metrics;
 pub mod sink;
+pub mod slo;
+pub mod timeseries;
 
 pub use dispatch::{
     counter_add, emit, gauge_add, gauge_set, is_active, is_enabled, observe, span_end, span_start,
-    with_registry, Dispatcher, ObsGuard,
+    tick, ts_bump, ts_record, with_registry, with_slo_engine, with_timeseries, Dispatcher,
+    ObsGuard,
 };
 pub use event::{Event, Level, SpanId, Value};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
-pub use sink::{JsonlSink, RingHandle, RingSink, Sink};
+pub use sink::{write_event_json, JsonlSink, RingHandle, RingSink, Sink};
+pub use slo::{Objective, SloEngine, SloSpec, SloStatus};
+pub use timeseries::{SeriesKind, TimeSeries, Window, WindowSpec};

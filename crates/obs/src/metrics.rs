@@ -62,8 +62,9 @@ impl Gauge {
     }
 }
 
-/// Index of the bucket covering `v`.
-fn bucket_of(v: u64) -> usize {
+/// Index of the bucket covering `v` (shared with the windowed
+/// time-series' sparse per-window histograms).
+pub(crate) fn bucket_of(v: u64) -> usize {
     let top = 64 - v.leading_zeros() as usize;
     if top <= SUB_BITS as usize + 1 {
         // v < 2 * SUB: exact buckets.
@@ -75,7 +76,7 @@ fn bucket_of(v: u64) -> usize {
 }
 
 /// Lowest value falling in bucket `idx` (inverse of [`bucket_of`]).
-fn bucket_lo(idx: usize) -> u64 {
+pub(crate) fn bucket_lo(idx: usize) -> u64 {
     if idx < 2 * SUB {
         return idx as u64;
     }
@@ -85,7 +86,7 @@ fn bucket_lo(idx: usize) -> u64 {
 }
 
 /// Width of bucket `idx` in value space.
-fn bucket_width(idx: usize) -> u64 {
+pub(crate) fn bucket_width(idx: usize) -> u64 {
     if idx < 2 * SUB {
         1
     } else {
@@ -422,6 +423,56 @@ mod tests {
         assert_eq!(h.count(), 3);
         assert_eq!(h.max(), u64::MAX);
         assert!(h.quantile(0.9) > u64::MAX / 2);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty: every quantile is 0, including the boundaries.
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+
+        // Single sample: every quantile is that sample.
+        let mut h = Histogram::new();
+        h.observe(1234);
+        for q in [0.0, 0.001, 0.5, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 1234, "q={q}");
+        }
+
+        // Out-of-range q clamps rather than panicking.
+        assert_eq!(h.quantile(-3.0), 1234);
+        assert_eq!(h.quantile(7.5), 1234);
+        assert_eq!(h.quantile(f64::NAN), 1234); // NaN degrades to rank 1
+
+        // q=0.0 targets rank 1 (the minimum's bucket), q=1.0 the max.
+        let mut h = Histogram::new();
+        h.observe(10);
+        h.observe(1_000_000);
+        assert_eq!(h.quantile(0.0), 10);
+        assert_eq!(h.quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn quantile_at_bucket_boundaries() {
+        // Values exactly on power-of-two bucket edges: the estimate must
+        // stay within the clamped [min, max] range and within one
+        // sub-bucket of the true value.
+        for v in [1u64, 31, 32, 33, 63, 64, 1 << 20, (1 << 20) + 1] {
+            let mut h = Histogram::new();
+            for _ in 0..100 {
+                h.observe(v);
+            }
+            let est = h.quantile(0.5);
+            assert_eq!(est, v, "all-equal samples must report exactly v={v}");
+        }
+        // Two adjacent boundary values: p50 lands on the lower one.
+        let mut h = Histogram::new();
+        h.observe(64);
+        h.observe(65);
+        let p50 = h.quantile(0.5);
+        assert!((64..=65).contains(&p50), "p50={p50}");
+        assert_eq!(h.quantile(1.0), 65);
     }
 
     #[test]

@@ -310,4 +310,40 @@ mod tests {
         write_value_json(&mut s, &Value::F64(f64::NAN));
         assert_eq!(s, "null");
     }
+
+    #[test]
+    fn hostile_labels_stay_valid_json() {
+        // Hostnames from the wire can carry anything: quotes, the full
+        // C0 control range, backslashes, non-ASCII (IDNs). Every one of
+        // these must come out as RFC 8259-valid JSON on a single line.
+        let mut hostile = String::from("\"\\\u{7f}");
+        for c in 0u32..0x20 {
+            hostile.push(char::from_u32(c).unwrap());
+        }
+        hostile.push_str("例子.测试 – ∅");
+        let e = Event::new(1, Level::Info, "web", "load", "start")
+            .field("host", hostile.clone())
+            .field("note", "tab\there");
+        let mut s = String::new();
+        write_event_json(&mut s, &e);
+        // One physical line: every raw control char was escaped.
+        assert_eq!(s.lines().count(), 1);
+        assert!(!s.bytes().any(|b| b < 0x20), "raw control byte leaked: {s:?}");
+        // The analyzer's strict parser accepts it and round-trips the
+        // value exactly — which also proves quotes and backslashes were
+        // escaped (an unescaped one would break the object structure).
+        let parsed = crate::analyze::parse_line(&s).unwrap();
+        assert_eq!(parsed.get_str("host"), Some(hostile.as_str()));
+        assert_eq!(parsed.get_str("note"), Some("tab\there"));
+    }
+
+    #[test]
+    fn named_escapes_and_del_byte_round_trip() {
+        let mut s = String::new();
+        write_value_json(&mut s, &Value::String("\n\r\t\u{8}\u{c}\u{7f}".to_string()));
+        // \b and \f have no named escape in our writer; they are C0
+        // controls so they take the \uXXXX path. DEL (0x7f) is legal
+        // raw in JSON strings and passes through.
+        assert_eq!(s, "\"\\n\\r\\t\\u0008\\u000c\u{7f}\"");
+    }
 }

@@ -212,17 +212,26 @@ impl Sim {
     }
 
     /// Runs until the queue is exhausted or `deadline` is reached.
+    ///
+    /// Each time the clock advances, [`sc_obs::tick`] is driven so the
+    /// observability layer can close time-series windows and evaluate
+    /// SLOs *during* the run (alert events carry the sim time at which
+    /// the offending window closed, not the end of the run).
     pub fn run_until(&mut self, deadline: SimTime) {
         while let Some(Reverse(q)) = self.queue.peek() {
             if q.at > deadline {
                 break;
             }
             let Reverse(q) = self.queue.pop().unwrap();
+            if q.at > self.now {
+                sc_obs::tick(q.at.as_micros());
+            }
             self.now = q.at;
             self.handle(q.ev);
         }
         if self.now < deadline {
             self.now = deadline;
+            sc_obs::tick(deadline.as_micros());
         }
     }
 
@@ -235,6 +244,9 @@ impl Sim {
     /// Runs until no events remain (beware apps that re-arm timers forever).
     pub fn run_until_idle(&mut self) {
         while let Some(Reverse(q)) = self.queue.pop() {
+            if q.at > self.now {
+                sc_obs::tick(q.at.as_micros());
+            }
             self.now = q.at;
             self.handle(q.ev);
         }
@@ -288,6 +300,7 @@ impl Sim {
                 self.stats
                     .record_drop(packet.src, packet.dst, DropReason::Censor(label));
                 sc_obs::counter_add("simnet.censor_drops", 1);
+                sc_obs::ts_bump(self.now.as_micros(), "simnet.censor_drops", 1);
                 if sc_obs::is_enabled(sc_obs::Level::Info, "simnet") {
                     sc_obs::emit(
                         sc_obs::Event::new(

@@ -43,6 +43,8 @@ const WAIT_POLL: SimDuration = SimDuration::from_millis(50);
 const TIMER_NEXT_LOAD: u64 = 1;
 const TIMER_WAIT: u64 = 2;
 const TIMER_DNS_RETRY: u64 = 3;
+/// Staggered-start (load-ramp) delay before the browser begins.
+const TIMER_RAMP: u64 = 4;
 /// Stub resolver retransmission interval.
 const DNS_RETRY: SimDuration = SimDuration::from_secs(1);
 
@@ -97,6 +99,10 @@ pub struct BrowserConfig {
     pub entropy: u64,
     /// Per-load timeout after which the load is recorded as failed.
     pub timeout: SimDuration,
+    /// Delay before the browser starts at all (load-ramp scenarios where
+    /// clients come online staggered). The PLT clock starts *after* the
+    /// delay, so a ramped client's first load is not charged for it.
+    pub start_delay: SimDuration,
 }
 
 impl BrowserConfig {
@@ -112,6 +118,7 @@ impl BrowserConfig {
             loads: 10,
             entropy: 7,
             timeout: SimDuration::from_secs(55),
+            start_delay: SimDuration::ZERO,
         }
     }
 }
@@ -504,8 +511,11 @@ impl Browser {
         let now = ctx.now();
         sc_obs::counter_add("web.loads_ok", 1);
         sc_obs::observe("web.plt_us", (now - load.started).as_micros());
+        sc_obs::ts_bump(now.as_micros(), "web.loads_ok", 1);
+        sc_obs::ts_record(now.as_micros(), "web.plt_us", (now - load.started).as_micros());
         if let Some(rtt) = rtt {
             sc_obs::observe("web.rtt_us", rtt.as_micros());
+            sc_obs::ts_record(now.as_micros(), "web.rtt_us", rtt.as_micros());
         }
         sc_obs::span_end(
             now.as_micros(),
@@ -533,6 +543,7 @@ impl Browser {
     fn fail_load(&mut self, ctx: &mut Ctx<'_>) {
         let Some(load) = self.load.take() else { return };
         sc_obs::counter_add("web.loads_failed", 1);
+        sc_obs::ts_bump(ctx.now().as_micros(), "web.loads_failed", 1);
         sc_obs::span_end(
             ctx.now().as_micros(),
             load.span,
@@ -557,7 +568,13 @@ impl Browser {
     }
 
     fn teardown_conns(&mut self, ctx: &mut Ctx<'_>) {
-        for (&h, _) in self.conns.iter() {
+        // Close in handle order: HashMap iteration order varies between
+        // same-seed runs, and close order shapes packet ordering (and
+        // with it the loss RNG draw sequence), which would break trace
+        // byte-determinism.
+        let mut handles: Vec<TcpHandle> = self.conns.keys().copied().collect();
+        handles.sort_by_key(|h| h.0);
+        for h in handles {
             ctx.tcp_close(h);
         }
         self.conns.clear();
@@ -594,6 +611,10 @@ impl App for Browser {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.browser_started = ctx.now();
         self.stub.bind(ctx);
+        if self.config.start_delay > SimDuration::ZERO {
+            ctx.set_timer(self.config.start_delay, TIMER_RAMP);
+            return;
+        }
         match &self.gate {
             Some(gate) if !gate.is_ready() => ctx.set_timer(WAIT_POLL, TIMER_WAIT),
             _ => self.begin_load(ctx),
@@ -602,6 +623,16 @@ impl App for Browser {
 
     fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx<'_>) {
         match ev {
+            AppEvent::TimerFired(TIMER_RAMP) => {
+                // Ramp delay elapsed: restart the PLT clock so the
+                // stagger does not count into first-time PLT, then go
+                // through the normal readiness gate.
+                self.browser_started = ctx.now();
+                match &self.gate {
+                    Some(gate) if !gate.is_ready() => ctx.set_timer(WAIT_POLL, TIMER_WAIT),
+                    _ => self.begin_load(ctx),
+                }
+            }
             AppEvent::TimerFired(TIMER_WAIT) => {
                 match &self.gate {
                     Some(gate) if !gate.is_ready() => ctx.set_timer(WAIT_POLL, TIMER_WAIT),

@@ -5,3 +5,12 @@ set -eu
 cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
+
+# Observability smoke gate: capture a real SC_TRACE from a seeded run,
+# then make scholar-obs analyze it. scholar-obs exits non-zero on parse
+# errors (2) or an empty analysis (3), failing the gate.
+trace="${TMPDIR:-/tmp}/sc_check_trace.jsonl"
+SC_TRACE="$trace" cargo run --release --offline --example quickstart >/dev/null
+cargo run --release --offline -p sc-obs --bin scholar-obs -- "$trace" --window 30 >/dev/null
+rm -f "$trace"
+echo "scholar-obs smoke gate: ok"

@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Regenerates figures_output.txt (gitignored): every paper figure plus
+# the ablations, rendered as text. Pass a figure name to narrow it
+# (fig3|fig5|fig6|fig7|ablations|all; default all).
+set -eu
+cd "$(dirname "$0")/.."
+what="${1:-all}"
+out="figures_output.txt"
+cargo run --release --offline --example paper_figures "$what" 2>&1 | tee "$out"
+echo "wrote $out"
