@@ -27,11 +27,13 @@
 pub mod classify;
 pub mod config;
 pub mod engine;
+pub mod faults;
 pub mod prober;
 
 pub use classify::{FlowKey, FlowRecord, FlowTable, TrafficClass};
 pub use config::{ClassPolicies, GfwConfig, Policy};
 pub use engine::{GfwCounters, GfwHandle, GfwMiddlebox, GfwState, new_gfw};
+pub use faults::{blacklist_ip, unblacklist_ip};
 pub use prober::{ActiveProber, ProbeVerdict};
 
 #[cfg(test)]

@@ -21,7 +21,10 @@ pub use experiments::{
     Fig3Row, Fig5Row, Fig6Row, Fig7Point, FIG7_CLIENTS, ablation_agility, ablation_blinding,
     ablation_ss_keepalive, fig3_survey, fig5_all, fig5_method, fig6_all, fig6_method, fig7_method,
 };
-pub use scenario::{Method, ScenarioConfig, ScenarioOutcome, default_slos, run_scenario};
+pub use scenario::{
+    BuiltScenario, Method, ScenarioConfig, ScenarioOutcome, build_scenario, default_slos,
+    run_scenario,
+};
 pub use stats::Summary;
 
 #[cfg(test)]

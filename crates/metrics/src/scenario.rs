@@ -173,6 +173,11 @@ pub struct ScenarioConfig {
     /// (bits/s) — the operator "capacity incident" knob used by the
     /// ops dashboard demo to drive the server into saturation.
     pub server_bandwidth_override: Option<u64>,
+    /// Number of ScholarCloud remote proxy VMs (≥ 1). Extra remotes sit
+    /// at consecutive addresses after [`addrs::SC_REMOTE`] and feed the
+    /// domestic proxy's failover pool — the chaos scenarios blacklist
+    /// them one by one.
+    pub sc_remotes: usize,
 }
 
 impl ScenarioConfig {
@@ -193,7 +198,18 @@ impl ScenarioConfig {
             gfw_learned_signatures: Vec::new(),
             ramp_stagger: SimDuration::ZERO,
             server_bandwidth_override: None,
+            sc_remotes: 1,
         }
+    }
+
+    /// The addresses the ScholarCloud remote VMs occupy under this
+    /// config (`sc_remotes` consecutive addresses from
+    /// [`addrs::SC_REMOTE`]).
+    pub fn sc_remote_addrs(&self) -> Vec<Addr> {
+        let base = addrs::SC_REMOTE.as_u32();
+        (0..self.sc_remotes.max(1))
+            .map(|i| Addr::from_u32(base + i as u32))
+            .collect()
     }
 }
 
@@ -279,8 +295,43 @@ impl ScenarioOutcome {
     }
 }
 
+/// A fully wired scenario that has not run yet: the seam for fault
+/// injection. Install a [`FaultPlan`](sc_simnet::faults::FaultPlan) on
+/// [`sim`](Self::sim) (or mutate [`gfw`](Self::gfw) via
+/// `sc_gfw::blacklist_ip` faults), then call
+/// [`finish`](Self::finish) to run to completion and collect metrics.
+pub struct BuiltScenario {
+    /// The simulator, with every node, link, and app installed but no
+    /// event processed yet.
+    pub sim: Sim,
+    /// Live handle to the GFW state when the middlebox is attached.
+    pub gfw: Option<GfwHandle>,
+    /// ScholarCloud remote VM addresses, in pool order.
+    pub sc_remote_addrs: Vec<Addr>,
+    /// The us↔sc-remote access links, same order as
+    /// [`sc_remote_addrs`](Self::sc_remote_addrs).
+    pub sc_remote_links: Vec<sc_simnet::link::LinkId>,
+    cfg: ScenarioConfig,
+    clients: Vec<sc_simnet::link::NodeId>,
+    logs: Vec<LoadLog>,
+    span: sc_obs::SpanId,
+    runtime: SimDuration,
+}
+
+impl BuiltScenario {
+    /// The simulated duration [`finish`](Self::finish) will run for.
+    pub fn runtime(&self) -> SimDuration {
+        self.runtime
+    }
+}
+
 /// Builds and runs a scenario to completion, returning the metrics.
 pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
+    build_scenario(cfg).finish()
+}
+
+/// Builds a scenario without running it (see [`BuiltScenario`]).
+pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
     use addrs::*;
     use calibration::*;
 
@@ -319,7 +370,16 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
     let middle = sim.add_node("middle", MIDDLE);
     let exit = sim.add_node("exit", EXIT);
     let directory = sim.add_node("directory", DIRECTORY);
-    let sc_remote = sim.add_node("sc-remote", SC_REMOTE);
+    let sc_remote_addrs = cfg.sc_remote_addrs();
+    let sc_remotes: Vec<_> = sc_remote_addrs
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| {
+            let name =
+                if i == 0 { "sc-remote".to_string() } else { format!("sc-remote-{i}") };
+            sim.add_node(name, a)
+        })
+        .collect();
     let scholar = sim.add_node("scholar", SCHOLAR);
     let accounts = sim.add_node("accounts", ACCOUNTS);
 
@@ -358,7 +418,10 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
     sim.add_link(us, middle, lan);
     sim.add_link(us, exit, lan);
     sim.add_link(us, directory, lan);
-    sim.add_link(us, sc_remote, lan.bandwidth_bps(server_bw(Method::ScholarCloud)));
+    let sc_remote_links: Vec<_> = sc_remotes
+        .iter()
+        .map(|&n| sim.add_link(us, n, lan.bandwidth_bps(server_bw(Method::ScholarCloud))))
+        .collect();
     sim.add_link(us, scholar, lan);
     sim.add_link(us, accounts, lan);
     sim.compute_routes();
@@ -515,14 +578,17 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
             }
         }
         Method::ScholarCloud => {
-            let mut sc_cfg = sc_core::ScConfig::new(SC_DOMESTIC, SC_REMOTE);
+            let mut sc_cfg = sc_core::ScConfig::new(SC_DOMESTIC, SC_REMOTE)
+                .with_remotes(&sc_remote_addrs);
             sc_cfg.whitelist = vec!["scholar.google.com".into(), "accounts.google.com".into()];
             sc_cfg.scheme.set(cfg.sc_scheme);
             sim.install_app(sc_domestic, Box::new(sc_core::DomesticProxy::new(sc_cfg.clone())));
-            sim.install_app(
-                sc_remote,
-                Box::new(sc_core::RemoteProxy::new(sc_cfg.clone(), names.clone())),
-            );
+            for &n in &sc_remotes {
+                sim.install_app(
+                    n,
+                    Box::new(sc_core::RemoteProxy::new(sc_cfg.clone(), names.clone())),
+                );
+            }
             for (i, &c) in clients.iter().enumerate() {
                 let log = new_load_log();
                 let mut bcfg = BrowserConfig::scholar(
@@ -540,54 +606,72 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
         }
     }
 
-    // --- run ---
     // Budget: tunnel/bootstrap time + loads * interval + slack.
     let bootstrap = SimDuration::from_secs(30);
     let runtime = bootstrap
         + cfg.interval.saturating_mul(cfg.loads as u64)
         + cfg.ramp_stagger.saturating_mul(cfg.clients.saturating_sub(1) as u64)
         + cfg.timeout;
-    sim.run_for(runtime);
 
-    // --- collect ---
-    // For ScholarCloud the censored path is the domestic↔remote leg (the
-    // client only talks to the domestic proxy over the campus LAN), so
-    // PLR is measured at the domestic proxy — the vantage the paper's
-    // deployment measures from.
-    let plr_addr_override = (cfg.method == Method::ScholarCloud).then_some(SC_DOMESTIC);
-    let first_client_addr = sim.addr_of(clients[0]);
-    let counters = sim
-        .stats
-        .by_addr
-        .get(&first_client_addr)
-        .copied()
-        .unwrap_or_default();
-    let mut plr_sum = 0.0;
-    match plr_addr_override {
-        Some(addr) => plr_sum = sim.stats.loss_rate_for(addr) * cfg.clients as f64,
-        None => {
-            for &c in &clients {
-                plr_sum += sim.stats.loss_rate_for(sim.addr_of(c));
+    BuiltScenario {
+        sim,
+        gfw,
+        sc_remote_addrs,
+        sc_remote_links,
+        cfg: cfg.clone(),
+        clients,
+        logs,
+        span,
+        runtime,
+    }
+}
+
+impl BuiltScenario {
+    /// Runs the scenario to completion and collects the metrics.
+    pub fn finish(self) -> ScenarioOutcome {
+        let BuiltScenario { mut sim, gfw, cfg, clients, logs, span, runtime, .. } = self;
+        sim.run_for(runtime);
+
+        // For ScholarCloud the censored path is the domestic↔remote leg
+        // (the client only talks to the domestic proxy over the campus
+        // LAN), so PLR is measured at the domestic proxy — the vantage
+        // the paper's deployment measures from.
+        let plr_addr_override =
+            (cfg.method == Method::ScholarCloud).then_some(addrs::SC_DOMESTIC);
+        let first_client_addr = sim.addr_of(clients[0]);
+        let counters = sim
+            .stats
+            .by_addr
+            .get(&first_client_addr)
+            .copied()
+            .unwrap_or_default();
+        let mut plr_sum = 0.0;
+        match plr_addr_override {
+            Some(addr) => plr_sum = sim.stats.loss_rate_for(addr) * cfg.clients as f64,
+            None => {
+                for &c in &clients {
+                    plr_sum += sim.stats.loss_rate_for(sim.addr_of(c));
+                }
             }
         }
+        let outcome = ScenarioOutcome {
+            loads: logs.iter().map(|l| l.borrow().clone()).collect(),
+            plr: plr_sum / cfg.clients as f64,
+            gfw: gfw.map(|g| g.borrow().counters).unwrap_or_default(),
+            client_sent_bytes: counters.sent_bytes,
+            client_recv_bytes: counters.delivered_bytes,
+            client_sent_packets: counters.sent,
+            censor_by_rule: sim.stats.censor_by_rule(),
+            sim_end: sim.now(),
+        };
+        sc_obs::span_end(
+            sim.now().as_micros(),
+            span,
+            vec![
+                ("censor_drops", sim.stats.censor_drops().into()),
+                ("packets_sent", sim.stats.packets_sent.into()),
+            ],
+        );
+        outcome
     }
-    let outcome = ScenarioOutcome {
-        loads: logs.iter().map(|l| l.borrow().clone()).collect(),
-        plr: plr_sum / cfg.clients as f64,
-        gfw: gfw.map(|g| g.borrow().counters).unwrap_or_default(),
-        client_sent_bytes: counters.sent_bytes,
-        client_recv_bytes: counters.delivered_bytes,
-        client_sent_packets: counters.sent,
-        censor_by_rule: sim.stats.censor_by_rule(),
-        sim_end: sim.now(),
-    };
-    sc_obs::span_end(
-        sim.now().as_micros(),
-        span,
-        vec![
-            ("censor_drops", sim.stats.censor_drops().into()),
-            ("packets_sent", sim.stats.packets_sent.into()),
-        ],
-    );
-    outcome
 }

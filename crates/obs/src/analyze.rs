@@ -417,8 +417,29 @@ pub struct TraceAnalysis {
     pub rule_timeline: BTreeMap<String, BTreeMap<u64, u64>>,
     /// SLO alerts found in the trace: `(t_us, fire|resolve, slo, burn)`.
     pub slo_alerts: Vec<(u64, String, String, f64)>,
+    /// Injected faults, in time order: `(t_us, "component/name")` —
+    /// `simnet/link_down`, `gfw/blacklist_ip`, ….
+    pub faults: Vec<(u64, String)>,
+    /// Timestamps of ScholarCloud failover decisions (a retry moved to a
+    /// different remote).
+    pub failover_times: Vec<u64>,
+    /// Circuit-breaker transitions: `(t_us, remote, from, to)`.
+    pub breaker_transitions: Vec<(u64, String, String, String)>,
     /// Window width used for timelines (µs).
     pub window_us: u64,
+}
+
+impl TraceAnalysis {
+    /// Fraction of finished page loads that succeeded, if any finished.
+    pub fn availability(&self) -> Option<f64> {
+        let finished =
+            self.page_loads.iter().filter(|l| l.span.ok.is_some()).count();
+        if finished == 0 {
+            return None;
+        }
+        let ok = self.page_loads.iter().filter(|l| l.span.ok == Some(true)).count();
+        Some(ok as f64 / finished as f64)
+    }
 }
 
 /// The page-load phases the browser instruments, in pipeline order.
@@ -432,6 +453,9 @@ pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
     let mut spans: Vec<ClosedSpan> = Vec::new();
     let mut rule_timeline: BTreeMap<String, BTreeMap<u64, u64>> = BTreeMap::new();
     let mut slo_alerts = Vec::new();
+    let mut faults = Vec::new();
+    let mut failover_times = Vec::new();
+    let mut breaker_transitions = Vec::new();
     let mut t_end_us = 0;
 
     for ev in events {
@@ -478,6 +502,21 @@ pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
                     ev.name.clone(),
                     ev.get_str("slo").unwrap_or("?").to_string(),
                     ev.get("burn").and_then(Json::as_f64).unwrap_or(0.0),
+                ));
+            }
+            // Injected faults: `simnet/fault/<kind>` and `gfw/fault/…`.
+            _ if ev.target == "fault" => {
+                faults.push((ev.t_us, format!("{}/{}", ev.component, ev.name)));
+            }
+            "failover" if ev.component == "scholarcloud" => {
+                failover_times.push(ev.t_us);
+            }
+            "breaker" if ev.component == "scholarcloud" => {
+                breaker_transitions.push((
+                    ev.t_us,
+                    ev.get_str("remote").unwrap_or("?").to_string(),
+                    ev.get_str("from").unwrap_or("?").to_string(),
+                    ev.get_str("to").unwrap_or("?").to_string(),
                 ));
             }
             _ => {}
@@ -532,6 +571,9 @@ pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
         phase_totals,
         rule_timeline,
         slo_alerts,
+        faults,
+        failover_times,
+        breaker_transitions,
         window_us,
     }
 }
@@ -676,6 +718,28 @@ pub fn render_report(a: &TraceAnalysis) -> String {
                 lane.push(density_char(n, peak));
             }
             let _ = writeln!(out, "  {rule:<22} |{lane}| total {total}");
+        }
+    }
+
+    // Faults and resilience.
+    if !a.faults.is_empty()
+        || !a.failover_times.is_empty()
+        || !a.breaker_transitions.is_empty()
+    {
+        out.push_str("\nfaults & resilience:\n");
+        for (t, label) in &a.faults {
+            let _ = writeln!(out, "  {:>8.1} s  fault     {label}", *t as f64 / 1e6);
+        }
+        for (t, remote, from, to) in &a.breaker_transitions {
+            let _ = writeln!(
+                out,
+                "  {:>8.1} s  breaker   {remote} {from} → {to}",
+                *t as f64 / 1e6
+            );
+        }
+        let _ = writeln!(out, "  failovers: {}", a.failover_times.len());
+        if let Some(av) = a.availability() {
+            let _ = writeln!(out, "  availability: {:.1}% of finished loads", av * 100.0);
         }
     }
 

@@ -1,27 +1,39 @@
 //! `scholar-obs`: offline analyzer for `SC_TRACE` JSONL traces.
 //!
 //! ```text
-//! scholar-obs <trace.jsonl> [--window SECS]
+//! scholar-obs <trace.jsonl> [--window SECS] [--require-failover]
+//!             [--min-availability FRAC]
 //! ```
 //!
 //! Prints the critical-path decomposition of `page_load` spans, the
 //! per-GFW-rule interference timeline, per-component event rates,
-//! windowed page-load percentiles, and any SLO alerts recorded in the
-//! trace (see `sc_obs::analyze`).
+//! windowed page-load percentiles, injected faults with the resilience
+//! reaction (failovers, breaker transitions, availability), and any SLO
+//! alerts recorded in the trace (see `sc_obs::analyze`).
+//!
+//! The two gate flags turn the analyzer into a chaos-run assertion:
+//! `--require-failover` demands at least one ScholarCloud failover
+//! event, `--min-availability 0.9` demands ≥ 90% of finished page loads
+//! succeeded.
 //!
 //! Exit codes (used by `scripts/check.sh` as a smoke gate):
-//! * `0` — analysis printed;
+//! * `0` — analysis printed (and any requested gates passed);
 //! * `1` — usage / IO error;
 //! * `2` — trace unparseable or empty;
 //! * `3` — trace parsed but carries no closed spans and no events worth
-//!   analyzing (empty analysis).
+//!   analyzing (empty analysis);
+//! * `4` — a `--require-failover` / `--min-availability` gate failed.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    const USAGE: &str = "usage: scholar-obs <trace.jsonl> [--window SECS] \
+                         [--require-failover] [--min-availability FRAC]";
     let mut args = std::env::args().skip(1);
     let mut path = None;
     let mut window_s: u64 = 10;
+    let mut require_failover = false;
+    let mut min_availability: Option<f64> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--window" => {
@@ -32,8 +44,20 @@ fn main() -> ExitCode {
                 };
                 window_s = v;
             }
+            "--require-failover" => require_failover = true,
+            "--min-availability" => {
+                let Some(v) = args
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|v| (0.0..=1.0).contains(v))
+                else {
+                    eprintln!("scholar-obs: --min-availability expects a fraction in [0, 1]");
+                    return ExitCode::from(1);
+                };
+                min_availability = Some(v);
+            }
             "-h" | "--help" => {
-                println!("usage: scholar-obs <trace.jsonl> [--window SECS]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             _ if path.is_none() && !arg.starts_with('-') => path = Some(arg),
@@ -44,7 +68,7 @@ fn main() -> ExitCode {
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: scholar-obs <trace.jsonl> [--window SECS]");
+        eprintln!("{USAGE}");
         return ExitCode::from(1);
     };
 
@@ -77,5 +101,33 @@ fn main() -> ExitCode {
         return ExitCode::from(3);
     }
     print!("{}", sc_obs::analyze::render_report(&analysis));
+
+    let mut gate_failed = false;
+    if require_failover && analysis.failover_times.is_empty() {
+        eprintln!("scholar-obs: gate failed — no scholarcloud failover events in trace");
+        gate_failed = true;
+    }
+    if let Some(min) = min_availability {
+        match analysis.availability() {
+            Some(avail) if avail >= min => {}
+            Some(avail) => {
+                eprintln!(
+                    "scholar-obs: gate failed — availability {:.1}% below required {:.1}%",
+                    avail * 100.0,
+                    min * 100.0
+                );
+                gate_failed = true;
+            }
+            None => {
+                eprintln!(
+                    "scholar-obs: gate failed — no finished page loads, availability undefined"
+                );
+                gate_failed = true;
+            }
+        }
+    }
+    if gate_failed {
+        return ExitCode::from(4);
+    }
     ExitCode::SUCCESS
 }

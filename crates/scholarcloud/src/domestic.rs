@@ -1,7 +1,30 @@
 //! The domestic proxy: the only thing users ever talk to. It terminates
 //! browser HTTP-proxy connections (CONNECT for HTTPS, absolute-form for
 //! plain HTTP), enforces the whitelist, and forwards whitelisted traffic
-//! to the remote proxy under the cover + blinding protocol.
+//! to a pool of remote proxies under the cover + blinding protocol.
+//!
+//! # Resilience
+//!
+//! The censor's cheapest countermeasure is blacklisting remote VM IPs
+//! (§4.2 of the paper), so tunnel origination is built around a
+//! [`RemotePool`] rather than a single upstream:
+//!
+//! * every connect attempt runs under a deadline
+//!   ([`ResilienceConfig::connect_timeout`]) — a blackholed remote costs
+//!   seconds, not a full TCP SYN-retry cycle;
+//! * failed attempts retry with deterministic exponential backoff,
+//!   preferring a *different* remote (failover);
+//! * consecutive failures open a per-remote circuit breaker, and active
+//!   probes (plus half-open trials) detect recovery;
+//! * when **every** remote is dark, whitelisted requests park briefly and
+//!   then fail fast with `503` — a distinct, browser-visible signal —
+//!   while non-whitelisted traffic is untouched (it never transits the
+//!   proxy: the PAC file sends it DIRECT);
+//! * the CONNECT `200` is only sent once the tunnel is actually
+//!   established, so browsers cannot start a TLS handshake into a void.
+//!
+//! Error surface seen by browsers: `403` off-whitelist, `502` retries
+//! exhausted, `503` parked too long with no remote available.
 
 use std::collections::HashMap;
 
@@ -10,18 +33,53 @@ use sc_netproto::http::{HttpMessage, HttpParser, HttpRequest, HttpResponse};
 use sc_netproto::socks::TargetAddr;
 use sc_simnet::api::{App, AppEvent, TcpEvent, TcpHandle};
 use sc_simnet::sim::Ctx;
+use sc_simnet::time::{SimDuration, SimTime};
 
 use crate::config::ScConfig;
 use crate::frame::{Hello, StreamCodec, StreamHeader};
+use crate::resilience::{BreakerState, BreakerTransition, RemotePool};
+
+/// How often a parked request re-checks the pool for a recovered remote
+/// (probes also drain the parked set immediately on success).
+const PARK_RECHECK: SimDuration = SimDuration::from_millis(250);
 
 enum BrowserConn {
     AwaitRequest(HttpParser),
+    /// Whitelisted request accepted; tunnel establishment in progress
+    /// (state lives in `DomesticProxy::pending`).
+    Pending,
     Tunneling { remote: TcpHandle },
     Dead,
 }
 
+/// A browser request between "accepted" and "tunnel established":
+/// everything needed to (re)build an attempt from scratch.
+struct PendingTunnel {
+    header: StreamHeader,
+    /// Plaintext to replay at the start of the stream (origin-form
+    /// request for absolute-form HTTP, plus anything the browser sent
+    /// while we were still connecting).
+    initial_plain: Vec<u8>,
+    /// Attempts started so far.
+    attempts: u32,
+    /// Pool index of the most recent attempt's remote.
+    last_remote: Option<usize>,
+    /// Send `200 Connection established` on success (CONNECT only).
+    is_connect: bool,
+    /// When this request started waiting for *any* remote to come back.
+    parked_since: Option<SimTime>,
+    /// A connect attempt is currently outstanding.
+    inflight: bool,
+    /// A retry/park-recheck timer is currently armed.
+    retry_armed: bool,
+}
+
 struct RemoteConn {
     browser: TcpHandle,
+    /// Index into the remote pool (health/breaker bookkeeping).
+    remote_idx: usize,
+    /// When the connect was issued (RTT measurement).
+    started: SimTime,
     connected: bool,
     /// Wire bytes queued until the remote TCP connects (hello + header
     /// are pre-encoded here).
@@ -36,92 +94,444 @@ struct RemoteConn {
     down_bytes: u64,
 }
 
+/// An active health probe: a bare TCP connect to a remote, closed as
+/// soon as it succeeds. (The remote proxy sees a connection that dies
+/// before sending a preamble — indistinguishable from a web crawler
+/// timing out, so probes do not burn the cover story.)
+struct Probe {
+    remote_idx: usize,
+    started: SimTime,
+    /// Success recorded; awaiting the close handshake's events.
+    done: bool,
+}
+
+/// What an armed timer token means when it fires. Simnet timers cannot
+/// be cancelled, so every fired token is looked up here and stale ones
+/// (purpose already resolved) are ignored.
+enum TimerPurpose {
+    /// Recurring probe round.
+    ProbeTick,
+    /// Deadline for a tunnel connect attempt (remote-side handle).
+    ConnectDeadline(TcpHandle),
+    /// Deadline for a probe connect (probe handle).
+    ProbeDeadline(TcpHandle),
+    /// Retry backoff elapsed / parked request re-check (browser handle).
+    Retry(TcpHandle),
+}
+
 /// The domestic proxy app. Install on the domestic VM node.
 pub struct DomesticProxy {
     config: ScConfig,
+    pool: RemotePool,
     browsers: HashMap<TcpHandle, BrowserConn>,
     remotes: HashMap<TcpHandle, RemoteConn>,
+    /// Requests awaiting tunnel establishment, keyed by browser handle.
+    pending: HashMap<TcpHandle, PendingTunnel>,
+    probes: HashMap<TcpHandle, Probe>,
+    timers: HashMap<u64, TimerPurpose>,
+    next_timer: u64,
     /// Whitelisted tunnels opened (diagnostics).
     pub tunnels_opened: u64,
     /// Requests refused as off-whitelist (diagnostics; should be zero
     /// when clients honour the PAC file).
     pub refused: u64,
+    /// Connect attempts retried after a failure (diagnostics).
+    pub retries: u64,
+    /// Retries that moved to a different remote (diagnostics).
+    pub failovers: u64,
+    /// Requests failed with 502 after exhausting attempts (diagnostics).
+    pub tunnel_failures: u64,
+    /// Requests failed with 503 while every remote was dark (diagnostics).
+    pub fail_fast: u64,
 }
 
 impl DomesticProxy {
-    /// Creates the proxy.
+    /// Creates the proxy with one circuit breaker per configured remote.
     pub fn new(config: ScConfig) -> Self {
+        let pool = RemotePool::new(
+            config.remotes.clone(),
+            config.resilience.breaker_threshold,
+            config.resilience.breaker_cooldown,
+        );
         DomesticProxy {
             config,
+            pool,
             browsers: HashMap::new(),
             remotes: HashMap::new(),
+            pending: HashMap::new(),
+            probes: HashMap::new(),
+            timers: HashMap::new(),
+            next_timer: 1,
             tunnels_opened: 0,
             refused: 0,
+            retries: 0,
+            failovers: 0,
+            tunnel_failures: 0,
+            fail_fast: 0,
         }
     }
 
-    fn open_tunnel(
+    /// Read access to the remote pool (tests and dashboards).
+    pub fn pool(&self) -> &RemotePool {
+        &self.pool
+    }
+
+    fn arm(&mut self, delay: SimDuration, purpose: TimerPurpose, ctx: &mut Ctx<'_>) {
+        let token = self.next_timer;
+        self.next_timer += 1;
+        self.timers.insert(token, purpose);
+        ctx.set_timer(delay, token);
+    }
+
+    fn emit_resilience(
+        &self,
+        level: sc_obs::Level,
+        name: &'static str,
+        fields: &[(&'static str, String)],
+        ctx: &Ctx<'_>,
+    ) {
+        if sc_obs::is_enabled(level, "scholarcloud") {
+            let mut ev = sc_obs::Event::new(
+                ctx.now().as_micros(),
+                level,
+                "scholarcloud",
+                "resilience",
+                name,
+            );
+            for (k, v) in fields {
+                ev = ev.field(k, v.clone());
+            }
+            sc_obs::emit(ev);
+        }
+    }
+
+    fn emit_breaker(&self, idx: usize, t: BreakerTransition, ctx: &mut Ctx<'_>) {
+        sc_obs::counter_add("scholarcloud.breaker_transitions", 1);
+        let now_us = ctx.now().as_micros();
+        match t.to {
+            BreakerState::Open => sc_obs::ts_bump(now_us, "scholarcloud.breaker_opens", 1),
+            BreakerState::Closed => sc_obs::ts_bump(now_us, "scholarcloud.breaker_closes", 1),
+            BreakerState::HalfOpen => {}
+        }
+        self.emit_resilience(
+            sc_obs::Level::Warn,
+            "breaker",
+            &[
+                ("remote", self.pool.entry(idx).addr.to_string()),
+                ("from", t.from.name().to_string()),
+                ("to", t.to.name().to_string()),
+            ],
+            ctx,
+        );
+    }
+
+    fn record_remote_success(&mut self, idx: usize, rtt: SimDuration, ctx: &mut Ctx<'_>) {
+        if let Some(t) = self.pool.record_success(idx, rtt) {
+            self.emit_breaker(idx, t, ctx);
+        }
+    }
+
+    fn record_remote_failure(&mut self, idx: usize, ctx: &mut Ctx<'_>) {
+        if let Some(t) = self.pool.record_failure(idx, ctx.now()) {
+            self.emit_breaker(idx, t, ctx);
+        }
+    }
+
+    /// Fails a pending browser request with a distinct, visible status.
+    fn fail_browser(&mut self, browser: TcpHandle, code: u16, reason: &str, ctx: &mut Ctx<'_>) {
+        let target = match self.pending.remove(&browser) {
+            Some(pt) => target_label(&pt.header),
+            None => String::new(),
+        };
+        ctx.tcp_send(browser, &HttpResponse::new(code, Vec::new()).encode());
+        ctx.tcp_close(browser);
+        self.browsers.insert(browser, BrowserConn::Dead);
+        match code {
+            503 => {
+                self.fail_fast += 1;
+                sc_obs::counter_add("scholarcloud.fail_fast", 1);
+            }
+            _ => {
+                self.tunnel_failures += 1;
+                sc_obs::counter_add("scholarcloud.tunnel_failures", 1);
+            }
+        }
+        sc_obs::ts_bump(ctx.now().as_micros(), "scholarcloud.tunnel_failures", 1);
+        self.emit_resilience(
+            sc_obs::Level::Warn,
+            "tunnel_failed",
+            &[
+                ("code", code.to_string()),
+                ("reason", reason.to_string()),
+                ("target", target),
+            ],
+            ctx,
+        );
+    }
+
+    /// Registers a whitelisted request and starts its first attempt.
+    fn start_tunnel(
         &mut self,
         browser: TcpHandle,
         header: StreamHeader,
         initial_plain: Vec<u8>,
+        is_connect: bool,
         ctx: &mut Ctx<'_>,
     ) {
-        let header_label = match &header.target {
-            TargetAddr::Domain(host, port) => format!("{host}:{port}"),
-            other => format!("{other:?}"),
+        self.browsers.insert(browser, BrowserConn::Pending);
+        self.pending.insert(
+            browser,
+            PendingTunnel {
+                header,
+                initial_plain,
+                attempts: 0,
+                last_remote: None,
+                is_connect,
+                parked_since: None,
+                inflight: false,
+                retry_armed: false,
+            },
+        );
+        self.try_attempt(browser, ctx);
+    }
+
+    /// Starts (or parks) the next connect attempt for a pending request.
+    /// Callers must ensure no attempt is currently in flight.
+    fn try_attempt(&mut self, browser: TcpHandle, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let Some(pt) = self.pending.get_mut(&browser) else { return };
+        debug_assert!(!pt.inflight, "attempt already outstanding");
+        let exclude = if pt.attempts > 0 { pt.last_remote } else { None };
+        let Some(idx) = self.pool.pick(now, exclude) else {
+            // Every breaker refuses: park and wait for recovery (probes
+            // drain us early), failing fast once the window elapses.
+            let newly_parked = pt.parked_since.is_none();
+            let since = *pt.parked_since.get_or_insert(now);
+            let expired =
+                now.saturating_since(since) >= self.config.resilience.queue_fail_after;
+            let arm_recheck = !expired && !pt.retry_armed;
+            if arm_recheck {
+                pt.retry_armed = true;
+            }
+            let target = target_label(&pt.header);
+            if newly_parked {
+                sc_obs::counter_add("scholarcloud.parked", 1);
+                self.emit_resilience(
+                    sc_obs::Level::Warn,
+                    "parked",
+                    &[("target", target)],
+                    ctx,
+                );
+            }
+            if expired {
+                self.fail_browser(browser, 503, "all_remotes_dark", ctx);
+            } else if arm_recheck {
+                self.arm(PARK_RECHECK, TimerPurpose::Retry(browser), ctx);
+            }
+            return;
         };
+
+        let prev = pt.last_remote;
+        pt.last_remote = Some(idx);
+        pt.attempts += 1;
+        pt.parked_since = None;
+        pt.inflight = true;
+        let attempt = pt.attempts;
+        let header = pt.header.clone();
+        let initial_plain = pt.initial_plain.clone();
+
+        if let Some(p) = prev {
+            if p != idx {
+                self.failovers += 1;
+                sc_obs::counter_add("scholarcloud.failovers", 1);
+                sc_obs::ts_bump(now.as_micros(), "scholarcloud.failovers", 1);
+                self.emit_resilience(
+                    sc_obs::Level::Info,
+                    "failover",
+                    &[
+                        ("from", self.pool.entry(p).addr.to_string()),
+                        ("to", self.pool.entry(idx).addr.to_string()),
+                        ("attempt", attempt.to_string()),
+                    ],
+                    ctx,
+                );
+            }
+        }
+
+        // Fresh preamble + codecs per attempt: the remote treats every
+        // TCP connection as a new session.
         let scheme = self.config.scheme.get();
         let nonce: u64 = ctx.rng().gen();
         let hello = Hello { scheme, nonce };
         let encrypt = !header.is_tls;
         let mut tx = StreamCodec::new(&self.config.secret, &hello, encrypt, 0);
         let rx = StreamCodec::new(&self.config.secret, &hello, encrypt, 1);
-        let mut pending = hello.encode(&self.config.secret, &self.config.front_host);
+        let mut pending_wire = hello.encode(&self.config.secret, &self.config.front_host);
         let mut head = header.encode();
         tx.encode(&mut head);
-        pending.extend_from_slice(&head);
+        pending_wire.extend_from_slice(&head);
         if !initial_plain.is_empty() {
             let mut body = initial_plain;
             tx.encode(&mut body);
-            pending.extend_from_slice(&body);
+            pending_wire.extend_from_slice(&body);
         }
-        let remote = ctx.tcp_connect(self.config.remote);
+        let addr = self.pool.entry(idx).addr;
+        let remote = ctx.tcp_connect(addr);
         self.remotes.insert(
             remote,
-            RemoteConn { browser, connected: false, pending, tx, rx, up_bytes: 0, down_bytes: 0 },
+            RemoteConn {
+                browser,
+                remote_idx: idx,
+                started: now,
+                connected: false,
+                pending: pending_wire,
+                tx,
+                rx,
+                up_bytes: 0,
+                down_bytes: 0,
+            },
         );
-        self.browsers.insert(browser, BrowserConn::Tunneling { remote });
-        self.tunnels_opened += 1;
-        sc_obs::counter_add("scholarcloud.tunnels_opened", 1);
-        if sc_obs::is_enabled(sc_obs::Level::Info, "scholarcloud") {
-            sc_obs::emit(
-                sc_obs::Event::new(
-                    ctx.now().as_micros(),
-                    sc_obs::Level::Info,
-                    "scholarcloud",
-                    "domestic",
-                    "tunnel_open",
-                )
-                .field("target", header_label)
-                .field("encrypted", encrypt),
-            );
+        self.arm(
+            self.config.resilience.connect_timeout,
+            TimerPurpose::ConnectDeadline(remote),
+            ctx,
+        );
+        sc_obs::counter_add("scholarcloud.connect_attempts", 1);
+    }
+
+    /// A tunnel connect attempt died before establishment: record the
+    /// failure and schedule a retry (or give up with 502).
+    fn attempt_failed(&mut self, remote_h: TcpHandle, reason: &'static str, ctx: &mut Ctx<'_>) {
+        let Some(conn) = self.remotes.remove(&remote_h) else { return };
+        let browser = conn.browser;
+        self.record_remote_failure(conn.remote_idx, ctx);
+        let (exhausted, attempts) = match self.pending.get_mut(&browser) {
+            Some(pt) => {
+                pt.inflight = false;
+                (pt.attempts >= self.config.resilience.max_attempts, pt.attempts)
+            }
+            // Browser gave up (or was refused) while we were connecting.
+            None => return,
+        };
+        if exhausted {
+            self.fail_browser(browser, 502, reason, ctx);
+            return;
+        }
+        let draw: f64 = ctx.rng().gen();
+        let delay = self.config.resilience.backoff.delay(attempts - 1, draw);
+        if let Some(pt) = self.pending.get_mut(&browser) {
+            pt.retry_armed = true;
+        }
+        self.retries += 1;
+        sc_obs::counter_add("scholarcloud.retries", 1);
+        self.emit_resilience(
+            sc_obs::Level::Info,
+            "retry",
+            &[
+                ("reason", reason.to_string()),
+                ("attempt", attempts.to_string()),
+                ("delay_us", delay.as_micros().to_string()),
+            ],
+            ctx,
+        );
+        self.arm(delay, TimerPurpose::Retry(browser), ctx);
+    }
+
+    /// A probe (or trial) just proved a remote healthy: retry every
+    /// parked request immediately instead of waiting for its re-check.
+    fn drain_parked(&mut self, ctx: &mut Ctx<'_>) {
+        let parked: Vec<TcpHandle> = self
+            .pending
+            .iter()
+            .filter(|(_, pt)| pt.parked_since.is_some() && !pt.inflight)
+            .map(|(&b, _)| b)
+            .collect();
+        for browser in parked {
+            self.try_attempt(browser, ctx);
         }
     }
 
-    fn trace_refusal(&self, host: &str, ctx: &mut Ctx<'_>) {
-        sc_obs::counter_add("scholarcloud.whitelist_refusals", 1);
-        if sc_obs::is_enabled(sc_obs::Level::Warn, "scholarcloud") {
-            sc_obs::emit(
-                sc_obs::Event::new(
-                    ctx.now().as_micros(),
-                    sc_obs::Level::Warn,
-                    "scholarcloud",
-                    "domestic",
-                    "whitelist_refused",
-                )
-                .field("host", host.to_string()),
+    /// Launches one probe round (unproven or unhealthy remotes only) and
+    /// re-arms the next tick.
+    fn probe_round(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        for idx in 0..self.pool.len() {
+            let e = self.pool.entry(idx);
+            let needs_probe = e.health.rtt_ewma.is_none()
+                || e.health.consecutive_failures > 0
+                || e.breaker.state() != BreakerState::Closed;
+            let already_probing = self.probes.values().any(|p| p.remote_idx == idx);
+            if !needs_probe || already_probing {
+                continue;
+            }
+            let addr = e.addr;
+            let h = ctx.tcp_connect(addr);
+            self.probes.insert(h, Probe { remote_idx: idx, started: now, done: false });
+            self.arm(
+                self.config.resilience.connect_timeout,
+                TimerPurpose::ProbeDeadline(h),
+                ctx,
             );
+            sc_obs::counter_add("scholarcloud.probes", 1);
+        }
+        self.arm(self.config.resilience.probe_interval, TimerPurpose::ProbeTick, ctx);
+    }
+
+    fn on_timer(&mut self, purpose: TimerPurpose, ctx: &mut Ctx<'_>) {
+        match purpose {
+            TimerPurpose::ProbeTick => self.probe_round(ctx),
+            TimerPurpose::ConnectDeadline(rh) => {
+                let live = matches!(self.remotes.get(&rh), Some(c) if !c.connected);
+                if live {
+                    ctx.tcp_abort(rh);
+                    sc_obs::counter_add("scholarcloud.connect_timeouts", 1);
+                    self.attempt_failed(rh, "connect_timeout", ctx);
+                }
+            }
+            TimerPurpose::ProbeDeadline(ph) => {
+                let live = matches!(self.probes.get(&ph), Some(p) if !p.done);
+                if live {
+                    ctx.tcp_abort(ph);
+                    let p = self.probes.remove(&ph).expect("checked");
+                    sc_obs::counter_add("scholarcloud.probe_timeouts", 1);
+                    self.record_remote_failure(p.remote_idx, ctx);
+                }
+            }
+            TimerPurpose::Retry(browser) => {
+                let ready = match self.pending.get_mut(&browser) {
+                    Some(pt) => {
+                        pt.retry_armed = false;
+                        !pt.inflight
+                    }
+                    None => false,
+                };
+                if ready {
+                    self.try_attempt(browser, ctx);
+                }
+            }
+        }
+    }
+
+    fn on_probe_event(&mut self, h: TcpHandle, tcp_ev: TcpEvent, ctx: &mut Ctx<'_>) {
+        match tcp_ev {
+            TcpEvent::Connected => {
+                let (idx, rtt) = {
+                    let p = self.probes.get_mut(&h).expect("caller checked");
+                    p.done = true;
+                    (p.remote_idx, ctx.now().saturating_since(p.started))
+                };
+                ctx.tcp_close(h);
+                sc_obs::observe("scholarcloud.probe_rtt_us", rtt.as_micros());
+                self.record_remote_success(idx, rtt, ctx);
+                self.drain_parked(ctx);
+            }
+            TcpEvent::ConnectFailed | TcpEvent::Reset | TcpEvent::PeerClosed => {
+                let p = self.probes.remove(&h).expect("caller checked");
+                if !p.done {
+                    self.record_remote_failure(p.remote_idx, ctx);
+                }
+            }
+            _ => {}
         }
     }
 
@@ -140,12 +550,13 @@ impl DomesticProxy {
                 self.browsers.insert(browser, BrowserConn::Dead);
                 return;
             }
-            ctx.tcp_send(browser, b"HTTP/1.1 200 Connection established\r\n\r\n");
+            // The 200 is deferred until the tunnel actually connects —
+            // see `TcpEvent::Connected` on the remote side.
             let header = StreamHeader {
                 is_tls: port == 443,
                 target: TargetAddr::Domain(host.to_string(), port),
             };
-            self.open_tunnel(browser, header, Vec::new(), ctx);
+            self.start_tunnel(browser, header, Vec::new(), true, ctx);
         } else if let Some(rest) = req.target.strip_prefix("http://") {
             // Absolute-form plain HTTP.
             let (hostport, path) = match rest.find('/') {
@@ -171,29 +582,101 @@ impl DomesticProxy {
                 is_tls: false,
                 target: TargetAddr::Domain(host.to_string(), port),
             };
-            self.open_tunnel(browser, header, origin_req.encode(), ctx);
+            self.start_tunnel(browser, header, origin_req.encode(), false, ctx);
         } else {
             ctx.tcp_send(browser, &HttpResponse::new(400, Vec::new()).encode());
         }
+    }
+
+    fn trace_refusal(&self, host: &str, ctx: &mut Ctx<'_>) {
+        sc_obs::counter_add("scholarcloud.whitelist_refusals", 1);
+        if sc_obs::is_enabled(sc_obs::Level::Warn, "scholarcloud") {
+            sc_obs::emit(
+                sc_obs::Event::new(
+                    ctx.now().as_micros(),
+                    sc_obs::Level::Warn,
+                    "scholarcloud",
+                    "domestic",
+                    "whitelist_refused",
+                )
+                .field("host", host.to_string()),
+            );
+        }
+    }
+}
+
+fn target_label(header: &StreamHeader) -> String {
+    match &header.target {
+        TargetAddr::Domain(host, port) => format!("{host}:{port}"),
+        other => format!("{other:?}"),
     }
 }
 
 impl App for DomesticProxy {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.tcp_listen(self.config.domestic.port);
+        self.arm(self.config.resilience.probe_interval, TimerPurpose::ProbeTick, ctx);
     }
 
     fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx<'_>) {
-        let AppEvent::Tcp(h, tcp_ev) = ev else { return };
+        let (h, tcp_ev) = match ev {
+            AppEvent::TimerFired(token) => {
+                if let Some(purpose) = self.timers.remove(&token) {
+                    self.on_timer(purpose, ctx);
+                }
+                return;
+            }
+            AppEvent::Tcp(h, tcp_ev) => (h, tcp_ev),
+            _ => return,
+        };
+
+        // Probe side.
+        if self.probes.contains_key(&h) {
+            self.on_probe_event(h, tcp_ev, ctx);
+            return;
+        }
 
         // Remote side.
         if self.remotes.contains_key(&h) {
             match tcp_ev {
                 TcpEvent::Connected => {
-                    let conn = self.remotes.get_mut(&h).expect("checked");
-                    conn.connected = true;
-                    let pending = std::mem::take(&mut conn.pending);
-                    ctx.tcp_send(h, &pending);
+                    let now = ctx.now();
+                    let (browser, idx, rtt, wire) = {
+                        let conn = self.remotes.get_mut(&h).expect("checked");
+                        conn.connected = true;
+                        (
+                            conn.browser,
+                            conn.remote_idx,
+                            now.saturating_since(conn.started),
+                            std::mem::take(&mut conn.pending),
+                        )
+                    };
+                    ctx.tcp_send(h, &wire);
+                    sc_obs::observe("scholarcloud.connect_rtt_us", rtt.as_micros());
+                    self.record_remote_success(idx, rtt, ctx);
+                    if let Some(pt) = self.pending.remove(&browser) {
+                        if pt.is_connect {
+                            ctx.tcp_send(browser, b"HTTP/1.1 200 Connection established\r\n\r\n");
+                        }
+                        self.browsers.insert(browser, BrowserConn::Tunneling { remote: h });
+                        self.tunnels_opened += 1;
+                        sc_obs::counter_add("scholarcloud.tunnels_opened", 1);
+                        if sc_obs::is_enabled(sc_obs::Level::Info, "scholarcloud") {
+                            sc_obs::emit(
+                                sc_obs::Event::new(
+                                    now.as_micros(),
+                                    sc_obs::Level::Info,
+                                    "scholarcloud",
+                                    "domestic",
+                                    "tunnel_open",
+                                )
+                                .field("target", target_label(&pt.header))
+                                .field("encrypted", !pt.header.is_tls)
+                                .field("remote", self.pool.entry(idx).addr.to_string())
+                                .field("attempt", pt.attempts as u64),
+                            );
+                        }
+                    }
                 }
                 TcpEvent::DataReceived => {
                     let data = ctx.tcp_recv_all(h);
@@ -205,9 +688,24 @@ impl App for DomesticProxy {
                     ctx.tcp_send(conn.browser, &plain);
                 }
                 TcpEvent::PeerClosed | TcpEvent::Reset | TcpEvent::ConnectFailed => {
-                    if let Some(conn) = self.remotes.remove(&h) {
+                    let connected =
+                        self.remotes.get(&h).map_or(false, |c| c.connected);
+                    if !connected {
+                        let reason = match tcp_ev {
+                            TcpEvent::ConnectFailed => "connect_failed",
+                            TcpEvent::Reset => "reset",
+                            _ => "peer_closed",
+                        };
+                        self.attempt_failed(h, reason, ctx);
+                    } else if let Some(conn) = self.remotes.remove(&h) {
                         sc_obs::observe("scholarcloud.stream_bytes_up", conn.up_bytes);
                         sc_obs::observe("scholarcloud.stream_bytes_down", conn.down_bytes);
+                        if matches!(tcp_ev, TcpEvent::Reset) {
+                            // A mid-stream RST is a health signal (GFW
+                            // interference or a dying VM), not a normal
+                            // end-of-stream.
+                            self.record_remote_failure(conn.remote_idx, ctx);
+                        }
                         ctx.tcp_close(conn.browser);
                         self.browsers.insert(conn.browser, BrowserConn::Dead);
                     }
@@ -239,6 +737,24 @@ impl App for DomesticProxy {
                             }
                         }
                     }
+                    Some(BrowserConn::Pending) => {
+                        // Early bytes while the tunnel is still
+                        // connecting: remember them for any retry, and
+                        // queue them on the in-flight attempt so the
+                        // established stream stays in order.
+                        if let Some(pt) = self.pending.get_mut(&h) {
+                            pt.initial_plain.extend_from_slice(&data);
+                        }
+                        sc_obs::counter_add("scholarcloud.bytes_up", data.len() as u64);
+                        if let Some(conn) =
+                            self.remotes.values_mut().find(|c| c.browser == h && !c.connected)
+                        {
+                            let mut wire = data.to_vec();
+                            conn.up_bytes += wire.len() as u64;
+                            conn.tx.encode(&mut wire);
+                            conn.pending.extend_from_slice(&wire);
+                        }
+                    }
                     Some(BrowserConn::Tunneling { remote }) => {
                         let remote = *remote;
                         if let Some(conn) = self.remotes.get_mut(&remote) {
@@ -257,6 +773,20 @@ impl App for DomesticProxy {
                 }
             }
             TcpEvent::PeerClosed | TcpEvent::Reset => {
+                if self.pending.remove(&h).is_some() {
+                    // Browser gave up mid-establishment: abort the
+                    // outstanding attempt without blaming the remote.
+                    let inflight: Vec<TcpHandle> = self
+                        .remotes
+                        .iter()
+                        .filter(|(_, c)| c.browser == h)
+                        .map(|(&rh, _)| rh)
+                        .collect();
+                    for rh in inflight {
+                        ctx.tcp_abort(rh);
+                        self.remotes.remove(&rh);
+                    }
+                }
                 if let Some(BrowserConn::Tunneling { remote }) = self.browsers.get(&h) {
                     let remote = *remote;
                     ctx.tcp_close(remote);

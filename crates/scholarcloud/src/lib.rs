@@ -38,9 +38,11 @@ pub mod domestic;
 pub mod frame;
 pub mod ops;
 pub mod remote;
+pub mod resilience;
 
-pub use config::{ScConfig, SchemeHandle, DOMESTIC_PORT, REMOTE_PORT};
+pub use config::{ResilienceConfig, ScConfig, SchemeHandle, DOMESTIC_PORT, REMOTE_PORT};
 pub use domestic::DomesticProxy;
 pub use frame::{Hello, StreamCodec, StreamHeader};
 pub use ops::Deployment;
 pub use remote::RemoteProxy;
+pub use resilience::{BackoffPolicy, BreakerState, CircuitBreaker, RemotePool};

@@ -1,0 +1,95 @@
+//! Property tests for the retry backoff policy: whatever parameters an
+//! operator configures, the schedule must (a) grow monotonically until
+//! it saturates at the cap, (b) keep every jittered delay inside the
+//! declared band, and (c) be a pure function of its inputs — the same
+//! jitter draws always reproduce the same schedule, which is what makes
+//! fault-injected simulation runs byte-identical.
+
+use proptest::prelude::*;
+use sc_core::BackoffPolicy;
+use sc_simnet::time::SimDuration;
+
+/// A uniform draw in `[0, 1)`, built from an integer range (the
+/// vendored proptest has integer strategies only).
+fn unit_draw() -> impl Strategy<Value = f64> {
+    (0u64..1_000_000).prop_map(|x| x as f64 / 1e6)
+}
+
+/// An arbitrary-but-sane policy: base 1 ms–2 s, cap ≥ base up to 60 s,
+/// multiplier 1–8, jitter half-width 0–100%.
+fn policy() -> impl Strategy<Value = BackoffPolicy> {
+    (1_000u64..2_000_001, 0u64..58_000_001, 1u32..9, 0u32..101).prop_map(
+        |(base_us, extra_us, multiplier, jitter_pct)| BackoffPolicy {
+            base: SimDuration::from_micros(base_us),
+            cap: SimDuration::from_micros(base_us + extra_us),
+            multiplier,
+            jitter_frac: f64::from(jitter_pct) / 100.0,
+        },
+    )
+}
+
+proptest! {
+    /// Raw delays never shrink as attempts increase, and never exceed
+    /// the cap.
+    #[test]
+    fn raw_delay_is_monotone_up_to_the_cap(p in policy(), attempts in 1u32..24) {
+        let mut prev = SimDuration::ZERO;
+        for attempt in 0..attempts {
+            let d = p.raw_delay(attempt);
+            prop_assert!(d >= prev, "attempt {}: {} < previous {}", attempt, d, prev);
+            prop_assert!(d <= p.cap, "attempt {}: {} above cap {}", attempt, d, p.cap);
+            prev = d;
+        }
+    }
+
+    /// Once the raw schedule hits the cap it stays there: every later
+    /// attempt returns exactly the cap.
+    #[test]
+    fn raw_delay_saturates_at_the_cap(p in policy()) {
+        // With multiplier ≥ 2 the growth is geometric, so 40 doublings
+        // of ≥ 1 ms vastly exceed any 60 s cap; multiplier 1 means the
+        // base IS the fixed point (clamped to the cap).
+        let settled = p.raw_delay(40);
+        for attempt in 40..48 {
+            prop_assert_eq!(p.raw_delay(attempt), settled);
+        }
+        if p.multiplier >= 2 {
+            prop_assert_eq!(settled, p.cap);
+        }
+    }
+
+    /// Jittered delays stay inside `[raw·(1−j), raw·(1+j)]` for any
+    /// uniform draw in `[0, 1)`.
+    #[test]
+    fn jitter_stays_inside_the_declared_band(
+        p in policy(),
+        attempt in 0u32..16,
+        draw in unit_draw(),
+    ) {
+        let raw = p.raw_delay(attempt).as_secs_f64();
+        let d = p.delay(attempt, draw).as_secs_f64();
+        let lo = raw * (1.0 - p.jitter_frac);
+        let hi = raw * (1.0 + p.jitter_frac);
+        // from_secs_f64 quantizes to whole microseconds; allow 1 µs.
+        prop_assert!(d >= lo - 1e-6, "delay {} below band floor {}", d, lo);
+        prop_assert!(d <= hi + 1e-6, "delay {} above band ceiling {}", d, hi);
+    }
+
+    /// The schedule is a pure function: identical draw sequences yield
+    /// identical delays, microsecond for microsecond. (This is the
+    /// property the trace-determinism integration test leans on.)
+    #[test]
+    fn identical_draws_give_identical_schedules(
+        p in policy(),
+        draws in prop::collection::vec(unit_draw(), 1..16),
+    ) {
+        let schedule = |draws: &[f64]| -> Vec<SimDuration> {
+            draws
+                .iter()
+                .enumerate()
+                .map(|(attempt, &d)| p.delay(attempt as u32, d))
+                .collect()
+        };
+        prop_assert_eq!(schedule(&draws), schedule(&draws));
+    }
+}

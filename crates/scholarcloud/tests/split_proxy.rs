@@ -65,24 +65,41 @@ struct FetchLog {
     connect_ok: bool,
     refused: bool,
     failed: bool,
+    /// Status code of the proxy's CONNECT answer (200, 403, 502, 503…).
+    status: Option<u16>,
+    /// When the CONNECT answer arrived.
+    answered_at: Option<SimTime>,
 }
 
 /// Speaks HTTP-proxy to the domestic proxy: CONNECT, then a request inside
 /// the tunnel (standing in for TLS bytes; the proxies treat port-443
-/// payloads as opaque either way).
+/// payloads as opaque either way). `start_delay` postpones the CONNECT —
+/// the resilience tests use it to arrive after probes have already judged
+/// the remote pool.
 struct ProxyFetcher {
     proxy: SocketAddr,
     target: String,
     port: u16,
+    start_delay: SimDuration,
     log: Rc<RefCell<FetchLog>>,
     conn: Option<TcpHandle>,
 }
 
 impl App for ProxyFetcher {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        self.conn = Some(ctx.tcp_connect(self.proxy));
+        if self.start_delay == SimDuration::ZERO {
+            self.conn = Some(ctx.tcp_connect(self.proxy));
+        } else {
+            ctx.set_timer(self.start_delay, 0);
+        }
     }
     fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx<'_>) {
+        if let AppEvent::TimerFired(_) = ev {
+            if self.conn.is_none() {
+                self.conn = Some(ctx.tcp_connect(self.proxy));
+            }
+            return;
+        }
         let Some(h) = self.conn else { return };
         match ev {
             AppEvent::Tcp(eh, TcpEvent::Connected) if eh == h => {
@@ -97,6 +114,11 @@ impl App for ProxyFetcher {
                 let mut log = self.log.borrow_mut();
                 if !log.connect_ok {
                     let text = String::from_utf8_lossy(&data);
+                    log.status = text
+                        .strip_prefix("HTTP/1.1 ")
+                        .and_then(|r| r.get(..3))
+                        .and_then(|c| c.parse().ok());
+                    log.answered_at = Some(ctx.now());
                     if text.starts_with("HTTP/1.1 200") {
                         log.connect_ok = true;
                         drop(log);
@@ -137,6 +159,7 @@ fn whitelisted_fetch_succeeds_through_split_proxy() {
             proxy: cfg.domestic,
             target: "scholar.google.com".into(),
             port: 443,
+            start_delay: SimDuration::ZERO,
             log: log.clone(),
             conn: None,
         }),
@@ -160,6 +183,7 @@ fn off_whitelist_connect_is_refused() {
             proxy: cfg.domestic,
             target: "facebook.example".into(),
             port: 443,
+            start_delay: SimDuration::ZERO,
             log: log.clone(),
             conn: None,
         }),
@@ -167,6 +191,113 @@ fn off_whitelist_connect_is_refused() {
     sim.run_for(SimDuration::from_secs(10));
     assert!(log.borrow().refused, "non-whitelisted domain must get 403");
     assert!(!log.borrow().connect_ok);
+    assert_eq!(log.borrow().status, Some(403), "refusal must be a 403, not a generic error");
+}
+
+#[test]
+fn dead_remote_surfaces_502_after_retries() {
+    const REMOTE2: Addr = Addr::new(99, 0, 0, 41);
+    let (mut sim, client) = topology(21);
+    // Two remote VMs, neither running the proxy: every connect attempt
+    // dies, and with two candidates the retry budget (3 attempts) runs
+    // out before either breaker (threshold 2) can fence its remote. The
+    // browser must see a 502 — a distinguishable upstream failure, not a
+    // hang or a 403. (A *single* dead remote trips its breaker first and
+    // surfaces 503 instead — covered below.)
+    let us = sim.node_by_addr(Addr::new(99, 0, 0, 254)).unwrap();
+    let remote2 = sim.add_node("remote-proxy-2", REMOTE2);
+    sim.add_link(us, remote2, LinkConfig::with_delay(SimDuration::from_millis(2)));
+    sim.compute_routes();
+    let mut cfg = ScConfig::new(DOMESTIC, REMOTE).with_remotes(&[REMOTE, REMOTE2]);
+    cfg.whitelist = vec!["scholar.google.com".into()];
+    let dnode = sim.node_by_addr(DOMESTIC).unwrap();
+    sim.install_app(dnode, Box::new(DomesticProxy::new(cfg.clone())));
+    let log = Rc::new(RefCell::new(FetchLog::default()));
+    sim.install_app(
+        client,
+        Box::new(ProxyFetcher {
+            proxy: cfg.domestic,
+            target: "scholar.google.com".into(),
+            port: 443,
+            start_delay: SimDuration::ZERO,
+            log: log.clone(),
+            conn: None,
+        }),
+    );
+    sim.run_for(SimDuration::from_secs(15));
+    let log = log.borrow();
+    assert!(!log.connect_ok);
+    assert_eq!(log.status, Some(502), "exhausted retries must surface as 502");
+}
+
+#[test]
+fn all_dark_pool_fails_fast_with_503() {
+    let (mut sim, client) = topology(22);
+    let cfg = config();
+    let dnode = sim.node_by_addr(DOMESTIC).unwrap();
+    sim.install_app(dnode, Box::new(DomesticProxy::new(cfg.clone())));
+    // Give the health probes time to fail twice and open the breaker for
+    // the (dead) remote, then CONNECT: with no pickable upstream the
+    // request is parked briefly and answered 503 — graceful degradation
+    // instead of burning the retry budget per request.
+    let start_delay = SimDuration::from_secs(6);
+    let log = Rc::new(RefCell::new(FetchLog::default()));
+    sim.install_app(
+        client,
+        Box::new(ProxyFetcher {
+            proxy: cfg.domestic,
+            target: "scholar.google.com".into(),
+            port: 443,
+            start_delay,
+            log: log.clone(),
+            conn: None,
+        }),
+    );
+    sim.run_for(SimDuration::from_secs(15));
+    let log = log.borrow();
+    assert!(!log.connect_ok);
+    assert_eq!(log.status, Some(503), "all-dark pool must answer 503");
+    let answered = log.answered_at.expect("CONNECT must be answered");
+    let waited = answered - (SimTime::ZERO + start_delay);
+    assert!(
+        waited < SimDuration::from_secs(4),
+        "503 must fail fast (queue_fail_after + slack), waited {waited}"
+    );
+}
+
+#[test]
+fn dead_primary_fails_over_to_live_backup() {
+    const REMOTE2: Addr = Addr::new(99, 0, 0, 41);
+    let (mut sim, client) = topology(23);
+    // Second remote VM next to the (dead) primary; only it runs the proxy.
+    let us = sim.node_by_addr(Addr::new(99, 0, 0, 254)).unwrap();
+    let remote2 = sim.add_node("remote-proxy-2", REMOTE2);
+    sim.add_link(us, remote2, LinkConfig::with_delay(SimDuration::from_millis(2)));
+    sim.compute_routes();
+    let mut cfg = ScConfig::new(DOMESTIC, REMOTE).with_remotes(&[REMOTE, REMOTE2]);
+    cfg.whitelist = vec!["scholar.google.com".into()];
+    let dnode = sim.node_by_addr(DOMESTIC).unwrap();
+    sim.install_app(dnode, Box::new(DomesticProxy::new(cfg.clone())));
+    sim.install_app(remote2, Box::new(RemoteProxy::new(cfg.clone(), names())));
+    let wnode = sim.node_by_addr(WEB).unwrap();
+    sim.install_app(wnode, Box::new(WebServer));
+    let log = Rc::new(RefCell::new(FetchLog::default()));
+    sim.install_app(
+        client,
+        Box::new(ProxyFetcher {
+            proxy: cfg.domestic,
+            target: "scholar.google.com".into(),
+            port: 443,
+            start_delay: SimDuration::ZERO,
+            log: log.clone(),
+            conn: None,
+        }),
+    );
+    sim.run_for(SimDuration::from_secs(20));
+    let log = log.borrow();
+    assert!(log.connect_ok, "failover to the live backup must succeed the CONNECT");
+    let text = String::from_utf8_lossy(&log.response);
+    assert!(text.ends_with("scholar"), "fetch through the backup remote, got {text:?}");
 }
 
 #[test]
@@ -265,6 +396,7 @@ fn scheme_rotation_keeps_service_working() {
             proxy: cfg.domestic,
             target: "scholar.google.com".into(),
             port: 443,
+            start_delay: SimDuration::ZERO,
             log: log1.clone(),
             conn: None,
         }),
@@ -282,6 +414,7 @@ fn scheme_rotation_keeps_service_working() {
             proxy: cfg.domestic,
             target: "scholar.google.com".into(),
             port: 443,
+            start_delay: SimDuration::ZERO,
             log: log2.clone(),
             conn: None,
         }),

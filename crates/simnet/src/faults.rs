@@ -1,0 +1,174 @@
+//! Deterministic fault injection: timed plans of link, node, and
+//! partition faults applied through the [`Sim`](crate::sim::Sim) event
+//! loop.
+//!
+//! The fault plane exists so the paper's robustness story — remote
+//! proxies getting IP-blacklisted, links dying mid-transfer, the GFW
+//! throttling a path to uselessness — can be *scheduled* instead of
+//! hand-rolled per experiment. Every fault fires as an ordinary queue
+//! event at a declared sim time, and every randomized decision (flap
+//! intervals) draws from the simulation's seeded RNG, so a faulted run
+//! is exactly as deterministic as an unfaulted one: same seed + same
+//! plan → byte-identical traces.
+//!
+//! # Fault taxonomy
+//!
+//! | fault | effect |
+//! |---|---|
+//! | [`Fault::LinkDown`] / [`Fault::LinkUp`] | blackhole / restore a link (no RNG draws while down) |
+//! | [`Fault::LinkLoss`] | set background loss, `1.0` = fully dead path |
+//! | [`Fault::LinkDelay`] | set one-way propagation delay (latency spike) |
+//! | [`Fault::LinkFlap`] | randomized down/up cycling until a deadline |
+//! | [`Fault::Partition`] / [`Fault::HealPartitions`] | drop traffic crossing two node sets |
+//! | [`Fault::NodeCrash`] / [`Fault::NodeRestart`] | node stops receiving/forwarding; timers swallowed |
+//! | [`Fault::Callback`] | arbitrary environment mutation (e.g. GFW blacklist updates) |
+//!
+//! Node crash intentionally does **not** preserve transport liveness:
+//! timers that fire while the node is down are swallowed, so local TCP
+//! state goes stale and peers observe the crash through retransmission
+//! timeouts and resets — the same way a real kernel disappearing does.
+//!
+//! # Example
+//!
+//! ```
+//! use sc_simnet::prelude::*;
+//!
+//! let mut sim = Sim::new(7);
+//! let a = sim.add_node("a", Addr::new(10, 0, 0, 1));
+//! let b = sim.add_node("b", Addr::new(99, 0, 0, 1));
+//! let ab = sim.add_link(a, b, LinkConfig::default());
+//! sim.compute_routes();
+//! let plan = FaultPlan::new()
+//!     .at(SimTime::from_secs(2), Fault::LinkDown(ab))
+//!     .at(SimTime::from_secs(5), Fault::LinkUp(ab));
+//! sim.install_fault_plan(plan);
+//! sim.run_for(SimDuration::from_secs(10));
+//! ```
+
+use crate::link::{LinkId, NodeId};
+use crate::time::{SimDuration, SimTime};
+
+/// A single injectable fault. Applied at its scheduled time by the
+/// simulator; see the [module docs](self) for the taxonomy.
+pub enum Fault {
+    /// Blackhole a link: every packet offered is dropped with
+    /// [`DropReason::LinkDown`](crate::stats::DropReason) and no RNG
+    /// draw is consumed.
+    LinkDown(LinkId),
+    /// Restore a downed link.
+    LinkUp(LinkId),
+    /// Set the link's background loss probability (`[0.0, 1.0]`;
+    /// `1.0` is a fully dead path that still consumes loss draws).
+    LinkLoss(LinkId, f64),
+    /// Set the link's one-way propagation delay (latency spike).
+    LinkDelay(LinkId, SimDuration),
+    /// Flap a link: down/up cycling with intervals drawn uniformly from
+    /// `[0.5, 1.5) ×` the respective mean, until `until` (then the link
+    /// is restored).
+    LinkFlap {
+        /// The link to flap.
+        link: LinkId,
+        /// Mean length of each down interval.
+        mean_down: SimDuration,
+        /// Mean length of each up interval.
+        mean_up: SimDuration,
+        /// When the flapping stops and the link is left up.
+        until: SimTime,
+    },
+    /// Partition the network: any packet whose current hop crosses from
+    /// one side to the other is dropped. Sides need not cover the whole
+    /// topology; nodes in neither set are unaffected.
+    Partition {
+        /// One side of the cut.
+        left: Vec<NodeId>,
+        /// The other side.
+        right: Vec<NodeId>,
+    },
+    /// Remove every active partition.
+    HealPartitions,
+    /// Crash a node: it stops receiving and forwarding, its pending app
+    /// events are discarded, and timers that fire while down are
+    /// swallowed (transport state goes stale, as on a real crash).
+    NodeCrash(NodeId),
+    /// Restart a crashed node (apps keep their state; transport state
+    /// from before the crash is stale and peers will reset).
+    NodeRestart(NodeId),
+    /// An arbitrary environment mutation run at the scheduled time —
+    /// the hook other layers use to inject faults the simulator core
+    /// cannot know about (e.g. a GFW blacklist update via its shared
+    /// handle). The label names the fault in traces.
+    Callback {
+        /// Trace label for this fault.
+        label: &'static str,
+        /// The mutation to run; receives the current sim time.
+        apply: Box<dyn FnMut(SimTime)>,
+    },
+}
+
+impl Fault {
+    /// Short machine-readable name, used as the `fault` field of the
+    /// `simnet/fault` trace event.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::LinkDown(_) => "link_down",
+            Fault::LinkUp(_) => "link_up",
+            Fault::LinkLoss(..) => "link_loss",
+            Fault::LinkDelay(..) => "link_delay",
+            Fault::LinkFlap { .. } => "link_flap",
+            Fault::Partition { .. } => "partition",
+            Fault::HealPartitions => "heal_partitions",
+            Fault::NodeCrash(_) => "node_crash",
+            Fault::NodeRestart(_) => "node_restart",
+            Fault::Callback { label, .. } => label,
+        }
+    }
+}
+
+impl core::fmt::Debug for Fault {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Fault::{}", self.name())
+    }
+}
+
+/// A timed sequence of faults. Build with [`at`](Self::at) and install
+/// with [`Sim::install_fault_plan`](crate::sim::Sim::install_fault_plan);
+/// entries may be declared in any order (the event queue sorts by time).
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    pub(crate) entries: Vec<(SimTime, Fault)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan { entries: Vec::new() }
+    }
+
+    /// Schedules `fault` at absolute sim time `at`. Times already in the
+    /// past when the plan is installed fire immediately.
+    pub fn at(mut self, at: SimTime, fault: Fault) -> Self {
+        self.entries.push((at, fault));
+        self
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Internal state of an in-progress [`Fault::LinkFlap`].
+#[derive(Debug)]
+pub(crate) struct FlapState {
+    pub(crate) link: LinkId,
+    pub(crate) mean_down: SimDuration,
+    pub(crate) mean_up: SimDuration,
+    pub(crate) until: SimTime,
+    /// Whether the link is currently held down by this flap.
+    pub(crate) down: bool,
+}

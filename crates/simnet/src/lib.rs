@@ -48,6 +48,7 @@
 
 pub mod addr;
 pub mod api;
+pub mod faults;
 pub mod link;
 pub mod middlebox;
 pub mod node;
@@ -61,6 +62,7 @@ pub mod time;
 pub mod prelude {
     pub use crate::addr::{Addr, SocketAddr};
     pub use crate::api::{App, AppEvent, AppId, PacketTunnel, TcpEvent, TcpHandle, UdpHandle};
+    pub use crate::faults::{Fault, FaultPlan};
     pub use crate::link::{LinkConfig, LinkId, NodeId};
     pub use crate::middlebox::{MbCtx, Middlebox, Verdict};
     pub use crate::packet::{L4, Packet, TcpFlags, TcpSegmentBody, proto};
@@ -359,6 +361,139 @@ mod tests {
         };
         assert_eq!(run(99), run(99));
         assert_ne!(run(99), run(100), "different seeds should differ (overwhelmingly likely)");
+    }
+
+    fn blob_client(
+        sim: &mut Sim,
+        a: NodeId,
+        blob: Vec<u8>,
+    ) -> Rc<RefCell<ClientLog>> {
+        let log = Rc::new(RefCell::new(ClientLog::default()));
+        sim.install_app(
+            a,
+            Box::new(BlobClient {
+                server: SocketAddr::new(Addr::new(99, 0, 0, 1), 80),
+                blob,
+                handle: None,
+                log: log.clone(),
+            }),
+        );
+        log
+    }
+
+    #[test]
+    fn blackholed_link_drops_everything_then_recovers() {
+        let (mut sim, a, b) = two_node_sim(0.0, 10, 41);
+        let link = sc_link_of(&sim, a);
+        sim.install_app(b, Box::new(EchoServer { port: 80 }));
+        // Down from the start; back up at t = 12 s. SYN retries (RTO
+        // doubling: 1, 3, 7, 15 s…) span the outage, so the retry at
+        // t = 15 s lands and the echo completes.
+        sim.install_fault_plan(
+            FaultPlan::new()
+                .at(SimTime::ZERO, Fault::LinkDown(link))
+                .at(SimTime::from_secs(12), Fault::LinkUp(link)),
+        );
+        let log = blob_client(&mut sim, a, b"late but whole".to_vec());
+        sim.run_for(SimDuration::from_secs(10));
+        assert!(log.borrow().connected_at.is_none(), "nothing crosses a dead link");
+        assert!(sim.stats.drops.get(&DropReason::LinkDown).copied().unwrap_or(0) > 0);
+        sim.run_for(SimDuration::from_secs(60));
+        assert_eq!(log.borrow().received, b"late but whole");
+    }
+
+    #[test]
+    fn loss_one_is_a_dead_path() {
+        let (mut sim, a, b) = two_node_sim(1.0, 10, 43);
+        sim.install_app(b, Box::new(EchoServer { port: 80 }));
+        let log = blob_client(&mut sim, a, vec![1, 2, 3]);
+        sim.run_for(SimDuration::from_secs(120));
+        assert!(log.borrow().failed, "SYN retries must exhaust on loss = 1.0");
+        assert_eq!(sim.stats.packets_delivered, 0);
+        assert!(sim.stats.drops.get(&DropReason::LinkLoss).copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn partition_cuts_traffic_and_heals() {
+        let (mut sim, a, b) = two_node_sim(0.0, 10, 47);
+        sim.install_app(b, Box::new(EchoServer { port: 80 }));
+        sim.install_fault_plan(
+            FaultPlan::new()
+                .at(SimTime::ZERO, Fault::Partition { left: vec![a], right: vec![b] })
+                .at(SimTime::from_secs(20), Fault::HealPartitions),
+        );
+        let log = blob_client(&mut sim, a, b"across the cut".to_vec());
+        sim.run_for(SimDuration::from_secs(15));
+        assert!(log.borrow().connected_at.is_none());
+        assert!(sim.stats.drops.get(&DropReason::Partitioned).copied().unwrap_or(0) > 0);
+        assert!(sim.stats.fault_drops() > 0);
+        sim.run_for(SimDuration::from_secs(60));
+        assert_eq!(log.borrow().received, b"across the cut");
+    }
+
+    #[test]
+    fn crashed_node_drops_and_restart_serves_again() {
+        let (mut sim, a, b) = two_node_sim(0.0, 10, 53);
+        sim.install_app(b, Box::new(EchoServer { port: 80 }));
+        sim.install_fault_plan(
+            FaultPlan::new().at(SimTime::ZERO, Fault::NodeCrash(b)),
+        );
+        let log = blob_client(&mut sim, a, vec![7; 10]);
+        sim.run_for(SimDuration::from_secs(90));
+        assert!(!sim.node_is_up(b));
+        assert!(log.borrow().connected_at.is_none(), "crashed node must not accept");
+        assert!(sim.stats.drops.get(&DropReason::NodeDown).copied().unwrap_or(0) > 0);
+        // Restart and connect fresh: the listener survives in app state.
+        sim.install_fault_plan(
+            FaultPlan::new().at(sim.now(), Fault::NodeRestart(b)),
+        );
+        let log2 = blob_client(&mut sim, a, b"after restart".to_vec());
+        sim.run_for(SimDuration::from_secs(30));
+        assert!(sim.node_is_up(b));
+        assert_eq!(log2.borrow().received, b"after restart");
+    }
+
+    #[test]
+    fn flapping_link_is_deterministic_and_settles_up() {
+        let run = |seed| {
+            let mut sim = Sim::new(seed);
+            let a = sim.add_node("client", Addr::new(10, 0, 0, 1));
+            let b = sim.add_node("server", Addr::new(99, 0, 0, 1));
+            // Slow enough that the transfer is still in flight when the
+            // flapping starts at t = 1 s.
+            let link = sim.add_link(
+                a,
+                b,
+                LinkConfig::with_delay(SimDuration::from_millis(10)).bandwidth_bps(2_000_000),
+            );
+            sim.compute_routes();
+            sim.install_app(b, Box::new(EchoServer { port: 80 }));
+            sim.install_fault_plan(FaultPlan::new().at(
+                SimTime::from_secs(1),
+                Fault::LinkFlap {
+                    link,
+                    mean_down: SimDuration::from_millis(200),
+                    mean_up: SimDuration::from_millis(800),
+                    until: SimTime::from_secs(20),
+                },
+            ));
+            let log = blob_client(&mut sim, a, vec![9; 400_000]);
+            sim.run_for(SimDuration::from_secs(120));
+            let received = log.borrow().received.len();
+            let failed = log.borrow().failed;
+            (sim.link_is_up(link), received, failed, sim.stats.packets_sent, sim.stats.total_drops())
+        };
+        let (up, len, failed, sent, drops) = run(61);
+        assert!(up, "link must settle up after the flap window");
+        assert!(!failed, "the connection must survive the flap");
+        assert_eq!(len, 400_000, "TCP must repair the flap losses");
+        assert!(drops > 0, "the flap must actually have dropped packets");
+        assert_eq!((up, len, failed, sent, drops), run(61), "same seed, same flap schedule");
+    }
+
+    /// The (single) link attached to `n` in a two-node topology.
+    fn sc_link_of(sim: &Sim, n: NodeId) -> LinkId {
+        sim.node(n).links[0]
     }
 
     #[test]

@@ -18,8 +18,8 @@ pub struct LinkConfig {
     pub delay: SimDuration,
     /// Bandwidth in bits per second.
     pub bandwidth_bps: u64,
-    /// Probability in `[0, 1)` that any packet is lost (background loss,
-    /// independent of censorship).
+    /// Probability in `[0, 1]` that any packet is lost (background loss,
+    /// independent of censorship). `1.0` models a fully dead path.
     pub loss: f64,
     /// Maximum bytes that may be queued awaiting serialization before the
     /// link tail-drops.
@@ -46,13 +46,15 @@ impl LinkConfig {
         LinkConfig { delay, ..Default::default() }
     }
 
-    /// Sets the loss probability.
+    /// Sets the loss probability. The closed range `[0.0, 1.0]` is
+    /// accepted: `1.0` drops every packet, which is how a blackholed
+    /// (but still routed) path is expressed.
     ///
     /// # Panics
     ///
-    /// Panics unless `0.0 <= loss < 1.0`.
+    /// Panics unless `0.0 <= loss <= 1.0`.
     pub fn loss(mut self, loss: f64) -> Self {
-        assert!((0.0..1.0).contains(&loss), "loss must be in [0,1)");
+        assert!((0.0..=1.0).contains(&loss), "loss must be in [0,1]");
         self.loss = loss;
         self
     }
@@ -75,6 +77,9 @@ pub struct Link {
     pub b: NodeId,
     /// Link parameters.
     pub config: LinkConfig,
+    /// Administrative state: a downed link (fault injection) drops every
+    /// packet offered to it without consuming RNG draws.
+    pub up: bool,
     /// Per-direction time at which the transmitter becomes free
     /// (index 0 = a→b, 1 = b→a).
     next_free: [SimTime; 2],
@@ -92,7 +97,7 @@ pub enum LinkOutcome {
 impl Link {
     /// Creates a link between `a` and `b`.
     pub fn new(a: NodeId, b: NodeId, config: LinkConfig) -> Self {
-        Link { a, b, config, next_free: [SimTime::ZERO; 2] }
+        Link { a, b, config, up: true, next_free: [SimTime::ZERO; 2] }
     }
 
     /// The far end as seen from `from`; `None` if `from` is not an endpoint.
@@ -197,5 +202,14 @@ mod tests {
     #[should_panic(expected = "loss must be in")]
     fn invalid_loss_panics() {
         let _ = LinkConfig::default().loss(1.5);
+    }
+
+    #[test]
+    fn full_loss_is_representable() {
+        // A dead-but-routed path: loss = 1.0 must be accepted.
+        let cfg = LinkConfig::default().loss(1.0);
+        assert_eq!(cfg.loss, 1.0);
+        let cfg = LinkConfig::default().loss(0.0);
+        assert_eq!(cfg.loss, 0.0);
     }
 }

@@ -82,6 +82,9 @@ pub struct Node {
     pub tunnel: Option<Box<dyn PacketTunnel>>,
     /// App events awaiting top-level dispatch.
     pub pending: VecDeque<(AppId, AppEvent)>,
+    /// Liveness: a crashed node (fault injection) neither receives nor
+    /// forwards packets and its timers are swallowed until restart.
+    pub up: bool,
 }
 
 impl core::fmt::Debug for Node {
@@ -111,6 +114,7 @@ impl Node {
             middlebox: None,
             tunnel: None,
             pending: VecDeque::new(),
+            up: true,
         }
     }
 }

@@ -9,6 +9,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::addr::{Addr, SocketAddr};
 use crate::api::{App, AppEvent, AppId, PacketTunnel, TcpHandle, UdpHandle};
+use crate::faults::{Fault, FaultPlan, FlapState};
 use crate::link::{Link, LinkConfig, LinkId, LinkOutcome, NodeId};
 use crate::middlebox::{MbCtx, Middlebox, Verdict};
 use crate::node::Node;
@@ -23,6 +24,8 @@ enum Event {
     TcpTimer { node: NodeId, timer: TcpTimer },
     AppTimer { node: NodeId, app: AppId, token: u64 },
     Start { node: NodeId, app: AppId },
+    Fault(Fault),
+    FlapToggle { flap: usize },
 }
 
 struct Queued {
@@ -73,6 +76,11 @@ pub struct Sim {
     links: Vec<Link>,
     addr_map: HashMap<Addr, NodeId>,
     rng: SmallRng,
+    /// Active partitions: traffic hopping from one side to the other is
+    /// dropped (installed by [`Fault::Partition`]).
+    partitions: Vec<(Vec<NodeId>, Vec<NodeId>)>,
+    /// In-progress link flaps.
+    flaps: Vec<FlapState>,
     /// Packet accounting.
     pub stats: SimStats,
 }
@@ -99,6 +107,8 @@ impl Sim {
             links: Vec::new(),
             addr_map: HashMap::new(),
             rng: SmallRng::seed_from_u64(seed),
+            partitions: Vec::new(),
+            flaps: Vec::new(),
             stats: SimStats::default(),
         }
     }
@@ -204,6 +214,31 @@ impl Sim {
         &self.nodes[node.0]
     }
 
+    /// Installs a timed fault plan: each entry fires as an ordinary
+    /// queue event at its declared sim time (entries already in the past
+    /// fire immediately). May be called repeatedly; plans accumulate.
+    ///
+    /// Determinism contract: faults are applied at queue positions fixed
+    /// by `(time, seq)`, and any randomized fault behaviour (flap
+    /// intervals) draws from the simulation RNG — so two runs with the
+    /// same seed and the same plan are byte-identical, traces included.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        for (at, fault) in plan.entries {
+            let delay = at.saturating_since(self.now);
+            self.schedule(delay, Event::Fault(fault));
+        }
+    }
+
+    /// Whether a link is administratively up (fault-injection state).
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.links[link.0].up
+    }
+
+    /// Whether a node is live (fault-injection state).
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        self.nodes[node.0].up
+    }
+
     fn schedule(&mut self, delay: SimDuration, ev: Event) {
         let at = self.now + delay;
         let seq = self.seq;
@@ -253,6 +288,24 @@ impl Sim {
     }
 
     fn handle(&mut self, ev: Event) {
+        // A crashed node neither receives nor forwards; its timers are
+        // swallowed while down (transport state goes stale on purpose).
+        match &ev {
+            Event::Arrival { node, packet } if !self.nodes[node.0].up => {
+                self.stats
+                    .record_drop(packet.src, packet.dst, DropReason::NodeDown);
+                self.trace_drop(packet, "node_down");
+                return;
+            }
+            Event::TcpTimer { node, .. }
+            | Event::AppTimer { node, .. }
+            | Event::Start { node, .. }
+                if !self.nodes[node.0].up =>
+            {
+                return;
+            }
+            _ => {}
+        }
         match ev {
             Event::Start { node, app } => {
                 if let Some(mut a) = self.nodes[node.0].apps[app.0].take() {
@@ -279,7 +332,110 @@ impl Sim {
                 self.on_arrival(node, packet);
                 self.drain_pending(node);
             }
+            Event::Fault(fault) => self.apply_fault(fault),
+            Event::FlapToggle { flap } => self.flap_toggle(flap),
         }
+    }
+
+    fn apply_fault(&mut self, mut fault: Fault) {
+        let name = fault.name();
+        let detail = match &mut fault {
+            Fault::LinkDown(l) => {
+                self.links[l.0].up = false;
+                format!("link={}", l.0)
+            }
+            Fault::LinkUp(l) => {
+                self.links[l.0].up = true;
+                format!("link={}", l.0)
+            }
+            Fault::LinkLoss(l, loss) => {
+                assert!((0.0..=1.0).contains(loss), "loss must be in [0,1]");
+                self.links[l.0].config.loss = *loss;
+                format!("link={} loss={loss}", l.0)
+            }
+            Fault::LinkDelay(l, delay) => {
+                self.links[l.0].config.delay = *delay;
+                format!("link={} delay_us={}", l.0, delay.as_micros())
+            }
+            Fault::LinkFlap { link, mean_down, mean_up, until } => {
+                let idx = self.flaps.len();
+                self.flaps.push(FlapState {
+                    link: *link,
+                    mean_down: *mean_down,
+                    mean_up: *mean_up,
+                    until: *until,
+                    down: true,
+                });
+                self.links[link.0].up = false;
+                let first = jittered(*mean_down, self.rng.gen::<f64>());
+                self.schedule(first, Event::FlapToggle { flap: idx });
+                format!("link={} until_us={}", link.0, until.as_micros())
+            }
+            Fault::Partition { left, right } => {
+                let detail = format!("left={} right={}", left.len(), right.len());
+                self.partitions
+                    .push((std::mem::take(left), std::mem::take(right)));
+                detail
+            }
+            Fault::HealPartitions => {
+                let n = self.partitions.len();
+                self.partitions.clear();
+                format!("healed={n}")
+            }
+            Fault::NodeCrash(n) => {
+                self.nodes[n.0].up = false;
+                self.nodes[n.0].pending.clear();
+                format!("node={}", self.nodes[n.0].name)
+            }
+            Fault::NodeRestart(n) => {
+                self.nodes[n.0].up = true;
+                format!("node={}", self.nodes[n.0].name)
+            }
+            Fault::Callback { apply, .. } => {
+                apply(self.now);
+                String::new()
+            }
+        };
+        sc_obs::counter_add("simnet.faults_applied", 1);
+        sc_obs::ts_bump(self.now.as_micros(), "simnet.faults", 1);
+        if sc_obs::is_enabled(sc_obs::Level::Info, "simnet") {
+            sc_obs::emit(
+                sc_obs::Event::new(
+                    self.now.as_micros(),
+                    sc_obs::Level::Info,
+                    "simnet",
+                    "fault",
+                    name,
+                )
+                .field("detail", detail),
+            );
+        }
+    }
+
+    fn flap_toggle(&mut self, flap: usize) {
+        let (link, until, down) = {
+            let st = &self.flaps[flap];
+            (st.link, st.until, st.down)
+        };
+        if self.now >= until {
+            // Flap window over: leave the link up.
+            self.links[link.0].up = true;
+            self.flaps[flap].down = false;
+            return;
+        }
+        let now_down = !down;
+        self.flaps[flap].down = now_down;
+        self.links[link.0].up = !now_down;
+        let mean = if now_down { self.flaps[flap].mean_down } else { self.flaps[flap].mean_up };
+        let next = jittered(mean, self.rng.gen::<f64>());
+        self.schedule(next, Event::FlapToggle { flap });
+    }
+
+    /// Whether `a` and `b` are on opposite sides of any active partition.
+    fn partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.partitions.iter().any(|(l, r)| {
+            (l.contains(&a) && r.contains(&b)) || (l.contains(&b) && r.contains(&a))
+        })
     }
 
     fn on_arrival(&mut self, node: NodeId, mut packet: Packet) {
@@ -427,6 +583,21 @@ impl Sim {
         }
         let link = &mut self.links[lid.0];
         let dest_node = link.other_end(NodeId(node.0)).expect("link endpoint");
+        // Injected faults, checked before the loss draw so a blackholed
+        // link or a partition never consumes RNG state.
+        if !link.up {
+            self.stats
+                .record_drop(packet.src, packet.dst, DropReason::LinkDown);
+            self.trace_drop(&packet, "link_down");
+            return;
+        }
+        if !self.partitions.is_empty() && self.partitioned(NodeId(node.0), dest_node) {
+            self.stats
+                .record_drop(packet.src, packet.dst, DropReason::Partitioned);
+            self.trace_drop(&packet, "partitioned");
+            return;
+        }
+        let link = &mut self.links[lid.0];
         // Background loss.
         if link.config.loss > 0.0 && self.rng.gen::<f64>() < link.config.loss {
             self.stats
@@ -500,6 +671,12 @@ impl Sim {
             self.nodes[node.0].apps[app.0] = Some(a);
         }
     }
+}
+
+/// A duration uniformly jittered to `[0.5, 1.5) × mean`, from a single
+/// RNG draw in `[0, 1)` (used for flap intervals).
+fn jittered(mean: SimDuration, draw: f64) -> SimDuration {
+    SimDuration::from_secs_f64(mean.as_secs_f64() * (0.5 + draw))
 }
 
 /// The API surface an [`App`] uses to interact with the network.

@@ -18,6 +18,12 @@ pub enum DropReason {
     TtlExpired,
     /// No route to destination.
     NoRoute,
+    /// Link administratively down (injected fault).
+    LinkDown,
+    /// Destination or transit node is crashed (injected fault).
+    NodeDown,
+    /// Endpoints are on opposite sides of an injected partition.
+    Partitioned,
 }
 
 /// Per-address packet counters.
@@ -93,6 +99,22 @@ impl SimStats {
         self.drops
             .iter()
             .filter(|(r, _)| matches!(r, DropReason::Censor(_)))
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
+    /// Drops attributed to injected faults (downed links, crashed nodes,
+    /// partitions) — the chaos-engineering counterpart of
+    /// [`censor_drops`](Self::censor_drops).
+    pub fn fault_drops(&self) -> u64 {
+        self.drops
+            .iter()
+            .filter(|(r, _)| {
+                matches!(
+                    r,
+                    DropReason::LinkDown | DropReason::NodeDown | DropReason::Partitioned
+                )
+            })
             .map(|(_, n)| *n)
             .sum()
     }

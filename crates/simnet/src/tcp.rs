@@ -633,7 +633,16 @@ impl TcpLayer {
         if seg.flags.ack {
             let c = &mut self.conns[idx];
             c.snd_wnd = seg.window;
-            if seg.ack > c.snd_una && seg.ack <= c.snd_nxt {
+            // Upper bound for an acceptable ACK. After a go-back-N rewind
+            // `snd_nxt` no longer tracks the highest byte ever sent, but a
+            // peer may still ACK bytes it received before the rewind —
+            // those are exactly the unacked bytes held in `send_buf` (plus
+            // our FIN, if sent). Bounding by `snd_nxt` here deadlocks the
+            // connection: the ACK is ignored, and the sender retransmits
+            // an already-received segment until its retries exhaust.
+            let max_ack =
+                c.snd_una + c.send_buf.len() as u64 + u64::from(c.fin_seq.is_some());
+            if seg.ack > c.snd_una && seg.ack <= max_ack {
                 let acked = (seg.ack - c.snd_una) as usize;
                 // Our FIN consumes a sequence number that is not in send_buf.
                 let fin_acked = c.fin_seq.is_some_and(|f| seg.ack > f);
@@ -641,6 +650,9 @@ impl TcpLayer {
                 let drain = data_acked.min(c.send_buf.len());
                 c.send_buf.drain(..drain);
                 c.snd_una = seg.ack;
+                // Keep `snd_nxt >= snd_una` (the ACK may outrun a rewound
+                // `snd_nxt`; `flight()` must never underflow).
+                c.snd_nxt = c.snd_nxt.max(seg.ack);
                 c.dup_acks = 0;
                 c.retries = 0;
                 // RTT sampling (Karn: only segments never retransmitted —

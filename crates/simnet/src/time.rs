@@ -30,6 +30,17 @@ impl SimTime {
         SimTime(us)
     }
 
+    /// Creates an instant from milliseconds since simulation start.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Creates an instant from seconds since simulation start (the
+    /// natural unit for fault plans).
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
     /// Microseconds since simulation start.
     pub const fn as_micros(self) -> u64 {
         self.0

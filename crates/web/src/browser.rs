@@ -140,6 +140,11 @@ pub struct PageLoadResult {
     pub failed: bool,
     /// TCP connections opened for this load.
     pub connections: usize,
+    /// Non-200 status an HTTP proxy answered CONNECT with, when that is
+    /// what failed the load (`403` off-whitelist, `502` upstream tunnel
+    /// exhausted, `503` every upstream dark) — the user-visible
+    /// difference between "refused" and "temporarily degraded".
+    pub proxy_status: Option<u16>,
 }
 
 /// Shared log the harness reads results from.
@@ -184,6 +189,7 @@ struct ActiveLoad {
     first_time: bool,
     connections: usize,
     deadline_token: u64,
+    proxy_status: Option<u16>,
 }
 
 /// The browser app.
@@ -273,6 +279,7 @@ impl Browser {
             first_time: !self.visited,
             connections: 0,
             deadline_token,
+            proxy_status: None,
         });
         ctx.set_timer(self.config.timeout, deadline_token);
         let host = self.config.page_host.clone();
@@ -533,6 +540,7 @@ impl Browser {
             rtt,
             failed: false,
             connections: load.connections,
+            proxy_status: None,
         });
         self.visited = true;
         self.loads_done += 1;
@@ -560,6 +568,7 @@ impl Browser {
             rtt: None,
             failed: true,
             connections: load.connections,
+            proxy_status: load.proxy_status,
         });
         self.visited = true;
         self.loads_done += 1;
@@ -779,6 +788,26 @@ impl Browser {
                         if r.status == 200 {
                             ok = true;
                         } else {
+                            // The proxy refused or degraded: keep the
+                            // status so the harness can tell a 403
+                            // (policy) from a 502/503 (upstream dark).
+                            if let Some(load) = self.load.as_mut() {
+                                load.proxy_status = Some(r.status);
+                            }
+                            sc_obs::counter_add("web.proxy_errors", 1);
+                            sc_obs::ts_bump(ctx.now().as_micros(), "web.proxy_errors", 1);
+                            if sc_obs::is_enabled(sc_obs::Level::Warn, "web") {
+                                sc_obs::emit(
+                                    sc_obs::Event::new(
+                                        ctx.now().as_micros(),
+                                        sc_obs::Level::Warn,
+                                        "web",
+                                        "browser",
+                                        "proxy_error",
+                                    )
+                                    .field("status", u64::from(r.status)),
+                                );
+                            }
                             self.fail_load(ctx);
                             return;
                         }

@@ -14,3 +14,15 @@ SC_TRACE="$trace" cargo run --release --offline --example quickstart >/dev/null
 cargo run --release --offline -p sc-obs --bin scholar-obs -- "$trace" --window 30 >/dev/null
 rm -f "$trace"
 echo "scholar-obs smoke gate: ok"
+
+# Chaos smoke gate: run the fault-injection scenario (GFW blacklists the
+# remote pool one VM at a time, then heals) and assert through the trace
+# that the resilience layer reacted — at least one failover happened and
+# availability stayed above the chaos floor. scholar-obs exits 4 when a
+# gate fails.
+chaos_trace="${TMPDIR:-/tmp}/sc_check_chaos.jsonl"
+SC_TRACE="$chaos_trace" cargo run --release --offline --example chaos_lab >/dev/null
+cargo run --release --offline -p sc-obs --bin scholar-obs -- "$chaos_trace" \
+    --require-failover --min-availability 0.70 >/dev/null
+rm -f "$chaos_trace"
+echo "chaos smoke gate: ok"

@@ -7,8 +7,10 @@ use std::cell::RefCell;
 use std::io::Write;
 use std::rc::Rc;
 
-use sc_metrics::{Method, ScenarioConfig, run_scenario};
+use sc_metrics::{Method, ScenarioConfig, build_scenario, run_scenario};
 use sc_obs::{Dispatcher, JsonlSink, Level, SloSpec, WindowSpec};
+use sc_simnet::faults::FaultPlan;
+use sc_simnet::time::{SimDuration, SimTime};
 
 /// An in-memory `Write` target shared with the test after the sink is
 /// boxed away.
@@ -55,6 +57,55 @@ fn different_seed_traces_differ() {
     let a = traced_run(Method::ScholarCloud, 33);
     let b = traced_run(Method::ScholarCloud, 34);
     assert_ne!(a, b);
+}
+
+/// A fault-injected run: three remotes, the GFW blacklists two of them
+/// mid-run and heals one later. Same seed + same plan must still be a
+/// pure function of the inputs — byte-identical traces.
+fn faulted_run(seed: u64) -> Vec<u8> {
+    let buf = SharedBuf::default();
+    let sink = JsonlSink::new(Box::new(buf.clone()));
+    let guard = Dispatcher::new()
+        .with_level(Level::Debug)
+        .with_sink(Box::new(sink))
+        .install();
+    let mut cfg = ScenarioConfig::paper(Method::ScholarCloud, seed);
+    cfg.clients = 2;
+    cfg.loads = 4;
+    cfg.interval = SimDuration::from_secs(10);
+    cfg.timeout = SimDuration::from_secs(8);
+    cfg.sc_remotes = 3;
+    let mut built = build_scenario(&cfg);
+    let gfw = built.gfw.clone().expect("paper config attaches the GFW");
+    let remotes = built.sc_remote_addrs.clone();
+    let plan = FaultPlan::new()
+        .at(SimTime::from_secs(12), sc_gfw::blacklist_ip(&gfw, remotes[0]))
+        .at(SimTime::from_secs(22), sc_gfw::blacklist_ip(&gfw, remotes[1]))
+        .at(SimTime::from_secs(40), sc_gfw::unblacklist_ip(&gfw, remotes[0]));
+    built.sim.install_fault_plan(plan);
+    built.finish();
+    drop(guard);
+    let out = buf.0.borrow().clone();
+    out
+}
+
+#[test]
+fn fault_injected_traces_are_byte_identical() {
+    let a = faulted_run(57);
+    let b = faulted_run(57);
+    assert!(!a.is_empty(), "trace must not be empty");
+    // The fault plane must actually have perturbed the run: blacklist
+    // faults in the trace, and the resilience layer reacting to them.
+    let text = String::from_utf8(a.clone()).unwrap();
+    assert!(
+        text.contains("\"event\":\"blacklist_ip\""),
+        "trace must record the injected blacklist faults"
+    );
+    assert!(
+        text.contains("\"event\":\"failover\""),
+        "trace must record at least one failover reaction"
+    );
+    assert_eq!(a, b, "same seed + same fault plan must be byte-identical");
 }
 
 /// A windows+SLO run: an undersized ScholarCloud VM under a small ramp,
