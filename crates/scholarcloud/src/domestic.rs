@@ -250,13 +250,14 @@ impl DomesticProxy {
             503 => {
                 self.fail_fast += 1;
                 sc_obs::counter_add("scholarcloud.fail_fast", 1);
+                sc_obs::ts_bump(ctx.now().as_micros(), "scholarcloud.fail_fast", 1);
             }
             _ => {
                 self.tunnel_failures += 1;
                 sc_obs::counter_add("scholarcloud.tunnel_failures", 1);
+                sc_obs::ts_bump(ctx.now().as_micros(), "scholarcloud.tunnel_failures", 1);
             }
         }
-        sc_obs::ts_bump(ctx.now().as_micros(), "scholarcloud.tunnel_failures", 1);
         self.emit_resilience(
             sc_obs::Level::Warn,
             "tunnel_failed",
@@ -460,7 +461,11 @@ impl DomesticProxy {
             let needs_probe = e.health.rtt_ewma.is_none()
                 || e.health.consecutive_failures > 0
                 || e.breaker.state() != BreakerState::Closed;
-            let already_probing = self.probes.values().any(|p| p.remote_idx == idx);
+            // Probes that already succeeded (`done`) are only waiting for
+            // their close handshake; they must not suppress a fresh probe
+            // of a remote that may have gone dark since.
+            let already_probing =
+                self.probes.values().any(|p| p.remote_idx == idx && !p.done);
             if !needs_probe || already_probing {
                 continue;
             }

@@ -310,7 +310,8 @@ impl RemotePool {
                 i,
             )
         })?;
-        debug_assert!(self.entries[best].breaker.allow(now));
+        let admitted = self.entries[best].breaker.allow(now);
+        debug_assert!(admitted);
         Some(best)
     }
 

@@ -101,6 +101,10 @@ struct Conn {
     snd_una: u64,
     /// Next sequence number to send.
     snd_nxt: u64,
+    /// Highest sequence number ever sent plus one (`SND.MAX`). Unlike
+    /// `snd_nxt` it never rewinds on go-back-N recovery, so it bounds the
+    /// ACKs a well-behaved peer can legitimately produce.
+    snd_max: u64,
     /// Bytes queued for sending; `send_buf[0]` is sequence `snd_una`.
     send_buf: VecDeque<u8>,
     /// Peer's advertised window.
@@ -212,6 +216,7 @@ impl TcpLayer {
             state,
             snd_una: iss,
             snd_nxt: iss,
+            snd_max: iss,
             send_buf: VecDeque::new(),
             snd_wnd: RECV_WINDOW,
             rcv_nxt: 0,
@@ -253,6 +258,7 @@ impl TcpLayer {
         let idx = self.new_conn(app, local, remote, TcpState::SynSent, iss);
         let c = &mut self.conns[idx];
         c.snd_nxt = iss + 1; // SYN consumes one sequence number
+        c.snd_max = iss + 1;
         let syn = Packet::tcp(
             local,
             remote,
@@ -418,6 +424,7 @@ impl TcpLayer {
                 },
             );
             c.snd_nxt += n as u64;
+            c.snd_max = c.snd_max.max(c.snd_nxt);
             fx.out.push(pkt);
             sent_any = true;
         }
@@ -426,6 +433,7 @@ impl TcpLayer {
             let seq = c.snd_nxt;
             c.fin_seq = Some(seq);
             c.snd_nxt += 1;
+            c.snd_max = c.snd_max.max(c.snd_nxt);
             let pkt = Packet::tcp(
                 c.local,
                 c.remote,
@@ -469,6 +477,7 @@ impl TcpLayer {
                 let c = &mut self.conns[idx];
                 c.rcv_nxt = seg.seq + 1;
                 c.snd_nxt = iss + 1;
+                c.snd_max = iss + 1;
                 c.snd_wnd = seg.window;
                 let synack = Packet::tcp(
                     local,
@@ -635,13 +644,13 @@ impl TcpLayer {
             c.snd_wnd = seg.window;
             // Upper bound for an acceptable ACK. After a go-back-N rewind
             // `snd_nxt` no longer tracks the highest byte ever sent, but a
-            // peer may still ACK bytes it received before the rewind —
-            // those are exactly the unacked bytes held in `send_buf` (plus
-            // our FIN, if sent). Bounding by `snd_nxt` here deadlocks the
-            // connection: the ACK is ignored, and the sender retransmits
-            // an already-received segment until its retries exhaust.
-            let max_ack =
-                c.snd_una + c.send_buf.len() as u64 + u64::from(c.fin_seq.is_some());
+            // peer may still ACK bytes it received before the rewind.
+            // Bounding by `snd_nxt` here deadlocks the connection: the ACK
+            // is ignored, and the sender retransmits an already-received
+            // segment until its retries exhaust. `snd_max` survives
+            // rewinds, so it admits exactly the ACKs a peer can produce
+            // and rejects ACKs for bytes never transmitted.
+            let max_ack = c.snd_max;
             if seg.ack > c.snd_una && seg.ack <= max_ack {
                 let acked = (seg.ack - c.snd_una) as usize;
                 // Our FIN consumes a sequence number that is not in send_buf.
