@@ -40,6 +40,39 @@ pub fn render_scenario(method: Method, o: &ScenarioOutcome) -> String {
 "));
         }
     }
+    // Failed loads broken out by the proxy status that killed them —
+    // separates policy refusals (403) from overload shedding (429/503)
+    // and upstream darkness (502).
+    let mut by_status: std::collections::BTreeMap<u16, u64> = std::collections::BTreeMap::new();
+    let mut throttled_ok = 0u64;
+    for r in o.loads.iter().flatten() {
+        if r.failed {
+            if let Some(s) = r.proxy_status {
+                *by_status.entry(s).or_default() += 1;
+            }
+        } else if r.throttled {
+            throttled_ok += 1;
+        }
+    }
+    if !by_status.is_empty() {
+        out.push_str("  failed loads by proxy status:
+");
+        for (status, n) in &by_status {
+            let label = match status {
+                403 => "403 (policy)",
+                429 => "429 (throttled)",
+                502 => "502 (upstream)",
+                503 => "503 (shed)",
+                _ => "other",
+            };
+            out.push_str(&format!("    {label:<22}{n}
+"));
+        }
+    }
+    if throttled_ok > 0 {
+        out.push_str(&format!("  throttled-then-ok loads: {throttled_ok}
+"));
+    }
     out
 }
 

@@ -178,6 +178,31 @@ pub struct ScenarioConfig {
     /// domestic proxy's failover pool — the chaos scenarios blacklist
     /// them one by one.
     pub sc_remotes: usize,
+    /// Overrides the domestic proxy's concurrent-tunnel cap (overload
+    /// scenarios undersize this to force shedding).
+    pub sc_max_tunnels: Option<usize>,
+    /// Overrides the domestic proxy's pending-queue length.
+    pub sc_queue_len: Option<usize>,
+    /// Extra flash-crowd clients (ScholarCloud only). They sit at
+    /// consecutive addresses after the nominal clients and stay idle
+    /// behind a shared gate until a
+    /// [`Fault::FlashCrowd`](sc_simnet::faults::Fault) opens it; their
+    /// arrivals are spread over [`flash_ramp`](Self::flash_ramp)
+    /// starting at [`flash_start`](Self::flash_start). Their load logs
+    /// are appended after the nominal clients' in
+    /// [`ScenarioOutcome::loads`].
+    pub flash_clients: usize,
+    /// Page loads per flash-crowd client.
+    pub flash_loads: usize,
+    /// When (from t=0) the flash crowd begins arriving. Schedule the
+    /// `Fault::FlashCrowd` trigger at this time; the gate doubles as a
+    /// safety — with no fault installed the crowd never starts.
+    pub flash_start: SimDuration,
+    /// Window over which flash arrivals are spread (uniform ramp).
+    pub flash_ramp: SimDuration,
+    /// Extra simulated time appended to the runtime budget (overload
+    /// scenarios need post-spike recovery room).
+    pub extra_runtime: SimDuration,
 }
 
 impl ScenarioConfig {
@@ -199,6 +224,13 @@ impl ScenarioConfig {
             ramp_stagger: SimDuration::ZERO,
             server_bandwidth_override: None,
             sc_remotes: 1,
+            sc_max_tunnels: None,
+            sc_queue_len: None,
+            flash_clients: 0,
+            flash_loads: 1,
+            flash_start: SimDuration::ZERO,
+            flash_ramp: SimDuration::ZERO,
+            extra_runtime: SimDuration::ZERO,
         }
     }
 
@@ -311,6 +343,11 @@ pub struct BuiltScenario {
     /// The us↔sc-remote access links, same order as
     /// [`sc_remote_addrs`](Self::sc_remote_addrs).
     pub sc_remote_links: Vec<sc_simnet::link::LinkId>,
+    /// The gate holding back the flash crowd (present when
+    /// [`ScenarioConfig::flash_clients`] > 0). Open it from a
+    /// [`Fault::FlashCrowd`](sc_simnet::faults::Fault) trigger at
+    /// [`ScenarioConfig::flash_start`] to release the crowd.
+    pub flash_gate: Option<std::rc::Rc<std::cell::Cell<bool>>>,
     cfg: ScenarioConfig,
     clients: Vec<sc_simnet::link::NodeId>,
     logs: Vec<LoadLog>,
@@ -357,6 +394,14 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
             sim.add_node(format!("client-{i}"), Addr::from_u32(base + i as u32))
         })
         .collect();
+    // Flash-crowd clients at consecutive addresses after the nominal
+    // ones; their browsers are only installed for ScholarCloud.
+    let flash_clients: Vec<_> = (0..cfg.flash_clients)
+        .map(|i| {
+            let base = CLIENT_BASE.as_u32() + cfg.clients as u32;
+            sim.add_node(format!("flash-{i}"), Addr::from_u32(base + i as u32))
+        })
+        .collect();
     let cernet = sim.add_node("cernet", CERNET);
     let resolver_cn = sim.add_node("resolver-cn", RESOLVER_CN);
     let sc_domestic = sim.add_node("sc-domestic", SC_DOMESTIC);
@@ -386,6 +431,9 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
     // --- links ---
     let lan = LinkConfig::with_delay(LAN_DELAY);
     for &c in &clients {
+        sim.add_link(c, cernet, lan);
+    }
+    for &c in &flash_clients {
         sim.add_link(c, cernet, lan);
     }
     sim.add_link(resolver_cn, cernet, lan);
@@ -472,7 +520,8 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
     ]);
 
     // --- per-method infrastructure + browser policy ---
-    let mut logs: Vec<LoadLog> = Vec::with_capacity(cfg.clients);
+    let mut logs: Vec<LoadLog> = Vec::with_capacity(cfg.clients + cfg.flash_clients);
+    let mut flash_gate: Option<std::rc::Rc<std::cell::Cell<bool>>> = None;
     match cfg.method {
         Method::Direct => {
             for (i, &c) in clients.iter().enumerate() {
@@ -582,6 +631,12 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
                 .with_remotes(&sc_remote_addrs);
             sc_cfg.whitelist = vec!["scholar.google.com".into(), "accounts.google.com".into()];
             sc_cfg.scheme.set(cfg.sc_scheme);
+            if let Some(m) = cfg.sc_max_tunnels {
+                sc_cfg.admission.max_tunnels = m;
+            }
+            if let Some(q) = cfg.sc_queue_len {
+                sc_cfg.admission.queue_len = q;
+            }
             sim.install_app(sc_domestic, Box::new(sc_core::DomesticProxy::new(sc_cfg.clone())));
             for &n in &sc_remotes {
                 sim.install_app(
@@ -603,6 +658,34 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
                 sim.install_app(c, Box::new(Browser::new(bcfg, None, log.clone())));
                 logs.push(log);
             }
+            if cfg.flash_clients > 0 {
+                // The crowd waits behind a shared gate that only a
+                // `Fault::FlashCrowd` trigger opens; each client also
+                // sleeps until its slot on the arrival ramp, so the
+                // surge shape is an experiment parameter, not noise.
+                let gate_flag = std::rc::Rc::new(std::cell::Cell::new(false));
+                let offsets =
+                    sc_simnet::ramp::uniform_offsets(cfg.flash_clients, cfg.flash_ramp);
+                for (i, &c) in flash_clients.iter().enumerate() {
+                    let log = new_load_log();
+                    let mut bcfg = BrowserConfig::scholar(
+                        RESOLVER_CN,
+                        ProxyPolicy::Pac(sc_cfg.pac_file()),
+                    );
+                    bcfg.loads = cfg.flash_loads;
+                    bcfg.interval = cfg.interval;
+                    bcfg.timeout = cfg.timeout;
+                    bcfg.entropy = cfg.seed ^ (0x1000 + i as u64);
+                    bcfg.start_delay = cfg.flash_start + offsets[i];
+                    let gate = {
+                        let flag = gate_flag.clone();
+                        ReadyProbe::new(move || flag.get())
+                    };
+                    sim.install_app(c, Box::new(Browser::new(bcfg, Some(gate), log.clone())));
+                    logs.push(log);
+                }
+                flash_gate = Some(gate_flag);
+            }
         }
     }
 
@@ -611,13 +694,15 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
     let runtime = bootstrap
         + cfg.interval.saturating_mul(cfg.loads as u64)
         + cfg.ramp_stagger.saturating_mul(cfg.clients.saturating_sub(1) as u64)
-        + cfg.timeout;
+        + cfg.timeout
+        + cfg.extra_runtime;
 
     BuiltScenario {
         sim,
         gfw,
         sc_remote_addrs,
         sc_remote_links,
+        flash_gate,
         cfg: cfg.clone(),
         clients,
         logs,

@@ -396,6 +396,44 @@ pub struct PageLoad {
     pub covered_us: u64,
 }
 
+/// Aggregate of the domestic proxy's `scholarcloud/admission` events:
+/// what the overload-control layer did with incoming tunnel requests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmissionStats {
+    /// Requests admitted (directly or after queueing).
+    pub admitted: u64,
+    /// Requests that went through the pending queue.
+    pub queued: u64,
+    /// Requests shed with `503` (queue full / deadline hopeless).
+    pub shed: u64,
+    /// Requests throttled with `429` (per-client fairness).
+    pub throttled: u64,
+    /// Retries denied by the global retry budget.
+    pub retry_denied: u64,
+}
+
+impl AdmissionStats {
+    /// Requests that reached a terminal admission decision.
+    pub fn decisions(&self) -> u64 {
+        self.admitted + self.shed + self.throttled
+    }
+
+    /// Fraction of decided requests that were shed or throttled
+    /// (`0.0` when the trace carries no admission decisions).
+    pub fn shed_rate(&self) -> f64 {
+        let total = self.decisions();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.shed + self.throttled) as f64 / total as f64
+    }
+
+    /// Whether any admission event appeared in the trace.
+    pub fn any(&self) -> bool {
+        self.decisions() + self.queued + self.retry_denied > 0
+    }
+}
+
 /// Everything the analyzer extracts from one trace.
 #[derive(Debug)]
 pub struct TraceAnalysis {
@@ -425,6 +463,8 @@ pub struct TraceAnalysis {
     pub failover_times: Vec<u64>,
     /// Circuit-breaker transitions: `(t_us, remote, from, to)`.
     pub breaker_transitions: Vec<(u64, String, String, String)>,
+    /// Overload-control decisions (`scholarcloud/admission` events).
+    pub admission: AdmissionStats,
     /// Window width used for timelines (µs).
     pub window_us: u64,
 }
@@ -456,6 +496,7 @@ pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
     let mut faults = Vec::new();
     let mut failover_times = Vec::new();
     let mut breaker_transitions = Vec::new();
+    let mut admission = AdmissionStats::default();
     let mut t_end_us = 0;
 
     for ev in events {
@@ -510,6 +551,20 @@ pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
             }
             "failover" if ev.component == "scholarcloud" => {
                 failover_times.push(ev.t_us);
+            }
+            "admit" | "enqueue" | "dequeue" | "shed" | "throttle" | "retry_denied"
+                if ev.component == "scholarcloud" && ev.target == "admission" =>
+            {
+                match ev.name.as_str() {
+                    // A dequeued request was admitted after waiting; its
+                    // earlier "enqueue" is counted under `queued`, so
+                    // admitted + shed + throttled counts each request once.
+                    "admit" | "dequeue" => admission.admitted += 1,
+                    "enqueue" => admission.queued += 1,
+                    "shed" => admission.shed += 1,
+                    "throttle" => admission.throttled += 1,
+                    _ => admission.retry_denied += 1,
+                }
             }
             "breaker" if ev.component == "scholarcloud" => {
                 breaker_transitions.push((
@@ -574,6 +629,7 @@ pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
         faults,
         failover_times,
         breaker_transitions,
+        admission,
         window_us,
     }
 }
@@ -741,6 +797,17 @@ pub fn render_report(a: &TraceAnalysis) -> String {
         if let Some(av) = a.availability() {
             let _ = writeln!(out, "  availability: {:.1}% of finished loads", av * 100.0);
         }
+    }
+
+    // Overload control.
+    if a.admission.any() {
+        out.push_str("\noverload control (scholarcloud admission):\n");
+        let _ = writeln!(out, "  admitted:     {}", a.admission.admitted);
+        let _ = writeln!(out, "  queued:       {}", a.admission.queued);
+        let _ = writeln!(out, "  shed (503):   {}", a.admission.shed);
+        let _ = writeln!(out, "  throttled:    {}", a.admission.throttled);
+        let _ = writeln!(out, "  retry denied: {}", a.admission.retry_denied);
+        let _ = writeln!(out, "  shed rate:    {:.1}%", a.admission.shed_rate() * 100.0);
     }
 
     // SLO alerts.

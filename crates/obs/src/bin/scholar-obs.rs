@@ -2,19 +2,22 @@
 //!
 //! ```text
 //! scholar-obs <trace.jsonl> [--window SECS] [--require-failover]
-//!             [--min-availability FRAC]
+//!             [--min-availability FRAC] [--max-shed-rate FRAC]
 //! ```
 //!
 //! Prints the critical-path decomposition of `page_load` spans, the
 //! per-GFW-rule interference timeline, per-component event rates,
 //! windowed page-load percentiles, injected faults with the resilience
-//! reaction (failovers, breaker transitions, availability), and any SLO
-//! alerts recorded in the trace (see `sc_obs::analyze`).
+//! reaction (failovers, breaker transitions, availability), the
+//! overload-control decision summary, and any SLO alerts recorded in
+//! the trace (see `sc_obs::analyze`).
 //!
-//! The two gate flags turn the analyzer into a chaos-run assertion:
+//! The gate flags turn the analyzer into a chaos-run assertion:
 //! `--require-failover` demands at least one ScholarCloud failover
 //! event, `--min-availability 0.9` demands ≥ 90% of finished page loads
-//! succeeded.
+//! succeeded, and `--max-shed-rate 0.5` demands that at most 50% of
+//! admission decisions shed or throttled the request (the flash-crowd
+//! smoke gate: overload may brown the service out, not black it out).
 //!
 //! Exit codes (used by `scripts/check.sh` as a smoke gate):
 //! * `0` — analysis printed (and any requested gates passed);
@@ -22,18 +25,21 @@
 //! * `2` — trace unparseable or empty;
 //! * `3` — trace parsed but carries no closed spans and no events worth
 //!   analyzing (empty analysis);
-//! * `4` — a `--require-failover` / `--min-availability` gate failed.
+//! * `4` — a `--require-failover` / `--min-availability` /
+//!   `--max-shed-rate` gate failed.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     const USAGE: &str = "usage: scholar-obs <trace.jsonl> [--window SECS] \
-                         [--require-failover] [--min-availability FRAC]";
+                         [--require-failover] [--min-availability FRAC] \
+                         [--max-shed-rate FRAC]";
     let mut args = std::env::args().skip(1);
     let mut path = None;
     let mut window_s: u64 = 10;
     let mut require_failover = false;
     let mut min_availability: Option<f64> = None;
+    let mut max_shed_rate: Option<f64> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--window" => {
@@ -55,6 +61,17 @@ fn main() -> ExitCode {
                     return ExitCode::from(1);
                 };
                 min_availability = Some(v);
+            }
+            "--max-shed-rate" => {
+                let Some(v) = args
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|v| (0.0..=1.0).contains(v))
+                else {
+                    eprintln!("scholar-obs: --max-shed-rate expects a fraction in [0, 1]");
+                    return ExitCode::from(1);
+                };
+                max_shed_rate = Some(v);
             }
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -124,6 +141,17 @@ fn main() -> ExitCode {
                 );
                 gate_failed = true;
             }
+        }
+    }
+    if let Some(max) = max_shed_rate {
+        let rate = analysis.admission.shed_rate();
+        if rate > max {
+            eprintln!(
+                "scholar-obs: gate failed — shed rate {:.1}% above allowed {:.1}%",
+                rate * 100.0,
+                max * 100.0
+            );
+            gate_failed = true;
         }
     }
     if gate_failed {

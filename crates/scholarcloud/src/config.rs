@@ -9,6 +9,7 @@ use sc_netproto::pac::PacFile;
 use sc_simnet::addr::{Addr, SocketAddr};
 use sc_simnet::time::SimDuration;
 
+use crate::admission::AdmissionConfig;
 use crate::resilience::BackoffPolicy;
 
 /// The remote proxy's listening port.
@@ -120,6 +121,9 @@ pub struct ScConfig {
     pub remotes: Vec<SocketAddr>,
     /// Failure-handling tunables for the domestic side.
     pub resilience: ResilienceConfig,
+    /// Overload-control tunables for the domestic side (admission,
+    /// fairness, retry budget).
+    pub admission: AdmissionConfig,
     /// Operator shared secret (authenticates the inter-proxy channel).
     pub secret: Vec<u8>,
     /// Host header fronted in the cover preamble.
@@ -141,6 +145,7 @@ impl ScConfig {
             remote,
             remotes: vec![remote],
             resilience: ResilienceConfig::default(),
+            admission: AdmissionConfig::default(),
             secret: b"scholarcloud-operator-secret-2016".to_vec(),
             front_host: "cdn.thucloud.example".into(),
             whitelist: vec!["scholar.google.com".into(), "www.google.com".into()],

@@ -23,18 +23,32 @@
 //! * the CONNECT `200` is only sent once the tunnel is actually
 //!   established, so browsers cannot start a TLS handshake into a void.
 //!
-//! Error surface seen by browsers: `403` off-whitelist, `502` retries
-//! exhausted, `503` parked too long with no remote available.
+//! # Overload control
+//!
+//! The client-facing side is guarded by an [`AdmissionController`]
+//! (see [`admission`](crate::admission)): concurrent tunnels are
+//! capped, excess whitelisted requests wait in a bounded deadline-aware
+//! queue, per-client token buckets and stream caps keep one hot client
+//! from starving the rest, and the resilience layer's retries are
+//! gated by a global retry budget. Shed work fails fast with
+//! `503`/`429 + Retry-After` instead of queueing to die.
+//!
+//! Error surface seen by browsers: `403` off-whitelist, `429`
+//! throttled (per-client rate or stream cap), `502` retries exhausted
+//! or retry budget spent, `503` parked too long with no remote
+//! available, shed by the admission queue, or deadline-shed.
 
 use std::collections::HashMap;
 
 use rand::Rng;
 use sc_netproto::http::{HttpMessage, HttpParser, HttpRequest, HttpResponse};
 use sc_netproto::socks::TargetAddr;
+use sc_simnet::addr::Addr;
 use sc_simnet::api::{App, AppEvent, TcpEvent, TcpHandle};
 use sc_simnet::sim::Ctx;
 use sc_simnet::time::{SimDuration, SimTime};
 
+use crate::admission::{AdmissionController, Decision, Dequeued};
 use crate::config::ScConfig;
 use crate::frame::{Hello, StreamCodec, StreamHeader};
 use crate::resilience::{BreakerState, BreakerTransition, RemotePool};
@@ -42,6 +56,10 @@ use crate::resilience::{BreakerState, BreakerTransition, RemotePool};
 /// How often a parked request re-checks the pool for a recovered remote
 /// (probes also drain the parked set immediately on success).
 const PARK_RECHECK: SimDuration = SimDuration::from_millis(250);
+
+/// How often the admission queue is re-checked for deadline sheds while
+/// non-empty (slot releases also drain it immediately).
+const QUEUE_TICK: SimDuration = SimDuration::from_millis(100);
 
 enum BrowserConn {
     AwaitRequest(HttpParser),
@@ -72,6 +90,12 @@ struct PendingTunnel {
     inflight: bool,
     /// A retry/park-recheck timer is currently armed.
     retry_armed: bool,
+    /// Still waiting in the admission queue (no attempt may start and
+    /// no active slot is held until the controller dequeues it).
+    queued: bool,
+    /// When the admission controller granted this request its slot
+    /// (service-time EWMA: admit → tunnel established).
+    admitted_at: SimTime,
 }
 
 struct RemoteConn {
@@ -117,19 +141,26 @@ enum TimerPurpose {
     ProbeDeadline(TcpHandle),
     /// Retry backoff elapsed / parked request re-check (browser handle).
     Retry(TcpHandle),
+    /// Periodic admission-queue re-check (deadline sheds).
+    QueueTick,
 }
 
 /// The domestic proxy app. Install on the domestic VM node.
 pub struct DomesticProxy {
     config: ScConfig,
     pool: RemotePool,
+    admission: AdmissionController<TcpHandle>,
     browsers: HashMap<TcpHandle, BrowserConn>,
     remotes: HashMap<TcpHandle, RemoteConn>,
+    /// Client address per browser connection (fairness keying).
+    peers: HashMap<TcpHandle, Addr>,
     /// Requests awaiting tunnel establishment, keyed by browser handle.
     pending: HashMap<TcpHandle, PendingTunnel>,
     probes: HashMap<TcpHandle, Probe>,
     timers: HashMap<u64, TimerPurpose>,
     next_timer: u64,
+    /// A [`QUEUE_TICK`] timer is currently armed.
+    queue_tick_armed: bool,
     /// Whitelisted tunnels opened (diagnostics).
     pub tunnels_opened: u64,
     /// Requests refused as off-whitelist (diagnostics; should be zero
@@ -153,15 +184,19 @@ impl DomesticProxy {
             config.resilience.breaker_threshold,
             config.resilience.breaker_cooldown,
         );
+        let admission = AdmissionController::new(config.admission.clone());
         DomesticProxy {
             config,
             pool,
+            admission,
             browsers: HashMap::new(),
             remotes: HashMap::new(),
+            peers: HashMap::new(),
             pending: HashMap::new(),
             probes: HashMap::new(),
             timers: HashMap::new(),
             next_timer: 1,
+            queue_tick_armed: false,
             tunnels_opened: 0,
             refused: 0,
             retries: 0,
@@ -174,6 +209,11 @@ impl DomesticProxy {
     /// Read access to the remote pool (tests and dashboards).
     pub fn pool(&self) -> &RemotePool {
         &self.pool
+    }
+
+    /// Read access to the admission controller (tests and dashboards).
+    pub fn admission(&self) -> &AdmissionController<TcpHandle> {
+        &self.admission
     }
 
     fn arm(&mut self, delay: SimDuration, purpose: TimerPurpose, ctx: &mut Ctx<'_>) {
@@ -225,6 +265,132 @@ impl DomesticProxy {
         );
     }
 
+    fn emit_admission(
+        &self,
+        level: sc_obs::Level,
+        name: &'static str,
+        fields: &[(&'static str, String)],
+        ctx: &Ctx<'_>,
+    ) {
+        if sc_obs::is_enabled(level, "scholarcloud") {
+            let mut ev = sc_obs::Event::new(
+                ctx.now().as_micros(),
+                level,
+                "scholarcloud",
+                "admission",
+                name,
+            );
+            for (k, v) in fields {
+                ev = ev.field(k, v.clone());
+            }
+            sc_obs::emit(ev);
+        }
+    }
+
+    /// The client address behind a browser connection (fairness key).
+    fn client_of(&self, browser: TcpHandle) -> Addr {
+        self.peers.get(&browser).copied().unwrap_or(Addr::new(0, 0, 0, 0))
+    }
+
+    fn sample_queue_depth(&self, ctx: &Ctx<'_>) {
+        sc_obs::ts_record(
+            ctx.now().as_micros(),
+            "scholarcloud.queue_depth",
+            self.admission.queue_depth() as u64,
+        );
+    }
+
+    /// Answers a shed/throttled request with its status and a
+    /// `Retry-After` hint, then closes the connection — the fast
+    /// failure path that keeps an overloaded proxy responsive.
+    fn shed_browser(&mut self, browser: TcpHandle, code: u16, reason: &str, ctx: &mut Ctx<'_>) {
+        self.pending.remove(&browser);
+        let retry_after = self.admission.retry_after();
+        let secs = (retry_after.as_micros() + 999_999) / 1_000_000;
+        let resp = HttpResponse::new(code, Vec::new())
+            .header("Retry-After", &secs.max(1).to_string());
+        ctx.tcp_send(browser, &resp.encode());
+        ctx.tcp_close(browser);
+        self.browsers.insert(browser, BrowserConn::Dead);
+        let now_us = ctx.now().as_micros();
+        let (counter, name) = if code == 429 {
+            ("scholarcloud.throttled", "throttle")
+        } else {
+            ("scholarcloud.shed", "shed")
+        };
+        sc_obs::counter_add(counter, 1);
+        sc_obs::ts_bump(now_us, counter, 1);
+        self.emit_admission(
+            sc_obs::Level::Warn,
+            name,
+            &[
+                ("code", code.to_string()),
+                ("reason", reason.to_string()),
+                ("retry_after_us", retry_after.as_micros().to_string()),
+            ],
+            ctx,
+        );
+    }
+
+    /// Arms the queue re-check tick if the queue is non-empty and no
+    /// tick is outstanding (nominal traffic never queues, so nominal
+    /// runs never pay for the timer).
+    fn ensure_queue_tick(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.queue_tick_armed && self.admission.queue_depth() > 0 {
+            self.queue_tick_armed = true;
+            self.arm(QUEUE_TICK, TimerPurpose::QueueTick, ctx);
+        }
+    }
+
+    /// Releases `browser`'s active slot and lets queued work advance
+    /// into the freed capacity.
+    fn release_slot(&mut self, browser: TcpHandle, ctx: &mut Ctx<'_>) {
+        let client = self.client_of(browser);
+        self.admission.release(client, ctx.now(), None);
+        self.drain_queue(ctx);
+    }
+
+    /// Dequeues as much as capacity allows: deadline-expired entries
+    /// are shed with 503, admissible ones start their first attempt.
+    fn drain_queue(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let actions = self.admission.drain(now);
+        if actions.is_empty() {
+            return;
+        }
+        for action in actions {
+            match action {
+                Dequeued::Shed { token } => {
+                    self.shed_browser(token, 503, "deadline_shed", ctx);
+                }
+                Dequeued::Admit { token, waited } => {
+                    sc_obs::counter_add("scholarcloud.admitted", 1);
+                    match self.pending.get_mut(&token) {
+                        Some(pt) => {
+                            pt.queued = false;
+                            pt.admitted_at = now;
+                            self.emit_admission(
+                                sc_obs::Level::Debug,
+                                "dequeue",
+                                &[("waited_us", waited.as_micros().to_string())],
+                                ctx,
+                            );
+                            self.try_attempt(token, ctx);
+                        }
+                        // The browser vanished without the queue entry
+                        // being removed; hand the slot straight back.
+                        None => {
+                            let client = self.client_of(token);
+                            self.admission.release(client, now, None);
+                        }
+                    }
+                }
+            }
+        }
+        self.sample_queue_depth(ctx);
+        self.ensure_queue_tick(ctx);
+    }
+
     fn record_remote_success(&mut self, idx: usize, rtt: SimDuration, ctx: &mut Ctx<'_>) {
         if let Some(t) = self.pool.record_success(idx, rtt) {
             self.emit_breaker(idx, t, ctx);
@@ -239,9 +405,9 @@ impl DomesticProxy {
 
     /// Fails a pending browser request with a distinct, visible status.
     fn fail_browser(&mut self, browser: TcpHandle, code: u16, reason: &str, ctx: &mut Ctx<'_>) {
-        let target = match self.pending.remove(&browser) {
-            Some(pt) => target_label(&pt.header),
-            None => String::new(),
+        let (target, held_slot) = match self.pending.remove(&browser) {
+            Some(pt) => (target_label(&pt.header), !pt.queued),
+            None => (String::new(), false),
         };
         ctx.tcp_send(browser, &HttpResponse::new(code, Vec::new()).encode());
         ctx.tcp_close(browser);
@@ -268,15 +434,70 @@ impl DomesticProxy {
             ],
             ctx,
         );
+        if held_slot {
+            self.release_slot(browser, ctx);
+        }
     }
 
-    /// Registers a whitelisted request and starts its first attempt.
+    /// Runs a whitelisted request through the admission pipeline:
+    /// admitted work starts its first attempt, saturated work queues,
+    /// everything else is answered immediately with `429`/`503`.
+    fn admit_request(
+        &mut self,
+        browser: TcpHandle,
+        header: StreamHeader,
+        initial_plain: Vec<u8>,
+        is_connect: bool,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let now = ctx.now();
+        let client = self.client_of(browser);
+        let decision = self.admission.on_request(browser, client, now);
+        match decision {
+            Decision::Admit => {
+                sc_obs::counter_add("scholarcloud.admitted", 1);
+                self.emit_admission(
+                    sc_obs::Level::Debug,
+                    "admit",
+                    &[
+                        ("target", target_label(&header)),
+                        ("active", self.admission.active().to_string()),
+                    ],
+                    ctx,
+                );
+                self.start_tunnel(browser, header, initial_plain, is_connect, false, ctx);
+            }
+            Decision::Enqueue => {
+                sc_obs::counter_add("scholarcloud.queued", 1);
+                self.emit_admission(
+                    sc_obs::Level::Debug,
+                    "enqueue",
+                    &[
+                        ("target", target_label(&header)),
+                        ("depth", self.admission.queue_depth().to_string()),
+                    ],
+                    ctx,
+                );
+                self.start_tunnel(browser, header, initial_plain, is_connect, true, ctx);
+                self.sample_queue_depth(ctx);
+                self.ensure_queue_tick(ctx);
+            }
+            _ => {
+                let code = decision.status().expect("refusals carry a status");
+                self.shed_browser(browser, code, decision.name(), ctx);
+            }
+        }
+    }
+
+    /// Registers a whitelisted request; unless still `queued`, starts
+    /// its first attempt.
     fn start_tunnel(
         &mut self,
         browser: TcpHandle,
         header: StreamHeader,
         initial_plain: Vec<u8>,
         is_connect: bool,
+        queued: bool,
         ctx: &mut Ctx<'_>,
     ) {
         self.browsers.insert(browser, BrowserConn::Pending);
@@ -291,9 +512,13 @@ impl DomesticProxy {
                 parked_since: None,
                 inflight: false,
                 retry_armed: false,
+                queued,
+                admitted_at: ctx.now(),
             },
         );
-        self.try_attempt(browser, ctx);
+        if !queued {
+            self.try_attempt(browser, ctx);
+        }
     }
 
     /// Starts (or parks) the next connect attempt for a pending request.
@@ -323,6 +548,30 @@ impl DomesticProxy {
                     &[("target", target)],
                     ctx,
                 );
+                // The parked set is bounded by the admission queue
+                // limit: an all-remotes-dark flash crowd must not park
+                // unboundedly. Overflow sheds the oldest parked
+                // requests (FIFO by park time, handle id as the
+                // deterministic tie-break).
+                let cap = self.admission.queue_len().max(1);
+                let mut parked: Vec<(SimTime, usize)> = self
+                    .pending
+                    .iter()
+                    .filter_map(|(&b, p)| p.parked_since.map(|s| (s, b.0)))
+                    .collect();
+                if parked.len() > cap {
+                    parked.sort();
+                    let overflow: Vec<usize> =
+                        parked.iter().take(parked.len() - cap).map(|&(_, b)| b).collect();
+                    for b in overflow {
+                        self.fail_browser(TcpHandle(b), 503, "parked_overflow", ctx);
+                    }
+                    // A same-instant park burst can shed this very
+                    // request; it has already been answered then.
+                    if !self.pending.contains_key(&browser) {
+                        return;
+                    }
+                }
             }
             if expired {
                 self.fail_browser(browser, 503, "all_remotes_dark", ctx);
@@ -418,6 +667,22 @@ impl DomesticProxy {
             self.fail_browser(browser, 502, reason, ctx);
             return;
         }
+        // The global retry budget caps brownout amplification: without
+        // a token this request fails now instead of retrying.
+        if !self.admission.retry_budget.try_retry() {
+            sc_obs::counter_add("scholarcloud.retry_denied", 1);
+            self.emit_admission(
+                sc_obs::Level::Warn,
+                "retry_denied",
+                &[
+                    ("reason", reason.to_string()),
+                    ("attempt", attempts.to_string()),
+                ],
+                ctx,
+            );
+            self.fail_browser(browser, 502, "retry_budget_exhausted", ctx);
+            return;
+        }
         let draw: f64 = ctx.rng().gen();
         let delay = self.config.resilience.backoff.delay(attempts - 1, draw);
         if let Some(pt) = self.pending.get_mut(&browser) {
@@ -506,13 +771,18 @@ impl DomesticProxy {
                 let ready = match self.pending.get_mut(&browser) {
                     Some(pt) => {
                         pt.retry_armed = false;
-                        !pt.inflight
+                        !pt.inflight && !pt.queued
                     }
                     None => false,
                 };
                 if ready {
                     self.try_attempt(browser, ctx);
                 }
+            }
+            TimerPurpose::QueueTick => {
+                self.queue_tick_armed = false;
+                self.drain_queue(ctx);
+                self.ensure_queue_tick(ctx);
             }
         }
     }
@@ -561,7 +831,7 @@ impl DomesticProxy {
                 is_tls: port == 443,
                 target: TargetAddr::Domain(host.to_string(), port),
             };
-            self.start_tunnel(browser, header, Vec::new(), true, ctx);
+            self.admit_request(browser, header, Vec::new(), true, ctx);
         } else if let Some(rest) = req.target.strip_prefix("http://") {
             // Absolute-form plain HTTP.
             let (hostport, path) = match rest.find('/') {
@@ -587,7 +857,7 @@ impl DomesticProxy {
                 is_tls: false,
                 target: TargetAddr::Domain(host.to_string(), port),
             };
-            self.start_tunnel(browser, header, origin_req.encode(), false, ctx);
+            self.admit_request(browser, header, origin_req.encode(), false, ctx);
         } else {
             ctx.tcp_send(browser, &HttpResponse::new(400, Vec::new()).encode());
         }
@@ -660,6 +930,8 @@ impl App for DomesticProxy {
                     sc_obs::observe("scholarcloud.connect_rtt_us", rtt.as_micros());
                     self.record_remote_success(idx, rtt, ctx);
                     if let Some(pt) = self.pending.remove(&browser) {
+                        self.admission
+                            .record_service(now.saturating_since(pt.admitted_at));
                         if pt.is_connect {
                             ctx.tcp_send(browser, b"HTTP/1.1 200 Connection established\r\n\r\n");
                         }
@@ -713,6 +985,7 @@ impl App for DomesticProxy {
                         }
                         ctx.tcp_close(conn.browser);
                         self.browsers.insert(conn.browser, BrowserConn::Dead);
+                        self.release_slot(conn.browser, ctx);
                     }
                 }
                 _ => {}
@@ -722,7 +995,8 @@ impl App for DomesticProxy {
 
         // Browser side.
         match tcp_ev {
-            TcpEvent::Accepted { .. } => {
+            TcpEvent::Accepted { peer } => {
+                self.peers.insert(h, peer.addr);
                 self.browsers.insert(h, BrowserConn::AwaitRequest(HttpParser::new()));
                 sc_obs::counter_add("scholarcloud.domestic_accepts", 1);
             }
@@ -778,7 +1052,15 @@ impl App for DomesticProxy {
                 }
             }
             TcpEvent::PeerClosed | TcpEvent::Reset => {
-                if self.pending.remove(&h).is_some() {
+                if let Some(pt) = self.pending.remove(&h) {
+                    if pt.queued {
+                        // Browser gave up while still in the admission
+                        // queue: no slot was held yet.
+                        self.admission.remove_queued(h);
+                        self.sample_queue_depth(ctx);
+                        self.browsers.insert(h, BrowserConn::Dead);
+                        return;
+                    }
                     // Browser gave up mid-establishment: abort the
                     // outstanding attempt without blaming the remote.
                     let inflight: Vec<TcpHandle> = self
@@ -791,6 +1073,9 @@ impl App for DomesticProxy {
                         ctx.tcp_abort(rh);
                         self.remotes.remove(&rh);
                     }
+                    self.browsers.insert(h, BrowserConn::Dead);
+                    self.release_slot(h, ctx);
+                    return;
                 }
                 if let Some(BrowserConn::Tunneling { remote }) = self.browsers.get(&h) {
                     let remote = *remote;
@@ -799,6 +1084,9 @@ impl App for DomesticProxy {
                         sc_obs::observe("scholarcloud.stream_bytes_up", conn.up_bytes);
                         sc_obs::observe("scholarcloud.stream_bytes_down", conn.down_bytes);
                     }
+                    self.browsers.insert(h, BrowserConn::Dead);
+                    self.release_slot(h, ctx);
+                    return;
                 }
                 self.browsers.insert(h, BrowserConn::Dead);
             }

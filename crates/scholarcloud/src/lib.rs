@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod config;
 pub mod domestic;
 pub mod frame;
@@ -40,6 +41,7 @@ pub mod ops;
 pub mod remote;
 pub mod resilience;
 
+pub use admission::{AdmissionConfig, AdmissionController, Decision, Dequeued, RetryBudget, TokenBucket};
 pub use config::{ResilienceConfig, ScConfig, SchemeHandle, DOMESTIC_PORT, REMOTE_PORT};
 pub use domestic::DomesticProxy;
 pub use frame::{Hello, StreamCodec, StreamHeader};

@@ -1,0 +1,127 @@
+//! Property tests for the overload-control layer: whatever interleaving
+//! of arrivals, releases, and queue drains the simulator produces, the
+//! admission controller must (a) be a pure function of its inputs —
+//! identical op streams yield identical decision sequences, the
+//! property the byte-identical-trace guarantee leans on — and (b) never
+//! exceed its declared bounds: active tunnels stay ≤ `max_tunnels` and
+//! the pending queue stays ≤ `queue_len` no matter what arrives.
+
+use proptest::prelude::*;
+use sc_core::{AdmissionConfig, AdmissionController, Decision, Dequeued};
+use sc_simnet::addr::Addr;
+use sc_simnet::time::{SimDuration, SimTime};
+
+/// A deliberately tight config so short random op streams actually hit
+/// the queue, the deadline check, and the per-client limits.
+fn tight_config() -> AdmissionConfig {
+    let mut cfg = AdmissionConfig::default();
+    cfg.max_tunnels = 3;
+    cfg.queue_len = 4;
+    cfg.deadline_budget = SimDuration::from_secs(2);
+    cfg.per_client_rate = 2.0;
+    cfg.per_client_burst = 4.0;
+    cfg.max_streams_per_client = 5;
+    cfg
+}
+
+/// One step of the op stream: advance time, then arrive / release /
+/// drain. `kind` 0–1 is an arrival (twice the weight), 2 a release of
+/// the oldest outstanding admitted request, 3 a queue drain.
+type Op = (u16, u8, u8); // (dt_ms, client_id, kind)
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0u16..800, 0u8..4, 0u8..4), 1..160)
+}
+
+/// Replays `ops` against a fresh controller, returning the full
+/// decision log plus the high-water marks of the two bounded resources.
+fn replay(ops: &[Op]) -> (Vec<String>, usize, usize) {
+    let mut ctl: AdmissionController<u64> = AdmissionController::new(tight_config());
+    let mut log = Vec::new();
+    let mut now = SimTime::ZERO;
+    let mut next_token = 0u64;
+    // Outstanding admitted requests, oldest first, so releases are
+    // always legal (the controller debug-asserts on spurious releases).
+    let mut live: Vec<(u64, Addr)> = Vec::new();
+    // Which client each queued token belongs to, so a later dequeue can
+    // be released against the right client — mirroring the proxy, which
+    // keeps the browser→peer mapping for the same reason.
+    let mut queued: std::collections::BTreeMap<u64, Addr> = std::collections::BTreeMap::new();
+    let mut max_active = 0;
+    let mut max_queue = 0;
+
+    for &(dt_ms, client_id, kind) in ops {
+        now = now + SimDuration::from_millis(u64::from(dt_ms));
+        let client = Addr::new(10, 0, 0, client_id + 1);
+        match kind {
+            0 | 1 => {
+                let token = next_token;
+                next_token += 1;
+                let d = ctl.on_request(token, client, now);
+                match d {
+                    Decision::Admit => live.push((token, client)),
+                    Decision::Enqueue => {
+                        queued.insert(token, client);
+                    }
+                    _ => {}
+                }
+                log.push(format!("req {token} {}", d.name()));
+            }
+            2 => {
+                if !live.is_empty() {
+                    let (token, client) = live.remove(0);
+                    // Vary the establishment sample with the op stream so
+                    // the EWMA (and with it the deadline check) moves.
+                    let est = SimDuration::from_millis(50 + u64::from(dt_ms));
+                    ctl.release(client, now, Some(est));
+                    log.push(format!("rel {token}"));
+                }
+            }
+            _ => {
+                for dq in ctl.drain(now) {
+                    match dq {
+                        Dequeued::Admit { token, waited } => {
+                            let client = queued.remove(&token).expect("dequeued was queued");
+                            log.push(format!("deq {token} waited={}", waited.as_micros()));
+                            live.push((token, client));
+                        }
+                        Dequeued::Shed { token } => {
+                            queued.remove(&token);
+                            log.push(format!("shed {token}"));
+                        }
+                    }
+                }
+            }
+        }
+        max_active = max_active.max(ctl.active());
+        max_queue = max_queue.max(ctl.queue_depth());
+    }
+    (log, max_active, max_queue)
+}
+
+proptest! {
+    /// Identical op streams produce identical decision sequences —
+    /// admission is deterministic under arbitrary interleaved arrivals.
+    #[test]
+    fn decisions_are_deterministic(ops in ops()) {
+        let (a, _, _) = replay(&ops);
+        let (b, _, _) = replay(&ops);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The bounded resources honor their declared caps at every step of
+    /// every interleaving.
+    #[test]
+    fn bounds_hold_under_any_interleaving(ops in ops()) {
+        let cfg = tight_config();
+        let (_, max_active, max_queue) = replay(&ops);
+        prop_assert!(
+            max_active <= cfg.max_tunnels,
+            "active tunnels peaked at {} above the cap {}", max_active, cfg.max_tunnels
+        );
+        prop_assert!(
+            max_queue <= cfg.queue_len,
+            "pending queue peaked at {} above the cap {}", max_queue, cfg.queue_len
+        );
+    }
+}

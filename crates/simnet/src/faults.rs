@@ -103,6 +103,19 @@ pub enum Fault {
         /// The mutation to run; receives the current sim time.
         apply: Box<dyn FnMut(SimTime)>,
     },
+    /// A flash crowd: `clients` extra clients start arriving, spread
+    /// over the `ramp` window. The simulator records the surge shape in
+    /// the trace and runs `trigger`, which typically opens a shared
+    /// gate that waiting client apps poll; the per-client arrival
+    /// offsets come from [`ramp::uniform_offsets`](crate::ramp).
+    FlashCrowd {
+        /// How many extra clients arrive.
+        clients: u32,
+        /// The window over which their arrivals are spread.
+        ramp: SimDuration,
+        /// The environment mutation that releases the crowd.
+        trigger: Box<dyn FnMut(SimTime)>,
+    },
 }
 
 impl Fault {
@@ -120,6 +133,7 @@ impl Fault {
             Fault::NodeCrash(_) => "node_crash",
             Fault::NodeRestart(_) => "node_restart",
             Fault::Callback { label, .. } => label,
+            Fault::FlashCrowd { .. } => "flash_crowd",
         }
     }
 }

@@ -53,6 +53,7 @@ pub mod link;
 pub mod middlebox;
 pub mod node;
 pub mod packet;
+pub mod ramp;
 pub mod sim;
 pub mod stats;
 pub mod tcp;

@@ -1,0 +1,51 @@
+//! Client arrival ramps for load scenarios.
+//!
+//! A flash crowd is not an instantaneous step: real users pile on over
+//! seconds to minutes. The helpers here turn a crowd size and a ramp
+//! window into deterministic per-client arrival offsets, so scenario
+//! builders can spread [`Fault::FlashCrowd`](crate::faults::Fault)
+//! arrivals without reaching for the RNG (the shape of the ramp is an
+//! experiment parameter, not noise).
+
+use crate::time::SimDuration;
+
+/// `n` arrival offsets spread evenly across `[0, ramp]`: client `i`
+/// arrives at `i × ramp / (n − 1)` (the first immediately, the last at
+/// the end of the window). A single client arrives immediately; a zero
+/// window collapses to a step.
+pub fn uniform_offsets(n: usize, ramp: SimDuration) -> Vec<SimDuration> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![SimDuration::ZERO];
+    }
+    let span = ramp.as_micros();
+    (0..n)
+        .map(|i| SimDuration::from_micros(span * i as u64 / (n as u64 - 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_the_window() {
+        let offs = uniform_offsets(5, SimDuration::from_secs(8));
+        assert_eq!(offs.len(), 5);
+        assert_eq!(offs[0], SimDuration::ZERO);
+        assert_eq!(offs[4], SimDuration::from_secs(8));
+        assert_eq!(offs[2], SimDuration::from_secs(4));
+        // Monotone non-decreasing.
+        assert!(offs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        assert!(uniform_offsets(0, SimDuration::from_secs(1)).is_empty());
+        assert_eq!(uniform_offsets(1, SimDuration::from_secs(1)), vec![SimDuration::ZERO]);
+        let step = uniform_offsets(3, SimDuration::ZERO);
+        assert!(step.iter().all(|&d| d == SimDuration::ZERO), "zero window is a step");
+    }
+}

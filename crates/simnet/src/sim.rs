@@ -395,6 +395,10 @@ impl Sim {
                 apply(self.now);
                 String::new()
             }
+            Fault::FlashCrowd { clients, ramp, trigger } => {
+                trigger(self.now);
+                format!("clients={clients} ramp_us={}", ramp.as_micros())
+            }
         };
         sc_obs::counter_add("simnet.faults_applied", 1);
         sc_obs::ts_bump(self.now.as_micros(), "simnet.faults", 1);

@@ -45,6 +45,8 @@ const TIMER_WAIT: u64 = 2;
 const TIMER_DNS_RETRY: u64 = 3;
 /// Staggered-start (load-ramp) delay before the browser begins.
 const TIMER_RAMP: u64 = 4;
+/// Backoff after the proxy throttled us (`429`/`503` + `Retry-After`).
+const TIMER_THROTTLE: u64 = 5;
 /// Stub resolver retransmission interval.
 const DNS_RETRY: SimDuration = SimDuration::from_secs(1);
 
@@ -103,6 +105,14 @@ pub struct BrowserConfig {
     /// clients come online staggered). The PLT clock starts *after* the
     /// delay, so a ramped client's first load is not charged for it.
     pub start_delay: SimDuration,
+    /// Whether a `429`/`503` proxy answer carrying `Retry-After` makes
+    /// the browser back off and retry the page within the same load
+    /// (well-behaved client under overload control) instead of failing
+    /// immediately.
+    pub honor_retry_after: bool,
+    /// Retry-After retries per load before giving up. The backoff is
+    /// deterministic: `Retry-After × 2^attempt`, no jitter.
+    pub max_throttle_retries: u32,
 }
 
 impl BrowserConfig {
@@ -119,6 +129,8 @@ impl BrowserConfig {
             entropy: 7,
             timeout: SimDuration::from_secs(55),
             start_delay: SimDuration::ZERO,
+            honor_retry_after: true,
+            max_throttle_retries: 3,
         }
     }
 }
@@ -141,10 +153,16 @@ pub struct PageLoadResult {
     /// TCP connections opened for this load.
     pub connections: usize,
     /// Non-200 status an HTTP proxy answered CONNECT with, when that is
-    /// what failed the load (`403` off-whitelist, `502` upstream tunnel
-    /// exhausted, `503` every upstream dark) — the user-visible
-    /// difference between "refused" and "temporarily degraded".
+    /// what failed the load (`403` off-whitelist, `429` throttled,
+    /// `502` upstream tunnel exhausted, `503` every upstream dark or
+    /// shed) — the user-visible difference between "refused" and
+    /// "temporarily degraded". Kept on successful loads too when a
+    /// throttle was overcome along the way.
     pub proxy_status: Option<u16>,
+    /// The proxy throttled this load (`429`, or `503` with
+    /// `Retry-After`) at least once — distinct from a hard failure: a
+    /// throttled load may still have succeeded after backing off.
+    pub throttled: bool,
 }
 
 /// Shared log the harness reads results from.
@@ -190,6 +208,10 @@ struct ActiveLoad {
     connections: usize,
     deadline_token: u64,
     proxy_status: Option<u16>,
+    /// Retry-After retries taken so far in this load.
+    throttle_retries: u32,
+    /// The load was throttled at least once.
+    throttled: bool,
 }
 
 /// The browser app.
@@ -214,6 +236,9 @@ pub struct Browser {
     log: LoadLog,
     deadline_seq: u64,
     rtt_conn: Option<TcpHandle>,
+    /// An armed [`TIMER_THROTTLE`] belongs to the load with this
+    /// deadline token (stale firings for finished loads are ignored).
+    throttle_wait_for: Option<u64>,
 }
 
 impl Browser {
@@ -238,6 +263,7 @@ impl Browser {
             log,
             deadline_seq: 0,
             rtt_conn: None,
+            throttle_wait_for: None,
         }
     }
 
@@ -280,6 +306,8 @@ impl Browser {
             connections: 0,
             deadline_token,
             proxy_status: None,
+            throttle_retries: 0,
+            throttled: false,
         });
         ctx.set_timer(self.config.timeout, deadline_token);
         let host = self.config.page_host.clone();
@@ -540,10 +568,15 @@ impl Browser {
             rtt,
             failed: false,
             connections: load.connections,
-            proxy_status: None,
+            // A load that overcame a throttle en route keeps the status
+            // that stalled it, so the harness can count brownouts that
+            // ultimately succeeded.
+            proxy_status: if load.throttled { load.proxy_status } else { None },
+            throttled: load.throttled,
         });
         self.visited = true;
         self.loads_done += 1;
+        self.throttle_wait_for = None;
         self.teardown_conns(ctx);
         self.schedule_next(load.started, ctx);
     }
@@ -569,11 +602,57 @@ impl Browser {
             failed: true,
             connections: load.connections,
             proxy_status: load.proxy_status,
+            throttled: load.throttled,
         });
         self.visited = true;
         self.loads_done += 1;
+        self.throttle_wait_for = None;
         self.teardown_conns(ctx);
         self.schedule_next(load.started, ctx);
+    }
+
+    /// Honors a proxy `Retry-After` on a `429`/`503`: tears down every
+    /// connection, waits `retry_after × 2^attempt` (deterministic —
+    /// backoff shape is part of the trace, so no jitter), and re-fetches
+    /// the page. Returns `false` when retries are disabled or exhausted,
+    /// in which case the caller fails the load instead. The load's
+    /// deadline timer keeps running throughout, so a throttle wait can
+    /// never extend a load past its budget.
+    fn throttle_backoff(&mut self, retry_after_secs: u64, ctx: &mut Ctx<'_>) -> bool {
+        let Some(load) = self.load.as_mut() else { return false };
+        if !self.config.honor_retry_after
+            || load.throttle_retries >= self.config.max_throttle_retries
+        {
+            return false;
+        }
+        let attempt = load.throttle_retries;
+        load.throttle_retries += 1;
+        load.throttled = true;
+        let delay = SimDuration::from_secs(retry_after_secs.max(1))
+            .saturating_mul(1u64 << attempt.min(16));
+        // Back off with nothing in flight: the proxy told us to go away,
+        // so holding sockets open would just occupy its accept queue.
+        let token = load.deadline_token;
+        load.pending = 1; // the retried HTML
+        sc_obs::counter_add("web.throttled", 1);
+        sc_obs::ts_bump(ctx.now().as_micros(), "web.throttled", 1);
+        if sc_obs::is_enabled(sc_obs::Level::Info, "web") {
+            sc_obs::emit(
+                sc_obs::Event::new(
+                    ctx.now().as_micros(),
+                    sc_obs::Level::Info,
+                    "web",
+                    "browser",
+                    "throttled",
+                )
+                .field("attempt", u64::from(attempt))
+                .field("delay_us", delay.as_micros()),
+            );
+        }
+        self.teardown_conns(ctx);
+        self.throttle_wait_for = Some(token);
+        ctx.set_timer(delay, TIMER_THROTTLE);
+        true
     }
 
     fn teardown_conns(&mut self, ctx: &mut Ctx<'_>) {
@@ -657,6 +736,18 @@ impl App for Browser {
             AppEvent::TimerFired(TIMER_NEXT_LOAD) => {
                 if self.load.is_none() && self.loads_done < self.config.loads {
                     self.begin_load(ctx);
+                }
+            }
+            AppEvent::TimerFired(TIMER_THROTTLE) => {
+                // Only act if the wait belongs to the load still in
+                // flight (deadline tokens are unique per load, so a
+                // stale timer from an already-finished load no-ops).
+                let current = self.load.as_ref().map(|l| l.deadline_token);
+                if current.is_some() && current == self.throttle_wait_for {
+                    self.throttle_wait_for = None;
+                    let host = self.config.page_host.clone();
+                    let port = self.config.page_port;
+                    self.fetch(&host, port, "/", ctx);
                 }
             }
             AppEvent::TimerFired(token) if token > 1_000 => {
@@ -790,9 +881,16 @@ impl Browser {
                         } else {
                             // The proxy refused or degraded: keep the
                             // status so the harness can tell a 403
-                            // (policy) from a 502/503 (upstream dark).
+                            // (policy) from a 429 (throttled) from a
+                            // 502/503 (upstream dark or shed).
+                            let retry_after = r
+                                .header_value("Retry-After")
+                                .and_then(|v| v.trim().parse::<u64>().ok());
                             if let Some(load) = self.load.as_mut() {
                                 load.proxy_status = Some(r.status);
+                                if r.status == 429 || retry_after.is_some() {
+                                    load.throttled = true;
+                                }
                             }
                             sc_obs::counter_add("web.proxy_errors", 1);
                             sc_obs::ts_bump(ctx.now().as_micros(), "web.proxy_errors", 1);
@@ -807,6 +905,13 @@ impl Browser {
                                     )
                                     .field("status", u64::from(r.status)),
                                 );
+                            }
+                            if matches!(r.status, 429 | 503) && retry_after.is_some() {
+                                if let Some(secs) = retry_after {
+                                    if self.throttle_backoff(secs, ctx) {
+                                        return;
+                                    }
+                                }
                             }
                             self.fail_load(ctx);
                             return;

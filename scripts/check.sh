@@ -26,3 +26,16 @@ cargo run --release --offline -p sc-obs --bin scholar-obs -- "$chaos_trace" \
     --require-failover --min-availability 0.70 >/dev/null
 rm -f "$chaos_trace"
 echo "chaos smoke gate: ok"
+
+# Overload smoke gate: run the flash-crowd scenario (a 10x client surge
+# against an undersized domestic proxy) and assert through the trace
+# that the admission layer shed load within bounds — the example itself
+# asserts fast 503/429s, bounded p95 PLT, the retry budget, and
+# recovery; scholar-obs then gates the shed rate (brownout, never a
+# blackout).
+flash_trace="${TMPDIR:-/tmp}/sc_check_flash.jsonl"
+SC_TRACE="$flash_trace" cargo run --release --offline --example flash_crowd >/dev/null
+cargo run --release --offline -p sc-obs --bin scholar-obs -- "$flash_trace" \
+    --max-shed-rate 0.70 >/dev/null
+rm -f "$flash_trace"
+echo "overload smoke gate: ok"

@@ -108,6 +108,71 @@ fn fault_injected_traces_are_byte_identical() {
     assert_eq!(a, b, "same seed + same fault plan must be byte-identical");
 }
 
+/// A flash-crowd run: an undersized domestic proxy (2 tunnels, 2-deep
+/// queue) hit by a gated client surge released via `Fault::FlashCrowd`.
+/// Admission decisions (sheds, queue drains, Retry-After backoffs) are
+/// pure functions of the seeded sim, so the trace must stay
+/// byte-identical with the overload-control layer fully engaged.
+fn flash_crowd_run(seed: u64) -> Vec<u8> {
+    let buf = SharedBuf::default();
+    let sink = JsonlSink::new(Box::new(buf.clone()));
+    let guard = Dispatcher::new()
+        .with_level(Level::Debug)
+        .with_sink(Box::new(sink))
+        .install();
+    let mut cfg = ScenarioConfig::paper(Method::ScholarCloud, seed);
+    cfg.clients = 2;
+    cfg.loads = 4;
+    cfg.interval = SimDuration::from_secs(10);
+    cfg.timeout = SimDuration::from_secs(8);
+    cfg.sc_max_tunnels = Some(2);
+    cfg.sc_queue_len = Some(2);
+    cfg.flash_clients = 10;
+    cfg.flash_loads = 2;
+    cfg.flash_start = SimDuration::from_secs(20);
+    cfg.flash_ramp = SimDuration::from_secs(4);
+    cfg.extra_runtime = SimDuration::from_secs(20);
+    let mut built = build_scenario(&cfg);
+    let gate = built.flash_gate.clone().expect("flash clients configured");
+    let plan = FaultPlan::new().at(
+        SimTime::from_secs(20),
+        sc_simnet::faults::Fault::FlashCrowd {
+            clients: 10,
+            ramp: SimDuration::from_secs(4),
+            trigger: Box::new(move |_t| gate.set(true)),
+        },
+    );
+    built.sim.install_fault_plan(plan);
+    built.finish();
+    drop(guard);
+    let out = buf.0.borrow().clone();
+    out
+}
+
+#[test]
+fn flash_crowd_traces_are_byte_identical() {
+    let a = flash_crowd_run(77);
+    let b = flash_crowd_run(77);
+    assert!(!a.is_empty(), "trace must not be empty");
+    // The overload-control layer must actually have engaged: the crowd
+    // released, requests shed with explicit refusals, and at least one
+    // browser honoring Retry-After.
+    let text = String::from_utf8(a.clone()).unwrap();
+    assert!(
+        text.contains("\"event\":\"flash_crowd\""),
+        "trace must record the flash-crowd fault"
+    );
+    assert!(
+        text.contains("\"event\":\"shed\"") || text.contains("\"event\":\"throttle\""),
+        "trace must record admission shedding under the surge"
+    );
+    assert!(
+        text.contains("\"event\":\"throttled\""),
+        "trace must record a browser Retry-After backoff"
+    );
+    assert_eq!(a, b, "same seed + same flash crowd must be byte-identical");
+}
+
 /// A windows+SLO run: an undersized ScholarCloud VM under a small ramp,
 /// tight enough that the PLT SLO fires. Returns the raw trace bytes and
 /// the rendered timeline + verdict table.
