@@ -1,0 +1,93 @@
+//! sc-cache micro-benchmarks: the operations on the domestic proxy's
+//! hot path. A fresh hit must be cheap enough to be free next to the
+//! simulated network (microseconds vs a ~200 ms trans-Pacific fetch),
+//! and the singleflight bookkeeping must stay flat as waiters pile on.
+
+use criterion::{BenchmarkId, Criterion, black_box, criterion_group, criterion_main};
+use sc_cache::{CacheConfig, CacheKey, CachedResponse, ContentCache, Lookup, Role, Singleflight};
+use sc_simnet::time::{SimDuration, SimTime};
+
+fn key(i: usize) -> CacheKey {
+    ("scholar.google.com".to_string(), format!("/citations?page={i}"))
+}
+
+fn response(body_len: usize) -> CachedResponse {
+    CachedResponse {
+        status: 200,
+        content_type: "text/html".to_string(),
+        etag: "\"deadbeefdeadbeef\"".to_string(),
+        max_age: Some(300),
+        body: vec![0x42; body_len],
+    }
+}
+
+/// A cache pre-filled with `n` entries of `body_len` bytes each.
+fn filled(n: usize, body_len: usize, capacity: usize) -> ContentCache {
+    let mut cache = ContentCache::new(CacheConfig {
+        capacity_bytes: capacity,
+        default_ttl: SimDuration::from_secs(600),
+        host_ttl: Vec::new(),
+    });
+    for i in 0..n {
+        cache.insert(key(i), response(body_len), SimDuration::from_secs(600), SimTime::ZERO);
+    }
+    cache
+}
+
+fn bench(c: &mut Criterion) {
+    let now = SimTime::from_secs(1);
+
+    let mut g = c.benchmark_group("cache");
+
+    // The hit path: lookup of a fresh entry (touches the LRU index) plus
+    // the body clone the proxy hands to `serve_from_cache` — the whole
+    // per-request cost when the cache absorbs a page hit.
+    for body_len in [1024usize, 16 * 1024] {
+        let mut cache = filled(64, body_len, 16 * 1024 * 1024);
+        let k = key(17);
+        g.bench_with_input(BenchmarkId::new("hit", body_len), &body_len, |b, _| {
+            b.iter(|| match cache.lookup(black_box(&k), now) {
+                Lookup::Fresh(resp) => black_box(resp.body.clone()).len(),
+                _ => unreachable!("entry is fresh"),
+            })
+        });
+    }
+
+    // The miss path under budget pressure: every insert evicts the LRU
+    // victim, so this prices the full store + evict churn.
+    g.bench_function("insert_evict", |b| {
+        let mut cache = filled(8, 16 * 1024, 9 * 16 * 1024);
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            cache.insert(key(i % 1024), response(16 * 1024), SimDuration::from_secs(600), now)
+        })
+    });
+
+    // Singleflight: one leader plus N waiters attaching to the in-flight
+    // fetch, then the completion fan-out — the coalescing cost of a
+    // same-page crowd, per flight.
+    for waiters in [1usize, 7, 63] {
+        g.bench_with_input(
+            BenchmarkId::new("singleflight", waiters),
+            &waiters,
+            |b, &waiters| {
+                let mut sf: Singleflight<usize> = Singleflight::new();
+                let k = key(0);
+                b.iter(|| {
+                    assert!(matches!(sf.begin(&k, 0), Role::Leader));
+                    for w in 1..=waiters {
+                        assert!(matches!(sf.begin(&k, w), Role::Waiter));
+                    }
+                    let flight = sf.complete(&k).expect("flight open");
+                    black_box(flight.waiters.len())
+                })
+            },
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

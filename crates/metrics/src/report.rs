@@ -76,6 +76,31 @@ pub fn render_scenario(method: Method, o: &ScenarioOutcome) -> String {
     out
 }
 
+/// Renders the domestic proxy's shared-cache counters the way an
+/// operator would read them after a run: how much of the gateway
+/// traffic the cache absorbed, and by which mechanism (fresh hit,
+/// coalesced flight, cheap revalidation).
+pub fn render_cache(stats: &sc_core::CacheStats) -> String {
+    let mut out = String::from("Shared cache — domestic proxy\n");
+    out.push_str(&format!("  hits:                   {}\n", stats.hits));
+    out.push_str(&format!("  misses:                 {}\n", stats.misses));
+    out.push_str(&format!("  coalesced waiters:      {}\n", stats.coalesced));
+    out.push_str(&format!("  revalidations (304):    {}\n", stats.revalidated));
+    out.push_str(&format!("  insertions:             {}\n", stats.insertions));
+    out.push_str(&format!("  evictions:              {}\n", stats.evicted));
+    out.push_str(&format!("  oversize rejects:       {}\n", stats.rejected_oversize));
+    out.push_str(&format!("  upstream fetches:       {}\n", stats.upstream_fetches.len()));
+    out.push_str(&format!(
+        "  upstream bytes saved:   {:.1} KB\n",
+        stats.bytes_saved as f64 / 1024.0
+    ));
+    out.push_str(&format!(
+        "  hit rate:               {:.1}%\n",
+        stats.hit_rate() * 100.0
+    ));
+    out
+}
+
 /// Renders the installed observability registry (counters, gauges,
 /// histogram percentiles), or a placeholder when no collector is
 /// installed. Plugs the `sc-obs` metrics into the report output.

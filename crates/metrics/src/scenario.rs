@@ -203,6 +203,21 @@ pub struct ScenarioConfig {
     /// Extra simulated time appended to the runtime budget (overload
     /// scenarios need post-spike recovery room).
     pub extra_runtime: SimDuration,
+    /// Byte budget for the domestic proxy's shared content cache
+    /// (ScholarCloud only; plain-HTTP gateway traffic). `Some(0)` keeps
+    /// the gateway path but disables the cache — the cache-off control.
+    /// `None` leaves the proxy's default cache configuration in place.
+    pub sc_cache_bytes: Option<usize>,
+    /// Default TTL for cached entries whose origin sets no `max-age`.
+    pub sc_cache_ttl: Option<SimDuration>,
+    /// Serves the scholar page over plain HTTP (port 80) so browsers use
+    /// the proxy's absolute-form gateway path instead of CONNECT — the
+    /// only mode in which the proxy sees HTTP semantics and the shared
+    /// cache can act. The paper's HTTPS shape (`false`) is unaffected.
+    pub sc_http_page: bool,
+    /// Overrides the origins' `Cache-Control: max-age` (seconds). Small
+    /// values force revalidation between load rounds.
+    pub origin_max_age: Option<u64>,
 }
 
 impl ScenarioConfig {
@@ -231,6 +246,10 @@ impl ScenarioConfig {
             flash_start: SimDuration::ZERO,
             flash_ramp: SimDuration::ZERO,
             extra_runtime: SimDuration::ZERO,
+            sc_cache_bytes: None,
+            sc_cache_ttl: None,
+            sc_http_page: false,
+            origin_max_age: None,
         }
     }
 
@@ -348,6 +367,10 @@ pub struct BuiltScenario {
     /// [`Fault::FlashCrowd`](sc_simnet::faults::Fault) trigger at
     /// [`ScenarioConfig::flash_start`] to release the crowd.
     pub flash_gate: Option<std::rc::Rc<std::cell::Cell<bool>>>,
+    /// Live handle to the domestic proxy's shared content cache
+    /// (ScholarCloud only). Read [`stats`](sc_core::CacheHandle::stats)
+    /// after [`finish`](Self::finish) for hit/miss/coalescing counts.
+    pub sc_cache: Option<sc_core::CacheHandle>,
     cfg: ScenarioConfig,
     clients: Vec<sc_simnet::link::NodeId>,
     logs: Vec<LoadLog>,
@@ -497,22 +520,24 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
     sim.install_app(resolver_us, Box::new(RecursiveResolver::new(AUTH_DNS)));
 
     // --- origins ---
-    sim.install_app(
-        scholar,
-        Box::new(OriginServer::new(
-            "scholar.google.com",
-            PageSpec::google_scholar(),
-            1001,
-        )),
+    let mut scholar_origin =
+        OriginServer::new("scholar.google.com", PageSpec::google_scholar(), 1001);
+    if cfg.sc_http_page {
+        scholar_origin = scholar_origin.with_http_serving();
+    }
+    if let Some(secs) = cfg.origin_max_age {
+        scholar_origin = scholar_origin.with_max_age(secs);
+    }
+    sim.install_app(scholar, Box::new(scholar_origin));
+    let mut accounts_origin = OriginServer::new(
+        "accounts.google.com",
+        PageSpec::endpoints("accounts.google.com", &[("/recordlogin", 400)]),
+        1002,
     );
-    sim.install_app(
-        accounts,
-        Box::new(OriginServer::new(
-            "accounts.google.com",
-            PageSpec::endpoints("accounts.google.com", &[("/recordlogin", 400)]),
-            1002,
-        )),
-    );
+    if let Some(secs) = cfg.origin_max_age {
+        accounts_origin = accounts_origin.with_max_age(secs);
+    }
+    sim.install_app(accounts, Box::new(accounts_origin));
 
     let names = NameMap::new([
         ("scholar.google.com", SCHOLAR),
@@ -522,6 +547,7 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
     // --- per-method infrastructure + browser policy ---
     let mut logs: Vec<LoadLog> = Vec::with_capacity(cfg.clients + cfg.flash_clients);
     let mut flash_gate: Option<std::rc::Rc<std::cell::Cell<bool>>> = None;
+    let mut sc_cache: Option<sc_core::CacheHandle> = None;
     match cfg.method {
         Method::Direct => {
             for (i, &c) in clients.iter().enumerate() {
@@ -637,6 +663,17 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
             if let Some(q) = cfg.sc_queue_len {
                 sc_cfg.admission.queue_len = q;
             }
+            if cfg.sc_cache_bytes.is_some() || cfg.sc_cache_ttl.is_some() {
+                let mut cache_cfg = sc_core::CacheConfig::default();
+                if let Some(b) = cfg.sc_cache_bytes {
+                    cache_cfg.capacity_bytes = b;
+                }
+                if let Some(t) = cfg.sc_cache_ttl {
+                    cache_cfg.default_ttl = t;
+                }
+                sc_cfg = sc_cfg.with_cache(cache_cfg);
+            }
+            sc_cache = Some(sc_cfg.cache.clone());
             sim.install_app(sc_domestic, Box::new(sc_core::DomesticProxy::new(sc_cfg.clone())));
             for &n in &sc_remotes {
                 sim.install_app(
@@ -655,6 +692,9 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
                 bcfg.timeout = cfg.timeout;
                 bcfg.entropy = cfg.seed ^ (i as u64);
                 bcfg.start_delay = cfg.ramp_stagger.saturating_mul(i as u64);
+                if cfg.sc_http_page {
+                    bcfg.page_port = 80;
+                }
                 sim.install_app(c, Box::new(Browser::new(bcfg, None, log.clone())));
                 logs.push(log);
             }
@@ -677,6 +717,9 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
                     bcfg.timeout = cfg.timeout;
                     bcfg.entropy = cfg.seed ^ (0x1000 + i as u64);
                     bcfg.start_delay = cfg.flash_start + offsets[i];
+                    if cfg.sc_http_page {
+                        bcfg.page_port = 80;
+                    }
                     let gate = {
                         let flag = gate_flag.clone();
                         ReadyProbe::new(move || flag.get())
@@ -703,6 +746,7 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
         sc_remote_addrs,
         sc_remote_links,
         flash_gate,
+        sc_cache,
         cfg: cfg.clone(),
         clients,
         logs,

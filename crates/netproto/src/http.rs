@@ -93,11 +93,14 @@ impl HttpResponse {
             204 => "No Content",
             301 => "Moved Permanently",
             302 => "Found",
+            304 => "Not Modified",
             400 => "Bad Request",
             403 => "Forbidden",
             404 => "Not Found",
             407 => "Proxy Authentication Required",
+            429 => "Too Many Requests",
             502 => "Bad Gateway",
+            503 => "Service Unavailable",
             _ => "Unknown",
         };
         HttpResponse { status, reason: reason.into(), headers: Vec::new(), body }
@@ -115,6 +118,18 @@ impl HttpResponse {
             .iter()
             .find(|(n, _)| n.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
+    }
+
+    /// The `max-age` freshness lifetime (seconds) from the
+    /// `Cache-Control` header, if one is advertised.
+    pub fn max_age_secs(&self) -> Option<u64> {
+        let cc = self.header_value("Cache-Control")?;
+        for directive in cc.split(',') {
+            if let Some(v) = directive.trim().strip_prefix("max-age=") {
+                return v.trim().parse().ok();
+            }
+        }
+        None
     }
 
     /// Serializes to wire bytes (adds Content-Length automatically).
@@ -488,6 +503,27 @@ mod tests {
         let req = HttpRequest::connect("scholar.google.com:443");
         assert_eq!(req.method, "CONNECT");
         assert_eq!(req.target, "scholar.google.com:443");
+    }
+
+    #[test]
+    fn not_modified_roundtrip_and_max_age() {
+        let resp = HttpResponse::new(304, Vec::new())
+            .header("ETag", "\"abc123\"")
+            .header("Cache-Control", "public, max-age=30");
+        let wire = resp.encode();
+        assert!(wire.starts_with(b"HTTP/1.1 304 Not Modified\r\n"));
+        let mut p = HttpParser::new();
+        let msgs = p.push(&wire).unwrap();
+        match &msgs[0] {
+            HttpMessage::Response(r) => {
+                assert_eq!(r.status, 304);
+                assert!(r.body.is_empty());
+                assert_eq!(r.max_age_secs(), Some(30));
+                assert_eq!(r.header_value("etag"), Some("\"abc123\""));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(HttpResponse::new(200, Vec::new()).max_age_secs(), None);
     }
 
     #[test]

@@ -434,6 +434,44 @@ impl AdmissionStats {
     }
 }
 
+/// Aggregate of the domestic proxy's `scholarcloud/cache` events: how
+/// the shared content cache answered plain-HTTP gateway requests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Requests served directly from a fresh entry.
+    pub hits: u64,
+    /// Requests that triggered a full upstream fetch.
+    pub misses: u64,
+    /// Requests attached as waiters to an in-flight fetch.
+    pub coalesced: u64,
+    /// Stale entries refreshed by a 304 from the origin.
+    pub revalidated: u64,
+    /// Entries evicted under byte-budget pressure.
+    pub evicted: u64,
+}
+
+impl CacheStats {
+    /// Requests the cache answered without a full upstream body fetch.
+    pub fn served(&self) -> u64 {
+        self.hits + self.coalesced + self.revalidated
+    }
+
+    /// Fraction of cache-path requests answered without a full upstream
+    /// fetch (`0.0` when the trace carries no cache decisions).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.served() + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.served() as f64 / total as f64
+    }
+
+    /// Whether any cache event appeared in the trace.
+    pub fn any(&self) -> bool {
+        self.served() + self.misses + self.evicted > 0
+    }
+}
+
 /// Everything the analyzer extracts from one trace.
 #[derive(Debug)]
 pub struct TraceAnalysis {
@@ -465,6 +503,8 @@ pub struct TraceAnalysis {
     pub breaker_transitions: Vec<(u64, String, String, String)>,
     /// Overload-control decisions (`scholarcloud/admission` events).
     pub admission: AdmissionStats,
+    /// Shared-cache decisions (`scholarcloud/cache` events).
+    pub cache: CacheStats,
     /// Window width used for timelines (µs).
     pub window_us: u64,
 }
@@ -497,6 +537,7 @@ pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
     let mut failover_times = Vec::new();
     let mut breaker_transitions = Vec::new();
     let mut admission = AdmissionStats::default();
+    let mut cache = CacheStats::default();
     let mut t_end_us = 0;
 
     for ev in events {
@@ -566,6 +607,17 @@ pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
                     _ => admission.retry_denied += 1,
                 }
             }
+            "hit" | "miss" | "coalesced" | "revalidated" | "evicted"
+                if ev.component == "scholarcloud" && ev.target == "cache" =>
+            {
+                match ev.name.as_str() {
+                    "hit" => cache.hits += 1,
+                    "miss" => cache.misses += 1,
+                    "coalesced" => cache.coalesced += 1,
+                    "revalidated" => cache.revalidated += 1,
+                    _ => cache.evicted += 1,
+                }
+            }
             "breaker" if ev.component == "scholarcloud" => {
                 breaker_transitions.push((
                     ev.t_us,
@@ -630,6 +682,7 @@ pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
         failover_times,
         breaker_transitions,
         admission,
+        cache,
         window_us,
     }
 }
@@ -810,6 +863,17 @@ pub fn render_report(a: &TraceAnalysis) -> String {
         let _ = writeln!(out, "  shed rate:    {:.1}%", a.admission.shed_rate() * 100.0);
     }
 
+    // Shared cache.
+    if a.cache.any() {
+        out.push_str("\nshared cache (scholarcloud gateway):\n");
+        let _ = writeln!(out, "  hits:         {}", a.cache.hits);
+        let _ = writeln!(out, "  misses:       {}", a.cache.misses);
+        let _ = writeln!(out, "  coalesced:    {}", a.cache.coalesced);
+        let _ = writeln!(out, "  revalidated:  {}", a.cache.revalidated);
+        let _ = writeln!(out, "  evicted:      {}", a.cache.evicted);
+        let _ = writeln!(out, "  hit rate:     {:.1}%", a.cache.hit_rate() * 100.0);
+    }
+
     // SLO alerts.
     out.push_str("\nSLO alerts in trace:\n");
     if a.slo_alerts.is_empty() {
@@ -956,6 +1020,44 @@ mod tests {
         assert!(report.contains("gfw-dns"));
         assert!(report.contains("fire"));
         assert!(report.contains("burn=2.500"));
+    }
+
+    #[test]
+    fn cache_events_aggregate_into_stats() {
+        let mk = |t, name: &'static str| {
+            parse_line(&line(
+                &Event::new(t, Level::Debug, "scholarcloud", "cache", name)
+                    .field("host", "scholar.google.com")
+                    .field("path", "/"),
+            ))
+            .unwrap()
+        };
+        let evs = vec![
+            mk(100, "miss"),
+            mk(200, "coalesced"),
+            mk(300, "coalesced"),
+            mk(400, "hit"),
+            mk(500, "revalidated"),
+            mk(600, "evicted"),
+            // Same names under a different target must not count.
+            parse_line(&line(&Event::new(700, Level::Debug, "web", "cache", "hit"))).unwrap(),
+        ];
+        let a = analyze(&evs, 1_000_000);
+        assert_eq!(a.cache.hits, 1);
+        assert_eq!(a.cache.misses, 1);
+        assert_eq!(a.cache.coalesced, 2);
+        assert_eq!(a.cache.revalidated, 1);
+        assert_eq!(a.cache.evicted, 1);
+        assert_eq!(a.cache.served(), 4);
+        assert!((a.cache.hit_rate() - 0.8).abs() < 1e-9);
+        assert!(a.cache.any());
+        let report = render_report(&a);
+        assert!(report.contains("shared cache (scholarcloud gateway)"));
+        assert!(report.contains("hit rate:     80.0%"));
+        // A trace with no cache events renders no cache section.
+        let empty = analyze(&[], 1_000_000);
+        assert!(!empty.cache.any());
+        assert!(!render_report(&empty).contains("shared cache"));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! scholar-obs <trace.jsonl> [--window SECS] [--require-failover]
 //!             [--min-availability FRAC] [--max-shed-rate FRAC]
+//!             [--min-cache-hit-rate FRAC]
 //! ```
 //!
 //! Prints the critical-path decomposition of `page_load` spans, the
@@ -15,9 +16,13 @@
 //! The gate flags turn the analyzer into a chaos-run assertion:
 //! `--require-failover` demands at least one ScholarCloud failover
 //! event, `--min-availability 0.9` demands ≥ 90% of finished page loads
-//! succeeded, and `--max-shed-rate 0.5` demands that at most 50% of
+//! succeeded, `--max-shed-rate 0.5` demands that at most 50% of
 //! admission decisions shed or throttled the request (the flash-crowd
-//! smoke gate: overload may brown the service out, not black it out).
+//! smoke gate: overload may brown the service out, not black it out),
+//! and `--min-cache-hit-rate 0.5` demands that at least 50% of the
+//! domestic proxy's cache-path requests were answered without a full
+//! upstream fetch (the shared-cache smoke gate; fails when the trace
+//! carries no cache events at all).
 //!
 //! Exit codes (used by `scripts/check.sh` as a smoke gate):
 //! * `0` — analysis printed (and any requested gates passed);
@@ -26,20 +31,21 @@
 //! * `3` — trace parsed but carries no closed spans and no events worth
 //!   analyzing (empty analysis);
 //! * `4` — a `--require-failover` / `--min-availability` /
-//!   `--max-shed-rate` gate failed.
+//!   `--max-shed-rate` / `--min-cache-hit-rate` gate failed.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     const USAGE: &str = "usage: scholar-obs <trace.jsonl> [--window SECS] \
                          [--require-failover] [--min-availability FRAC] \
-                         [--max-shed-rate FRAC]";
+                         [--max-shed-rate FRAC] [--min-cache-hit-rate FRAC]";
     let mut args = std::env::args().skip(1);
     let mut path = None;
     let mut window_s: u64 = 10;
     let mut require_failover = false;
     let mut min_availability: Option<f64> = None;
     let mut max_shed_rate: Option<f64> = None;
+    let mut min_cache_hit_rate: Option<f64> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--window" => {
@@ -72,6 +78,17 @@ fn main() -> ExitCode {
                     return ExitCode::from(1);
                 };
                 max_shed_rate = Some(v);
+            }
+            "--min-cache-hit-rate" => {
+                let Some(v) = args
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|v| (0.0..=1.0).contains(v))
+                else {
+                    eprintln!("scholar-obs: --min-cache-hit-rate expects a fraction in [0, 1]");
+                    return ExitCode::from(1);
+                };
+                min_cache_hit_rate = Some(v);
             }
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -152,6 +169,22 @@ fn main() -> ExitCode {
                 max * 100.0
             );
             gate_failed = true;
+        }
+    }
+    if let Some(min) = min_cache_hit_rate {
+        if !analysis.cache.any() {
+            eprintln!("scholar-obs: gate failed — no scholarcloud cache events in trace");
+            gate_failed = true;
+        } else {
+            let rate = analysis.cache.hit_rate();
+            if rate < min {
+                eprintln!(
+                    "scholar-obs: gate failed — cache hit rate {:.1}% below required {:.1}%",
+                    rate * 100.0,
+                    min * 100.0
+                );
+                gate_failed = true;
+            }
         }
     }
     if gate_failed {

@@ -4,6 +4,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use sc_cache::{CacheConfig, CacheHandle};
 use sc_crypto::blinding::BlindingScheme;
 use sc_netproto::pac::PacFile;
 use sc_simnet::addr::{Addr, SocketAddr};
@@ -133,6 +134,12 @@ pub struct ScConfig {
     pub whitelist: Vec<String>,
     /// Live blinding-scheme control.
     pub scheme: SchemeHandle,
+    /// The domestic proxy's shared content cache (plain-HTTP gateway
+    /// traffic only; CONNECT tunnels are opaque). A zero-byte budget
+    /// disables caching while keeping the gateway path — the cache-off
+    /// control in experiments. The handle is shared so the harness can
+    /// read hit/miss statistics after a run.
+    pub cache: CacheHandle,
 }
 
 impl ScConfig {
@@ -150,7 +157,15 @@ impl ScConfig {
             front_host: "cdn.thucloud.example".into(),
             whitelist: vec!["scholar.google.com".into(), "www.google.com".into()],
             scheme: SchemeHandle::default(),
+            cache: CacheHandle::new(CacheConfig::default()),
         }
+    }
+
+    /// Replaces the shared content cache's configuration (byte budget,
+    /// default TTL, per-host TTL overrides), resetting its contents.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = CacheHandle::new(cache);
+        self
     }
 
     /// Replaces the remote pool with `addrs` (each listening on

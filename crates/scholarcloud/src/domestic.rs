@@ -41,6 +41,7 @@
 use std::collections::HashMap;
 
 use rand::Rng;
+use sc_cache::{CacheKey, CachedResponse, Lookup, Role, Singleflight};
 use sc_netproto::http::{HttpMessage, HttpParser, HttpRequest, HttpResponse};
 use sc_netproto::socks::TargetAddr;
 use sc_simnet::addr::Addr;
@@ -67,7 +68,32 @@ enum BrowserConn {
     /// (state lives in `DomesticProxy::pending`).
     Pending,
     Tunneling { remote: TcpHandle },
+    /// Plain-HTTP gateway mode: the proxy terminates HTTP on this conn
+    /// (one request at a time, keep-alive across requests) and answers
+    /// from the shared content cache, a coalesced in-flight fetch, or a
+    /// per-request upstream tunnel. Unlike CONNECT, these requests
+    /// expose their HTTP semantics — the only place caching can apply.
+    Gateway(HttpParser),
     Dead,
+}
+
+/// A gateway request's in-flight upstream fetch, keyed by the leader's
+/// browser handle. The upstream leg runs through the normal admission +
+/// resilience machinery; the response is reassembled here instead of
+/// being piped through.
+struct GatewayFetch {
+    /// `(host, path)` — the shared cache's key.
+    key: CacheKey,
+    /// Origin port of the upstream leg.
+    port: u16,
+    /// Origin-form request (replayed if the flight's leadership moves).
+    request: HttpRequest,
+    /// Store a `200` under `key` and fan it out to coalesced waiters.
+    cacheable: bool,
+    /// Carries our stored validator: an upstream `304` renews the entry.
+    revalidating: bool,
+    /// Reassembles the upstream response stream.
+    parser: HttpParser,
 }
 
 /// A browser request between "accepted" and "tunnel established":
@@ -156,6 +182,15 @@ pub struct DomesticProxy {
     peers: HashMap<TcpHandle, Addr>,
     /// Requests awaiting tunnel establishment, keyed by browser handle.
     pending: HashMap<TcpHandle, PendingTunnel>,
+    /// In-flight gateway fetches, keyed by the leader's browser handle.
+    gw_fetches: HashMap<TcpHandle, GatewayFetch>,
+    /// Coalescing table for cacheable gateway fetches.
+    singleflight: Singleflight<TcpHandle>,
+    /// Which key each coalesced waiter is parked on.
+    gw_waits: HashMap<TcpHandle, CacheKey>,
+    /// `If-None-Match` validators sent by gateway requesters, consulted
+    /// when answering from the cache (matching validator → bodyless 304).
+    gw_inm: HashMap<TcpHandle, String>,
     probes: HashMap<TcpHandle, Probe>,
     timers: HashMap<u64, TimerPurpose>,
     next_timer: u64,
@@ -193,6 +228,10 @@ impl DomesticProxy {
             remotes: HashMap::new(),
             peers: HashMap::new(),
             pending: HashMap::new(),
+            gw_fetches: HashMap::new(),
+            singleflight: Singleflight::new(),
+            gw_waits: HashMap::new(),
+            gw_inm: HashMap::new(),
             probes: HashMap::new(),
             timers: HashMap::new(),
             next_timer: 1,
@@ -287,6 +326,28 @@ impl DomesticProxy {
         }
     }
 
+    fn emit_cache(&self, name: &'static str, key: &CacheKey, ctx: &Ctx<'_>) {
+        if sc_obs::is_enabled(sc_obs::Level::Debug, "scholarcloud") {
+            sc_obs::emit(
+                sc_obs::Event::new(
+                    ctx.now().as_micros(),
+                    sc_obs::Level::Debug,
+                    "scholarcloud",
+                    "cache",
+                    name,
+                )
+                .field("host", key.0.clone())
+                .field("path", key.1.clone()),
+            );
+        }
+    }
+
+    /// Bumps a cache counter and its timeline series together.
+    fn count_cache(&self, name: &'static str, n: u64, ctx: &Ctx<'_>) {
+        sc_obs::counter_add(name, n);
+        sc_obs::ts_bump(ctx.now().as_micros(), name, n);
+    }
+
     /// The client address behind a browser connection (fairness key).
     fn client_of(&self, browser: TcpHandle) -> Addr {
         self.peers.get(&browser).copied().unwrap_or(Addr::new(0, 0, 0, 0))
@@ -304,6 +365,7 @@ impl DomesticProxy {
     /// `Retry-After` hint, then closes the connection — the fast
     /// failure path that keeps an overloaded proxy responsive.
     fn shed_browser(&mut self, browser: TcpHandle, code: u16, reason: &str, ctx: &mut Ctx<'_>) {
+        self.fail_gateway_waiters(browser, code, ctx);
         self.pending.remove(&browser);
         let retry_after = self.admission.retry_after();
         let secs = (retry_after.as_micros() + 999_999) / 1_000_000;
@@ -405,6 +467,7 @@ impl DomesticProxy {
 
     /// Fails a pending browser request with a distinct, visible status.
     fn fail_browser(&mut self, browser: TcpHandle, code: u16, reason: &str, ctx: &mut Ctx<'_>) {
+        self.fail_gateway_waiters(browser, code, ctx);
         let (target, held_slot) = match self.pending.remove(&browser) {
             Some(pt) => (target_label(&pt.header), !pt.queued),
             None => (String::new(), false),
@@ -500,7 +563,11 @@ impl DomesticProxy {
         queued: bool,
         ctx: &mut Ctx<'_>,
     ) {
-        self.browsers.insert(browser, BrowserConn::Pending);
+        // Gateway conns keep their request parser: the conn outlives the
+        // per-request fetch tracked in `gw_fetches`.
+        if !self.gw_fetches.contains_key(&browser) {
+            self.browsers.insert(browser, BrowserConn::Pending);
+        }
         self.pending.insert(
             browser,
             PendingTunnel {
@@ -810,6 +877,332 @@ impl DomesticProxy {
         }
     }
 
+    /// One parsed request on a gateway-mode browser conn: resolve the
+    /// target (absolute-form, or origin-form via the Host header — the
+    /// browser's RTT probes arrive that way), enforce the whitelist, and
+    /// serve from the shared cache, an in-flight coalesced fetch, or
+    /// upstream.
+    fn gateway_request(&mut self, browser: TcpHandle, req: HttpRequest, ctx: &mut Ctx<'_>) {
+        let (host, port, path) = if let Some(rest) = req.target.strip_prefix("http://") {
+            let (hostport, path) = match rest.find('/') {
+                Some(i) => (&rest[..i], &rest[i..]),
+                None => (rest, "/"),
+            };
+            let (host, port) = match hostport.rsplit_once(':') {
+                Some((h, p)) => (h, p.parse().unwrap_or(80)),
+                None => (hostport, 80),
+            };
+            (host.to_string(), port, path.to_string())
+        } else if req.target.starts_with('/') {
+            match req.host() {
+                Some(h) => (h.to_string(), 80, req.target.clone()),
+                None => {
+                    ctx.tcp_send(browser, &HttpResponse::new(400, Vec::new()).encode());
+                    return;
+                }
+            }
+        } else {
+            ctx.tcp_send(browser, &HttpResponse::new(400, Vec::new()).encode());
+            return;
+        };
+        if !self.config.whitelisted(&host) {
+            self.refused += 1;
+            self.trace_refusal(&host, ctx);
+            ctx.tcp_send(browser, &HttpResponse::new(403, Vec::new()).encode());
+            ctx.tcp_close(browser);
+            self.browsers.insert(browser, BrowserConn::Dead);
+            return;
+        }
+        let now = ctx.now();
+        let key: CacheKey = (host.clone(), path.clone());
+        match req.header_value("If-None-Match") {
+            Some(inm) => {
+                self.gw_inm.insert(browser, inm.to_string());
+            }
+            None => {
+                self.gw_inm.remove(&browser);
+            }
+        }
+        let cacheable = req.method == "GET" && self.config.cache.borrow().enabled();
+
+        // Upstream leg is origin-form.
+        let mut origin_req = req;
+        origin_req.target = path;
+
+        if !cacheable {
+            // Non-GET (the HEAD RTT probe) or cache disabled: a plain
+            // uncoalesced pass-through fetch.
+            self.gateway_fetch(browser, port, key, origin_req, false, false, ctx);
+            return;
+        }
+        // The client's validator is answered from the cache, not
+        // forwarded: the shared cache needs the full body for its other
+        // readers, so only *its own* validator may go upstream.
+        origin_req.headers.retain(|(n, _)| !n.eq_ignore_ascii_case("If-None-Match"));
+
+        enum Plan {
+            Hit(CachedResponse),
+            Fetch { stored_etag: Option<String> },
+        }
+        let plan = {
+            let mut cache = self.config.cache.borrow_mut();
+            match cache.lookup(&key, now) {
+                Lookup::Fresh(r) => {
+                    let r = r.clone();
+                    cache.note_hit(r.body.len());
+                    Plan::Hit(r)
+                }
+                Lookup::Stale(_) => Plan::Fetch {
+                    stored_etag: cache.etag_of(&key).filter(|e| !e.is_empty()).map(str::to_string),
+                },
+                Lookup::Miss => Plan::Fetch { stored_etag: None },
+            }
+        };
+        match plan {
+            Plan::Hit(r) => {
+                self.count_cache("scholarcloud.cache_hits", 1, ctx);
+                self.count_cache("scholarcloud.cache_bytes_saved", r.body.len() as u64, ctx);
+                self.emit_cache("hit", &key, ctx);
+                self.serve_from_cache(browser, &r, ctx);
+            }
+            Plan::Fetch { stored_etag } => match self.singleflight.begin(&key, browser) {
+                Role::Waiter => {
+                    // No admission slot, no tunnel: park on the leader's
+                    // in-flight fetch.
+                    self.gw_waits.insert(browser, key.clone());
+                    self.config.cache.borrow_mut().note_coalesced();
+                    self.count_cache("scholarcloud.cache_coalesced", 1, ctx);
+                    self.emit_cache("coalesced", &key, ctx);
+                }
+                Role::Leader => {
+                    let revalidating = stored_etag.is_some();
+                    let origin_req = match stored_etag {
+                        Some(etag) => origin_req.header("If-None-Match", &etag),
+                        None => origin_req,
+                    };
+                    self.gateway_fetch(browser, port, key, origin_req, true, revalidating, ctx);
+                }
+            },
+        }
+    }
+
+    /// Launches a gateway request's upstream fetch through the normal
+    /// admission + tunnel machinery (one tunnel per fetch).
+    fn gateway_fetch(
+        &mut self,
+        browser: TcpHandle,
+        port: u16,
+        key: CacheKey,
+        request: HttpRequest,
+        cacheable: bool,
+        revalidating: bool,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let now = ctx.now();
+        if cacheable {
+            self.config.cache.borrow_mut().note_upstream_fetch(&key, now);
+            if !revalidating {
+                self.config.cache.borrow_mut().note_miss();
+                self.count_cache("scholarcloud.cache_misses", 1, ctx);
+                self.emit_cache("miss", &key, ctx);
+            }
+        }
+        let header = StreamHeader {
+            is_tls: false,
+            target: TargetAddr::Domain(key.0.clone(), port),
+        };
+        let wire = request.encode();
+        self.gw_fetches.insert(
+            browser,
+            GatewayFetch { key, port, request, cacheable, revalidating, parser: HttpParser::new() },
+        );
+        self.admit_request(browser, header, wire, false, ctx);
+    }
+
+    /// A gateway upstream fetch completed: update the cache, answer the
+    /// leader and every coalesced waiter, and tear the tunnel down.
+    fn gateway_fetch_done(
+        &mut self,
+        remote_h: TcpHandle,
+        leader: TcpHandle,
+        resp: HttpResponse,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let Some(fetch) = self.gw_fetches.remove(&leader) else { return };
+        // One fetch per tunnel: close the upstream leg and free the slot.
+        ctx.tcp_close(remote_h);
+        if let Some(conn) = self.remotes.remove(&remote_h) {
+            sc_obs::observe("scholarcloud.stream_bytes_up", conn.up_bytes);
+            sc_obs::observe("scholarcloud.stream_bytes_down", conn.down_bytes);
+        }
+        let now = ctx.now();
+        let served: Option<CachedResponse> = if !fetch.cacheable {
+            None
+        } else if resp.status == 304 && fetch.revalidating {
+            // Our validator held: a cheap bodyless exchange renewed the
+            // entry for everyone.
+            let renewed = {
+                let mut cache = self.config.cache.borrow_mut();
+                let ttl = cache.ttl_for(&fetch.key.0, resp.max_age_secs());
+                cache.revalidate(&fetch.key, ttl, now, resp.header_value("ETag")).cloned()
+            };
+            if let Some(r) = &renewed {
+                self.config.cache.borrow_mut().note_bytes_saved(r.body.len());
+                self.count_cache("scholarcloud.cache_revalidated", 1, ctx);
+                self.count_cache("scholarcloud.cache_bytes_saved", r.body.len() as u64, ctx);
+                self.emit_cache("revalidated", &fetch.key, ctx);
+            }
+            renewed
+        } else if resp.status == 200 {
+            let entry = CachedResponse {
+                status: 200,
+                content_type: resp
+                    .header_value("Content-Type")
+                    .unwrap_or("application/octet-stream")
+                    .to_string(),
+                etag: resp.header_value("ETag").unwrap_or_default().to_string(),
+                max_age: resp.max_age_secs(),
+                body: resp.body.clone(),
+            };
+            let evicted = {
+                let mut cache = self.config.cache.borrow_mut();
+                let ttl = cache.ttl_for(&fetch.key.0, entry.max_age);
+                if fetch.revalidating {
+                    // The representation changed upstream: the stale
+                    // entry did not help after all.
+                    cache.note_miss();
+                }
+                cache.insert(fetch.key.clone(), entry.clone(), ttl, now).evicted
+            };
+            if fetch.revalidating {
+                self.count_cache("scholarcloud.cache_misses", 1, ctx);
+                self.emit_cache("miss", &fetch.key, ctx);
+            }
+            for victim in &evicted {
+                self.count_cache("scholarcloud.cache_evicted", 1, ctx);
+                self.emit_cache("evicted", victim, ctx);
+            }
+            Some(entry)
+        } else {
+            None
+        };
+        match served {
+            Some(entry) => {
+                self.serve_from_cache(leader, &entry, ctx);
+                if let Some(flight) = self.singleflight.complete(&fetch.key) {
+                    for w in flight.waiters {
+                        self.gw_waits.remove(&w);
+                        self.config.cache.borrow_mut().note_bytes_saved(entry.body.len());
+                        self.count_cache(
+                            "scholarcloud.cache_bytes_saved",
+                            entry.body.len() as u64,
+                            ctx,
+                        );
+                        self.serve_from_cache(w, &entry, ctx);
+                    }
+                }
+            }
+            None => {
+                // Pass-through (non-GET, cache off, or an uncacheable
+                // status): every coalesced requester gets the same
+                // answer.
+                let wire = resp.encode();
+                ctx.tcp_send(leader, &wire);
+                if fetch.cacheable {
+                    if let Some(flight) = self.singleflight.complete(&fetch.key) {
+                        for w in flight.waiters {
+                            self.gw_waits.remove(&w);
+                            ctx.tcp_send(w, &wire);
+                        }
+                    }
+                }
+            }
+        }
+        self.release_slot(leader, ctx);
+    }
+
+    /// Answers a gateway requester from a cache entry: `304` when its own
+    /// validator still matches, the full `200` otherwise. Validators and
+    /// freshness are forwarded so browser caches layer on top.
+    fn serve_from_cache(&mut self, browser: TcpHandle, entry: &CachedResponse, ctx: &mut Ctx<'_>) {
+        let inm = self.gw_inm.remove(&browser);
+        let not_modified =
+            !entry.etag.is_empty() && inm.as_deref() == Some(entry.etag.as_str());
+        let mut resp = if not_modified {
+            HttpResponse::new(304, Vec::new())
+        } else {
+            HttpResponse::new(entry.status, entry.body.clone())
+                .header("Content-Type", &entry.content_type)
+        };
+        if !entry.etag.is_empty() {
+            resp = resp.header("ETag", &entry.etag);
+        }
+        if let Some(max_age) = entry.max_age {
+            resp = resp.header("Cache-Control", &format!("public, max-age={max_age}"));
+        }
+        ctx.tcp_send(browser, &resp.encode());
+    }
+
+    /// A gateway leader's request failed (shed, retries exhausted, or
+    /// upstream death): its coalesced waiters get the same answer —
+    /// without this they would hang until their browsers time out.
+    fn fail_gateway_waiters(&mut self, leader: TcpHandle, code: u16, ctx: &mut Ctx<'_>) {
+        let Some(fetch) = self.gw_fetches.remove(&leader) else { return };
+        self.gw_inm.remove(&leader);
+        if !fetch.cacheable {
+            return;
+        }
+        let Some(flight) = self.singleflight.complete(&fetch.key) else { return };
+        let wire = HttpResponse::new(code, Vec::new()).encode();
+        for w in flight.waiters {
+            self.gw_waits.remove(&w);
+            self.gw_inm.remove(&w);
+            ctx.tcp_send(w, &wire);
+            ctx.tcp_close(w);
+            self.browsers.insert(w, BrowserConn::Dead);
+        }
+    }
+
+    /// A gateway browser conn went away: drop it from any coalesced
+    /// flight. A departing waiter is simply removed; a departing leader
+    /// hands the fetch to its first waiter, whose replayed request goes
+    /// back through admission under its own slot.
+    fn gateway_browser_gone(&mut self, browser: TcpHandle, ctx: &mut Ctx<'_>) {
+        self.gw_inm.remove(&browser);
+        if let Some(key) = self.gw_waits.remove(&browser) {
+            self.singleflight.forget(&key, browser);
+            return;
+        }
+        let Some(fetch) = self.gw_fetches.remove(&browser) else { return };
+        if !fetch.cacheable {
+            return;
+        }
+        if let Some(promoted) = self.singleflight.forget(&fetch.key, browser) {
+            // The dead leader's attempt is torn down by the caller; the
+            // promoted waiter restarts the fetch (stats already counted
+            // this as one miss — a replay is not a second one).
+            self.gw_waits.remove(&promoted);
+            self.config.cache.borrow_mut().note_upstream_fetch(&fetch.key, ctx.now());
+            let header = StreamHeader {
+                is_tls: false,
+                target: TargetAddr::Domain(fetch.key.0.clone(), fetch.port),
+            };
+            let wire = fetch.request.encode();
+            self.gw_fetches.insert(
+                promoted,
+                GatewayFetch {
+                    key: fetch.key,
+                    port: fetch.port,
+                    request: fetch.request,
+                    cacheable: true,
+                    revalidating: fetch.revalidating,
+                    parser: HttpParser::new(),
+                },
+            );
+            self.admit_request(promoted, header, wire, false, ctx);
+        }
+    }
+
     fn handle_request(&mut self, browser: TcpHandle, req: HttpRequest, ctx: &mut Ctx<'_>) {
         if req.method == "CONNECT" {
             let Some((host, port_str)) = req.target.rsplit_once(':') else {
@@ -832,32 +1225,13 @@ impl DomesticProxy {
                 target: TargetAddr::Domain(host.to_string(), port),
             };
             self.admit_request(browser, header, Vec::new(), true, ctx);
-        } else if let Some(rest) = req.target.strip_prefix("http://") {
-            // Absolute-form plain HTTP.
-            let (hostport, path) = match rest.find('/') {
-                Some(i) => (&rest[..i], &rest[i..]),
-                None => (rest, "/"),
-            };
-            let (host, port) = match hostport.rsplit_once(':') {
-                Some((h, p)) => (h, p.parse().unwrap_or(80)),
-                None => (hostport, 80),
-            };
-            if !self.config.whitelisted(host) {
-                self.refused += 1;
-                self.trace_refusal(host, ctx);
-                ctx.tcp_send(browser, &HttpResponse::new(403, Vec::new()).encode());
-                ctx.tcp_close(browser);
-                self.browsers.insert(browser, BrowserConn::Dead);
-                return;
-            }
-            // Rewrite to origin-form and push through the tunnel.
-            let mut origin_req = req.clone();
-            origin_req.target = path.to_string();
-            let header = StreamHeader {
-                is_tls: false,
-                target: TargetAddr::Domain(host.to_string(), port),
-            };
-            self.admit_request(browser, header, origin_req.encode(), false, ctx);
+        } else if req.target.starts_with("http://") || req.target.starts_with('/') {
+            // Plain HTTP (absolute-form, or origin-form with a Host
+            // header): gateway mode. The conn stays in gateway mode for
+            // keep-alive follow-ups; each request runs through the
+            // shared content cache.
+            self.browsers.insert(browser, BrowserConn::Gateway(HttpParser::new()));
+            self.gateway_request(browser, req, ctx);
         } else {
             ctx.tcp_send(browser, &HttpResponse::new(400, Vec::new()).encode());
         }
@@ -935,7 +1309,12 @@ impl App for DomesticProxy {
                         if pt.is_connect {
                             ctx.tcp_send(browser, b"HTTP/1.1 200 Connection established\r\n\r\n");
                         }
-                        self.browsers.insert(browser, BrowserConn::Tunneling { remote: h });
+                        // A gateway leader's conn stays in gateway mode
+                        // (its fetch is tracked in `gw_fetches`); only
+                        // opaque tunnels switch to piping.
+                        if !self.gw_fetches.contains_key(&browser) {
+                            self.browsers.insert(browser, BrowserConn::Tunneling { remote: h });
+                        }
                         self.tunnels_opened += 1;
                         sc_obs::counter_add("scholarcloud.tunnels_opened", 1);
                         if sc_obs::is_enabled(sc_obs::Level::Info, "scholarcloud") {
@@ -962,7 +1341,25 @@ impl App for DomesticProxy {
                     conn.rx.decode(&mut plain);
                     conn.down_bytes += plain.len() as u64;
                     sc_obs::counter_add("scholarcloud.bytes_down", plain.len() as u64);
-                    ctx.tcp_send(conn.browser, &plain);
+                    let browser = conn.browser;
+                    if let Some(fetch) = self.gw_fetches.get_mut(&browser) {
+                        // Gateway fetch: reassemble the upstream response
+                        // instead of piping bytes through.
+                        let Ok(msgs) = fetch.parser.push(&plain) else {
+                            ctx.tcp_abort(h);
+                            self.remotes.remove(&h);
+                            self.fail_browser(browser, 502, "bad_upstream_response", ctx);
+                            return;
+                        };
+                        for m in msgs {
+                            if let HttpMessage::Response(resp) = m {
+                                self.gateway_fetch_done(h, browser, resp, ctx);
+                                break;
+                            }
+                        }
+                        return;
+                    }
+                    ctx.tcp_send(browser, &plain);
                 }
                 TcpEvent::PeerClosed | TcpEvent::Reset | TcpEvent::ConnectFailed => {
                     let connected =
@@ -983,6 +1380,9 @@ impl App for DomesticProxy {
                             // end-of-stream.
                             self.record_remote_failure(conn.remote_idx, ctx);
                         }
+                        // A gateway fetch dying mid-response takes its
+                        // coalesced waiters down with the same status.
+                        self.fail_gateway_waiters(conn.browser, 502, ctx);
                         ctx.tcp_close(conn.browser);
                         self.browsers.insert(conn.browser, BrowserConn::Dead);
                         self.release_slot(conn.browser, ctx);
@@ -1014,6 +1414,24 @@ impl App for DomesticProxy {
                                 self.handle_request(h, req, ctx);
                                 break; // one request per proxy connection
                             }
+                        }
+                    }
+                    Some(BrowserConn::Gateway(parser)) => {
+                        let Ok(msgs) = parser.push(&data) else {
+                            ctx.tcp_abort(h);
+                            self.gateway_browser_gone(h, ctx);
+                            self.browsers.insert(h, BrowserConn::Dead);
+                            return;
+                        };
+                        let reqs: Vec<HttpRequest> = msgs
+                            .into_iter()
+                            .filter_map(|m| match m {
+                                HttpMessage::Request(r) => Some(r),
+                                _ => None,
+                            })
+                            .collect();
+                        for req in reqs {
+                            self.gateway_request(h, req, ctx);
                         }
                     }
                     Some(BrowserConn::Pending) => {
@@ -1052,6 +1470,7 @@ impl App for DomesticProxy {
                 }
             }
             TcpEvent::PeerClosed | TcpEvent::Reset => {
+                self.gateway_browser_gone(h, ctx);
                 if let Some(pt) = self.pending.remove(&h) {
                     if pt.queued {
                         // Browser gave up while still in the admission

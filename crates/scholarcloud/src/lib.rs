@@ -43,6 +43,7 @@ pub mod resilience;
 
 pub use admission::{AdmissionConfig, AdmissionController, Decision, Dequeued, RetryBudget, TokenBucket};
 pub use config::{ResilienceConfig, ScConfig, SchemeHandle, DOMESTIC_PORT, REMOTE_PORT};
+pub use sc_cache::{CacheConfig, CacheHandle, CacheStats};
 pub use domestic::DomesticProxy;
 pub use frame::{Hello, StreamCodec, StreamHeader};
 pub use ops::Deployment;

@@ -8,11 +8,11 @@
 //! is loaded once a minute so consecutive accesses do not overlap.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use sc_dns::stub::{ResolveOutcome, StubResolver};
-use sc_netproto::http::{HttpMessage, HttpParser, HttpRequest};
+use sc_netproto::http::{HttpMessage, HttpParser, HttpRequest, HttpResponse};
 use sc_netproto::pac::{PacFile, ProxyDecision};
 use sc_netproto::tls::TlsClient;
 use sc_simnet::addr::{Addr, SocketAddr};
@@ -49,6 +49,10 @@ const TIMER_RAMP: u64 = 4;
 const TIMER_THROTTLE: u64 = 5;
 /// Stub resolver retransmission interval.
 const DNS_RETRY: SimDuration = SimDuration::from_secs(1);
+/// Freshness lifetime assumed for responses that carry no `max-age`
+/// (heuristic caching, like real browsers do for validator-only
+/// responses).
+const DEFAULT_CONTENT_TTL: SimDuration = SimDuration::from_secs(300);
 
 /// Readiness gate the browser waits on before its first load (Tor's
 /// bootstrap, a VPN handshake). `None` means start immediately.
@@ -163,6 +167,21 @@ pub struct PageLoadResult {
     /// `Retry-After`) at least once — distinct from a hard failure: a
     /// throttled load may still have succeeded after backing off.
     pub throttled: bool,
+    /// Resources served from the browser's own cache after a cheap
+    /// conditional revalidation (`304 Not Modified`) during this load.
+    pub revalidated: usize,
+}
+
+/// A cached representation in the browser's content cache: the body plus
+/// the freshness/validator metadata HTTP caching runs on. While the entry
+/// is fresh the browser does not refetch at all; once stale it refetches
+/// conditionally (`If-None-Match`), and a `304` renews the entry without
+/// transferring the body again.
+#[derive(Debug, Clone)]
+struct CachedContent {
+    etag: Option<String>,
+    expires_at: SimTime,
+    body: Vec<u8>,
 }
 
 /// Shared log the harness reads results from.
@@ -212,6 +231,8 @@ struct ActiveLoad {
     throttle_retries: u32,
     /// The load was throttled at least once.
     throttled: bool,
+    /// 304-revalidated resources in this load.
+    revalidated: usize,
 }
 
 /// The browser app.
@@ -225,7 +246,7 @@ pub struct Browser {
     pending_dns: HashMap<u64, (String, u16, String)>,
     dns_spans: HashMap<u64, sc_obs::SpanId>,
     next_dns_token: u64,
-    content_cache: HashSet<(String, String)>,
+    content_cache: HashMap<(String, String), CachedContent>,
     load: Option<ActiveLoad>,
     loads_done: usize,
     visited: bool,
@@ -255,7 +276,7 @@ impl Browser {
             pending_dns: HashMap::new(),
             dns_spans: HashMap::new(),
             next_dns_token: 1,
-            content_cache: HashSet::new(),
+            content_cache: HashMap::new(),
             load: None,
             loads_done: 0,
             visited: false,
@@ -308,6 +329,7 @@ impl Browser {
             proxy_status: None,
             throttle_retries: 0,
             throttled: false,
+            revalidated: 0,
         });
         ctx.set_timer(self.config.timeout, deadline_token);
         let host = self.config.page_host.clone();
@@ -444,14 +466,25 @@ impl Browser {
                 headers: vec![("Host".into(), conn.host.clone())],
                 body: Vec::new(),
             }
-        } else if conn.route != Route::Direct
-            && matches!(conn.route, Route::HttpProxy(_))
-            && conn.port == 80
-        {
-            // Absolute-form through an HTTP proxy.
-            HttpRequest::get(&conn.host, &format!("http://{}{}", conn.host, path))
         } else {
-            HttpRequest::get(&conn.host, &path)
+            let req = if matches!(conn.route, Route::HttpProxy(_)) && conn.port == 80 {
+                // Absolute-form through an HTTP proxy.
+                HttpRequest::get(&conn.host, &format!("http://{}{}", conn.host, path))
+            } else {
+                HttpRequest::get(&conn.host, &path)
+            };
+            // A stale cached copy with a validator turns the refetch into
+            // a conditional request: the origin (or the proxy's shared
+            // cache) may answer with a cheap bodyless 304.
+            let stale_etag = self
+                .content_cache
+                .get(&(conn.host.clone(), path.clone()))
+                .filter(|e| e.expires_at <= ctx.now())
+                .and_then(|e| e.etag.clone());
+            match stale_etag {
+                Some(etag) => req.header("If-None-Match", &etag),
+                None => req,
+            }
         };
         conn.current = Some(path);
         let wire = match conn.tls.as_mut() {
@@ -477,7 +510,8 @@ impl Browser {
         }
     }
 
-    fn on_response(&mut self, h: TcpHandle, body: Vec<u8>, status: u16, ctx: &mut Ctx<'_>) {
+    fn on_response(&mut self, h: TcpHandle, resp: HttpResponse, ctx: &mut Ctx<'_>) {
+        let status = resp.status;
         let (host, path, probe_start) = {
             let Some(conn) = self.conns.get_mut(&h) else { return };
             let path = conn.current.take().unwrap_or_default();
@@ -499,17 +533,55 @@ impl Browser {
         }
         let Some(load) = self.load.as_mut() else { return };
         load.pending -= 1;
-        self.content_cache.insert((host.clone(), path.clone()));
+        let now = ctx.now();
+        let ttl = resp
+            .max_age_secs()
+            .map(SimDuration::from_secs)
+            .unwrap_or(DEFAULT_CONTENT_TTL);
+        let key = (host.clone(), path.clone());
+        let body = if status == 304 {
+            // Our stale copy is still good: renew it and serve from cache
+            // without the body having crossed the wire again.
+            load.revalidated += 1;
+            sc_obs::counter_add("web.revalidated", 1);
+            match self.content_cache.get_mut(&key) {
+                Some(entry) => {
+                    entry.expires_at = now + ttl;
+                    if let Some(etag) = resp.header_value("ETag") {
+                        entry.etag = Some(etag.to_string());
+                    }
+                    entry.body.clone()
+                }
+                None => Vec::new(),
+            }
+        } else {
+            self.content_cache.insert(
+                key,
+                CachedContent {
+                    etag: resp.header_value("ETag").map(str::to_string),
+                    expires_at: now + ttl,
+                    body: resp.body.clone(),
+                },
+            );
+            resp.body
+        };
         // The HTML: schedule subresource fetches.
         if path == "/" && host == self.config.page_host {
             let resources = crate::page::PageSpec::parse_manifest(&body);
-            let first_time = load.first_time;
+            let first_time = self.load.as_ref().is_some_and(|l| l.first_time);
             let mut to_fetch = Vec::new();
             for r in resources {
                 if r.first_visit_only && !first_time {
                     continue;
                 }
-                if self.content_cache.contains(&(r.host.clone(), r.path.clone())) {
+                // A fresh cached copy needs no fetch at all; stale or
+                // absent entries are (re)fetched — stale ones turn into
+                // conditional requests in `pump_conn`.
+                let fresh = self
+                    .content_cache
+                    .get(&(r.host.clone(), r.path.clone()))
+                    .is_some_and(|e| e.expires_at > now);
+                if fresh {
                     continue;
                 }
                 to_fetch.push(r);
@@ -573,6 +645,7 @@ impl Browser {
             // ultimately succeeded.
             proxy_status: if load.throttled { load.proxy_status } else { None },
             throttled: load.throttled,
+            revalidated: load.revalidated,
         });
         self.visited = true;
         self.loads_done += 1;
@@ -603,6 +676,7 @@ impl Browser {
             connections: load.connections,
             proxy_status: load.proxy_status,
             throttled: load.throttled,
+            revalidated: load.revalidated,
         });
         self.visited = true;
         self.loads_done += 1;
@@ -959,7 +1033,7 @@ impl Browser {
         };
         for m in msgs {
             if let HttpMessage::Response(resp) = m {
-                self.on_response(h, resp.body, resp.status, ctx);
+                self.on_response(h, resp, ctx);
             }
         }
     }

@@ -46,6 +46,15 @@ pub struct OriginServer {
     page: PageSpec,
     entropy: u64,
     capacity: Capacity,
+    /// `max-age` (seconds) advertised on every cacheable response. Long
+    /// by default so the paper scenarios' in-run cache behavior is
+    /// unchanged; cache experiments shorten it to exercise
+    /// revalidation.
+    max_age: u64,
+    /// Serve the page directly on port 80 instead of redirecting to
+    /// HTTPS — the configuration the domestic proxy's shared cache sees
+    /// (only absolute-form plain HTTP exposes HTTP semantics to it).
+    serve_http: bool,
     sessions: HashMap<TcpHandle, Session>,
     /// Pending responses waiting out the service delay: token → (conn,
     /// wire bytes, via TLS).
@@ -55,6 +64,8 @@ pub struct OriginServer {
     busy_until_us: u64,
     /// Requests served (diagnostics).
     pub requests: u64,
+    /// Conditional requests answered with a cheap 304 (diagnostics).
+    pub not_modified: u64,
 }
 
 impl OriginServer {
@@ -65,11 +76,14 @@ impl OriginServer {
             page,
             entropy,
             capacity: Capacity::default(),
+            max_age: 86_400,
+            serve_http: false,
             sessions: HashMap::new(),
             pending: HashMap::new(),
             next_token: 1,
             busy_until_us: 0,
             requests: 0,
+            not_modified: 0,
         }
     }
 
@@ -79,23 +93,90 @@ impl OriginServer {
         self
     }
 
-    fn response_for(&self, req: &HttpRequest) -> HttpResponse {
+    /// Overrides the advertised `max-age` (seconds).
+    pub fn with_max_age(mut self, secs: u64) -> Self {
+        self.max_age = secs;
+        self
+    }
+
+    /// Serves the page on port 80 instead of redirecting to HTTPS.
+    pub fn with_http_serving(mut self) -> Self {
+        self.serve_http = true;
+        self
+    }
+
+    /// Deterministic validator for the representation at `path`: a hash
+    /// of the page entropy, the host, the path, and the body length, so
+    /// the same seeded run always produces the same ETag and a content
+    /// change (different entropy or length) changes it.
+    pub fn etag_for(&self, path: &str, body_len: usize) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(&self.entropy.to_le_bytes());
+        eat(self.host.as_bytes());
+        eat(path.as_bytes());
+        eat(&(body_len as u64).to_le_bytes());
+        format!("\"{h:016x}\"")
+    }
+
+    /// Deterministic `Last-Modified` stamp derived from the page entropy
+    /// (the sim has no wall clock; the value only needs to be stable).
+    fn last_modified(&self) -> String {
+        format!(
+            "Wed, 01 Mar 2017 {:02}:{:02}:{:02} GMT",
+            self.entropy % 24,
+            (self.entropy / 24) % 60,
+            (self.entropy / 1440) % 60
+        )
+    }
+
+    fn with_validators(&self, resp: HttpResponse, etag: &str) -> HttpResponse {
+        resp.header("ETag", etag)
+            .header("Last-Modified", &self.last_modified())
+            .header("Cache-Control", &format!("public, max-age={}", self.max_age))
+    }
+
+    fn response_for(&mut self, req: &HttpRequest) -> HttpResponse {
         if req.method == "HEAD" {
             return HttpResponse::new(204, Vec::new());
         }
-        if req.target == "/" || req.target.starts_with("/scholar") {
-            return HttpResponse::new(200, self.page.render_html())
-                .header("Content-Type", "text/html");
+        let body = if req.target == "/" || req.target.starts_with("/scholar") {
+            Some((self.page.render_html(), "text/html"))
+        } else if let Some(res) = self.page.resources.iter().find(|r| r.path == req.target) {
+            Some((vec![b'x'; res.len], "application/octet-stream"))
+        } else {
+            None
+        };
+        let Some((body, content_type)) = body else {
+            return HttpResponse::new(404, Vec::new());
+        };
+        let etag = self.etag_for(&req.target, body.len());
+        // A matching validator gets the cheap 304-style exchange: no
+        // body, and a quarter of the service time (no rendering).
+        if req.header_value("If-None-Match") == Some(etag.as_str()) {
+            self.not_modified += 1;
+            return self.with_validators(HttpResponse::new(304, Vec::new()), &etag);
         }
-        if let Some(res) = self.page.resources.iter().find(|r| r.path == req.target) {
-            return HttpResponse::new(200, vec![b'x'; res.len])
-                .header("Content-Type", "application/octet-stream");
-        }
-        HttpResponse::new(404, Vec::new())
+        self.with_validators(
+            HttpResponse::new(200, body).header("Content-Type", content_type),
+            &etag,
+        )
     }
 
     /// Queues `wire` for transmission after the modelled service delay.
     fn respond(&mut self, h: TcpHandle, wire: Vec<u8>, ctx: &mut Ctx<'_>) {
+        let cost = self.capacity.service_us;
+        self.respond_with_cost(h, wire, cost, ctx);
+    }
+
+    /// Like [`respond`](Self::respond) but with an explicit service cost
+    /// (a 304 skips body rendering, so it is cheaper than a full page).
+    fn respond_with_cost(&mut self, h: TcpHandle, wire: Vec<u8>, cost_us: u64, ctx: &mut Ctx<'_>) {
         self.requests += 1;
         if !self.capacity.enabled {
             ctx.tcp_send(h, &wire);
@@ -103,7 +184,7 @@ impl OriginServer {
         }
         let now_us = ctx.now().as_micros();
         let start = self.busy_until_us.max(now_us);
-        let done = start + self.capacity.service_us;
+        let done = start + cost_us;
         self.busy_until_us = done;
         let delay = sc_simnet::time::SimDuration::from_micros(done - now_us);
         let token = self.next_token;
@@ -167,7 +248,7 @@ impl App for OriginServer {
                 }
                 for req in requests {
                     let is_tls = session_is_tls(&self.sessions, h);
-                    if !is_tls {
+                    if !is_tls && !self.serve_http {
                         // Port 80: HTTPS redirect (Figure 4's TCP-2).
                         let resp = HttpResponse::new(301, Vec::new())
                             .header("Location", &format!("https://{}{}", self.host, req.target));
@@ -175,12 +256,20 @@ impl App for OriginServer {
                         continue;
                     }
                     let resp = self.response_for(&req);
-                    let wire = {
+                    let cost = if resp.status == 304 {
+                        // No body rendered: a quarter of the service time.
+                        (self.capacity.service_us / 4).max(1)
+                    } else {
+                        self.capacity.service_us
+                    };
+                    let wire = if is_tls {
                         let session = self.sessions.get_mut(&h).expect("session exists");
                         let tls = session.tls.as_mut().expect("tls session");
                         tls.send(&resp.encode())
+                    } else {
+                        resp.encode()
                     };
-                    self.respond(h, wire, ctx);
+                    self.respond_with_cost(h, wire, cost, ctx);
                 }
             }
             AppEvent::Tcp(h, TcpEvent::PeerClosed | TcpEvent::Reset) => {

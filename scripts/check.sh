@@ -39,3 +39,16 @@ cargo run --release --offline -p sc-obs --bin scholar-obs -- "$flash_trace" \
     --max-shed-rate 0.70 >/dev/null
 rm -f "$flash_trace"
 echo "overload smoke gate: ok"
+
+# Cache smoke gate: run the shared-cache scenario (a same-page crowd on
+# the plain-HTTP gateway path) and assert through the trace that the
+# domestic proxy's content cache absorbed most of it — the example
+# itself asserts singleflight coalescing, the ≥50% upstream-byte cut vs
+# the cache-off control, 304 revalidation, and determinism; scholar-obs
+# then gates the hit rate.
+cache_trace="${TMPDIR:-/tmp}/sc_check_cache.jsonl"
+SC_TRACE="$cache_trace" cargo run --release --offline --example cache_lab >/dev/null
+cargo run --release --offline -p sc-obs --bin scholar-obs -- "$cache_trace" \
+    --min-cache-hit-rate 0.50 >/dev/null
+rm -f "$cache_trace"
+echo "cache smoke gate: ok"

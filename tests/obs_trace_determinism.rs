@@ -173,6 +173,51 @@ fn flash_crowd_traces_are_byte_identical() {
     assert_eq!(a, b, "same seed + same flash crowd must be byte-identical");
 }
 
+/// A shared-cache run: the cache_lab shape shrunk — clients loading the
+/// same plain-HTTP page through the domestic proxy's gateway path, with
+/// the origin's max-age expiring between rounds so the cache exercises
+/// cold misses, singleflight coalescing, and 304 revalidation. Every
+/// cache decision is keyed to simulation time, so the trace must be
+/// byte-identical across same-seed runs.
+fn cache_lab_run(seed: u64) -> Vec<u8> {
+    let buf = SharedBuf::default();
+    let sink = JsonlSink::new(Box::new(buf.clone()));
+    let guard = Dispatcher::new()
+        .with_level(Level::Debug)
+        .with_sink(Box::new(sink))
+        .install();
+    let mut cfg = ScenarioConfig::paper(Method::ScholarCloud, seed);
+    cfg.clients = 4;
+    cfg.loads = 2;
+    cfg.interval = SimDuration::from_secs(30);
+    cfg.timeout = SimDuration::from_secs(25);
+    cfg.sc_http_page = true;
+    cfg.origin_max_age = Some(20);
+    cfg.sc_cache_bytes = Some(256 * 1024);
+    run_scenario(&cfg);
+    drop(guard);
+    let out = buf.0.borrow().clone();
+    out
+}
+
+#[test]
+fn cache_lab_traces_are_byte_identical() {
+    let a = cache_lab_run(4242);
+    let b = cache_lab_run(4242);
+    assert!(!a.is_empty(), "trace must not be empty");
+    // The cache must actually have engaged: a cold miss, concurrent
+    // requests coalescing onto the in-flight fetch, and a stale round
+    // refreshing via 304.
+    let text = String::from_utf8(a.clone()).unwrap();
+    for needed in ["\"event\":\"miss\"", "\"event\":\"coalesced\"", "\"event\":\"revalidated\""] {
+        assert!(
+            text.lines().any(|l| l.contains("\"target\":\"cache\"") && l.contains(needed)),
+            "trace must record a scholarcloud/cache {needed} event"
+        );
+    }
+    assert_eq!(a, b, "same-seed shared-cache traces must be byte-identical");
+}
+
 /// A windows+SLO run: an undersized ScholarCloud VM under a small ramp,
 /// tight enough that the PLT SLO fires. Returns the raw trace bytes and
 /// the rendered timeline + verdict table.
