@@ -4,6 +4,9 @@
 //! The same small ScholarCloud scenario is run with:
 //! * no dispatcher installed (the free functions' thread-local-read
 //!   fast path),
+//! * a dispatcher installed but **no sink attached** (metrics/registry
+//!   still collect; `enabled()` early-outs before any event is built,
+//!   so emission must cost nothing — ROADMAP item 1's zero-cost claim),
 //! * a `RingSink` at `Debug` (in-memory event cloning),
 //! * a `JsonlSink` writing to `io::sink()` at `Debug` (serialization
 //!   without disk),
@@ -32,6 +35,15 @@ fn obs_overhead(c: &mut Criterion) {
 
     g.bench_function("scenario_no_dispatcher", |b| {
         b.iter(|| run_scenario(&small_cfg(7)))
+    });
+
+    g.bench_function("scenario_dispatcher_no_sink", |b| {
+        b.iter(|| {
+            let guard = Dispatcher::new().with_level(Level::Debug).install();
+            let out = run_scenario(&small_cfg(7));
+            drop(guard);
+            out
+        })
     });
 
     g.bench_function("scenario_ring_sink_debug", |b| {

@@ -8,3 +8,9 @@
 //!
 //! Targets: `fig3_survey`, `fig5_performance`, `fig6_overhead`,
 //! `fig7_scalability`, `ablations`, `micro_substrates`.
+//!
+//! The crate also ships the `scholar-bench` binary — the fixed-suite
+//! performance harness behind the committed `BENCH_*.json` trajectory —
+//! and [`trajectory`], the schema/compare module it is built on.
+
+pub mod trajectory;

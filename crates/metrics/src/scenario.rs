@@ -297,6 +297,13 @@ pub struct ScenarioOutcome {
     pub censor_by_rule: Vec<(&'static str, u64)>,
     /// Simulated duration.
     pub sim_end: SimTime,
+    /// Events the simulator's loop dispatched (`scholar-bench`'s
+    /// events/sec numerator).
+    pub events_processed: u64,
+    /// Timer events (TCP + app) fired during the run.
+    pub timers_fired: u64,
+    /// High-water mark of the event-queue depth.
+    pub queue_depth_hwm: u64,
 }
 
 impl ScenarioOutcome {
@@ -792,6 +799,9 @@ impl BuiltScenario {
             client_sent_packets: counters.sent,
             censor_by_rule: sim.stats.censor_by_rule(),
             sim_end: sim.now(),
+            events_processed: sim.stats.events_processed,
+            timers_fired: sim.stats.timers_fired,
+            queue_depth_hwm: sim.stats.queue_depth_hwm,
         };
         sc_obs::span_end(
             sim.now().as_micros(),

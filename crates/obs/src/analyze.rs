@@ -41,6 +41,8 @@ pub enum Json {
     F64(f64),
     /// String (unescaped).
     Str(String),
+    /// Array.
+    Arr(Vec<Json>),
     /// Nested object, order preserved.
     Obj(Vec<(String, Json)>),
 }
@@ -68,6 +70,22 @@ impl Json {
             Json::U64(v) => Some(*v as f64),
             Json::I64(v) => Some(*v as f64),
             Json::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key when the value is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -142,7 +160,7 @@ impl<'a> Parser<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t')) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
             self.i += 1;
         }
     }
@@ -179,11 +197,35 @@ impl<'a> Parser<'a> {
         match self.peek() {
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b'{') => Ok(Json::Obj(self.object()?)),
+            Some(b'[') => Ok(Json::Arr(self.array()?)),
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'n') => self.literal("null", Json::Null),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Vec<Json>, String> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(out);
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
         }
     }
 
@@ -293,6 +335,21 @@ fn utf8_len(first: u8) -> usize {
         0xe0..=0xef => 3,
         _ => 4,
     }
+}
+
+/// Parses a standalone JSON document (object/array nesting, any depth)
+/// into a [`Json`] value. This is the generic entry point other tools
+/// (e.g. `scholar-bench`'s BENCH_*.json reader) reuse, as opposed to
+/// [`parse_line`]'s trace-shaped records.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(p.err("trailing data"));
+    }
+    Ok(v)
 }
 
 /// Parses one JSONL trace line into a [`TraceEvent`].
@@ -890,6 +947,79 @@ pub fn render_report(a: &TraceAnalysis) -> String {
     out
 }
 
+/// Renders the machine-readable summary behind `scholar-obs --json`:
+/// one JSON object, schema `"scholar-obs/v1"`, with the headline
+/// numbers CI gates consume (availability, shed rate, cache hit rate,
+/// PLT percentiles). Keys are emitted in a fixed order and the output
+/// is deterministic for a given trace.
+pub fn render_json(a: &TraceAnalysis) -> String {
+    let mut plts: Vec<u64> = a
+        .page_loads
+        .iter()
+        .filter(|l| l.span.ok != Some(false))
+        .map(|l| l.span.dur_us())
+        .collect();
+    plts.sort_unstable();
+    let failed = a.page_loads.iter().filter(|l| l.span.ok == Some(false)).count();
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"scholar-obs/v1\",");
+    let _ = writeln!(out, "  \"events\": {},", a.events);
+    let _ = writeln!(out, "  \"sim_end_us\": {},", a.t_end_us);
+    let _ = writeln!(out, "  \"spans_closed\": {},", a.spans.len());
+    let _ = writeln!(out, "  \"spans_unclosed\": {},", a.unclosed_spans);
+    let _ = writeln!(out, "  \"page_loads\": {},", a.page_loads.len());
+    let _ = writeln!(out, "  \"failed_loads\": {failed},");
+    match a.availability() {
+        Some(av) => {
+            let _ = writeln!(out, "  \"availability\": {},", json_f64(av));
+        }
+        None => {
+            let _ = writeln!(out, "  \"availability\": null,");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  \"plt_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}},",
+        quantile_sorted(&plts, 0.50),
+        quantile_sorted(&plts, 0.95),
+        quantile_sorted(&plts, 0.99),
+    );
+    let _ = writeln!(out, "  \"shed_rate\": {},", json_f64(a.admission.shed_rate()));
+    let _ = writeln!(
+        out,
+        "  \"admission\": {{\"admitted\": {}, \"queued\": {}, \"shed\": {}, \
+         \"throttled\": {}, \"retry_denied\": {}}},",
+        a.admission.admitted,
+        a.admission.queued,
+        a.admission.shed,
+        a.admission.throttled,
+        a.admission.retry_denied,
+    );
+    let _ = writeln!(out, "  \"cache_hit_rate\": {},", json_f64(a.cache.hit_rate()));
+    let _ = writeln!(
+        out,
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"coalesced\": {}, \
+         \"revalidated\": {}, \"evicted\": {}}},",
+        a.cache.hits,
+        a.cache.misses,
+        a.cache.coalesced,
+        a.cache.revalidated,
+        a.cache.evicted,
+    );
+    let _ = writeln!(out, "  \"failovers\": {},", a.failover_times.len());
+    let _ = writeln!(out, "  \"faults\": {},", a.faults.len());
+    let _ = writeln!(out, "  \"slo_alerts\": {}", a.slo_alerts.len());
+    out.push_str("}\n");
+    out
+}
+
+/// Formats an `f64` as a JSON number: Rust's shortest-round-trip
+/// `Display`, with non-finite values mapped to `0` (JSON has no
+/// NaN/Inf).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() { format!("{v}") } else { "0".to_string() }
+}
+
 /// A density character for the interference lanes.
 fn density_char(n: u64, peak: u64) -> char {
     if n == 0 || peak == 0 {
@@ -1065,5 +1195,69 @@ mod tests {
         let mut ivs = vec![(0, 10), (5, 15), (20, 30)];
         assert_eq!(union_len(&mut ivs), 25);
         assert_eq!(union_len(&mut []), 0);
+    }
+
+    #[test]
+    fn parse_json_handles_nesting_arrays_and_whitespace() {
+        let v = parse_json(
+            "{\n  \"a\": [1, 2.5, \"x\", {\"b\": true}, []],\n  \"c\": null\n}\n",
+        )
+        .unwrap();
+        let arr = v.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 5);
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2].as_str(), Some("x"));
+        assert_eq!(arr[3].get("b"), Some(&Json::Bool(true)));
+        assert_eq!(arr[4].as_arr(), Some(&[][..]));
+        assert_eq!(v.get("c"), Some(&Json::Null));
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+
+    /// The `--json` schema contract: every key CI consumes must be
+    /// present with the right shape, and the output must parse with our
+    /// own parser.
+    #[test]
+    fn render_json_schema_is_stable() {
+        let mut evs = Vec::new();
+        evs.extend(span_pair(1, "web", "page_load", 0, 1_000_000));
+        evs.extend(span_pair(2, "web", "page_load", 0, 3_000_000));
+        let mk = |t, name: &'static str| {
+            parse_line(&line(&Event::new(t, Level::Debug, "scholarcloud", "cache", name)))
+                .unwrap()
+        };
+        evs.push(mk(100, "miss"));
+        evs.push(mk(200, "hit"));
+        let a = analyze(&evs, 1_000_000);
+        let text = render_json(&a);
+        let v = parse_json(&text).expect("render_json must emit valid JSON");
+        assert_eq!(v.get("schema").and_then(Json::as_str), Some("scholar-obs/v1"));
+        for key in [
+            "events",
+            "sim_end_us",
+            "spans_closed",
+            "spans_unclosed",
+            "page_loads",
+            "failed_loads",
+            "failovers",
+            "faults",
+            "slo_alerts",
+        ] {
+            assert!(v.get(key).and_then(Json::as_u64).is_some(), "missing u64 key {key}");
+        }
+        for key in ["availability", "shed_rate", "cache_hit_rate"] {
+            assert!(v.get(key).and_then(Json::as_f64).is_some(), "missing f64 key {key}");
+        }
+        let plt = v.get("plt_us").expect("plt_us object");
+        assert_eq!(plt.get("p50").and_then(Json::as_u64), Some(1_000_000));
+        assert_eq!(plt.get("p95").and_then(Json::as_u64), Some(3_000_000));
+        assert_eq!(v.get("page_loads").and_then(Json::as_u64), Some(2));
+        assert!((v.get("availability").and_then(Json::as_f64).unwrap() - 1.0).abs() < 1e-9);
+        assert!((v.get("cache_hit_rate").and_then(Json::as_f64).unwrap() - 0.5).abs() < 1e-9);
+        // No finished loads → availability is null, still valid JSON.
+        let empty = analyze(&[], 1_000_000);
+        let v = parse_json(&render_json(&empty)).unwrap();
+        assert_eq!(v.get("availability"), Some(&Json::Null));
     }
 }

@@ -1,7 +1,7 @@
 //! `scholar-obs`: offline analyzer for `SC_TRACE` JSONL traces.
 //!
 //! ```text
-//! scholar-obs <trace.jsonl> [--window SECS] [--require-failover]
+//! scholar-obs <trace.jsonl> [--window SECS] [--json] [--require-failover]
 //!             [--min-availability FRAC] [--max-shed-rate FRAC]
 //!             [--min-cache-hit-rate FRAC]
 //! ```
@@ -24,6 +24,12 @@
 //! upstream fetch (the shared-cache smoke gate; fails when the trace
 //! carries no cache events at all).
 //!
+//! `--json` replaces the human-readable report with the machine
+//! summary from [`sc_obs::analyze::render_json`] (schema
+//! `scholar-obs/v1`: availability, shed rate, cache hit rate, PLT
+//! percentiles) so CI can consume the numbers directly; gates still
+//! apply and still decide the exit code.
+//!
 //! Exit codes (used by `scripts/check.sh` as a smoke gate):
 //! * `0` — analysis printed (and any requested gates passed);
 //! * `1` — usage / IO error;
@@ -36,7 +42,7 @@
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    const USAGE: &str = "usage: scholar-obs <trace.jsonl> [--window SECS] \
+    const USAGE: &str = "usage: scholar-obs <trace.jsonl> [--window SECS] [--json] \
                          [--require-failover] [--min-availability FRAC] \
                          [--max-shed-rate FRAC] [--min-cache-hit-rate FRAC]";
     let mut args = std::env::args().skip(1);
@@ -46,8 +52,10 @@ fn main() -> ExitCode {
     let mut min_availability: Option<f64> = None;
     let mut max_shed_rate: Option<f64> = None;
     let mut min_cache_hit_rate: Option<f64> = None;
+    let mut json = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--json" => json = true,
             "--window" => {
                 let Some(v) = args.next().and_then(|v| v.parse::<u64>().ok()).filter(|v| *v > 0)
                 else {
@@ -134,7 +142,11 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(3);
     }
-    print!("{}", sc_obs::analyze::render_report(&analysis));
+    if json {
+        print!("{}", sc_obs::analyze::render_json(&analysis));
+    } else {
+        print!("{}", sc_obs::analyze::render_report(&analysis));
+    }
 
     let mut gate_failed = false;
     if require_failover && analysis.failover_times.is_empty() {

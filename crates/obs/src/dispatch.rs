@@ -12,7 +12,7 @@
 //! parallel test binaries from interleaving traces — a prerequisite for
 //! the byte-identical determinism guarantee.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 
 use crate::event::{Event, Level, SpanId};
@@ -23,6 +23,10 @@ use crate::timeseries::{TimeSeries, WindowSpec};
 
 thread_local! {
     static CURRENT: RefCell<Option<Dispatcher>> = const { RefCell::new(None) };
+    /// Mirror of `CURRENT.is_some()`, readable without touching the
+    /// `RefCell`: the early-out every free function takes first, so
+    /// un-instrumented runs pay one `Cell` read and a branch.
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
 }
 
 /// Routes events to sinks, applying per-component level filters, and
@@ -115,6 +119,7 @@ impl Dispatcher {
     /// so scopes nest.
     pub fn install(self) -> ObsGuard {
         let prev = CURRENT.with(|c| c.borrow_mut().replace(self));
+        ACTIVE.with(|a| a.set(true));
         ObsGuard { prev }
     }
 
@@ -139,7 +144,14 @@ impl Dispatcher {
         self.registry
     }
 
+    /// Whether an event at `level` from `component` would reach a sink.
+    /// With no sink attached nothing can observe an event, so emission
+    /// is disabled outright — the zero-cost guard hot paths rely on to
+    /// skip label formatting and field-vector allocation entirely.
     fn enabled(&self, level: Level, component: &str) -> bool {
+        if self.sinks.is_empty() {
+            return false;
+        }
         let min = self
             .component_levels
             .get(component)
@@ -165,9 +177,14 @@ impl ObsGuard {
     /// Uninstalls explicitly and hands back the dispatcher (flushed),
     /// giving access to its final [`Registry`].
     pub fn uninstall(mut self) -> Dispatcher {
+        let prev = self.prev.take();
+        ACTIVE.with(|a| a.set(prev.is_some()));
         let mut d = CURRENT
-            .with(|c| std::mem::replace(&mut *c.borrow_mut(), self.prev.take()))
+            .with(|c| std::mem::replace(&mut *c.borrow_mut(), prev))
             .expect("dispatcher slot emptied while guard alive");
+        // The restore is done: skip Drop, which would otherwise evict
+        // the just-reinstalled previous dispatcher.
+        std::mem::forget(self);
         for sink in &mut d.sinks {
             sink.flush();
         }
@@ -188,6 +205,7 @@ impl ObsGuard {
 impl Drop for ObsGuard {
     fn drop(&mut self) {
         let restored = self.prev.take();
+        ACTIVE.with(|a| a.set(restored.is_some()));
         CURRENT.with(|c| {
             let mut slot = c.borrow_mut();
             if let Some(mut d) = std::mem::replace(&mut *slot, restored) {
@@ -200,22 +218,27 @@ impl Drop for ObsGuard {
 }
 
 fn with_installed<R>(f: impl FnOnce(&mut Dispatcher) -> R) -> Option<R> {
+    if !ACTIVE.with(|a| a.get()) {
+        return None;
+    }
     CURRENT.with(|c| c.borrow_mut().as_mut().map(f))
 }
 
 /// Whether an event at `level` from `component` would be accepted.
-/// Hot paths use this to skip building field vectors entirely.
+/// Hot paths use this to skip building field vectors entirely. Always
+/// `false` when no dispatcher is installed **or the installed one has
+/// no sinks** — emission is pure cost if nothing can record it.
 pub fn is_enabled(level: Level, component: &str) -> bool {
     with_installed(|d| d.enabled(level, component)).unwrap_or(false)
 }
 
 /// Whether any dispatcher is installed on this thread.
 pub fn is_active() -> bool {
-    with_installed(|_| ()).is_some()
+    ACTIVE.with(|a| a.get())
 }
 
 /// Sends an event through the installed dispatcher (no-op without one,
-/// or when filtered out by level).
+/// when no sink is attached, or when filtered out by level).
 pub fn emit(ev: Event) {
     with_installed(|d| {
         if d.enabled(ev.level, ev.component) {
@@ -470,6 +493,43 @@ mod tests {
         assert_eq!(d.registry().counter("slo.alerts_resolved"), 1);
         assert_eq!(d.timeseries().window("web.plt_us", 0).unwrap().count(), 1);
         assert!(d.slo_engine().any_fired());
+    }
+
+    #[test]
+    fn no_sink_disables_emission_but_not_metrics() {
+        let guard = Dispatcher::new().with_level(Level::Trace).install();
+        assert!(is_active());
+        // Emission is pure cost with nothing attached to record it: the
+        // enablement guard reports false so call sites skip label
+        // formatting, and spans short-circuit to NONE.
+        assert!(!is_enabled(Level::Error, "simnet"));
+        emit(info(1, "simnet"));
+        let id = span_start(0, Level::Info, "web", "load", "page", vec![]);
+        assert!(id.is_none());
+        span_end(10, id, vec![]);
+        // The registry and time-series still accumulate: they are
+        // readable without a sink.
+        counter_add("pkts", 3);
+        ts_bump(100, "pkts", 1);
+        let d = guard.uninstall();
+        assert_eq!(d.registry().counter("pkts"), 3);
+    }
+
+    #[test]
+    fn uninstall_restores_previous_dispatcher() {
+        let outer_ring = RingSink::with_capacity(8);
+        let oh = outer_ring.handle();
+        let outer = Dispatcher::new().with_sink(Box::new(outer_ring)).install();
+        let inner = Dispatcher::new().with_sink(Box::new(RingSink::with_capacity(8))).install();
+        counter_add("inner", 1);
+        let d = inner.uninstall();
+        assert_eq!(d.registry().counter("inner"), 1);
+        // The outer dispatcher must be back in the slot and functional.
+        assert!(is_active());
+        emit(info(5, "a"));
+        drop(outer);
+        assert_eq!(oh.len(), 1);
+        assert!(!is_active());
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //!    analysis, [`Registry::render_summary`] for human-readable
 //!    reports via `sc-metrics`).
 //!
+//! A fourth piece stands apart: [`prof`] is a **wall-clock**
+//! self-profiler (per-subsystem scoped timers plus allocation
+//! accounting) for the `scholar-bench` performance harness. It is off
+//! by default and guaranteed never to perturb sim-time traces.
+//!
 //! # Usage
 //!
 //! A run installs a [`Dispatcher`] into a thread-local slot and keeps
@@ -61,6 +66,7 @@ pub mod analyze;
 pub mod dispatch;
 pub mod event;
 pub mod metrics;
+pub mod prof;
 pub mod sink;
 pub mod slo;
 pub mod timeseries;

@@ -945,6 +945,7 @@ impl DomesticProxy {
             Fetch { stored_etag: Option<String> },
         }
         let plan = {
+            let _prof = sc_obs::prof::scope(sc_obs::prof::Subsystem::Cache);
             let mut cache = self.config.cache.borrow_mut();
             match cache.lookup(&key, now) {
                 Lookup::Fresh(r) => {
@@ -1036,6 +1037,7 @@ impl DomesticProxy {
             sc_obs::observe("scholarcloud.stream_bytes_down", conn.down_bytes);
         }
         let now = ctx.now();
+        let cache_prof = sc_obs::prof::scope(sc_obs::prof::Subsystem::Cache);
         let served: Option<CachedResponse> = if !fetch.cacheable {
             None
         } else if resp.status == 304 && fetch.revalidating {
@@ -1086,6 +1088,7 @@ impl DomesticProxy {
         } else {
             None
         };
+        drop(cache_prof);
         match served {
             Some(entry) => {
                 self.serve_from_cache(leader, &entry, ctx);
@@ -1268,6 +1271,9 @@ impl App for DomesticProxy {
     }
 
     fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx<'_>) {
+        // Wall-clock attribution for scholar-bench; inert unless the
+        // profiler is enabled, never read by proxy logic.
+        let _prof = sc_obs::prof::scope(sc_obs::prof::Subsystem::Proxy);
         let (h, tcp_ev) = match ev {
             AppEvent::TimerFired(token) => {
                 if let Some(purpose) = self.timers.remove(&token) {

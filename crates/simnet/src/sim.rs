@@ -15,6 +15,7 @@ use crate::middlebox::{MbCtx, Middlebox, Verdict};
 use crate::node::Node;
 use crate::packet::{L4, Packet};
 use crate::stats::{DropReason, SimStats};
+use sc_obs::prof::{self, Subsystem};
 use crate::tcp::{ConnStats, Effects, TcpTimer};
 use crate::time::{SimDuration, SimTime};
 
@@ -244,6 +245,10 @@ impl Sim {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(Queued { at, seq, ev }));
+        let depth = self.queue.len() as u64;
+        if depth > self.stats.queue_depth_hwm {
+            self.stats.queue_depth_hwm = depth;
+        }
     }
 
     /// Runs until the queue is exhausted or `deadline` is reached.
@@ -288,6 +293,9 @@ impl Sim {
     }
 
     fn handle(&mut self, ev: Event) {
+        self.stats.events_processed += 1;
+        // Wall-clock attribution only; nothing below reads the guard.
+        let _prof = prof::scope(Subsystem::EventLoop);
         // A crashed node neither receives nor forwards; its timers are
         // swallowed while down (transport state goes stale on purpose).
         match &ev {
@@ -316,15 +324,20 @@ impl Sim {
                 self.drain_pending(node);
             }
             Event::AppTimer { node, app, token } => {
+                self.stats.timers_fired += 1;
                 self.nodes[node.0]
                     .pending
                     .push_back((app, AppEvent::TimerFired(token)));
                 self.drain_pending(node);
             }
             Event::TcpTimer { node, timer } => {
+                self.stats.timers_fired += 1;
                 let mut fx = Effects::default();
                 let now = self.now;
-                self.nodes[node.0].tcp.on_timer(timer, now, &mut fx);
+                {
+                    let _prof = prof::scope(Subsystem::Tcp);
+                    self.nodes[node.0].tcp.on_timer(timer, now, &mut fx);
+                }
                 self.flush(node, fx);
                 self.drain_pending(node);
             }
@@ -450,7 +463,10 @@ impl Sim {
         if transit && self.nodes[node.0].middlebox.is_some() {
             let mut mb = self.nodes[node.0].middlebox.take().expect("checked");
             let mut mctx = MbCtx { now: self.now, rng: &mut self.rng, inject: Vec::new() };
-            let verdict = mb.process(&packet, &mut mctx);
+            let verdict = {
+                let _prof = prof::scope(Subsystem::GfwClassify);
+                mb.process(&packet, &mut mctx)
+            };
             let injected = std::mem::take(&mut mctx.inject);
             self.nodes[node.0].middlebox = Some(mb);
             for p in injected {
@@ -521,7 +537,10 @@ impl Sim {
             L4::Tcp(seg) => {
                 let mut fx = Effects::default();
                 let now = self.now;
-                self.nodes[node.0].tcp.on_segment(src, dst, seg, now, &mut fx);
+                {
+                    let _prof = prof::scope(Subsystem::Tcp);
+                    self.nodes[node.0].tcp.on_segment(src, dst, seg, now, &mut fx);
+                }
                 self.flush(node, fx);
             }
             L4::Udp(dgram) => {

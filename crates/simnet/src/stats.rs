@@ -52,6 +52,16 @@ pub struct SimStats {
     pub drops: HashMap<DropReason, u64>,
     /// Per-source-address counters.
     pub by_addr: HashMap<Addr, AddrCounters>,
+    /// Events popped off the event queue and dispatched — the
+    /// numerator of the `events/sec` throughput metric `scholar-bench`
+    /// reports.
+    pub events_processed: u64,
+    /// Timer events (TCP retransmit/delack + app timers) fired.
+    pub timers_fired: u64,
+    /// High-water mark of the event-queue depth, a proxy for how much
+    /// simultaneity a scenario generates (and for heap pressure once
+    /// the ROADMAP's queue overhaul lands).
+    pub queue_depth_hwm: u64,
 }
 
 impl SimStats {

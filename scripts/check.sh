@@ -6,49 +6,54 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
 
-# Observability smoke gate: capture a real SC_TRACE from a seeded run,
-# then make scholar-obs analyze it. scholar-obs exits non-zero on parse
-# errors (2) or an empty analysis (3), failing the gate.
-trace="${TMPDIR:-/tmp}/sc_check_trace.jsonl"
-SC_TRACE="$trace" cargo run --release --offline --example quickstart >/dev/null
-cargo run --release --offline -p sc-obs --bin scholar-obs -- "$trace" --window 30 >/dev/null
-rm -f "$trace"
-echo "scholar-obs smoke gate: ok"
+# run_gate <name> <example> [scholar-obs gate flags...]
+#
+# One trace-capture gate: run the example with SC_TRACE pointed at a
+# temp file, then make scholar-obs analyze it with the given gate
+# flags. scholar-obs exits non-zero on parse errors (2), an empty
+# analysis (3), or a failed gate (4), failing the whole script via
+# `set -e`.
+run_gate() {
+    _name="$1"; _example="$2"; shift 2
+    _trace="${TMPDIR:-/tmp}/sc_check_${_name}.jsonl"
+    SC_TRACE="$_trace" cargo run --release --offline --example "$_example" >/dev/null
+    cargo run --release --offline -p sc-obs --bin scholar-obs -- "$_trace" "$@" >/dev/null
+    rm -f "$_trace"
+    echo "$_name smoke gate: ok"
+}
 
-# Chaos smoke gate: run the fault-injection scenario (GFW blacklists the
-# remote pool one VM at a time, then heals) and assert through the trace
-# that the resilience layer reacted — at least one failover happened and
-# availability stayed above the chaos floor. scholar-obs exits 4 when a
-# gate fails.
-chaos_trace="${TMPDIR:-/tmp}/sc_check_chaos.jsonl"
-SC_TRACE="$chaos_trace" cargo run --release --offline --example chaos_lab >/dev/null
-cargo run --release --offline -p sc-obs --bin scholar-obs -- "$chaos_trace" \
-    --require-failover --min-availability 0.70 >/dev/null
-rm -f "$chaos_trace"
-echo "chaos smoke gate: ok"
+# Observability: a seeded quickstart run must produce an analyzable trace.
+run_gate quickstart quickstart --window 30
 
-# Overload smoke gate: run the flash-crowd scenario (a 10x client surge
-# against an undersized domestic proxy) and assert through the trace
-# that the admission layer shed load within bounds — the example itself
-# asserts fast 503/429s, bounded p95 PLT, the retry budget, and
+# Chaos: the fault-injection scenario (GFW blacklists the remote pool
+# one VM at a time, then heals) must show the resilience layer reacting
+# — at least one failover, availability above the chaos floor.
+run_gate chaos chaos_lab --require-failover --min-availability 0.70
+
+# Overload: the flash-crowd scenario (a 10x client surge against an
+# undersized domestic proxy) must shed load within bounds — the example
+# itself asserts fast 503/429s, bounded p95 PLT, the retry budget, and
 # recovery; scholar-obs then gates the shed rate (brownout, never a
 # blackout).
-flash_trace="${TMPDIR:-/tmp}/sc_check_flash.jsonl"
-SC_TRACE="$flash_trace" cargo run --release --offline --example flash_crowd >/dev/null
-cargo run --release --offline -p sc-obs --bin scholar-obs -- "$flash_trace" \
-    --max-shed-rate 0.70 >/dev/null
-rm -f "$flash_trace"
-echo "overload smoke gate: ok"
+run_gate overload flash_crowd --max-shed-rate 0.70
 
-# Cache smoke gate: run the shared-cache scenario (a same-page crowd on
-# the plain-HTTP gateway path) and assert through the trace that the
-# domestic proxy's content cache absorbed most of it — the example
-# itself asserts singleflight coalescing, the ≥50% upstream-byte cut vs
-# the cache-off control, 304 revalidation, and determinism; scholar-obs
-# then gates the hit rate.
-cache_trace="${TMPDIR:-/tmp}/sc_check_cache.jsonl"
-SC_TRACE="$cache_trace" cargo run --release --offline --example cache_lab >/dev/null
-cargo run --release --offline -p sc-obs --bin scholar-obs -- "$cache_trace" \
-    --min-cache-hit-rate 0.50 >/dev/null
-rm -f "$cache_trace"
-echo "cache smoke gate: ok"
+# Cache: the shared-cache scenario (a same-page crowd on the plain-HTTP
+# gateway path) must be absorbed by the domestic proxy's content cache —
+# the example itself asserts singleflight coalescing, the ≥50%
+# upstream-byte cut vs the cache-off control, 304 revalidation, and
+# determinism; scholar-obs then gates the hit rate.
+run_gate cache cache_lab --min-cache-hit-rate 0.50
+
+# Performance-harness smoke gate: one fast iteration of the scholar-bench
+# suite must produce a schema-valid BENCH file that passes its own sanity
+# bounds (events > 0, positive wall/sim time, subsystem attribution
+# present). Deliberately NO timing assertions and NO --baseline compare
+# here — CI machines are too noisy; the committed BENCH_seed.json
+# trajectory is gated by hand with
+#   cargo run --release -p sc-bench --bin scholar-bench -- \
+#     --baseline BENCH_seed.json --max-regress 15
+bench_out="${TMPDIR:-/tmp}/sc_check_bench.json"
+cargo run --release --offline -p sc-bench --bin scholar-bench -- \
+    --quiet --iterations 1 --out "$bench_out" >/dev/null
+rm -f "$bench_out"
+echo "scholar-bench smoke gate: ok"

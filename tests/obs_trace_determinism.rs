@@ -50,6 +50,36 @@ fn same_seed_traces_are_byte_identical() {
     assert_eq!(a, b, "same-seed traces must be byte-identical");
 }
 
+/// The `sc_obs::prof` wall-clock profiler must be write-only from the
+/// simulator's perspective: running the same seeded scenario with the
+/// profiler collecting must leave the SC_TRACE bytes untouched. This is
+/// the guarantee that lets `scholar-bench` profile the exact code CI
+/// verifies.
+#[test]
+fn profiler_on_and_off_traces_are_byte_identical() {
+    use sc_obs::prof::{self, Subsystem};
+
+    let off = traced_run(Method::ScholarCloud, 33);
+
+    prof::reset();
+    prof::set_enabled(true);
+    let on = traced_run(Method::ScholarCloud, 33);
+    prof::set_enabled(false);
+    let report = prof::report();
+
+    // The profiler must actually have been collecting during the run…
+    assert!(
+        report.scopes(Subsystem::EventLoop) > 0,
+        "profiler saw no event-loop scopes — hooks not wired?"
+    );
+    assert!(report.scopes(Subsystem::Tcp) > 0, "profiler saw no TCP scopes");
+    assert!(report.scopes(Subsystem::Proxy) > 0, "profiler saw no proxy scopes");
+    assert!(report.total_ns() > 0, "profiler banked no wall time");
+    // …and the trace must not know.
+    assert_eq!(on, off, "profiler-on trace must be byte-identical to profiler-off");
+    prof::reset();
+}
+
 #[test]
 fn different_seed_traces_differ() {
     // Sanity check that the trace actually reflects the run: a different
