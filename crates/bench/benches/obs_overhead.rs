@@ -13,12 +13,25 @@
 //! * windows + SLO evaluation on top of the ring sink (the full
 //!   operator configuration driven by the simnet tick hook).
 //!
+//! Two trace-stitching micro-benchmarks ride along:
+//! * `trace_ctx_mint_and_roundtrip` — the per-request cost of causal
+//!   propagation itself: mint a `TraceId`, render the `Sc-Trace` header,
+//!   parse it back, derive a child context. This is the *only* work
+//!   traced requests pay when no sink is attached (the scenario-level
+//!   propagation cost is already inside `scenario_no_dispatcher`, since
+//!   ids travel in-band unconditionally).
+//! * `stitch_and_attribute_200_trees` — offline analyzer throughput:
+//!   reconstruct 200 six-span request trees from a parsed event stream
+//!   and run the exclusive-time sweep over each (what `scholar-obs`
+//!   does per captured trace).
+//!
 //! Numbers are recorded in EXPERIMENTS.md.
 
 use criterion::{Criterion, criterion_group, criterion_main};
 use sc_metrics::scenario::default_slos;
 use sc_metrics::{Method, ScenarioConfig, run_scenario};
-use sc_obs::{Dispatcher, JsonlSink, Level, RingSink, WindowSpec};
+use sc_obs::analyze::{analyze, parse_trace, TraceEvent};
+use sc_obs::{Dispatcher, JsonlSink, Level, RingSink, TraceCtx, TraceId, WindowSpec};
 use sc_simnet::time::SimDuration;
 
 fn small_cfg(seed: u64) -> ScenarioConfig {
@@ -87,5 +100,73 @@ fn obs_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, obs_overhead);
+/// Builds a parsed event stream of `trees` six-span request trees —
+/// the canonical browser → admission → establish → attempt → relay
+/// chain — spaced 1 ms apart, mimicking a captured ops trace.
+fn synthetic_forest(trees: u64) -> Vec<TraceEvent> {
+    let mut text = String::new();
+    for i in 0..trees {
+        let t0 = i * 1_000;
+        let trace = TraceId::mint(i, 0x5eed).0;
+        let spans: &[(&str, &str, u64, u64, u64)] = &[
+            ("web", "page_load", t0, t0 + 900, 0),
+            ("web", "tunnel", t0 + 10, t0 + 800, 1),
+            ("scholarcloud", "admission", t0 + 20, t0 + 20, 2),
+            ("scholarcloud", "establish", t0 + 20, t0 + 400, 2),
+            ("scholarcloud", "attempt", t0 + 30, t0 + 400, 4),
+            ("scholarcloud", "relay", t0 + 250, t0 + 380, 5),
+        ];
+        for (j, (component, name, start, end, parent_off)) in spans.iter().enumerate() {
+            let id = i * 6 + j as u64 + 1;
+            let parent = if j == 0 {
+                String::new()
+            } else {
+                format!(",\"parent\":{}", i * 6 + parent_off + 1)
+            };
+            text.push_str(&format!(
+                "{{\"t_us\":{start},\"level\":\"debug\",\"component\":\"{component}\",\
+                 \"target\":\"t\",\"event\":\"span_start\",\"span\":{id},\"fields\":{{\
+                 \"span_name\":\"{name}\",\"trace_id\":{trace}{parent}}}}}\n"
+            ));
+            text.push_str(&format!(
+                "{{\"t_us\":{end},\"level\":\"info\",\"component\":\"{component}\",\
+                 \"target\":\"t\",\"event\":\"span_end\",\"span\":{id},\"fields\":{{\
+                 \"span_name\":\"{name}\",\"ok\":true}}}}\n"
+            ));
+        }
+    }
+    parse_trace(&text).expect("synthetic trace parses")
+}
+
+fn trace_stitching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_stitching");
+
+    // Per-request propagation cost: everything a traced request adds on
+    // the hot path when no sink is attached.
+    g.bench_function("trace_ctx_mint_and_roundtrip", |b| {
+        let mut entropy = 0u64;
+        b.iter(|| {
+            entropy = entropy.wrapping_add(1);
+            let ctx =
+                TraceCtx { trace: TraceId::mint(entropy, 0xc0ffee), parent: sc_obs::SpanId(0) };
+            let header = ctx.header_value();
+            let parsed = TraceCtx::parse(&header).expect("roundtrip");
+            criterion::black_box(parsed.with_parent(sc_obs::SpanId(entropy)))
+        })
+    });
+
+    // Offline analyzer throughput: trees stitched + attributed per pass.
+    let events = synthetic_forest(200);
+    g.bench_function("stitch_and_attribute_200_trees", |b| {
+        b.iter(|| {
+            let analysis = analyze(&events, 1_000_000);
+            assert_eq!(analysis.trees.len(), 200);
+            criterion::black_box(analysis.tier_totals.len())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, obs_overhead, trace_stitching);
 criterion_main!(benches);

@@ -453,6 +453,104 @@ pub struct PageLoad {
     pub covered_us: u64,
 }
 
+/// One span inside a stitched per-request trace tree. Unlike
+/// [`ClosedSpan`] this keeps the causal links (`parent`) and survives
+/// truncation: a span whose `span_end` never made it into the trace is
+/// kept with `closed = false` and `end_us` pinned to the end of the
+/// trace, so a crash mid-flight still yields an analyzable tree.
+#[derive(Debug, Clone)]
+pub struct TraceSpan {
+    /// Span id.
+    pub id: u64,
+    /// Emitting component.
+    pub component: String,
+    /// Span name (`page_load`, `admission`, `relay`, …).
+    pub name: String,
+    /// Start time (µs).
+    pub start_us: u64,
+    /// End time (µs); the trace end for unclosed spans.
+    pub end_us: u64,
+    /// Whether a matching `span_end` was seen.
+    pub closed: bool,
+    /// `ok` field on the end event, if present.
+    pub ok: Option<bool>,
+    /// Parent span id carried on the start event, if any.
+    pub parent: Option<u64>,
+    /// Distance from the tree root (root = 0; orphans re-attach at 1).
+    pub depth: u32,
+    /// Exclusive time (µs): instants of the root's window where this
+    /// span is the deepest covering span. Sums to the root's duration
+    /// across the whole tree.
+    pub excl_us: u64,
+}
+
+impl TraceSpan {
+    /// The service tier this span's time is blamed on.
+    pub fn tier(&self) -> &'static str {
+        span_tier(&self.component, &self.name)
+    }
+}
+
+/// Maps a span to the service tier its exclusive time is blamed on.
+pub fn span_tier(component: &str, name: &str) -> &'static str {
+    match name {
+        "page_load" | "dns" | "connect" | "tunnel" | "fetch" if component == "web" => "web",
+        "admission" => "admission",
+        "establish" | "attempt" | "backoff" | "park" => "resilience",
+        "tunnel_stream" | "upstream_fetch" | "relay" => "tunnel",
+        "cache_lookup" | "coalesce_wait" => "cache",
+        "origin" => "origin",
+        _ => "other",
+    }
+}
+
+/// One request's stitched cross-tier span tree, keyed by trace id.
+#[derive(Debug, Clone)]
+pub struct TraceTree {
+    /// The request's trace id (as minted by the browser).
+    pub trace_id: u64,
+    /// All spans carrying this trace id, in `(start_us, id)` order.
+    pub spans: Vec<TraceSpan>,
+    /// Index of the root `page_load` span, if the trace has one.
+    pub root: Option<usize>,
+    /// Spans whose parent id is absent from the tree (they re-attach
+    /// under the root for attribution instead of being dropped).
+    pub orphans: usize,
+    /// Exclusive time blamed on each tier over the root's window; the
+    /// values sum to exactly `plt_us`.
+    pub tier_us: BTreeMap<&'static str, u64>,
+    /// The root span's duration (µs); 0 without a root.
+    pub plt_us: u64,
+}
+
+impl TraceTree {
+    /// Whether the request ran to completion: a root that closed with
+    /// `ok = true`.
+    pub fn completed(&self) -> bool {
+        self.root
+            .map(|i| self.spans[i].closed && self.spans[i].ok == Some(true))
+            .unwrap_or(false)
+    }
+
+    /// Whether cross-tier stitching worked: at least one span outside
+    /// the browser's own (`web`) tier joined the tree.
+    pub fn stitched(&self) -> bool {
+        self.spans.iter().any(|s| s.tier() != "web")
+    }
+
+    /// The tier blamed for the most exclusive time, with its share of
+    /// the PLT (`None` without a root).
+    pub fn dominant_tier(&self) -> Option<(&'static str, f64)> {
+        if self.plt_us == 0 {
+            return None;
+        }
+        self.tier_us
+            .iter()
+            .max_by_key(|(tier, us)| (**us, **tier))
+            .map(|(tier, us)| (*tier, *us as f64 / self.plt_us as f64))
+    }
+}
+
 /// Aggregate of the domestic proxy's `scholarcloud/admission` events:
 /// what the overload-control layer did with incoming tunnel requests.
 #[derive(Debug, Clone, Copy, Default)]
@@ -550,6 +648,14 @@ pub struct TraceAnalysis {
     pub rule_timeline: BTreeMap<String, BTreeMap<u64, u64>>,
     /// SLO alerts found in the trace: `(t_us, fire|resolve, slo, burn)`.
     pub slo_alerts: Vec<(u64, String, String, f64)>,
+    /// Exemplar trace ids carried on fired alerts:
+    /// `(t_us, slo, trace ids)` — the worst requests of the burn window.
+    pub alert_exemplars: Vec<(u64, String, Vec<u64>)>,
+    /// Stitched per-request trace trees, in trace-id order.
+    pub trees: Vec<TraceTree>,
+    /// Exclusive time blamed on each tier, summed over completed
+    /// requests' trees.
+    pub tier_totals: BTreeMap<&'static str, u64>,
     /// Injected faults, in time order: `(t_us, "component/name")` —
     /// `simnet/link_down`, `gfw/blacklist_ip`, ….
     pub faults: Vec<(u64, String)>,
@@ -577,6 +683,33 @@ impl TraceAnalysis {
         let ok = self.page_loads.iter().filter(|l| l.span.ok == Some(true)).count();
         Some(ok as f64 / finished as f64)
     }
+
+    /// Looks up a stitched tree by trace id.
+    pub fn tree(&self, trace_id: u64) -> Option<&TraceTree> {
+        self.trees.iter().find(|t| t.trace_id == trace_id)
+    }
+
+    /// Fraction of completed requests whose trace stitched across
+    /// tiers (`None` when the trace has no completed requests).
+    pub fn attribution_coverage(&self) -> Option<f64> {
+        let completed = self.trees.iter().filter(|t| t.completed()).count();
+        if completed == 0 {
+            return None;
+        }
+        let stitched =
+            self.trees.iter().filter(|t| t.completed() && t.stitched()).count();
+        Some(stitched as f64 / completed as f64)
+    }
+
+    /// Completed trees, slowest first (ties broken by trace id) —
+    /// the "worst requests" view the report and exemplars reference.
+    pub fn slowest(&self, k: usize) -> Vec<&TraceTree> {
+        let mut completed: Vec<&TraceTree> =
+            self.trees.iter().filter(|t| t.completed()).collect();
+        completed.sort_by_key(|t| (std::cmp::Reverse(t.plt_us), t.trace_id));
+        completed.truncate(k);
+        completed
+    }
 }
 
 /// The page-load phases the browser instruments, in pipeline order.
@@ -586,10 +719,14 @@ pub const PHASES: [&str; 4] = ["dns", "connect", "tunnel", "fetch"];
 pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
     let window_us = window_us.max(1);
     let mut component_counts: BTreeMap<String, u64> = BTreeMap::new();
-    let mut open: BTreeMap<u64, (u64, String, String)> = BTreeMap::new(); // id → (start, component, name)
+    // id → (start, component, name, trace_id, parent)
+    let mut open: BTreeMap<u64, (u64, String, String, u64, Option<u64>)> = BTreeMap::new();
     let mut spans: Vec<ClosedSpan> = Vec::new();
+    // trace id → that request's spans, in close order (resorted later).
+    let mut by_trace: BTreeMap<u64, Vec<TraceSpan>> = BTreeMap::new();
     let mut rule_timeline: BTreeMap<String, BTreeMap<u64, u64>> = BTreeMap::new();
     let mut slo_alerts = Vec::new();
+    let mut alert_exemplars: Vec<(u64, String, Vec<u64>)> = Vec::new();
     let mut faults = Vec::new();
     let mut failover_times = Vec::new();
     let mut breaker_transitions = Vec::new();
@@ -603,16 +740,36 @@ pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
         match ev.name.as_str() {
             "span_start" => {
                 if let (Some(id), Some(name)) = (ev.span, ev.get_str("span_name")) {
-                    open.insert(id, (ev.t_us, ev.component.clone(), name.to_string()));
+                    let trace = ev.get_u64("trace_id").unwrap_or(0);
+                    let parent = ev.get_u64("parent");
+                    open.insert(
+                        id,
+                        (ev.t_us, ev.component.clone(), name.to_string(), trace, parent),
+                    );
                 }
             }
             "span_end" => {
                 if let Some(id) = ev.span {
-                    if let Some((start_us, component, name)) = open.remove(&id) {
+                    if let Some((start_us, component, name, trace, parent)) = open.remove(&id)
+                    {
                         let ok = match ev.get("ok") {
                             Some(Json::Bool(b)) => Some(*b),
                             _ => None,
                         };
+                        if trace != 0 {
+                            by_trace.entry(trace).or_default().push(TraceSpan {
+                                id,
+                                component: component.clone(),
+                                name: name.clone(),
+                                start_us,
+                                end_us: ev.t_us,
+                                closed: true,
+                                ok,
+                                parent,
+                                depth: 0,
+                                excl_us: 0,
+                            });
+                        }
                         spans.push(ClosedSpan {
                             id,
                             component,
@@ -642,6 +799,22 @@ pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
                     ev.get_str("slo").unwrap_or("?").to_string(),
                     ev.get("burn").and_then(Json::as_f64).unwrap_or(0.0),
                 ));
+                if ev.name == "fire" {
+                    if let Some(list) = ev.get_str("exemplars") {
+                        let ids: Vec<u64> = list
+                            .split(',')
+                            .filter_map(|t| u64::from_str_radix(t.trim(), 16).ok())
+                            .filter(|&t| t != 0)
+                            .collect();
+                        if !ids.is_empty() {
+                            alert_exemplars.push((
+                                ev.t_us,
+                                ev.get_str("slo").unwrap_or("?").to_string(),
+                                ids,
+                            ));
+                        }
+                    }
+                }
             }
             // Injected faults: `simnet/fault/<kind>` and `gfw/fault/…`.
             _ if ev.target == "fault" => {
@@ -725,6 +898,34 @@ pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
         load.covered_us = union_len(ivs);
     }
 
+    // A span whose end never made it into the trace (crash, truncation,
+    // still in flight at shutdown) joins its tree unclosed, pinned to
+    // the trace end, so partial trees still attribute.
+    for (&id, (start_us, component, name, trace, parent)) in &open {
+        if *trace != 0 {
+            by_trace.entry(*trace).or_default().push(TraceSpan {
+                id,
+                component: component.clone(),
+                name: name.clone(),
+                start_us: *start_us,
+                end_us: t_end_us.max(*start_us),
+                closed: false,
+                ok: None,
+                parent: *parent,
+                depth: 0,
+                excl_us: 0,
+            });
+        }
+    }
+    let trees: Vec<TraceTree> =
+        by_trace.into_iter().map(|(id, spans)| stitch_tree(id, spans)).collect();
+    let mut tier_totals: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for tree in trees.iter().filter(|t| t.completed()) {
+        for (tier, us) in &tree.tier_us {
+            *tier_totals.entry(tier).or_insert(0) += us;
+        }
+    }
+
     TraceAnalysis {
         events: events.len(),
         t_end_us,
@@ -735,6 +936,9 @@ pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
         phase_totals,
         rule_timeline,
         slo_alerts,
+        alert_exemplars,
+        trees,
+        tier_totals,
         faults,
         failover_times,
         breaker_transitions,
@@ -742,6 +946,100 @@ pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
         cache,
         window_us,
     }
+}
+
+/// Builds one request's tree from its spans: computes depths from the
+/// in-band parent links (orphans re-attach under the root) and runs the
+/// exclusive-time sweep over the root's window. Every instant of the
+/// root's duration is blamed on exactly one span — the deepest covering
+/// span, latest start then highest id as the tie-break — so per-tier
+/// exclusive times always sum to the root's wall clock.
+fn stitch_tree(trace_id: u64, mut spans: Vec<TraceSpan>) -> TraceTree {
+    spans.sort_by_key(|s| (s.start_us, s.id));
+    let root = spans
+        .iter()
+        .position(|s| s.component == "web" && s.name == "page_load");
+    let idx_of: BTreeMap<u64, usize> =
+        spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+
+    // A non-root span whose parent link leads nowhere in this tree is
+    // an orphan; it re-attaches under the root for attribution instead
+    // of being dropped.
+    let orphans = spans
+        .iter()
+        .enumerate()
+        .filter(|&(i, s)| {
+            Some(i) != root
+                && s.parent.map_or(true, |pid| !idx_of.contains_key(&pid))
+        })
+        .count();
+
+    // Depths, walking parent links with a step cap so a malformed trace
+    // (cycles, self-parents) cannot hang the analyzer.
+    let mut depths = vec![0u32; spans.len()];
+    for i in 0..spans.len() {
+        if Some(i) == root {
+            continue;
+        }
+        let mut depth = 1u32;
+        let mut cur = i;
+        let mut steps = 0usize;
+        while steps < spans.len() {
+            match spans[cur].parent.and_then(|pid| idx_of.get(&pid)) {
+                Some(&pi) if pi != cur => {
+                    if Some(pi) == root {
+                        break;
+                    }
+                    depth += 1;
+                    cur = pi;
+                    steps += 1;
+                }
+                // Dead end: an orphan chain top, re-attached under the
+                // root at the depth walked so far.
+                _ => break,
+            }
+        }
+        depths[i] = depth;
+    }
+    for (s, d) in spans.iter_mut().zip(depths) {
+        s.depth = d;
+    }
+
+    let mut tier_us: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut plt_us = 0;
+    if let Some(r) = root {
+        let (rs, re) = (spans[r].start_us, spans[r].end_us);
+        plt_us = re - rs;
+        // Elementary intervals over every clipped span boundary.
+        let mut bounds: Vec<u64> = vec![rs, re];
+        for s in &spans {
+            bounds.push(s.start_us.clamp(rs, re));
+            bounds.push(s.end_us.clamp(rs, re));
+        }
+        bounds.sort_unstable();
+        bounds.dedup();
+        for w in bounds.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if a >= b {
+                continue;
+            }
+            let winner = spans
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.start_us.clamp(rs, re) <= a && b <= s.end_us.clamp(rs, re))
+                .max_by_key(|(_, s)| (s.depth, s.start_us, s.id))
+                .map(|(i, _)| i)
+                .unwrap_or(r);
+            spans[winner].excl_us += b - a;
+        }
+        for s in &spans {
+            if s.excl_us > 0 {
+                *tier_us.entry(s.tier()).or_insert(0) += s.excl_us;
+            }
+        }
+    }
+
+    TraceTree { trace_id, spans, root, orphans, tier_us, plt_us }
 }
 
 /// Total length of the union of `[start, end)` intervals (sorts in
@@ -931,6 +1229,46 @@ pub fn render_report(a: &TraceAnalysis) -> String {
         let _ = writeln!(out, "  hit rate:     {:.1}%", a.cache.hit_rate() * 100.0);
     }
 
+    // Cross-tier attribution of stitched request trees.
+    if !a.trees.is_empty() {
+        let completed = a.trees.iter().filter(|t| t.completed()).count();
+        out.push_str("\ncross-tier attribution (stitched request trees):\n");
+        let _ = writeln!(
+            out,
+            "  traces: {}   completed: {completed}   coverage: {}",
+            a.trees.len(),
+            match a.attribution_coverage() {
+                Some(c) => format!("{:.1}%", c * 100.0),
+                None => "n/a".to_string(),
+            },
+        );
+        let blamed: u64 = a.tier_totals.values().sum();
+        if blamed > 0 {
+            let _ = writeln!(out, "  {:<12} {:>14} {:>8}", "tier", "blamed (µs)", "share");
+            for (tier, us) in &a.tier_totals {
+                let _ = writeln!(
+                    out,
+                    "  {tier:<12} {us:>14} {:>7.1}%",
+                    *us as f64 / blamed as f64 * 100.0
+                );
+            }
+        }
+        let slowest = a.slowest(5);
+        if !slowest.is_empty() {
+            out.push_str("  slowest requests (drill in with --trace <id>):\n");
+            for tree in slowest {
+                let (tier, share) = tree.dominant_tier().unwrap_or(("?", 0.0));
+                let _ = writeln!(
+                    out,
+                    "    trace {:016x}  plt {:>9.1} ms  dominated by {tier} ({:.0}%)",
+                    tree.trace_id,
+                    tree.plt_us as f64 / 1000.0,
+                    share * 100.0,
+                );
+            }
+        }
+    }
+
     // SLO alerts.
     out.push_str("\nSLO alerts in trace:\n");
     if a.slo_alerts.is_empty() {
@@ -943,15 +1281,96 @@ pub fn render_report(a: &TraceAnalysis) -> String {
                 *t as f64 / 1e6
             );
         }
+        for (t, slo, ids) in &a.alert_exemplars {
+            let joined: Vec<String> = ids.iter().map(|id| format!("{id:016x}")).collect();
+            let _ = writeln!(
+                out,
+                "  {:>8.1} s  exemplars {slo:<15} {}",
+                *t as f64 / 1e6,
+                joined.join(" "),
+            );
+        }
     }
     out
 }
 
+/// Renders one request's cross-tier waterfall: every span of the
+/// stitched tree in start order, indented by causal depth, with a
+/// timeline bar over the root's window and the exclusive time blamed on
+/// each span. Deterministic for a given trace.
+pub fn render_waterfall(tree: &TraceTree) -> String {
+    const BAR: usize = 48;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace {:016x} — {} spans, {} orphan{}, plt {:.1} ms",
+        tree.trace_id,
+        tree.spans.len(),
+        tree.orphans,
+        if tree.orphans == 1 { "" } else { "s" },
+        tree.plt_us as f64 / 1000.0,
+    );
+    let Some(r) = tree.root else {
+        out.push_str("  (no page_load root — partial trace)\n");
+        for s in &tree.spans {
+            let _ = writeln!(
+                out,
+                "  {:<24} {:<10} start {:>10} µs  dur {:>10} µs{}",
+                s.name,
+                s.tier(),
+                s.start_us,
+                s.end_us - s.start_us,
+                if s.closed { "" } else { "  (unclosed)" },
+            );
+        }
+        return out;
+    };
+    let (rs, re) = (tree.spans[r].start_us, tree.spans[r].end_us);
+    let span_us = (re - rs).max(1);
+    let _ = writeln!(
+        out,
+        "  {:<26} {:<10} {:>10}  {:>10}  {}",
+        "span", "tier", "dur (µs)", "excl (µs)", "waterfall"
+    );
+    for s in &tree.spans {
+        let (cs, ce) = (s.start_us.clamp(rs, re), s.end_us.clamp(rs, re));
+        let lo = (((cs - rs) as u128 * BAR as u128 / span_us as u128) as usize).min(BAR - 1);
+        let hi = ((ce - rs) as u128 * BAR as u128 / span_us as u128) as usize;
+        let hi = hi.clamp(lo + 1, BAR); // ≥ 1 cell, even for instants
+        let mut bar = String::with_capacity(BAR);
+        for c in 0..BAR {
+            bar.push(if c >= lo && c < hi { '=' } else { '.' });
+        }
+        let label = format!("{:indent$}{}", "", s.name, indent = (s.depth as usize) * 2);
+        let _ = writeln!(
+            out,
+            "  {label:<26} {:<10} {:>10}  {:>10}  |{bar}|{}",
+            s.tier(),
+            s.end_us - s.start_us,
+            s.excl_us,
+            if s.closed { "" } else { " (unclosed)" },
+        );
+    }
+    out.push_str("  tier blame:");
+    for (tier, us) in &tree.tier_us {
+        let _ = write!(
+            out,
+            "  {tier} {:.1}%",
+            *us as f64 / tree.plt_us.max(1) as f64 * 100.0
+        );
+    }
+    out.push('\n');
+    out
+}
+
 /// Renders the machine-readable summary behind `scholar-obs --json`:
-/// one JSON object, schema `"scholar-obs/v1"`, with the headline
+/// one JSON object, schema `"scholar-obs/v2"`, with the headline
 /// numbers CI gates consume (availability, shed rate, cache hit rate,
-/// PLT percentiles). Keys are emitted in a fixed order and the output
-/// is deterministic for a given trace.
+/// PLT percentiles). Every `v1` key is kept with its shape unchanged;
+/// `v2` appends the cross-tier attribution block (`stitched_traces`,
+/// `attribution_coverage`, `tier_us`, `slowest`) and the SLO alert
+/// exemplars. Keys are emitted in a fixed order and the output is
+/// deterministic for a given trace.
 pub fn render_json(a: &TraceAnalysis) -> String {
     let mut plts: Vec<u64> = a
         .page_loads
@@ -962,7 +1381,7 @@ pub fn render_json(a: &TraceAnalysis) -> String {
     plts.sort_unstable();
     let failed = a.page_loads.iter().filter(|l| l.span.ok == Some(false)).count();
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"scholar-obs/v1\",");
+    let _ = writeln!(out, "  \"schema\": \"scholar-obs/v2\",");
     let _ = writeln!(out, "  \"events\": {},", a.events);
     let _ = writeln!(out, "  \"sim_end_us\": {},", a.t_end_us);
     let _ = writeln!(out, "  \"spans_closed\": {},", a.spans.len());
@@ -1008,7 +1427,46 @@ pub fn render_json(a: &TraceAnalysis) -> String {
     );
     let _ = writeln!(out, "  \"failovers\": {},", a.failover_times.len());
     let _ = writeln!(out, "  \"faults\": {},", a.faults.len());
-    let _ = writeln!(out, "  \"slo_alerts\": {}", a.slo_alerts.len());
+    let _ = writeln!(out, "  \"slo_alerts\": {},", a.slo_alerts.len());
+    // v2: cross-tier attribution and alert exemplars.
+    let _ = writeln!(out, "  \"stitched_traces\": {},", a.trees.len());
+    match a.attribution_coverage() {
+        Some(c) => {
+            let _ = writeln!(out, "  \"attribution_coverage\": {},", json_f64(c));
+        }
+        None => {
+            let _ = writeln!(out, "  \"attribution_coverage\": null,");
+        }
+    }
+    let tiers: Vec<String> =
+        a.tier_totals.iter().map(|(t, us)| format!("\"{t}\": {us}")).collect();
+    let _ = writeln!(out, "  \"tier_us\": {{{}}},", tiers.join(", "));
+    let slowest: Vec<String> = a
+        .slowest(5)
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"trace\": \"{:016x}\", \"plt_us\": {}, \"dominant_tier\": \"{}\"}}",
+                t.trace_id,
+                t.plt_us,
+                t.dominant_tier().map(|(tier, _)| tier).unwrap_or("?"),
+            )
+        })
+        .collect();
+    let _ = writeln!(out, "  \"slowest\": [{}],", slowest.join(", "));
+    let exemplars: Vec<String> = a
+        .alert_exemplars
+        .iter()
+        .map(|(t, slo, ids)| {
+            let traces: Vec<String> =
+                ids.iter().map(|id| format!("\"{id:016x}\"")).collect();
+            format!(
+                "{{\"t_us\": {t}, \"slo\": \"{slo}\", \"traces\": [{}]}}",
+                traces.join(", ")
+            )
+        })
+        .collect();
+    let _ = writeln!(out, "  \"alert_exemplars\": [{}]", exemplars.join(", "));
     out.push_str("}\n");
     out
 }
@@ -1232,7 +1690,8 @@ mod tests {
         let a = analyze(&evs, 1_000_000);
         let text = render_json(&a);
         let v = parse_json(&text).expect("render_json must emit valid JSON");
-        assert_eq!(v.get("schema").and_then(Json::as_str), Some("scholar-obs/v1"));
+        assert_eq!(v.get("schema").and_then(Json::as_str), Some("scholar-obs/v2"));
+        // Every v1 key survives with its v1 shape.
         for key in [
             "events",
             "sim_end_us",
@@ -1243,6 +1702,7 @@ mod tests {
             "failovers",
             "faults",
             "slo_alerts",
+            "stitched_traces",
         ] {
             assert!(v.get(key).and_then(Json::as_u64).is_some(), "missing u64 key {key}");
         }
@@ -1255,9 +1715,189 @@ mod tests {
         assert_eq!(v.get("page_loads").and_then(Json::as_u64), Some(2));
         assert!((v.get("availability").and_then(Json::as_f64).unwrap() - 1.0).abs() < 1e-9);
         assert!((v.get("cache_hit_rate").and_then(Json::as_f64).unwrap() - 0.5).abs() < 1e-9);
+        // v2 keys: untraced spans make no trees, so coverage is null and
+        // the attribution arrays are empty but present.
+        assert_eq!(v.get("attribution_coverage"), Some(&Json::Null));
+        assert!(matches!(v.get("tier_us"), Some(Json::Obj(_))));
+        assert_eq!(v.get("slowest").and_then(Json::as_arr).map(<[_]>::len), Some(0));
+        assert_eq!(
+            v.get("alert_exemplars").and_then(Json::as_arr).map(<[_]>::len),
+            Some(0)
+        );
         // No finished loads → availability is null, still valid JSON.
         let empty = analyze(&[], 1_000_000);
         let v = parse_json(&render_json(&empty)).unwrap();
         assert_eq!(v.get("availability"), Some(&Json::Null));
+    }
+
+    /// A traced `span_start`/`span_end` pair, the offline twin of
+    /// `span_start_ctx`: `trace` and `parent` ride as ordinary fields.
+    fn traced_pair(
+        id: u64,
+        component: &'static str,
+        name: &'static str,
+        start: u64,
+        end: u64,
+        trace: u64,
+        parent: Option<u64>,
+        ok: bool,
+    ) -> Vec<TraceEvent> {
+        let mut s = Event::new(start, Level::Debug, component, "t", "span_start")
+            .field("span_name", name)
+            .field("trace_id", trace)
+            .in_span(SpanId(id));
+        if let Some(p) = parent {
+            s = s.field("parent", p);
+        }
+        let e = Event::new(end, Level::Info, component, "t", "span_end")
+            .field("span_name", name)
+            .field("ok", ok)
+            .in_span(SpanId(id));
+        vec![parse_line(&line(&s)).unwrap(), parse_line(&line(&e)).unwrap()]
+    }
+
+    /// The canonical happy path: browser → admission → establish →
+    /// attempt → relay, all stitched into one tree whose per-tier
+    /// exclusive times sum to exactly the root's PLT.
+    #[test]
+    fn stitches_cross_tier_trees_and_attributes_exclusively() {
+        const T: u64 = 0xfeed;
+        let mut evs = Vec::new();
+        evs.extend(traced_pair(1, "web", "page_load", 0, 1_000_000, T, None, true));
+        evs.extend(traced_pair(2, "web", "tunnel", 10_000, 900_000, T, Some(1), true));
+        evs.extend(traced_pair(3, "scholarcloud", "admission", 20_000, 20_000, T, Some(2), true));
+        evs.extend(traced_pair(4, "scholarcloud", "establish", 20_000, 400_000, T, Some(2), true));
+        evs.extend(traced_pair(5, "scholarcloud", "attempt", 30_000, 400_000, T, Some(4), true));
+        evs.extend(traced_pair(6, "scholarcloud", "relay", 250_000, 380_000, T, Some(5), true));
+        let a = analyze(&evs, 1_000_000);
+        assert_eq!(a.trees.len(), 1);
+        let tree = a.tree(T).expect("tree by id");
+        assert!(tree.completed() && tree.stitched());
+        assert_eq!(tree.orphans, 0);
+        assert_eq!(tree.plt_us, 1_000_000);
+        // Depths follow the causal chain.
+        let depth_of = |id: u64| tree.spans.iter().find(|s| s.id == id).unwrap().depth;
+        assert_eq!(depth_of(1), 0);
+        assert_eq!(depth_of(2), 1);
+        assert_eq!(depth_of(4), 2);
+        assert_eq!(depth_of(5), 3);
+        assert_eq!(depth_of(6), 4);
+        // Exclusive attribution is a partition of the root's window.
+        let excl_sum: u64 = tree.spans.iter().map(|s| s.excl_us).sum();
+        assert_eq!(excl_sum, tree.plt_us);
+        assert_eq!(tree.tier_us.values().sum::<u64>(), tree.plt_us);
+        // The deepest covering span wins each instant: the relay's
+        // window belongs to the tunnel tier, not resilience or web.
+        assert_eq!(tree.tier_us.get("tunnel"), Some(&130_000));
+        assert_eq!(tree.tier_us.get("resilience"), Some(&(370_000 + 10_000 - 130_000)));
+        // web = root outside tunnel span + tunnel span instants no one
+        // deeper claims.
+        assert_eq!(
+            tree.tier_us.get("web"),
+            Some(&(1_000_000 - 380_000)),
+        );
+        assert_eq!(a.attribution_coverage(), Some(1.0));
+        let wf = render_waterfall(tree);
+        assert!(wf.contains("page_load"), "{wf}");
+        assert!(wf.contains("relay"), "{wf}");
+        assert!(wf.contains("tier blame:"), "{wf}");
+        let report = render_report(&a);
+        assert!(report.contains("cross-tier attribution"), "{report}");
+        assert!(report.contains(&format!("{T:016x}")), "{report}");
+    }
+
+    /// Degenerate trees must neither panic nor mis-attribute: orphaned
+    /// children re-attach under the root, spans shed before any child
+    /// opened still count as stitched, rootless traces attribute
+    /// nothing, and spans truncated mid-flight close at trace end.
+    #[test]
+    fn degenerate_trees_are_handled() {
+        // Orphan: parent id 99 never appears.
+        let mut evs = Vec::new();
+        evs.extend(traced_pair(1, "web", "page_load", 0, 100_000, 7, None, true));
+        evs.extend(traced_pair(2, "web", "origin", 10_000, 90_000, 7, Some(99), true));
+        let a = analyze(&evs, 1_000_000);
+        let tree = a.tree(7).unwrap();
+        assert_eq!(tree.orphans, 1);
+        assert_eq!(tree.tier_us.get("origin"), Some(&80_000));
+        assert_eq!(tree.tier_us.values().sum::<u64>(), tree.plt_us);
+
+        // Shed at admission: root failed, admission span is the only
+        // child. The tree stitches but does not count as completed.
+        let mut evs = Vec::new();
+        evs.extend(traced_pair(1, "web", "page_load", 0, 50_000, 8, None, false));
+        evs.extend(traced_pair(2, "scholarcloud", "admission", 10_000, 12_000, 8, Some(1), true));
+        let a = analyze(&evs, 1_000_000);
+        let tree = a.tree(8).unwrap();
+        assert!(tree.stitched() && !tree.completed());
+        assert_eq!(a.attribution_coverage(), None, "no completed loads");
+
+        // Rootless: child spans only (the page_load never made it into
+        // the trace). No attribution, but a renderable waterfall.
+        let mut evs = Vec::new();
+        evs.extend(traced_pair(5, "scholarcloud", "attempt", 0, 30_000, 9, Some(77), true));
+        let a = analyze(&evs, 1_000_000);
+        let tree = a.tree(9).unwrap();
+        assert!(tree.root.is_none());
+        assert_eq!(tree.plt_us, 0);
+        assert!(tree.tier_us.is_empty());
+        assert!(render_waterfall(tree).contains("no page_load root"));
+
+        // Truncated mid-flight: a started-but-never-ended child joins
+        // unclosed, pinned to trace end, and still attributes.
+        let mut evs = Vec::new();
+        evs.extend(traced_pair(1, "web", "page_load", 0, 200_000, 11, None, true));
+        let s = Event::new(50_000, Level::Debug, "scholarcloud", "t", "span_start")
+            .field("span_name", "tunnel_stream")
+            .field("trace_id", 11u64)
+            .field("parent", 1u64)
+            .in_span(SpanId(2));
+        evs.push(parse_line(&line(&s)).unwrap());
+        let a = analyze(&evs, 1_000_000);
+        let tree = a.tree(11).unwrap();
+        let cut = tree.spans.iter().find(|s| s.id == 2).unwrap();
+        assert!(!cut.closed);
+        assert_eq!(cut.end_us, 200_000, "clipped to trace end");
+        assert_eq!(tree.tier_us.get("tunnel"), Some(&150_000));
+        assert_eq!(tree.tier_us.values().sum::<u64>(), tree.plt_us);
+        assert!(render_waterfall(tree).contains("(unclosed)"));
+
+        // A self-parent / cycle must not hang or panic.
+        let mut evs = Vec::new();
+        evs.extend(traced_pair(1, "web", "page_load", 0, 10_000, 13, None, true));
+        evs.extend(traced_pair(2, "x", "a", 1_000, 2_000, 13, Some(3), true));
+        evs.extend(traced_pair(3, "x", "b", 1_000, 2_000, 13, Some(2), true));
+        let a = analyze(&evs, 1_000_000);
+        assert_eq!(a.tree(13).unwrap().tier_us.values().sum::<u64>(), 10_000);
+    }
+
+    /// Fired alerts carry their exemplar trace ids through the analyzer
+    /// and into both renderers.
+    #[test]
+    fn alert_exemplars_are_parsed_and_rendered() {
+        let mut evs = Vec::new();
+        evs.extend(span_pair(1, "web", "page_load", 0, 1_000_000));
+        evs.push(
+            parse_line(&line(
+                &Event::new(2_000_000, Level::Warn, "slo", "alert", "fire")
+                    .field("slo", "plt-p95".to_string())
+                    .field("burn", 2.0)
+                    .field("exemplars", "00000000000000ff,0000000000000abc".to_string()),
+            ))
+            .unwrap(),
+        );
+        let a = analyze(&evs, 1_000_000);
+        assert_eq!(a.alert_exemplars.len(), 1);
+        assert_eq!(a.alert_exemplars[0].1, "plt-p95");
+        assert_eq!(a.alert_exemplars[0].2, vec![0xff, 0xabc]);
+        let report = render_report(&a);
+        assert!(report.contains("exemplars plt-p95"), "{report}");
+        assert!(report.contains("00000000000000ff"), "{report}");
+        let v = parse_json(&render_json(&a)).unwrap();
+        let ex = v.get("alert_exemplars").and_then(Json::as_arr).unwrap();
+        assert_eq!(ex.len(), 1);
+        assert_eq!(ex[0].get("slo").and_then(Json::as_str), Some("plt-p95"));
+        let traces = ex[0].get("traces").and_then(Json::as_arr).unwrap();
+        assert_eq!(traces[0].as_str(), Some("00000000000000ff"));
     }
 }

@@ -1,17 +1,24 @@
 //! `scholar-obs`: offline analyzer for `SC_TRACE` JSONL traces.
 //!
 //! ```text
-//! scholar-obs <trace.jsonl> [--window SECS] [--json] [--require-failover]
-//!             [--min-availability FRAC] [--max-shed-rate FRAC]
-//!             [--min-cache-hit-rate FRAC]
+//! scholar-obs <trace.jsonl> [--window SECS] [--json] [--trace ID]
+//!             [--require-failover] [--min-availability FRAC]
+//!             [--max-shed-rate FRAC] [--min-cache-hit-rate FRAC]
+//!             [--min-attribution-coverage PCT] [--require-exemplars]
 //! ```
 //!
 //! Prints the critical-path decomposition of `page_load` spans, the
 //! per-GFW-rule interference timeline, per-component event rates,
 //! windowed page-load percentiles, injected faults with the resilience
 //! reaction (failovers, breaker transitions, availability), the
-//! overload-control decision summary, and any SLO alerts recorded in
-//! the trace (see `sc_obs::analyze`).
+//! overload-control decision summary, the cross-tier attribution of
+//! stitched per-request trace trees, and any SLO alerts (with their
+//! exemplar trace ids) recorded in the trace (see `sc_obs::analyze`).
+//!
+//! `--trace <id>` (16-hex-digit trace id, as printed in the slowest-
+//! requests table and on alert exemplars) replaces the report with that
+//! one request's cross-tier waterfall: every span of the stitched tree,
+//! indented by causal depth, with the exclusive time blamed on each.
 //!
 //! The gate flags turn the analyzer into a chaos-run assertion:
 //! `--require-failover` demands at least one ScholarCloud failover
@@ -22,29 +29,36 @@
 //! and `--min-cache-hit-rate 0.5` demands that at least 50% of the
 //! domestic proxy's cache-path requests were answered without a full
 //! upstream fetch (the shared-cache smoke gate; fails when the trace
-//! carries no cache events at all).
+//! carries no cache events at all). `--min-attribution-coverage 95`
+//! demands that at least 95% of completed page loads stitched into
+//! cross-tier trees (fails when no load completed), and
+//! `--require-exemplars` demands that at least one fired SLO alert
+//! carried exemplar trace ids.
 //!
 //! `--json` replaces the human-readable report with the machine
 //! summary from [`sc_obs::analyze::render_json`] (schema
-//! `scholar-obs/v1`: availability, shed rate, cache hit rate, PLT
-//! percentiles) so CI can consume the numbers directly; gates still
-//! apply and still decide the exit code.
+//! `scholar-obs/v2`: availability, shed rate, cache hit rate, PLT
+//! percentiles, per-tier attribution, alert exemplars) so CI can
+//! consume the numbers directly; gates still apply and still decide
+//! the exit code.
 //!
 //! Exit codes (used by `scripts/check.sh` as a smoke gate):
 //! * `0` — analysis printed (and any requested gates passed);
 //! * `1` — usage / IO error;
 //! * `2` — trace unparseable or empty;
 //! * `3` — trace parsed but carries no closed spans and no events worth
-//!   analyzing (empty analysis);
+//!   analyzing (empty analysis), or `--trace` names an unknown id;
 //! * `4` — a `--require-failover` / `--min-availability` /
-//!   `--max-shed-rate` / `--min-cache-hit-rate` gate failed.
+//!   `--max-shed-rate` / `--min-cache-hit-rate` /
+//!   `--min-attribution-coverage` / `--require-exemplars` gate failed.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     const USAGE: &str = "usage: scholar-obs <trace.jsonl> [--window SECS] [--json] \
-                         [--require-failover] [--min-availability FRAC] \
-                         [--max-shed-rate FRAC] [--min-cache-hit-rate FRAC]";
+                         [--trace ID] [--require-failover] [--min-availability FRAC] \
+                         [--max-shed-rate FRAC] [--min-cache-hit-rate FRAC] \
+                         [--min-attribution-coverage PCT] [--require-exemplars]";
     let mut args = std::env::args().skip(1);
     let mut path = None;
     let mut window_s: u64 = 10;
@@ -52,10 +66,36 @@ fn main() -> ExitCode {
     let mut min_availability: Option<f64> = None;
     let mut max_shed_rate: Option<f64> = None;
     let mut min_cache_hit_rate: Option<f64> = None;
+    let mut min_attribution_coverage: Option<f64> = None;
+    let mut require_exemplars = false;
+    let mut waterfall: Option<u64> = None;
     let mut json = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--trace" => {
+                let Some(id) =
+                    args.next().and_then(|v| u64::from_str_radix(v.trim(), 16).ok())
+                else {
+                    eprintln!("scholar-obs: --trace expects a hex trace id");
+                    return ExitCode::from(1);
+                };
+                waterfall = Some(id);
+            }
+            "--require-exemplars" => require_exemplars = true,
+            "--min-attribution-coverage" => {
+                let Some(v) = args
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|v| (0.0..=100.0).contains(v))
+                else {
+                    eprintln!(
+                        "scholar-obs: --min-attribution-coverage expects a percentage in [0, 100]"
+                    );
+                    return ExitCode::from(1);
+                };
+                min_attribution_coverage = Some(v);
+            }
             "--window" => {
                 let Some(v) = args.next().and_then(|v| v.parse::<u64>().ok()).filter(|v| *v > 0)
                 else {
@@ -142,7 +182,15 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(3);
     }
-    if json {
+    if let Some(id) = waterfall {
+        match analysis.tree(id) {
+            Some(tree) => print!("{}", sc_obs::analyze::render_waterfall(tree)),
+            None => {
+                eprintln!("scholar-obs: no spans carry trace id {id:016x}");
+                return ExitCode::from(3);
+            }
+        }
+    } else if json {
         print!("{}", sc_obs::analyze::render_json(&analysis));
     } else {
         print!("{}", sc_obs::analyze::render_report(&analysis));
@@ -198,6 +246,30 @@ fn main() -> ExitCode {
                 gate_failed = true;
             }
         }
+    }
+    if let Some(min_pct) = min_attribution_coverage {
+        match analysis.attribution_coverage() {
+            Some(cov) if cov * 100.0 >= min_pct => {}
+            Some(cov) => {
+                eprintln!(
+                    "scholar-obs: gate failed — attribution coverage {:.1}% below \
+                     required {min_pct:.1}% (completed loads not stitching across tiers)",
+                    cov * 100.0
+                );
+                gate_failed = true;
+            }
+            None => {
+                eprintln!(
+                    "scholar-obs: gate failed — no completed page loads, attribution \
+                     coverage undefined"
+                );
+                gate_failed = true;
+            }
+        }
+    }
+    if require_exemplars && analysis.alert_exemplars.is_empty() {
+        eprintln!("scholar-obs: gate failed — no fired SLO alert carries exemplar trace ids");
+        gate_failed = true;
     }
     if gate_failed {
         return ExitCode::from(4);

@@ -274,6 +274,46 @@ pub fn span_start(
     .unwrap_or(SpanId::NONE)
 }
 
+/// Opens a span *inside a propagated trace*: like [`span_start`], but
+/// the emitted `span_start` event additionally carries the trace id and
+/// the causing parent span, which is what
+/// [`analyze`](crate::analyze) stitches cross-tier request trees from.
+///
+/// `trace_id`/`parent` ride as ordinary fields (after `span_name`,
+/// before the caller's fields) so the JSONL schema is unchanged; a
+/// [`TraceCtx::NONE`](crate::TraceCtx::NONE) context degrades to a
+/// plain unparented span.
+pub fn span_start_ctx(
+    t_us: u64,
+    level: Level,
+    component: &'static str,
+    target: &'static str,
+    name: &'static str,
+    ctx: crate::context::TraceCtx,
+    fields: Vec<(&'static str, crate::event::Value)>,
+) -> SpanId {
+    with_installed(|d| {
+        if !d.enabled(level, component) {
+            return SpanId::NONE;
+        }
+        d.next_span += 1;
+        let id = d.next_span;
+        d.open_spans.insert(id, SpanStart { t_us, component, target, name });
+        let mut ev = Event::new(t_us, level, component, target, "span_start").in_span(SpanId(id));
+        ev.fields.push(("span_name", crate::event::Value::Str(name)));
+        if !ctx.trace.is_none() {
+            ev.fields.push(("trace_id", crate::event::Value::U64(ctx.trace.0)));
+        }
+        if !ctx.parent.is_none() {
+            ev.fields.push(("parent", crate::event::Value::U64(ctx.parent.0)));
+        }
+        ev.fields.extend(fields);
+        d.dispatch(&ev);
+        SpanId(id)
+    })
+    .unwrap_or(SpanId::NONE)
+}
+
 /// Closes a span opened by [`span_start`], emitting a `span_end` event
 /// carrying the span's simulated duration in `dur_us`.
 pub fn span_end(t_us: u64, span: SpanId, fields: Vec<(&'static str, crate::event::Value)>) {
@@ -330,10 +370,25 @@ pub fn ts_record(t_us: u64, name: &str, v: u64) {
     with_installed(|d| d.timeseries.record(name, t_us, v));
 }
 
+/// Like [`ts_record`], but additionally tags the sample with the trace
+/// id of the request it came from, so the window keeps it as an
+/// **exemplar** candidate (bounded worst-K per window) that fired SLO
+/// alerts can link to as evidence.
+pub fn ts_record_ex(t_us: u64, name: &str, v: u64, trace: crate::context::TraceId) {
+    with_installed(|d| d.timeseries.record_ex(name, t_us, v, trace.0));
+}
+
 /// Adds a counter-style increment to the named windowed time-series at
 /// simulation time `t_us` (no-op without a dispatcher).
 pub fn ts_bump(t_us: u64, name: &str, by: u64) {
     with_installed(|d| d.timeseries.bump(name, t_us, by));
+}
+
+/// Like [`ts_bump`], but tags the increment with the trace id of the
+/// contributing request (exemplar candidate for rate-based SLOs, e.g.
+/// availability alerts linking to the failed loads that burned budget).
+pub fn ts_bump_ex(t_us: u64, name: &str, by: u64, trace: crate::context::TraceId) {
+    with_installed(|d| d.timeseries.bump_ex(name, t_us, by, trace.0));
 }
 
 /// Advances the observability clock to simulation time `t_us`. The

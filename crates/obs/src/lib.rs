@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod context;
 pub mod dispatch;
 pub mod event;
 pub mod metrics;
@@ -71,10 +72,11 @@ pub mod sink;
 pub mod slo;
 pub mod timeseries;
 
+pub use context::{TraceCtx, TraceId, TRACE_HEADER};
 pub use dispatch::{
     counter_add, emit, gauge_add, gauge_set, is_active, is_enabled, observe, span_end, span_start,
-    tick, ts_bump, ts_record, with_registry, with_slo_engine, with_timeseries, Dispatcher,
-    ObsGuard,
+    span_start_ctx, tick, ts_bump, ts_bump_ex, ts_record, ts_record_ex, with_registry,
+    with_slo_engine, with_timeseries, Dispatcher, ObsGuard,
 };
 pub use event::{Event, Level, SpanId, Value};
 pub use metrics::{Counter, Gauge, Histogram, Registry};

@@ -132,6 +132,10 @@ pub struct SloStatus {
     pub worst_burn: f64,
     /// Windows evaluated.
     pub evaluations: u64,
+    /// Exemplar trace ids attached to the most recent `fire`: the worst
+    /// requests inside that alert's burn window, worst first (bounded
+    /// by [`crate::timeseries::EXEMPLARS_PER_WINDOW`]).
+    pub last_exemplars: Vec<u64>,
 }
 
 /// Evaluates a set of [`SloSpec`]s over a [`TimeSeries`] as windows
@@ -206,11 +210,15 @@ impl SloEngine {
                 if !st.firing && burn >= self.specs[i].fire_burn {
                     st.firing = true;
                     st.fired += 1;
-                    alerts.push(alert_event(&self.specs[i], t_edge, w, burn, true));
+                    // Link the alert to evidence: the worst exemplar
+                    // trace ids inside this evaluation's burn window.
+                    let exemplars = exemplars_at(&self.specs[i], ts, w);
+                    st.last_exemplars = exemplars.clone();
+                    alerts.push(alert_event(&self.specs[i], t_edge, w, burn, true, &exemplars));
                 } else if st.firing && burn <= self.specs[i].resolve_burn {
                     st.firing = false;
                     st.resolved += 1;
-                    alerts.push(alert_event(&self.specs[i], t_edge, w, burn, false));
+                    alerts.push(alert_event(&self.specs[i], t_edge, w, burn, false, &[]));
                 }
             }
         }
@@ -301,12 +309,58 @@ fn round3(x: f64) -> f64 {
     (x * 1000.0).round() / 1000.0
 }
 
-fn alert_event(spec: &SloSpec, t_us: u64, window: u64, burn: f64, fire: bool) -> Event {
+/// The worst exemplar trace ids inside `spec`'s evaluation range ending
+/// at window `w`: quantile objectives draw from their sample series,
+/// availability objectives from the failure series. Bounded by
+/// [`EXEMPLARS_PER_WINDOW`](crate::timeseries::EXEMPLARS_PER_WINDOW),
+/// worst value first, deduplicated, deterministic (stable sort over
+/// window-ordered candidates).
+fn exemplars_at(spec: &SloSpec, ts: &TimeSeries, w: u64) -> Vec<u64> {
+    let lo = (w + 1).saturating_sub(spec.eval_windows as u64);
+    let series = match &spec.objective {
+        Objective::QuantileBelowUs { series, .. } => series,
+        Objective::AvailabilityAtLeast { err_series, .. } => err_series,
+    };
+    let mut candidates: Vec<(u64, u64)> = ts
+        .windows(series)
+        .filter(|win| win.index >= lo && win.index <= w)
+        .flat_map(|win| win.exemplars().iter().copied())
+        .collect();
+    candidates.sort_by(|a, b| b.0.cmp(&a.0));
+    let mut out = Vec::new();
+    for (_, trace) in candidates {
+        if !out.contains(&trace) {
+            out.push(trace);
+        }
+        if out.len() >= crate::timeseries::EXEMPLARS_PER_WINDOW {
+            break;
+        }
+    }
+    out
+}
+
+fn alert_event(
+    spec: &SloSpec,
+    t_us: u64,
+    window: u64,
+    burn: f64,
+    fire: bool,
+    exemplars: &[u64],
+) -> Event {
     let (level, name) = if fire { (Level::Warn, "fire") } else { (Level::Info, "resolve") };
-    Event::new(t_us, level, "slo", "alert", name)
+    let ev = Event::new(t_us, level, "slo", "alert", name)
         .field("slo", Value::String(spec.name.clone()))
         .field("burn", burn)
-        .field("window", window)
+        .field("window", window);
+    if exemplars.is_empty() {
+        return ev;
+    }
+    let joined = exemplars
+        .iter()
+        .map(|t| format!("{t:016x}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    ev.field("exemplars", Value::String(joined))
 }
 
 #[cfg(test)]
@@ -394,6 +448,32 @@ mod tests {
         let second = eng.evaluate(&ts);
         assert_eq!(second.len(), 1);
         assert_eq!(second[0].name, "resolve");
+    }
+
+    #[test]
+    fn fired_alerts_carry_worst_exemplars_from_the_burn_window() {
+        let mut ts = ts_1s();
+        let mut spec = SloSpec::quantile("plt", "plt_us", 0.95, 1_000);
+        spec.eval_windows = 2;
+        spec.budget = 0.5;
+        let mut eng = SloEngine::new(vec![spec]);
+        ts.record_ex("plt_us", 100, 500, 0xaaa); // window 0, healthy
+        ts.record_ex("plt_us", 1_100_000, 90_000, 0xbbb); // window 1, bad → fire
+        ts.record("plt_us", 1_200_000, 80_000); // untraced: never exemplar
+        ts.advance(2_000_000);
+        let alerts = eng.evaluate(&ts);
+        let fire = alerts.iter().find(|e| e.name == "fire").expect("fired");
+        let ex = fire.get_str("exemplars").expect("exemplars field");
+        // Worst first across the burn window: 0xbbb (90 ms) then 0xaaa.
+        assert_eq!(ex, format!("{:016x},{:016x}", 0xbbbu64, 0xaaau64));
+        assert_eq!(eng.statuses()[0].last_exemplars, vec![0xbbb, 0xaaa]);
+        // Resolves carry no exemplars.
+        ts.record("plt_us", 2_100_000, 10);
+        ts.record("plt_us", 3_100_000, 10);
+        ts.advance(4_000_000);
+        let alerts = eng.evaluate(&ts);
+        let resolve = alerts.iter().find(|e| e.name == "resolve").expect("resolved");
+        assert!(resolve.get("exemplars").is_none());
     }
 
     #[test]

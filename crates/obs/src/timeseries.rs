@@ -72,6 +72,10 @@ pub enum SeriesKind {
     Rate,
 }
 
+/// Worst-K exemplars kept per window: enough to link an alert to
+/// evidence without unbounded growth in hot windows.
+pub const EXEMPLARS_PER_WINDOW: usize = 4;
+
 /// One window's aggregate state.
 #[derive(Debug, Clone)]
 pub struct Window {
@@ -83,11 +87,23 @@ pub struct Window {
     max: u64,
     /// Sparse log-bucketed histogram (sample series only).
     buckets: BTreeMap<u32, u64>,
+    /// Worst-valued `(value, trace_id)` exemplars landed in this window
+    /// (bounded by [`EXEMPLARS_PER_WINDOW`], sorted worst-first; ties
+    /// keep the earlier arrival so insertion order stays deterministic).
+    exemplars: Vec<(u64, u64)>,
 }
 
 impl Window {
     fn new(index: u64) -> Window {
-        Window { index, count: 0, total: 0, min: u64::MAX, max: 0, buckets: BTreeMap::new() }
+        Window {
+            index,
+            count: 0,
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: BTreeMap::new(),
+            exemplars: Vec::new(),
+        }
     }
 
     fn observe(&mut self, v: u64) {
@@ -101,6 +117,29 @@ impl Window {
     fn bump(&mut self, by: u64) {
         self.count += 1;
         self.total = self.total.saturating_add(by);
+    }
+
+    fn note_exemplar(&mut self, v: u64, trace_id: u64) {
+        if trace_id == 0 {
+            return;
+        }
+        // Insert sorted descending by value; equal values keep arrival
+        // order (strict `>` finds the slot *after* existing equals).
+        let pos = self
+            .exemplars
+            .iter()
+            .position(|&(ev, _)| v > ev)
+            .unwrap_or(self.exemplars.len());
+        if pos >= EXEMPLARS_PER_WINDOW {
+            return;
+        }
+        self.exemplars.insert(pos, (v, trace_id));
+        self.exemplars.truncate(EXEMPLARS_PER_WINDOW);
+    }
+
+    /// The window's worst `(value, trace_id)` exemplars, worst first.
+    pub fn exemplars(&self) -> &[(u64, u64)] {
+        &self.exemplars
     }
 
     /// Samples (sample series) or increment calls (rate series).
@@ -256,6 +295,27 @@ impl TimeSeries {
         }
     }
 
+    /// Like [`record`](Self::record), but also offers `(v, trace_id)`
+    /// as an exemplar to the window (kept if among its worst K).
+    pub fn record_ex(&mut self, name: &str, t_us: u64, v: u64, trace_id: u64) {
+        let idx = t_us / self.spec.width_us;
+        let cap = self.spec.max_windows;
+        let s = self
+            .series
+            .entry(name.to_string())
+            .or_insert_with(|| Series::new(SeriesKind::Sample));
+        if s.kind != SeriesKind::Sample {
+            return;
+        }
+        match s.window_mut(idx, cap) {
+            Some(w) => {
+                w.observe(v);
+                w.note_exemplar(v, trace_id);
+            }
+            None => s.late += 1,
+        }
+    }
+
     /// Adds a counter-style increment at simulation time `t_us`.
     /// Ignored if the name is already a sample series.
     pub fn bump(&mut self, name: &str, t_us: u64, by: u64) {
@@ -270,6 +330,27 @@ impl TimeSeries {
         }
         match s.window_mut(idx, cap) {
             Some(w) => w.bump(by),
+            None => s.late += 1,
+        }
+    }
+
+    /// Like [`bump`](Self::bump), but tags the increment with the
+    /// contributing request's trace id (exemplar for rate-based SLOs).
+    pub fn bump_ex(&mut self, name: &str, t_us: u64, by: u64, trace_id: u64) {
+        let idx = t_us / self.spec.width_us;
+        let cap = self.spec.max_windows;
+        let s = self
+            .series
+            .entry(name.to_string())
+            .or_insert_with(|| Series::new(SeriesKind::Rate));
+        if s.kind != SeriesKind::Rate {
+            return;
+        }
+        match s.window_mut(idx, cap) {
+            Some(w) => {
+                w.bump(by);
+                w.note_exemplar(by, trace_id);
+            }
             None => s.late += 1,
         }
     }
@@ -503,6 +584,26 @@ mod tests {
         ts.advance(1_000_000); // backwards: ignored
         assert_eq!(ts.closed_through(), 2);
         assert_eq!(ts.clock_us(), 2_500_000);
+    }
+
+    #[test]
+    fn exemplars_keep_bounded_worst_k() {
+        let mut ts = TimeSeries::new(WindowSpec::new(1_000_000, 16));
+        for (i, v) in [50u64, 900, 10, 700, 800, 30, 950].iter().enumerate() {
+            ts.record_ex("plt", 100 + i as u64, *v, 1000 + i as u64);
+        }
+        let ex = ts.window("plt", 0).unwrap().exemplars();
+        assert_eq!(ex.len(), EXEMPLARS_PER_WINDOW);
+        let values: Vec<u64> = ex.iter().map(|&(v, _)| v).collect();
+        assert_eq!(values, [950, 900, 800, 700]);
+        assert_eq!(ex[0].1, 1006); // trace of the worst sample
+        // Untraced samples are aggregated but never become exemplars.
+        ts.record_ex("plt", 200, 10_000, 0);
+        assert_eq!(ts.window("plt", 0).unwrap().exemplars()[0].0, 950);
+        assert_eq!(ts.window("plt", 0).unwrap().count(), 8);
+        // Rate-kind exemplars tag contributing traces too.
+        ts.bump_ex("errs", 100, 1, 42);
+        assert_eq!(ts.window("errs", 0).unwrap().exemplars(), &[(1, 42)]);
     }
 
     #[test]

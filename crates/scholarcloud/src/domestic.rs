@@ -122,6 +122,17 @@ struct PendingTunnel {
     /// When the admission controller granted this request its slot
     /// (service-time EWMA: admit → tunnel established).
     admitted_at: SimTime,
+    /// Trace context of the originating browser request (from its
+    /// `Sc-Trace` header); every proxy span for this request parents
+    /// into it.
+    tctx: sc_obs::TraceCtx,
+    /// Open "admission" span: arrival → admit/dequeue/shed verdict
+    /// (its duration is the queue wait).
+    admission_span: sc_obs::SpanId,
+    /// Open "establish" span: first attempt → tunnel up or failure.
+    establish_span: sc_obs::SpanId,
+    /// Open "backoff"/"park" span while waiting between attempts.
+    wait_span: sc_obs::SpanId,
 }
 
 struct RemoteConn {
@@ -142,6 +153,10 @@ struct RemoteConn {
     up_bytes: u64,
     /// Plaintext bytes relayed remote→browser on this stream.
     down_bytes: u64,
+    /// Open "attempt" span for this connect attempt.
+    attempt_span: sc_obs::SpanId,
+    /// Open "tunnel_stream"/"upstream_fetch" span once established.
+    stream_span: sc_obs::SpanId,
 }
 
 /// An active health probe: a bare TCP connect to a remote, closed as
@@ -186,8 +201,10 @@ pub struct DomesticProxy {
     gw_fetches: HashMap<TcpHandle, GatewayFetch>,
     /// Coalescing table for cacheable gateway fetches.
     singleflight: Singleflight<TcpHandle>,
-    /// Which key each coalesced waiter is parked on.
-    gw_waits: HashMap<TcpHandle, CacheKey>,
+    /// Which key each coalesced waiter is parked on, with its open
+    /// "coalesce_wait" span and the waiter's own trace context (used if
+    /// the waiter is promoted to leader).
+    gw_waits: HashMap<TcpHandle, (CacheKey, sc_obs::SpanId, sc_obs::TraceCtx)>,
     /// `If-None-Match` validators sent by gateway requesters, consulted
     /// when answering from the cache (matching validator → bodyless 304).
     gw_inm: HashMap<TcpHandle, String>,
@@ -366,7 +383,19 @@ impl DomesticProxy {
     /// failure path that keeps an overloaded proxy responsive.
     fn shed_browser(&mut self, browser: TcpHandle, code: u16, reason: &str, ctx: &mut Ctx<'_>) {
         self.fail_gateway_waiters(browser, code, ctx);
-        self.pending.remove(&browser);
+        if let Some(pt) = self.pending.remove(&browser) {
+            let now_us = ctx.now().as_micros();
+            sc_obs::span_end(
+                now_us,
+                pt.admission_span,
+                vec![
+                    ("verdict", sc_obs::Value::String(reason.to_string())),
+                    ("code", u64::from(code).into()),
+                ],
+            );
+            sc_obs::span_end(now_us, pt.wait_span, Vec::new());
+            sc_obs::span_end(now_us, pt.establish_span, vec![("ok", false.into())]);
+        }
         let retry_after = self.admission.retry_after();
         let secs = (retry_after.as_micros() + 999_999) / 1_000_000;
         let resp = HttpResponse::new(code, Vec::new())
@@ -431,6 +460,16 @@ impl DomesticProxy {
                         Some(pt) => {
                             pt.queued = false;
                             pt.admitted_at = now;
+                            let sp =
+                                std::mem::replace(&mut pt.admission_span, sc_obs::SpanId::NONE);
+                            sc_obs::span_end(
+                                now.as_micros(),
+                                sp,
+                                vec![
+                                    ("verdict", "admit".into()),
+                                    ("waited_us", waited.as_micros().into()),
+                                ],
+                            );
                             self.emit_admission(
                                 sc_obs::Level::Debug,
                                 "dequeue",
@@ -469,7 +508,25 @@ impl DomesticProxy {
     fn fail_browser(&mut self, browser: TcpHandle, code: u16, reason: &str, ctx: &mut Ctx<'_>) {
         self.fail_gateway_waiters(browser, code, ctx);
         let (target, held_slot) = match self.pending.remove(&browser) {
-            Some(pt) => (target_label(&pt.header), !pt.queued),
+            Some(pt) => {
+                let now_us = ctx.now().as_micros();
+                sc_obs::span_end(
+                    now_us,
+                    pt.admission_span,
+                    vec![("verdict", sc_obs::Value::String(reason.to_string()))],
+                );
+                sc_obs::span_end(now_us, pt.wait_span, Vec::new());
+                sc_obs::span_end(
+                    now_us,
+                    pt.establish_span,
+                    vec![
+                        ("ok", false.into()),
+                        ("code", u64::from(code).into()),
+                        ("reason", sc_obs::Value::String(reason.to_string())),
+                    ],
+                );
+                (target_label(&pt.header), !pt.queued)
+            }
             None => (String::new(), false),
         };
         ctx.tcp_send(browser, &HttpResponse::new(code, Vec::new()).encode());
@@ -511,14 +568,31 @@ impl DomesticProxy {
         header: StreamHeader,
         initial_plain: Vec<u8>,
         is_connect: bool,
+        tctx: sc_obs::TraceCtx,
         ctx: &mut Ctx<'_>,
     ) {
         let now = ctx.now();
         let client = self.client_of(browser);
+        // The admission span covers arrival → verdict: for queued work
+        // its duration is exactly the queue wait.
+        let admission_span = sc_obs::span_start_ctx(
+            now.as_micros(),
+            sc_obs::Level::Debug,
+            "scholarcloud",
+            "admission",
+            "admission",
+            tctx,
+            vec![("target", sc_obs::Value::String(target_label(&header)))],
+        );
         let decision = self.admission.on_request(browser, client, now);
         match decision {
             Decision::Admit => {
                 sc_obs::counter_add("scholarcloud.admitted", 1);
+                sc_obs::span_end(
+                    now.as_micros(),
+                    admission_span,
+                    vec![("verdict", "admit".into()), ("waited_us", 0u64.into())],
+                );
                 self.emit_admission(
                     sc_obs::Level::Debug,
                     "admit",
@@ -528,7 +602,16 @@ impl DomesticProxy {
                     ],
                     ctx,
                 );
-                self.start_tunnel(browser, header, initial_plain, is_connect, false, ctx);
+                self.start_tunnel(
+                    browser,
+                    header,
+                    initial_plain,
+                    is_connect,
+                    false,
+                    tctx,
+                    sc_obs::SpanId::NONE,
+                    ctx,
+                );
             }
             Decision::Enqueue => {
                 sc_obs::counter_add("scholarcloud.queued", 1);
@@ -541,12 +624,29 @@ impl DomesticProxy {
                     ],
                     ctx,
                 );
-                self.start_tunnel(browser, header, initial_plain, is_connect, true, ctx);
+                self.start_tunnel(
+                    browser,
+                    header,
+                    initial_plain,
+                    is_connect,
+                    true,
+                    tctx,
+                    admission_span,
+                    ctx,
+                );
                 self.sample_queue_depth(ctx);
                 self.ensure_queue_tick(ctx);
             }
             _ => {
                 let code = decision.status().expect("refusals carry a status");
+                sc_obs::span_end(
+                    now.as_micros(),
+                    admission_span,
+                    vec![
+                        ("verdict", sc_obs::Value::String(decision.name().to_string())),
+                        ("code", u64::from(code).into()),
+                    ],
+                );
                 self.shed_browser(browser, code, decision.name(), ctx);
             }
         }
@@ -554,6 +654,7 @@ impl DomesticProxy {
 
     /// Registers a whitelisted request; unless still `queued`, starts
     /// its first attempt.
+    #[allow(clippy::too_many_arguments)]
     fn start_tunnel(
         &mut self,
         browser: TcpHandle,
@@ -561,6 +662,8 @@ impl DomesticProxy {
         initial_plain: Vec<u8>,
         is_connect: bool,
         queued: bool,
+        tctx: sc_obs::TraceCtx,
+        admission_span: sc_obs::SpanId,
         ctx: &mut Ctx<'_>,
     ) {
         // Gateway conns keep their request parser: the conn outlives the
@@ -581,6 +684,10 @@ impl DomesticProxy {
                 retry_armed: false,
                 queued,
                 admitted_at: ctx.now(),
+                tctx,
+                admission_span,
+                establish_span: sc_obs::SpanId::NONE,
+                wait_span: sc_obs::SpanId::NONE,
             },
         );
         if !queued {
@@ -594,6 +701,20 @@ impl DomesticProxy {
         let now = ctx.now();
         let Some(pt) = self.pending.get_mut(&browser) else { return };
         debug_assert!(!pt.inflight, "attempt already outstanding");
+        // The establish span opens with the first attempt and stays open
+        // across retries/backoffs/parks until the tunnel is up or the
+        // request fails.
+        if pt.establish_span.is_none() {
+            pt.establish_span = sc_obs::span_start_ctx(
+                now.as_micros(),
+                sc_obs::Level::Debug,
+                "scholarcloud",
+                "resilience",
+                "establish",
+                pt.tctx,
+                vec![("target", sc_obs::Value::String(target_label(&pt.header)))],
+            );
+        }
         let exclude = if pt.attempts > 0 { pt.last_remote } else { None };
         let Some(idx) = self.pool.pick(now, exclude) else {
             // Every breaker refuses: park and wait for recovery (probes
@@ -608,6 +729,15 @@ impl DomesticProxy {
             }
             let target = target_label(&pt.header);
             if newly_parked {
+                pt.wait_span = sc_obs::span_start_ctx(
+                    now.as_micros(),
+                    sc_obs::Level::Debug,
+                    "scholarcloud",
+                    "resilience",
+                    "park",
+                    pt.tctx.with_parent(pt.establish_span),
+                    Vec::new(),
+                );
                 sc_obs::counter_add("scholarcloud.parked", 1);
                 self.emit_resilience(
                     sc_obs::Level::Warn,
@@ -654,7 +784,26 @@ impl DomesticProxy {
         pt.parked_since = None;
         pt.inflight = true;
         let attempt = pt.attempts;
-        let header = pt.header.clone();
+        // Any backoff/park wait ends the moment an attempt starts.
+        let ws = std::mem::replace(&mut pt.wait_span, sc_obs::SpanId::NONE);
+        sc_obs::span_end(now.as_micros(), ws, Vec::new());
+        let attempt_span = sc_obs::span_start_ctx(
+            now.as_micros(),
+            sc_obs::Level::Debug,
+            "scholarcloud",
+            "resilience",
+            "attempt",
+            pt.tctx.with_parent(pt.establish_span),
+            vec![
+                ("remote", sc_obs::Value::String(self.pool.entry(idx).addr.to_string())),
+                ("attempt", u64::from(attempt).into()),
+            ],
+        );
+        let mut header = pt.header.clone();
+        // The stream header carries this attempt's span as the remote
+        // side's parent, so the relay span stitches under the attempt
+        // that actually carried the traffic.
+        header.parent = attempt_span.0;
         let initial_plain = pt.initial_plain.clone();
 
         if let Some(p) = prev {
@@ -706,6 +855,8 @@ impl DomesticProxy {
                 rx,
                 up_bytes: 0,
                 down_bytes: 0,
+                attempt_span,
+                stream_span: sc_obs::SpanId::NONE,
             },
         );
         self.arm(
@@ -721,6 +872,11 @@ impl DomesticProxy {
     fn attempt_failed(&mut self, remote_h: TcpHandle, reason: &'static str, ctx: &mut Ctx<'_>) {
         let Some(conn) = self.remotes.remove(&remote_h) else { return };
         let browser = conn.browser;
+        sc_obs::span_end(
+            ctx.now().as_micros(),
+            conn.attempt_span,
+            vec![("ok", false.into()), ("reason", reason.into())],
+        );
         self.record_remote_failure(conn.remote_idx, ctx);
         let (exhausted, attempts) = match self.pending.get_mut(&browser) {
             Some(pt) => {
@@ -754,6 +910,15 @@ impl DomesticProxy {
         let delay = self.config.resilience.backoff.delay(attempts - 1, draw);
         if let Some(pt) = self.pending.get_mut(&browser) {
             pt.retry_armed = true;
+            pt.wait_span = sc_obs::span_start_ctx(
+                ctx.now().as_micros(),
+                sc_obs::Level::Debug,
+                "scholarcloud",
+                "resilience",
+                "backoff",
+                pt.tctx.with_parent(pt.establish_span),
+                vec![("delay_us", delay.as_micros().into())],
+            );
         }
         self.retries += 1;
         sc_obs::counter_add("scholarcloud.retries", 1);
@@ -914,6 +1079,12 @@ impl DomesticProxy {
             return;
         }
         let now = ctx.now();
+        // Trace context arrives on the request itself; the proxy's
+        // cache/admission/resilience spans all parent into it.
+        let tctx = req
+            .header_value(sc_obs::TRACE_HEADER)
+            .and_then(sc_obs::TraceCtx::parse)
+            .unwrap_or(sc_obs::TraceCtx::NONE);
         let key: CacheKey = (host.clone(), path.clone());
         match req.header_value("If-None-Match") {
             Some(inm) => {
@@ -932,7 +1103,7 @@ impl DomesticProxy {
         if !cacheable {
             // Non-GET (the HEAD RTT probe) or cache disabled: a plain
             // uncoalesced pass-through fetch.
-            self.gateway_fetch(browser, port, key, origin_req, false, false, ctx);
+            self.gateway_fetch(browser, port, key, origin_req, false, false, tctx, ctx);
             return;
         }
         // The client's validator is answered from the cache, not
@@ -959,6 +1130,24 @@ impl DomesticProxy {
                 Lookup::Miss => Plan::Fetch { stored_etag: None },
             }
         };
+        // An instant "cache_lookup" span records the verdict in the
+        // trace tree (and marks the request as having reached the cache
+        // tier even when it never goes upstream).
+        let verdict = match &plan {
+            Plan::Hit(_) => "hit",
+            Plan::Fetch { stored_etag: Some(_) } => "stale",
+            Plan::Fetch { stored_etag: None } => "miss",
+        };
+        let lookup_span = sc_obs::span_start_ctx(
+            now.as_micros(),
+            sc_obs::Level::Debug,
+            "scholarcloud",
+            "cache",
+            "cache_lookup",
+            tctx,
+            vec![("verdict", verdict.into())],
+        );
+        sc_obs::span_end(now.as_micros(), lookup_span, Vec::new());
         match plan {
             Plan::Hit(r) => {
                 self.count_cache("scholarcloud.cache_hits", 1, ctx);
@@ -970,7 +1159,16 @@ impl DomesticProxy {
                 Role::Waiter => {
                     // No admission slot, no tunnel: park on the leader's
                     // in-flight fetch.
-                    self.gw_waits.insert(browser, key.clone());
+                    let wait_span = sc_obs::span_start_ctx(
+                        now.as_micros(),
+                        sc_obs::Level::Debug,
+                        "scholarcloud",
+                        "cache",
+                        "coalesce_wait",
+                        tctx,
+                        vec![("path", sc_obs::Value::String(key.1.clone()))],
+                    );
+                    self.gw_waits.insert(browser, (key.clone(), wait_span, tctx));
                     self.config.cache.borrow_mut().note_coalesced();
                     self.count_cache("scholarcloud.cache_coalesced", 1, ctx);
                     self.emit_cache("coalesced", &key, ctx);
@@ -981,7 +1179,16 @@ impl DomesticProxy {
                         Some(etag) => origin_req.header("If-None-Match", &etag),
                         None => origin_req,
                     };
-                    self.gateway_fetch(browser, port, key, origin_req, true, revalidating, ctx);
+                    self.gateway_fetch(
+                        browser,
+                        port,
+                        key,
+                        origin_req,
+                        true,
+                        revalidating,
+                        tctx,
+                        ctx,
+                    );
                 }
             },
         }
@@ -989,6 +1196,7 @@ impl DomesticProxy {
 
     /// Launches a gateway request's upstream fetch through the normal
     /// admission + tunnel machinery (one tunnel per fetch).
+    #[allow(clippy::too_many_arguments)]
     fn gateway_fetch(
         &mut self,
         browser: TcpHandle,
@@ -997,6 +1205,7 @@ impl DomesticProxy {
         request: HttpRequest,
         cacheable: bool,
         revalidating: bool,
+        tctx: sc_obs::TraceCtx,
         ctx: &mut Ctx<'_>,
     ) {
         let now = ctx.now();
@@ -1010,6 +1219,8 @@ impl DomesticProxy {
         }
         let header = StreamHeader {
             is_tls: false,
+            trace: tctx.trace.0,
+            parent: 0,
             target: TargetAddr::Domain(key.0.clone(), port),
         };
         let wire = request.encode();
@@ -1017,7 +1228,7 @@ impl DomesticProxy {
             browser,
             GatewayFetch { key, port, request, cacheable, revalidating, parser: HttpParser::new() },
         );
-        self.admit_request(browser, header, wire, false, ctx);
+        self.admit_request(browser, header, wire, false, tctx, ctx);
     }
 
     /// A gateway upstream fetch completed: update the cache, answer the
@@ -1035,6 +1246,11 @@ impl DomesticProxy {
         if let Some(conn) = self.remotes.remove(&remote_h) {
             sc_obs::observe("scholarcloud.stream_bytes_up", conn.up_bytes);
             sc_obs::observe("scholarcloud.stream_bytes_down", conn.down_bytes);
+            sc_obs::span_end(
+                ctx.now().as_micros(),
+                conn.stream_span,
+                vec![("ok", true.into()), ("bytes_down", conn.down_bytes.into())],
+            );
         }
         let now = ctx.now();
         let cache_prof = sc_obs::prof::scope(sc_obs::prof::Subsystem::Cache);
@@ -1094,7 +1310,9 @@ impl DomesticProxy {
                 self.serve_from_cache(leader, &entry, ctx);
                 if let Some(flight) = self.singleflight.complete(&fetch.key) {
                     for w in flight.waiters {
-                        self.gw_waits.remove(&w);
+                        if let Some((_, ws, _)) = self.gw_waits.remove(&w) {
+                            sc_obs::span_end(now.as_micros(), ws, vec![("ok", true.into())]);
+                        }
                         self.config.cache.borrow_mut().note_bytes_saved(entry.body.len());
                         self.count_cache(
                             "scholarcloud.cache_bytes_saved",
@@ -1114,7 +1332,9 @@ impl DomesticProxy {
                 if fetch.cacheable {
                     if let Some(flight) = self.singleflight.complete(&fetch.key) {
                         for w in flight.waiters {
-                            self.gw_waits.remove(&w);
+                            if let Some((_, ws, _)) = self.gw_waits.remove(&w) {
+                                sc_obs::span_end(now.as_micros(), ws, vec![("ok", true.into())]);
+                            }
                             ctx.tcp_send(w, &wire);
                         }
                     }
@@ -1158,7 +1378,13 @@ impl DomesticProxy {
         let Some(flight) = self.singleflight.complete(&fetch.key) else { return };
         let wire = HttpResponse::new(code, Vec::new()).encode();
         for w in flight.waiters {
-            self.gw_waits.remove(&w);
+            if let Some((_, ws, _)) = self.gw_waits.remove(&w) {
+                sc_obs::span_end(
+                    ctx.now().as_micros(),
+                    ws,
+                    vec![("ok", false.into()), ("code", u64::from(code).into())],
+                );
+            }
             self.gw_inm.remove(&w);
             ctx.tcp_send(w, &wire);
             ctx.tcp_close(w);
@@ -1172,7 +1398,8 @@ impl DomesticProxy {
     /// back through admission under its own slot.
     fn gateway_browser_gone(&mut self, browser: TcpHandle, ctx: &mut Ctx<'_>) {
         self.gw_inm.remove(&browser);
-        if let Some(key) = self.gw_waits.remove(&browser) {
+        if let Some((key, ws, _)) = self.gw_waits.remove(&browser) {
+            sc_obs::span_end(ctx.now().as_micros(), ws, vec![("ok", false.into())]);
             self.singleflight.forget(&key, browser);
             return;
         }
@@ -1183,11 +1410,25 @@ impl DomesticProxy {
         if let Some(promoted) = self.singleflight.forget(&fetch.key, browser) {
             // The dead leader's attempt is torn down by the caller; the
             // promoted waiter restarts the fetch (stats already counted
-            // this as one miss — a replay is not a second one).
-            self.gw_waits.remove(&promoted);
+            // this as one miss — a replay is not a second one). Its
+            // coalesce wait ends here; the replayed fetch runs under the
+            // promoted waiter's own trace context.
+            let promoted_ctx = match self.gw_waits.remove(&promoted) {
+                Some((_, ws, tctx)) => {
+                    sc_obs::span_end(
+                        ctx.now().as_micros(),
+                        ws,
+                        vec![("promoted", true.into())],
+                    );
+                    tctx
+                }
+                None => sc_obs::TraceCtx::NONE,
+            };
             self.config.cache.borrow_mut().note_upstream_fetch(&fetch.key, ctx.now());
             let header = StreamHeader {
                 is_tls: false,
+                trace: promoted_ctx.trace.0,
+                parent: 0,
                 target: TargetAddr::Domain(fetch.key.0.clone(), fetch.port),
             };
             let wire = fetch.request.encode();
@@ -1202,7 +1443,7 @@ impl DomesticProxy {
                     parser: HttpParser::new(),
                 },
             );
-            self.admit_request(promoted, header, wire, false, ctx);
+            self.admit_request(promoted, header, wire, false, promoted_ctx, ctx);
         }
     }
 
@@ -1223,11 +1464,17 @@ impl DomesticProxy {
             }
             // The 200 is deferred until the tunnel actually connects —
             // see `TcpEvent::Connected` on the remote side.
+            let tctx = req
+                .header_value(sc_obs::TRACE_HEADER)
+                .and_then(sc_obs::TraceCtx::parse)
+                .unwrap_or(sc_obs::TraceCtx::NONE);
             let header = StreamHeader {
                 is_tls: port == 443,
+                trace: tctx.trace.0,
+                parent: 0,
                 target: TargetAddr::Domain(host.to_string(), port),
             };
-            self.admit_request(browser, header, Vec::new(), true, ctx);
+            self.admit_request(browser, header, Vec::new(), true, tctx, ctx);
         } else if req.target.starts_with("http://") || req.target.starts_with('/') {
             // Plain HTTP (absolute-form, or origin-form with a Host
             // header): gateway mode. The conn stays in gateway mode for
@@ -1296,7 +1543,7 @@ impl App for DomesticProxy {
             match tcp_ev {
                 TcpEvent::Connected => {
                     let now = ctx.now();
-                    let (browser, idx, rtt, wire) = {
+                    let (browser, idx, rtt, wire, attempt_span) = {
                         let conn = self.remotes.get_mut(&h).expect("checked");
                         conn.connected = true;
                         (
@@ -1304,12 +1551,40 @@ impl App for DomesticProxy {
                             conn.remote_idx,
                             now.saturating_since(conn.started),
                             std::mem::take(&mut conn.pending),
+                            std::mem::replace(&mut conn.attempt_span, sc_obs::SpanId::NONE),
                         )
                     };
                     ctx.tcp_send(h, &wire);
+                    sc_obs::span_end(now.as_micros(), attempt_span, vec![("ok", true.into())]);
                     sc_obs::observe("scholarcloud.connect_rtt_us", rtt.as_micros());
                     self.record_remote_success(idx, rtt, ctx);
                     if let Some(pt) = self.pending.remove(&browser) {
+                        sc_obs::span_end(
+                            now.as_micros(),
+                            pt.establish_span,
+                            vec![
+                                ("ok", true.into()),
+                                ("attempts", u64::from(pt.attempts).into()),
+                            ],
+                        );
+                        // The transfer span covers the tunnel's lifetime:
+                        // established → torn down, parented on the
+                        // browser-side span that requested it.
+                        let stream_span = sc_obs::span_start_ctx(
+                            now.as_micros(),
+                            sc_obs::Level::Debug,
+                            "scholarcloud",
+                            "domestic",
+                            if pt.is_connect { "tunnel_stream" } else { "upstream_fetch" },
+                            pt.tctx,
+                            vec![(
+                                "target",
+                                sc_obs::Value::String(target_label(&pt.header)),
+                            )],
+                        );
+                        if let Some(conn) = self.remotes.get_mut(&h) {
+                            conn.stream_span = stream_span;
+                        }
                         self.admission
                             .record_service(now.saturating_since(pt.admitted_at));
                         if pt.is_connect {
@@ -1353,7 +1628,13 @@ impl App for DomesticProxy {
                         // instead of piping bytes through.
                         let Ok(msgs) = fetch.parser.push(&plain) else {
                             ctx.tcp_abort(h);
-                            self.remotes.remove(&h);
+                            if let Some(conn) = self.remotes.remove(&h) {
+                                sc_obs::span_end(
+                                    ctx.now().as_micros(),
+                                    conn.stream_span,
+                                    vec![("ok", false.into())],
+                                );
+                            }
                             self.fail_browser(browser, 502, "bad_upstream_response", ctx);
                             return;
                         };
@@ -1380,6 +1661,14 @@ impl App for DomesticProxy {
                     } else if let Some(conn) = self.remotes.remove(&h) {
                         sc_obs::observe("scholarcloud.stream_bytes_up", conn.up_bytes);
                         sc_obs::observe("scholarcloud.stream_bytes_down", conn.down_bytes);
+                        sc_obs::span_end(
+                            ctx.now().as_micros(),
+                            conn.stream_span,
+                            vec![
+                                ("ok", (!matches!(tcp_ev, TcpEvent::Reset)).into()),
+                                ("bytes_down", conn.down_bytes.into()),
+                            ],
+                        );
                         if matches!(tcp_ev, TcpEvent::Reset) {
                             // A mid-stream RST is a health signal (GFW
                             // interference or a dying VM), not a normal
@@ -1478,6 +1767,14 @@ impl App for DomesticProxy {
             TcpEvent::PeerClosed | TcpEvent::Reset => {
                 self.gateway_browser_gone(h, ctx);
                 if let Some(pt) = self.pending.remove(&h) {
+                    let now_us = ctx.now().as_micros();
+                    sc_obs::span_end(
+                        now_us,
+                        pt.admission_span,
+                        vec![("verdict", "abandoned".into())],
+                    );
+                    sc_obs::span_end(now_us, pt.wait_span, Vec::new());
+                    sc_obs::span_end(now_us, pt.establish_span, vec![("ok", false.into())]);
                     if pt.queued {
                         // Browser gave up while still in the admission
                         // queue: no slot was held yet.
@@ -1496,7 +1793,14 @@ impl App for DomesticProxy {
                         .collect();
                     for rh in inflight {
                         ctx.tcp_abort(rh);
-                        self.remotes.remove(&rh);
+                        if let Some(conn) = self.remotes.remove(&rh) {
+                            sc_obs::span_end(
+                                now_us,
+                                conn.attempt_span,
+                                vec![("ok", false.into()), ("reason", "browser_gone".into())],
+                            );
+                            sc_obs::span_end(now_us, conn.stream_span, Vec::new());
+                        }
                     }
                     self.browsers.insert(h, BrowserConn::Dead);
                     self.release_slot(h, ctx);
@@ -1508,6 +1812,11 @@ impl App for DomesticProxy {
                     if let Some(conn) = self.remotes.remove(&remote) {
                         sc_obs::observe("scholarcloud.stream_bytes_up", conn.up_bytes);
                         sc_obs::observe("scholarcloud.stream_bytes_down", conn.down_bytes);
+                        sc_obs::span_end(
+                            ctx.now().as_micros(),
+                            conn.stream_span,
+                            vec![("ok", true.into()), ("bytes_down", conn.down_bytes.into())],
+                        );
                     }
                     self.browsers.insert(h, BrowserConn::Dead);
                     self.release_slot(h, ctx);

@@ -115,17 +115,28 @@ pub fn session_key(secret: &[u8], nonce: u64) -> [u8; 32] {
 pub struct StreamHeader {
     /// Payload is already end-to-end encrypted (HTTPS).
     pub is_tls: bool,
+    /// End-to-end trace id of the originating browser request (0 when
+    /// the stream is untraced). Carried in-band so the remote proxy can
+    /// parent its relay span into the same trace tree.
+    pub trace: u64,
+    /// Span id on the domestic side that caused this stream (0 when
+    /// tracing is disabled).
+    pub parent: u64,
     /// Where the remote proxy should connect.
     pub target: TargetAddr,
 }
 
 impl StreamHeader {
-    /// Encodes: flag(1) ‖ target (SOCKS format), length-prefixed.
+    /// Encodes: flag(1) ‖ trace(8) ‖ parent(8) ‖ target (SOCKS format),
+    /// length-prefixed. The trace fields are fixed width — zero when
+    /// untraced — so traced and untraced runs frame identically.
     pub fn encode(&self) -> Vec<u8> {
         let t = self.target.encode();
-        let mut out = Vec::with_capacity(t.len() + 3);
-        out.extend_from_slice(&((t.len() + 1) as u16).to_be_bytes());
+        let mut out = Vec::with_capacity(t.len() + 19);
+        out.extend_from_slice(&((t.len() + 17) as u16).to_be_bytes());
         out.push(self.is_tls as u8);
+        out.extend_from_slice(&self.trace.to_be_bytes());
+        out.extend_from_slice(&self.parent.to_be_bytes());
         out.extend_from_slice(&t);
         out
     }
@@ -137,7 +148,7 @@ impl StreamHeader {
             return None;
         }
         let len = u16::from_be_bytes([data[0], data[1]]) as usize;
-        if len < 2 || data.len() < 2 + len {
+        if len < 18 || data.len() < 2 + len {
             return None;
         }
         let is_tls = match data[2] {
@@ -145,11 +156,13 @@ impl StreamHeader {
             1 => true,
             _ => return None,
         };
-        let (target, used) = TargetAddr::decode(&data[3..2 + len])?;
-        if used != len - 1 {
+        let trace = u64::from_be_bytes(data[3..11].try_into().ok()?);
+        let parent = u64::from_be_bytes(data[11..19].try_into().ok()?);
+        let (target, used) = TargetAddr::decode(&data[19..2 + len])?;
+        if used != len - 17 {
             return None;
         }
-        Some((StreamHeader { is_tls, target }, 2 + len))
+        Some((StreamHeader { is_tls, trace, parent, target }, 2 + len))
     }
 }
 
@@ -276,8 +289,18 @@ mod tests {
     #[test]
     fn stream_header_roundtrip() {
         for header in [
-            StreamHeader { is_tls: true, target: TargetAddr::Domain("scholar.google.com".into(), 443) },
-            StreamHeader { is_tls: false, target: TargetAddr::Ip(Addr::new(99, 2, 0, 1), 80) },
+            StreamHeader {
+                is_tls: true,
+                trace: 0xfeed_face_cafe_f00d,
+                parent: 42,
+                target: TargetAddr::Domain("scholar.google.com".into(), 443),
+            },
+            StreamHeader {
+                is_tls: false,
+                trace: 0,
+                parent: 0,
+                target: TargetAddr::Ip(Addr::new(99, 2, 0, 1), 80),
+            },
         ] {
             let enc = header.encode();
             let (dec, used) = StreamHeader::decode(&enc).unwrap();

@@ -16,7 +16,7 @@ use crate::frame::{could_be_preamble, decoy_response, Hello, StreamCodec, Stream
 
 enum ClientConn {
     AwaitHello { buf: Vec<u8> },
-    Relaying { rx: StreamCodec, tx: StreamCodec, upstream: TcpHandle },
+    Relaying { rx: StreamCodec, tx: StreamCodec, upstream: TcpHandle, span: sc_obs::SpanId },
     Decoyed,
 }
 
@@ -163,7 +163,18 @@ impl RemoteProxy {
         let upstream = ctx.tcp_connect(dest);
         self.upstreams.insert(upstream, h);
         self.upstream_pending.insert(upstream, leftover);
-        self.conns.insert(h, ClientConn::Relaying { rx, tx, upstream });
+        // Parent the relay span into the originating request's trace via
+        // the in-band ids carried on the stream header.
+        let span = sc_obs::span_start_ctx(
+            ctx.now().as_micros(),
+            sc_obs::Level::Debug,
+            "scholarcloud",
+            "remote",
+            "relay",
+            sc_obs::TraceCtx::new(sc_obs::TraceId(header.trace), sc_obs::SpanId(header.parent)),
+            vec![("dest", sc_obs::Value::String(dest.to_string()))],
+        );
+        self.conns.insert(h, ClientConn::Relaying { rx, tx, upstream, span });
         self.tunnels += 1;
         sc_obs::counter_add("scholarcloud.remote_tunnels", 1);
         if sc_obs::is_enabled(sc_obs::Level::Info, "scholarcloud") {
@@ -210,6 +221,11 @@ impl App for RemoteProxy {
                 TcpEvent::PeerClosed | TcpEvent::Reset | TcpEvent::ConnectFailed => {
                     ctx.tcp_close(client);
                     self.upstreams.remove(&h);
+                    if let Some(ClientConn::Relaying { span, .. }) = self.conns.get_mut(&client) {
+                        let ok = !matches!(tcp_ev, TcpEvent::ConnectFailed);
+                        sc_obs::span_end(ctx.now().as_micros(), *span, vec![("ok", ok.into())]);
+                        *span = sc_obs::SpanId::NONE;
+                    }
                 }
                 _ => {}
             }
@@ -243,9 +259,10 @@ impl App for RemoteProxy {
                 }
             }
             TcpEvent::PeerClosed | TcpEvent::Reset => {
-                if let Some(ClientConn::Relaying { upstream, .. }) = self.conns.remove(&h) {
+                if let Some(ClientConn::Relaying { upstream, span, .. }) = self.conns.remove(&h) {
                     ctx.tcp_close(upstream);
                     self.upstreams.remove(&upstream);
+                    sc_obs::span_end(ctx.now().as_micros(), span, vec![("ok", true.into())]);
                 }
             }
             _ => {}

@@ -35,9 +35,9 @@ proptest! {
 
     /// Stream headers round-trip for all targets.
     #[test]
-    fn stream_header_roundtrip(is_tls: bool, port: u16,
+    fn stream_header_roundtrip(is_tls: bool, port: u16, trace: u64, parent: u64,
                                domain in "[a-z]{1,20}\\.[a-z]{2,8}") {
-        let header = StreamHeader { is_tls, target: TargetAddr::Domain(domain, port) };
+        let header = StreamHeader { is_tls, trace, parent, target: TargetAddr::Domain(domain, port) };
         let wire = header.encode();
         let (parsed, used) = StreamHeader::decode(&wire).unwrap();
         prop_assert_eq!(parsed, header);

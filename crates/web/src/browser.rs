@@ -222,6 +222,10 @@ struct ActiveLoad {
     index: usize,
     started: SimTime,
     span: sc_obs::SpanId,
+    /// Deterministic end-to-end trace id minted for this load; carried
+    /// on every request this load issues (`Sc-Trace`) so downstream
+    /// tiers can parent their spans into this load's tree.
+    trace: sc_obs::TraceId,
     pending: usize,
     first_time: bool,
     connections: usize,
@@ -288,6 +292,15 @@ impl Browser {
         }
     }
 
+    /// Trace context of the in-flight load: its trace id, parented on
+    /// the page-load root span. Empty when no load is active.
+    fn load_ctx(&self) -> sc_obs::TraceCtx {
+        match self.load.as_ref() {
+            Some(l) => sc_obs::TraceCtx::new(l.trace, l.span),
+            None => sc_obs::TraceCtx::NONE,
+        }
+    }
+
     fn route_for(&self, host: &str) -> Route {
         match &self.config.policy {
             ProxyPolicy::Direct => Route::Direct,
@@ -307,12 +320,17 @@ impl Browser {
         // bootstrap (waited out via the gate) counts into first-time PLT.
         let started = if index == 0 { self.browser_started } else { ctx.now() };
         sc_obs::counter_add("web.loads_started", 1);
-        let span = sc_obs::span_start(
+        // The trace id is minted whether or not a sink is attached —
+        // it is a pure hash, and propagating it unconditionally keeps
+        // traced and untraced packet schedules identical.
+        let trace = sc_obs::TraceId::mint(self.config.entropy, index as u64);
+        let span = sc_obs::span_start_ctx(
             started.as_micros(),
             sc_obs::Level::Info,
             "web",
             "load",
             "page_load",
+            sc_obs::TraceCtx::new(trace, sc_obs::SpanId::NONE),
             vec![
                 ("index", (index as u64).into()),
                 ("first_time", (!self.visited).into()),
@@ -322,6 +340,7 @@ impl Browser {
             index,
             started,
             span,
+            trace,
             pending: 1, // the HTML itself
             first_time: !self.visited,
             connections: 0,
@@ -355,12 +374,13 @@ impl Browser {
                 self.next_dns_token += 1;
                 self.pending_dns
                     .insert(token, (host.to_string(), port, path.to_string()));
-                let dns_span = sc_obs::span_start(
+                let dns_span = sc_obs::span_start_ctx(
                     ctx.now().as_micros(),
                     sc_obs::Level::Debug,
                     "web",
                     "load",
                     "dns",
+                    self.load_ctx(),
                     vec![("host", host.to_string().into())],
                 );
                 if !dns_span.is_none() {
@@ -404,12 +424,13 @@ impl Browser {
         ctx: &mut Ctx<'_>,
     ) {
         sc_obs::counter_add("web.connections_opened", 1);
-        let connect_span = sc_obs::span_start(
+        let connect_span = sc_obs::span_start_ctx(
             ctx.now().as_micros(),
             sc_obs::Level::Debug,
             "web",
             "load",
             "connect",
+            self.load_ctx(),
             vec![("host", host.to_string().into())],
         );
         let mut queue = VecDeque::new();
@@ -441,6 +462,7 @@ impl Browser {
     /// Called when a connection's tunnel/TLS is ready or a response
     /// completed: sends the next queued request.
     fn pump_conn(&mut self, h: TcpHandle, ctx: &mut Ctx<'_>) {
+        let lctx = self.load_ctx();
         let Some(conn) = self.conns.get_mut(&h) else { return };
         if conn.phase != ConnPhase::Ready || conn.current.is_some() {
             return;
@@ -449,12 +471,13 @@ impl Browser {
         conn.fetch_span = if path == "\u{0}rtt" {
             sc_obs::SpanId::NONE
         } else {
-            sc_obs::span_start(
+            sc_obs::span_start_ctx(
                 ctx.now().as_micros(),
                 sc_obs::Level::Debug,
                 "web",
                 "load",
                 "fetch",
+                lctx,
                 vec![("path", path.clone().into())],
             )
         };
@@ -463,7 +486,10 @@ impl Browser {
             HttpRequest {
                 method: "HEAD".into(),
                 target: "/".into(),
-                headers: vec![("Host".into(), conn.host.clone())],
+                headers: vec![
+                    ("Host".into(), conn.host.clone()),
+                    (sc_obs::TRACE_HEADER.into(), lctx.header_value()),
+                ],
                 body: Vec::new(),
             }
         } else {
@@ -473,6 +499,13 @@ impl Browser {
             } else {
                 HttpRequest::get(&conn.host, &path)
             };
+            // Every request carries the trace context, parented on its
+            // fetch span, so the proxy tier and origin can stitch their
+            // spans into this load's tree.
+            let req = req.header(
+                sc_obs::TRACE_HEADER,
+                &lctx.with_parent(conn.fetch_span).header_value(),
+            );
             // A stale cached copy with a validator turns the refetch into
             // a conditional request: the origin (or the proxy's shared
             // cache) may answer with a cheap bodyless 304.
@@ -619,7 +652,14 @@ impl Browser {
         sc_obs::counter_add("web.loads_ok", 1);
         sc_obs::observe("web.plt_us", (now - load.started).as_micros());
         sc_obs::ts_bump(now.as_micros(), "web.loads_ok", 1);
-        sc_obs::ts_record(now.as_micros(), "web.plt_us", (now - load.started).as_micros());
+        // PLT samples carry the load's trace id as an exemplar, so a
+        // fired latency alert can point at the worst offending traces.
+        sc_obs::ts_record_ex(
+            now.as_micros(),
+            "web.plt_us",
+            (now - load.started).as_micros(),
+            load.trace,
+        );
         if let Some(rtt) = rtt {
             sc_obs::observe("web.rtt_us", rtt.as_micros());
             sc_obs::ts_record(now.as_micros(), "web.rtt_us", rtt.as_micros());
@@ -657,7 +697,7 @@ impl Browser {
     fn fail_load(&mut self, ctx: &mut Ctx<'_>) {
         let Some(load) = self.load.take() else { return };
         sc_obs::counter_add("web.loads_failed", 1);
-        sc_obs::ts_bump(ctx.now().as_micros(), "web.loads_failed", 1);
+        sc_obs::ts_bump_ex(ctx.now().as_micros(), "web.loads_failed", 1, load.trace);
         sc_obs::span_end(
             ctx.now().as_micros(),
             load.span,
@@ -841,6 +881,7 @@ impl App for Browser {
                 }
                 match tcp_ev {
                     TcpEvent::Connected => {
+                        let lctx = self.load_ctx();
                         let conn = self.conns.get_mut(&h).expect("checked");
                         let sp = std::mem::replace(&mut conn.connect_span, sc_obs::SpanId::NONE);
                         sc_obs::span_end(ctx.now().as_micros(), sp, Vec::new());
@@ -849,12 +890,13 @@ impl App for Browser {
                             Route::Socks(_) => "socks",
                             Route::HttpProxy(_) => "http_proxy",
                         };
-                        conn.tunnel_span = sc_obs::span_start(
+                        conn.tunnel_span = sc_obs::span_start_ctx(
                             ctx.now().as_micros(),
                             sc_obs::Level::Debug,
                             "web",
                             "load",
                             "tunnel",
+                            lctx,
                             vec![("via", via.into())],
                         );
                         match conn.route {
@@ -876,8 +918,12 @@ impl App for Browser {
                                 } else {
                                     conn.phase = ConnPhase::ProxyConnectSent;
                                     let req = format!(
-                                        "CONNECT {}:{} HTTP/1.1\r\nHost: {}\r\n\r\n",
-                                        conn.host, conn.port, conn.host
+                                        "CONNECT {}:{} HTTP/1.1\r\nHost: {}\r\n{}: {}\r\n\r\n",
+                                        conn.host,
+                                        conn.port,
+                                        conn.host,
+                                        sc_obs::TRACE_HEADER,
+                                        lctx.with_parent(conn.tunnel_span).header_value(),
                                     );
                                     ctx.tcp_send(h, req.as_bytes());
                                 }

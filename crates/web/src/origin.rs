@@ -57,8 +57,8 @@ pub struct OriginServer {
     serve_http: bool,
     sessions: HashMap<TcpHandle, Session>,
     /// Pending responses waiting out the service delay: token → (conn,
-    /// wire bytes, via TLS).
-    pending: HashMap<u64, (TcpHandle, Vec<u8>)>,
+    /// wire bytes, origin span closed when the response leaves).
+    pending: HashMap<u64, (TcpHandle, Vec<u8>, sc_obs::SpanId)>,
     next_token: u64,
     /// Time at which the single service core frees up (µs).
     busy_until_us: u64,
@@ -169,17 +169,27 @@ impl OriginServer {
     }
 
     /// Queues `wire` for transmission after the modelled service delay.
-    fn respond(&mut self, h: TcpHandle, wire: Vec<u8>, ctx: &mut Ctx<'_>) {
+    fn respond(&mut self, h: TcpHandle, wire: Vec<u8>, span: sc_obs::SpanId, ctx: &mut Ctx<'_>) {
         let cost = self.capacity.service_us;
-        self.respond_with_cost(h, wire, cost, ctx);
+        self.respond_with_cost(h, wire, cost, span, ctx);
     }
 
     /// Like [`respond`](Self::respond) but with an explicit service cost
     /// (a 304 skips body rendering, so it is cheaper than a full page).
-    fn respond_with_cost(&mut self, h: TcpHandle, wire: Vec<u8>, cost_us: u64, ctx: &mut Ctx<'_>) {
+    /// The origin span stays open until the response is actually sent, so
+    /// its duration covers queueing for the service core too.
+    fn respond_with_cost(
+        &mut self,
+        h: TcpHandle,
+        wire: Vec<u8>,
+        cost_us: u64,
+        span: sc_obs::SpanId,
+        ctx: &mut Ctx<'_>,
+    ) {
         self.requests += 1;
         if !self.capacity.enabled {
             ctx.tcp_send(h, &wire);
+            sc_obs::span_end(ctx.now().as_micros(), span, Vec::new());
             return;
         }
         let now_us = ctx.now().as_micros();
@@ -189,7 +199,7 @@ impl OriginServer {
         let delay = sc_simnet::time::SimDuration::from_micros(done - now_us);
         let token = self.next_token;
         self.next_token += 1;
-        self.pending.insert(token, (h, wire));
+        self.pending.insert(token, (h, wire, span));
         ctx.set_timer(delay, token);
     }
 }
@@ -203,8 +213,9 @@ impl App for OriginServer {
     fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx<'_>) {
         match ev {
             AppEvent::TimerFired(token) => {
-                if let Some((h, wire)) = self.pending.remove(&token) {
+                if let Some((h, wire, span)) = self.pending.remove(&token) {
                     ctx.tcp_send(h, &wire);
+                    sc_obs::span_end(ctx.now().as_micros(), span, Vec::new());
                 }
             }
             AppEvent::Tcp(h, TcpEvent::Accepted { .. }) => {
@@ -248,11 +259,28 @@ impl App for OriginServer {
                 }
                 for req in requests {
                     let is_tls = session_is_tls(&self.sessions, h);
+                    // Requests arriving with trace context get an origin
+                    // span parented into the originating load's tree: it
+                    // covers the modelled service (and core-queueing)
+                    // time, the deepest tier of the waterfall.
+                    let tctx = req
+                        .header_value(sc_obs::TRACE_HEADER)
+                        .and_then(sc_obs::TraceCtx::parse)
+                        .unwrap_or(sc_obs::TraceCtx::NONE);
+                    let span = sc_obs::span_start_ctx(
+                        ctx.now().as_micros(),
+                        sc_obs::Level::Debug,
+                        "web",
+                        "origin",
+                        "origin",
+                        tctx,
+                        vec![("path", req.target.clone().into())],
+                    );
                     if !is_tls && !self.serve_http {
                         // Port 80: HTTPS redirect (Figure 4's TCP-2).
                         let resp = HttpResponse::new(301, Vec::new())
                             .header("Location", &format!("https://{}{}", self.host, req.target));
-                        self.respond(h, resp.encode(), ctx);
+                        self.respond(h, resp.encode(), span, ctx);
                         continue;
                     }
                     let resp = self.response_for(&req);
@@ -269,7 +297,7 @@ impl App for OriginServer {
                     } else {
                         resp.encode()
                     };
-                    self.respond_with_cost(h, wire, cost, ctx);
+                    self.respond_with_cost(h, wire, cost, span, ctx);
                 }
             }
             AppEvent::Tcp(h, TcpEvent::PeerClosed | TcpEvent::Reset) => {

@@ -95,8 +95,66 @@ fn main() {
         e.statuses().iter().filter(|s| s.firing).count()
     })
     .unwrap_or(0);
+    // Exemplars: each fired alert carries the trace ids of the worst
+    // requests inside its burn window — the bridge from "the p95 is bad"
+    // to "here is one concrete request to blame".
+    let exemplars: Vec<(String, Vec<u64>)> = sc_obs::with_slo_engine(|e| {
+        e.specs()
+            .iter()
+            .zip(e.statuses())
+            .filter(|(_, st)| st.fired > 0)
+            .map(|(spec, st)| (spec.name.clone(), st.last_exemplars.clone()))
+            .collect()
+    })
+    .unwrap_or_default();
     drop(guard);
 
     println!("alerts fired during the incident: {fired} (still firing at end: {firing_now})");
     assert!(fired >= 1, "the capacity incident must fire at least one SLO alert");
+    let plt_exemplars = exemplars
+        .iter()
+        .find(|(name, _)| name == "plt-p95")
+        .map(|(_, ids)| ids.as_slice())
+        .unwrap_or(&[]);
+    assert!(
+        !plt_exemplars.is_empty(),
+        "the fired plt-p95 alert must carry at least one exemplar trace id"
+    );
+    for (name, ids) in &exemplars {
+        let ids: Vec<String> = ids.iter().map(|t| format!("{t:016x}")).collect();
+        println!("  {name} exemplars: {}", ids.join(" "));
+    }
+
+    // --- 3. Drill-down: from alert exemplar to per-request waterfall ---
+    //
+    // With SC_TRACE set, replay the captured trace through the offline
+    // analyzer and render the stitched cross-tier waterfall for the worst
+    // exemplar — exactly what `scholar-obs --trace <id>` prints.
+    if let Ok(path) = std::env::var("SC_TRACE") {
+        if !path.is_empty() {
+            let text = std::fs::read_to_string(&path).expect("read SC_TRACE capture");
+            let events = sc_obs::analyze::parse_trace(&text).expect("parse SC_TRACE capture");
+            let analysis = sc_obs::analyze::analyze(&events, 10_000_000);
+            let coverage = analysis.attribution_coverage().expect("completed loads");
+            println!(
+                "\n--- drill-down: {} stitched traces, attribution coverage {:.1}% ---",
+                analysis.trees.len(),
+                coverage * 100.0
+            );
+            assert!(coverage >= 0.95, "attribution coverage {coverage:.3} below 95%");
+            let worst = plt_exemplars
+                .iter()
+                .filter_map(|id| analysis.tree(*id))
+                .max_by_key(|t| t.plt_us)
+                .expect("exemplar ids must resolve to stitched trees");
+            print!("{}", sc_obs::analyze::render_waterfall(worst));
+            // The waterfall's per-tier exclusive times are an exact
+            // partition of the PLT (the 1% acceptance bound is met with
+            // zero slack by construction).
+            let tier_sum: u64 = worst.tier_us.values().sum();
+            let plt = worst.plt_us.max(1);
+            let err = (tier_sum as f64 - plt as f64).abs() / plt as f64;
+            assert!(err <= 0.01, "tier blame off by {:.2}% of PLT", err * 100.0);
+        }
+    }
 }

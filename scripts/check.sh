@@ -25,24 +25,39 @@ run_gate() {
 # Observability: a seeded quickstart run must produce an analyzable trace.
 run_gate quickstart quickstart --window 30
 
+# Every ScholarCloud-method gate below also demands ≥95% attribution
+# coverage: completed page loads must stitch into cross-tier trace
+# trees (trace ids propagate in-band, so coverage is structural — a
+# drop below 100% means a hop stopped forwarding its TraceCtx).
+
 # Chaos: the fault-injection scenario (GFW blacklists the remote pool
 # one VM at a time, then heals) must show the resilience layer reacting
 # — at least one failover, availability above the chaos floor.
-run_gate chaos chaos_lab --require-failover --min-availability 0.70
+run_gate chaos chaos_lab --require-failover --min-availability 0.70 \
+    --min-attribution-coverage 95
 
 # Overload: the flash-crowd scenario (a 10x client surge against an
 # undersized domestic proxy) must shed load within bounds — the example
 # itself asserts fast 503/429s, bounded p95 PLT, the retry budget, and
 # recovery; scholar-obs then gates the shed rate (brownout, never a
 # blackout).
-run_gate overload flash_crowd --max-shed-rate 0.70
+run_gate overload flash_crowd --max-shed-rate 0.70 \
+    --min-attribution-coverage 95
 
 # Cache: the shared-cache scenario (a same-page crowd on the plain-HTTP
 # gateway path) must be absorbed by the domestic proxy's content cache —
 # the example itself asserts singleflight coalescing, the ≥50%
 # upstream-byte cut vs the cache-off control, 304 revalidation, and
 # determinism; scholar-obs then gates the hit rate.
-run_gate cache cache_lab --min-cache-hit-rate 0.50
+run_gate cache cache_lab --min-cache-hit-rate 0.50 \
+    --min-attribution-coverage 95
+
+# Ops: the capacity-incident scenario must fire the PLT SLO with
+# exemplar trace ids attached (the example itself additionally renders
+# the worst exemplar's waterfall and asserts the per-tier exclusive
+# times partition the PLT).
+run_gate ops scholarcloud_ops --window 10 --min-attribution-coverage 95 \
+    --require-exemplars
 
 # Performance-harness smoke gate: one fast iteration of the scholar-bench
 # suite must produce a schema-valid BENCH file that passes its own sanity

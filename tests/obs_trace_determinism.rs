@@ -89,9 +89,11 @@ fn different_seed_traces_differ() {
     assert_ne!(a, b);
 }
 
-/// A fault-injected run: three remotes, the GFW blacklists two of them
-/// mid-run and heals one later. Same seed + same plan must still be a
-/// pure function of the inputs — byte-identical traces.
+/// A fault-injected run: three remotes, the GFW blacklists all of them
+/// mid-run (so any load after the fault must fail its first attempt and
+/// fail over, whatever the health-scored pick chose) and heals one
+/// later. Same seed + same plan must still be a pure function of the
+/// inputs — byte-identical traces.
 fn faulted_run(seed: u64) -> Vec<u8> {
     let buf = SharedBuf::default();
     let sink = JsonlSink::new(Box::new(buf.clone()));
@@ -110,7 +112,9 @@ fn faulted_run(seed: u64) -> Vec<u8> {
     let remotes = built.sc_remote_addrs.clone();
     let plan = FaultPlan::new()
         .at(SimTime::from_secs(12), sc_gfw::blacklist_ip(&gfw, remotes[0]))
-        .at(SimTime::from_secs(22), sc_gfw::blacklist_ip(&gfw, remotes[1]))
+        .at(SimTime::from_secs(13), sc_gfw::blacklist_ip(&gfw, remotes[1]))
+        .at(SimTime::from_secs(14), sc_gfw::blacklist_ip(&gfw, remotes[2]))
+        .at(SimTime::from_secs(24), sc_gfw::unblacklist_ip(&gfw, remotes[2]))
         .at(SimTime::from_secs(40), sc_gfw::unblacklist_ip(&gfw, remotes[0]));
     built.sim.install_fault_plan(plan);
     built.finish();
@@ -308,4 +312,59 @@ fn windows_and_slo_alerts_are_deterministic() {
         analysis.slo_alerts.iter().filter(|(_, kind, _, _)| kind == "fire").count(),
         fires.len(),
     );
+}
+
+/// End-to-end check of the causal-tracing tentpole: every page load the
+/// ops scenario completes must stitch into a cross-tier tree whose
+/// exclusive per-tier attribution partitions the PLT exactly, the fired
+/// SLO alert must carry exemplar trace ids that resolve to stitched
+/// trees, and the per-request waterfall must render for the slowest
+/// request.
+#[test]
+fn completed_loads_stitch_into_attributed_trees_with_exemplars() {
+    let (trace, _render) = ops_run(91);
+    let text = String::from_utf8(trace).unwrap();
+    let events = sc_obs::analyze::parse_trace(&text).unwrap();
+    let analysis = sc_obs::analyze::analyze(&events, 2_000_000);
+
+    // Coverage: ≥95% of completed loads must have stitched across tiers
+    // (in practice: all of them — propagation is in-band, not sampled).
+    let coverage = analysis
+        .attribution_coverage()
+        .expect("ops run must complete at least one page load");
+    assert!(coverage >= 0.95, "attribution coverage {coverage:.3} below 0.95");
+
+    // Attribution: exclusive per-span and per-tier times partition each
+    // completed root window exactly (not merely within 1%).
+    for tree in analysis.trees.iter().filter(|t| t.completed()) {
+        let excl: u64 = tree.spans.iter().map(|s| s.excl_us).sum();
+        let tiers: u64 = tree.tier_us.values().sum();
+        assert_eq!(excl, tree.plt_us, "trace {:016x}: exclusive != PLT", tree.trace_id);
+        assert_eq!(tiers, tree.plt_us, "trace {:016x}: tier blame != PLT", tree.trace_id);
+        assert!(
+            tree.tier_us.keys().any(|t| *t != "web"),
+            "trace {:016x} never left the web tier",
+            tree.trace_id
+        );
+    }
+
+    // Exemplars: the fired plt-p95 alert must name at least one trace id
+    // that resolves to a stitched tree (the drill-down path the alert
+    // exists for).
+    assert!(!analysis.alert_exemplars.is_empty(), "fired alert carries no exemplars");
+    for (_, slo, ids) in &analysis.alert_exemplars {
+        assert_eq!(slo, "plt-p95");
+        assert!(!ids.is_empty(), "exemplar list must not be empty");
+        for id in ids {
+            let tree = analysis.tree(*id).expect("exemplar id must resolve to a tree");
+            assert!(tree.stitched(), "exemplar {id:016x} did not stitch across tiers");
+        }
+    }
+
+    // Waterfall: the slowest completed request renders a drill-down.
+    let slowest = analysis.slowest(1);
+    let worst = slowest.first().expect("at least one completed load");
+    let waterfall = sc_obs::analyze::render_waterfall(worst);
+    assert!(waterfall.contains("page_load"), "waterfall missing root:\n{waterfall}");
+    assert!(waterfall.contains("tier blame:"), "waterfall missing blame:\n{waterfall}");
 }
