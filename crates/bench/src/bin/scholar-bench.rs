@@ -7,8 +7,9 @@
 //! ```
 //!
 //! Runs a fixed suite of seeded scenarios — `quickstart`, `chaos`,
-//! `flash_crowd`, `cache_crowd`, and a scaled-up `stress_24c` client
-//! ramp — with the `sc_obs::prof` wall-clock profiler and the counting
+//! `flash_crowd`, `cache_crowd`, `fleet_crash`, and a scaled-up
+//! `stress_24c` client ramp — with the `sc_obs::prof` wall-clock
+//! profiler and the counting
 //! global allocator enabled, and records per scenario: wall time,
 //! events/sec, sim-seconds per wall-second, timer and queue-depth
 //! counters, allocation totals, and per-subsystem wall-time
@@ -131,6 +132,30 @@ fn cache_crowd() -> RunCounters {
     counters(run_scenario(&cfg))
 }
 
+/// The fleet-chaos shape from `tests/obs_trace_determinism.rs`: a
+/// 3-member domestic fleet with rotated PAC lists and a rendezvous-
+/// sharded cache, member 1 crashed and restarted mid-run — measures
+/// the failover + cache-peering code paths under fault churn.
+fn fleet_crash() -> RunCounters {
+    let mut cfg = ScenarioConfig::paper(Method::ScholarCloud, 9393);
+    cfg.clients = 4;
+    cfg.loads = 3;
+    cfg.interval = SimDuration::from_secs(15);
+    cfg.timeout = SimDuration::from_secs(10);
+    cfg.sc_fleet = 3;
+    cfg.sc_http_page = true;
+    cfg.origin_max_age = Some(10);
+    cfg.sc_cache_bytes = Some(256 * 1024);
+    cfg.extra_runtime = SimDuration::from_secs(30);
+    let mut built = build_scenario(&cfg);
+    let victim = built.sc_domestic_nodes[1];
+    let plan = FaultPlan::new()
+        .at(SimTime::from_secs(12), Fault::NodeCrash(victim))
+        .at(SimTime::from_secs(20), Fault::NodeRestart(victim));
+    built.sim.install_fault_plan(plan);
+    counters(built.finish())
+}
+
 /// The scaled-up stress point: 24 staggered clients — an order of
 /// magnitude above the labs — on short intervals, the shape ROADMAP
 /// item 1's speedups must win on.
@@ -144,11 +169,12 @@ fn stress_24c() -> RunCounters {
     counters(run_scenario(&cfg))
 }
 
-const SUITE: [(&str, fn() -> RunCounters); 5] = [
+const SUITE: [(&str, fn() -> RunCounters); 6] = [
     ("quickstart", quickstart),
     ("chaos", chaos),
     ("flash_crowd", flash_crowd),
     ("cache_crowd", cache_crowd),
+    ("fleet_crash", fleet_crash),
     ("stress_24c", stress_24c),
 ];
 

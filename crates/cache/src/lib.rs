@@ -24,9 +24,11 @@
 
 #![warn(missing_docs)]
 
+pub mod shard;
 pub mod singleflight;
 pub mod store;
 
+pub use shard::ShardMap;
 pub use singleflight::{Flight, Role, Singleflight};
 pub use store::{
     CacheConfig, CacheHandle, CacheKey, CacheStats, CachedResponse, ContentCache, InsertOutcome,

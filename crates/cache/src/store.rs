@@ -113,6 +113,12 @@ pub struct CacheStats {
     /// Body bytes served from the cache instead of refetched upstream
     /// (fresh hits, coalesced waiters, and revalidated replays).
     pub bytes_saved: u64,
+    /// Misses this shard forwarded to the owning peer instead of going
+    /// upstream (fleet cache-peering hop, requester side).
+    pub peer_fetches: u64,
+    /// Peer-forwarded requests this shard answered as the key's owner
+    /// (fleet cache-peering hop, owner side).
+    pub peer_serves: u64,
     /// Every upstream fetch started on behalf of the cache path, in start
     /// order: `(sim time µs, "host path")`. Lets experiments assert
     /// coalescing held the fetch count for a hot key to 1 during a surge.
@@ -361,6 +367,18 @@ impl ContentCache {
         self.stats
             .upstream_fetches
             .push((now.as_micros(), format!("{} {}", key.0, key.1)));
+    }
+
+    /// Records a miss forwarded to the owning peer shard instead of
+    /// going upstream (requester side of the peering hop).
+    pub fn note_peer_fetch(&mut self) {
+        self.stats.peer_fetches += 1;
+    }
+
+    /// Records a peer-forwarded request answered by this shard as the
+    /// key's owner (owner side of the peering hop).
+    pub fn note_peer_serve(&mut self) {
+        self.stats.peer_serves += 1;
     }
 }
 

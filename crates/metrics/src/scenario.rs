@@ -218,6 +218,15 @@ pub struct ScenarioConfig {
     /// Overrides the origins' `Cache-Control: max-age` (seconds). Small
     /// values force revalidation between load rounds.
     pub origin_max_age: Option<u64>,
+    /// Number of domestic-proxy fleet members (≥ 1, ScholarCloud only).
+    /// With more than one, members sit at consecutive addresses from
+    /// [`addrs::SC_DOMESTIC`], browsers get per-client *rotated* PAC
+    /// fallback lists (`PROXY a; PROXY b; …`) so nominal load spreads
+    /// across the fleet, and the shared content cache shards across
+    /// members by rendezvous hashing with one intra-fleet peering hop
+    /// on non-owner misses. `1` is the paper's single-VM shape and
+    /// leaves every code path byte-identical to the pre-fleet build.
+    pub sc_fleet: usize,
 }
 
 impl ScenarioConfig {
@@ -250,6 +259,7 @@ impl ScenarioConfig {
             sc_cache_ttl: None,
             sc_http_page: false,
             origin_max_age: None,
+            sc_fleet: 1,
         }
     }
 
@@ -259,6 +269,16 @@ impl ScenarioConfig {
     pub fn sc_remote_addrs(&self) -> Vec<Addr> {
         let base = addrs::SC_REMOTE.as_u32();
         (0..self.sc_remotes.max(1))
+            .map(|i| Addr::from_u32(base + i as u32))
+            .collect()
+    }
+
+    /// The addresses the domestic-proxy fleet members occupy under this
+    /// config (`sc_fleet` consecutive addresses from
+    /// [`addrs::SC_DOMESTIC`]).
+    pub fn sc_domestic_addrs(&self) -> Vec<Addr> {
+        let base = addrs::SC_DOMESTIC.as_u32();
+        (0..self.sc_fleet.max(1))
             .map(|i| Addr::from_u32(base + i as u32))
             .collect()
     }
@@ -377,7 +397,19 @@ pub struct BuiltScenario {
     /// Live handle to the domestic proxy's shared content cache
     /// (ScholarCloud only). Read [`stats`](sc_core::CacheHandle::stats)
     /// after [`finish`](Self::finish) for hit/miss/coalescing counts.
+    /// Under a fleet this is member 0's shard.
     pub sc_cache: Option<sc_core::CacheHandle>,
+    /// Domestic-proxy node ids in fleet-member order (always at least
+    /// the single `sc-domestic` node). Crash scenarios pass these to
+    /// [`Fault::NodeCrash`](sc_simnet::faults::Fault).
+    pub sc_domestic_nodes: Vec<sc_simnet::link::NodeId>,
+    /// Shared fleet roster when a fleet is deployed
+    /// ([`ScenarioConfig::sc_fleet`] > 1).
+    pub sc_fleet: Option<sc_core::FleetHandle>,
+    /// Per-member cache shard handles when a fleet is deployed, in
+    /// member order (empty otherwise — use
+    /// [`sc_cache`](Self::sc_cache)).
+    pub sc_fleet_caches: Vec<sc_core::CacheHandle>,
     cfg: ScenarioConfig,
     clients: Vec<sc_simnet::link::NodeId>,
     logs: Vec<LoadLog>,
@@ -395,6 +427,24 @@ impl BuiltScenario {
 /// Builds and runs a scenario to completion, returning the metrics.
 pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
     build_scenario(cfg).finish()
+}
+
+/// The PAC policy client `client_idx` is provisioned with under a
+/// fleet: the full gateway list rotated by client index, so nominal
+/// load spreads across members while every client keeps the whole
+/// fleet as ordered fallbacks. The policy is round-tripped through
+/// [`PacFile::parse`] on its own [`to_javascript`](PacFile::to_javascript)
+/// rendering — clients receive PAC files as JavaScript, so the wire
+/// format is what gets exercised, not just the in-memory struct.
+fn fleet_pac(
+    whitelist: &[String],
+    gateways: &[sc_simnet::addr::SocketAddr],
+    client_idx: usize,
+) -> sc_netproto::pac::PacFile {
+    let n = gateways.len();
+    let rotated: Vec<_> = (0..n).map(|j| gateways[(client_idx + j) % n]).collect();
+    let pac = sc_netproto::pac::PacFile::with_fallbacks(whitelist.iter().cloned(), rotated);
+    sc_netproto::pac::PacFile::parse(&pac.to_javascript()).expect("generated PAC parses")
 }
 
 /// Builds a scenario without running it (see [`BuiltScenario`]).
@@ -435,6 +485,17 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
     let cernet = sim.add_node("cernet", CERNET);
     let resolver_cn = sim.add_node("resolver-cn", RESOLVER_CN);
     let sc_domestic = sim.add_node("sc-domestic", SC_DOMESTIC);
+    // Extra fleet members at consecutive addresses; with `sc_fleet: 1`
+    // no extra node exists and the topology is byte-identical to the
+    // pre-fleet build.
+    let sc_domestic_nodes: Vec<_> = std::iter::once(sc_domestic)
+        .chain((1..cfg.sc_fleet.max(1)).map(|i| {
+            sim.add_node(
+                format!("sc-domestic-{i}"),
+                Addr::from_u32(SC_DOMESTIC.as_u32() + i as u32),
+            )
+        }))
+        .collect();
     let border = sim.add_node("border", BORDER);
     let us = sim.add_node("us", US);
     let resolver_us = sim.add_node("resolver-us", RESOLVER_US);
@@ -467,7 +528,9 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
         sim.add_link(c, cernet, lan);
     }
     sim.add_link(resolver_cn, cernet, lan);
-    sim.add_link(sc_domestic, cernet, lan);
+    for &n in &sc_domestic_nodes {
+        sim.add_link(n, cernet, lan);
+    }
     sim.add_link(cernet, border, LinkConfig::with_delay(CERNET_DELAY));
     sim.add_link(
         border,
@@ -555,6 +618,8 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
     let mut logs: Vec<LoadLog> = Vec::with_capacity(cfg.clients + cfg.flash_clients);
     let mut flash_gate: Option<std::rc::Rc<std::cell::Cell<bool>>> = None;
     let mut sc_cache: Option<sc_core::CacheHandle> = None;
+    let mut sc_fleet: Option<sc_core::FleetHandle> = None;
+    let mut sc_fleet_caches: Vec<sc_core::CacheHandle> = Vec::new();
     match cfg.method {
         Method::Direct => {
             for (i, &c) in clients.iter().enumerate() {
@@ -681,7 +746,49 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
                 sc_cfg = sc_cfg.with_cache(cache_cfg);
             }
             sc_cache = Some(sc_cfg.cache.clone());
-            sim.install_app(sc_domestic, Box::new(sc_core::DomesticProxy::new(sc_cfg.clone())));
+            let fleet_n = cfg.sc_fleet.max(1);
+            let gateways: Vec<SocketAddr> = cfg
+                .sc_domestic_addrs()
+                .into_iter()
+                .map(|a| SocketAddr::new(a, sc_core::DOMESTIC_PORT))
+                .collect();
+            if fleet_n == 1 {
+                sim.install_app(
+                    sc_domestic,
+                    Box::new(sc_core::DomesticProxy::new(sc_cfg.clone())),
+                );
+            } else {
+                // Fleet: each member gets its own shard of the content
+                // cache (separate store, same configuration) plus the
+                // shared roster for peering, liveness, and the
+                // fleet-wide admission sickness board. Member 0 keeps
+                // the base config's cache handle so `sc_cache` still
+                // points at a live shard.
+                let fleet = sc_core::FleetHandle::new(gateways.clone());
+                for (i, &node) in sc_domestic_nodes.iter().enumerate() {
+                    let mut mcfg = sc_cfg.clone();
+                    mcfg.domestic = gateways[i];
+                    if i > 0 {
+                        let mut cache_cfg = sc_core::CacheConfig::default();
+                        if let Some(b) = cfg.sc_cache_bytes {
+                            cache_cfg.capacity_bytes = b;
+                        }
+                        if let Some(t) = cfg.sc_cache_ttl {
+                            cache_cfg.default_ttl = t;
+                        }
+                        mcfg = mcfg.with_cache(cache_cfg);
+                    }
+                    sc_fleet_caches.push(mcfg.cache.clone());
+                    sim.install_app(
+                        node,
+                        Box::new(
+                            sc_core::DomesticProxy::new(mcfg)
+                                .with_fleet(sc_core::FleetMember::new(i, fleet.clone())),
+                        ),
+                    );
+                }
+                sc_fleet = Some(fleet);
+            }
             for &n in &sc_remotes {
                 sim.install_app(
                     n,
@@ -690,10 +797,12 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
             }
             for (i, &c) in clients.iter().enumerate() {
                 let log = new_load_log();
-                let mut bcfg = BrowserConfig::scholar(
-                    RESOLVER_CN,
-                    ProxyPolicy::Pac(sc_cfg.pac_file()),
-                );
+                let pac = if fleet_n > 1 {
+                    fleet_pac(&sc_cfg.whitelist, &gateways, i)
+                } else {
+                    sc_cfg.pac_file()
+                };
+                let mut bcfg = BrowserConfig::scholar(RESOLVER_CN, ProxyPolicy::Pac(pac));
                 bcfg.loads = cfg.loads;
                 bcfg.interval = cfg.interval;
                 bcfg.timeout = cfg.timeout;
@@ -715,10 +824,12 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
                     sc_simnet::ramp::uniform_offsets(cfg.flash_clients, cfg.flash_ramp);
                 for (i, &c) in flash_clients.iter().enumerate() {
                     let log = new_load_log();
-                    let mut bcfg = BrowserConfig::scholar(
-                        RESOLVER_CN,
-                        ProxyPolicy::Pac(sc_cfg.pac_file()),
-                    );
+                    let pac = if fleet_n > 1 {
+                        fleet_pac(&sc_cfg.whitelist, &gateways, cfg.clients + i)
+                    } else {
+                        sc_cfg.pac_file()
+                    };
+                    let mut bcfg = BrowserConfig::scholar(RESOLVER_CN, ProxyPolicy::Pac(pac));
                     bcfg.loads = cfg.flash_loads;
                     bcfg.interval = cfg.interval;
                     bcfg.timeout = cfg.timeout;
@@ -754,6 +865,9 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
         sc_remote_links,
         flash_gate,
         sc_cache,
+        sc_domestic_nodes,
+        sc_fleet,
+        sc_fleet_caches,
         cfg: cfg.clone(),
         clients,
         logs,

@@ -2,10 +2,12 @@
 //!
 //! ScholarCloud's entire client-side footprint is one browser setting
 //! pointing at a PAC file (§3). The PAC diverts only a *whitelist* of
-//! legal-but-blocked domains to the domestic proxy; everything else goes
-//! DIRECT. We generate real JavaScript PAC text (so the artifact matches
-//! what a browser would consume) and evaluate the restricted dialect we
-//! generate.
+//! legal-but-blocked domains to the domestic proxy tier; everything else
+//! goes DIRECT. With a fleet of domestic proxies the PAC returns an
+//! *ordered fallback list* — `PROXY a; PROXY b; DIRECT` — exactly as a
+//! real browser would consume it: the browser tries each entry in order
+//! and marks dead ones. We generate real JavaScript PAC text and
+//! evaluate the restricted dialect we generate.
 
 use sc_simnet::addr::SocketAddr;
 
@@ -18,26 +20,55 @@ pub enum ProxyDecision {
     Proxy(SocketAddr),
 }
 
-/// A PAC policy: whitelisted domain suffixes routed to one proxy.
+/// A PAC policy: whitelisted domain suffixes routed to an ordered list
+/// of fallback proxies.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PacFile {
-    /// Domain suffixes diverted to the proxy (lowercase, no leading dot).
+    /// Domain suffixes diverted to the proxies (lowercase, no leading dot).
     pub whitelist: Vec<String>,
-    /// The proxy that whitelisted traffic uses.
-    pub proxy: SocketAddr,
+    /// Ordered fallback list: the browser tries these in order, then
+    /// DIRECT. Never empty.
+    pub proxies: Vec<SocketAddr>,
 }
 
 impl PacFile {
-    /// Creates a policy.
+    /// Creates a single-proxy policy.
     pub fn new(whitelist: impl IntoIterator<Item = impl Into<String>>, proxy: SocketAddr) -> Self {
+        Self::with_fallbacks(whitelist, vec![proxy])
+    }
+
+    /// Creates a policy with an ordered proxy fallback list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proxies` is empty — an all-DIRECT policy is expressed
+    /// with an empty whitelist, not an empty proxy list.
+    pub fn with_fallbacks(
+        whitelist: impl IntoIterator<Item = impl Into<String>>,
+        proxies: Vec<SocketAddr>,
+    ) -> Self {
+        assert!(!proxies.is_empty(), "PAC proxy list must not be empty");
         let whitelist = whitelist
             .into_iter()
             .map(|d| d.into().to_ascii_lowercase())
             .collect();
-        PacFile { whitelist, proxy }
+        PacFile { whitelist, proxies }
     }
 
-    /// Decides how `host` should be reached.
+    /// The primary proxy (head of the fallback list).
+    pub fn primary(&self) -> SocketAddr {
+        self.proxies[0]
+    }
+
+    /// Whether `host` is on the whitelist (routed via the proxy list).
+    fn whitelisted(&self, host: &str) -> bool {
+        let host = host.to_ascii_lowercase();
+        self.whitelist
+            .iter()
+            .any(|domain| host == *domain || host.ends_with(&format!(".{domain}")))
+    }
+
+    /// Decides how `host` should be reached (primary proxy only).
     ///
     /// # Examples
     ///
@@ -51,22 +82,36 @@ impl PacFile {
     /// assert_eq!(pac.decide("baidu.com"), ProxyDecision::Direct);
     /// ```
     pub fn decide(&self, host: &str) -> ProxyDecision {
-        let host = host.to_ascii_lowercase();
-        for domain in &self.whitelist {
-            if host == *domain || host.ends_with(&format!(".{domain}")) {
-                return ProxyDecision::Proxy(self.proxy);
-            }
+        if self.whitelisted(host) {
+            ProxyDecision::Proxy(self.proxies[0])
+        } else {
+            ProxyDecision::Direct
         }
-        ProxyDecision::Direct
+    }
+
+    /// The full ordered fallback list for `host`: every proxy in order,
+    /// or empty for a DIRECT host. Mirrors how a browser walks a
+    /// `PROXY a; PROXY b; DIRECT` return value.
+    pub fn candidates(&self, host: &str) -> &[SocketAddr] {
+        if self.whitelisted(host) {
+            &self.proxies
+        } else {
+            &[]
+        }
     }
 
     /// Renders the policy as JavaScript PAC text.
     pub fn to_javascript(&self) -> String {
+        let list = self
+            .proxies
+            .iter()
+            .map(|p| format!("PROXY {}:{}", p.addr, p.port))
+            .collect::<Vec<_>>()
+            .join("; ");
         let mut out = String::from("function FindProxyForURL(url, host) {\n");
         for domain in &self.whitelist {
             out.push_str(&format!(
-                "    if (dnsDomainIs(host, \"{domain}\")) return \"PROXY {}:{}\";\n",
-                self.proxy.addr, self.proxy.port
+                "    if (dnsDomainIs(host, \"{domain}\")) return \"{list}; DIRECT\";\n",
             ));
         }
         out.push_str("    return \"DIRECT\";\n}\n");
@@ -75,49 +120,78 @@ impl PacFile {
 
     /// Parses PAC text in the dialect produced by [`PacFile::to_javascript`].
     ///
+    /// The return-value list is parsed the way a browser would: entries
+    /// split on `;`, blank entries (trailing semicolons) skipped,
+    /// duplicate proxies deduplicated keeping the first occurrence, and
+    /// a terminal `DIRECT` allowed. A rule whose list contains no proxy
+    /// at all (empty or `DIRECT`-only) yields [`PacParseError::NoRules`].
+    ///
     /// # Errors
     ///
     /// Returns a descriptive error for files outside the supported dialect.
     pub fn parse(text: &str) -> Result<Self, PacParseError> {
         let mut whitelist = Vec::new();
-        let mut proxy: Option<SocketAddr> = None;
+        let mut proxies: Option<Vec<SocketAddr>> = None;
         for line in text.lines() {
             let line = line.trim();
             let Some(rest) = line.strip_prefix("if (dnsDomainIs(host, \"") else { continue };
-            let Some((domain, rest)) = rest.split_once("\")) return \"PROXY ") else {
+            let Some((domain, rest)) = rest.split_once("\")) return \"") else {
                 return Err(PacParseError::BadRule(line.to_string()));
             };
-            let Some(endpoint) = rest.strip_suffix("\";") else {
+            let Some(list) = rest.strip_suffix("\";") else {
                 return Err(PacParseError::BadRule(line.to_string()));
             };
-            let Some((addr_str, port_str)) = endpoint.rsplit_once(':') else {
-                return Err(PacParseError::BadEndpoint(endpoint.to_string()));
-            };
-            let octets: Vec<u8> = addr_str
-                .split('.')
-                .map(|o| o.parse::<u8>())
-                .collect::<Result<_, _>>()
-                .map_err(|_| PacParseError::BadEndpoint(endpoint.to_string()))?;
-            if octets.len() != 4 {
-                return Err(PacParseError::BadEndpoint(endpoint.to_string()));
+            let mut rule_proxies: Vec<SocketAddr> = Vec::new();
+            for entry in list.split(';') {
+                let entry = entry.trim();
+                if entry.is_empty() || entry == "DIRECT" {
+                    // Trailing semicolons and the DIRECT terminal.
+                    continue;
+                }
+                let Some(endpoint) = entry.strip_prefix("PROXY ") else {
+                    return Err(PacParseError::BadRule(line.to_string()));
+                };
+                let p = parse_endpoint(endpoint)?;
+                if !rule_proxies.contains(&p) {
+                    rule_proxies.push(p);
+                }
             }
-            let port: u16 = port_str
-                .parse()
-                .map_err(|_| PacParseError::BadEndpoint(endpoint.to_string()))?;
-            let this_proxy = SocketAddr::new(
-                sc_simnet::addr::Addr::new(octets[0], octets[1], octets[2], octets[3]),
-                port,
-            );
-            match proxy {
-                None => proxy = Some(this_proxy),
-                Some(p) if p == this_proxy => {}
+            if rule_proxies.is_empty() {
+                // An empty or DIRECT-only list names no proxy: the rule
+                // is a no-op and the file carries no routing policy.
+                return Err(PacParseError::NoRules);
+            }
+            match &proxies {
+                None => proxies = Some(rule_proxies),
+                Some(existing) if *existing == rule_proxies => {}
                 Some(_) => return Err(PacParseError::MultipleProxies),
             }
             whitelist.push(domain.to_ascii_lowercase());
         }
-        let proxy = proxy.ok_or(PacParseError::NoRules)?;
-        Ok(PacFile { whitelist, proxy })
+        let proxies = proxies.ok_or(PacParseError::NoRules)?;
+        Ok(PacFile { whitelist, proxies })
     }
+}
+
+fn parse_endpoint(endpoint: &str) -> Result<SocketAddr, PacParseError> {
+    let Some((addr_str, port_str)) = endpoint.rsplit_once(':') else {
+        return Err(PacParseError::BadEndpoint(endpoint.to_string()));
+    };
+    let octets: Vec<u8> = addr_str
+        .split('.')
+        .map(|o| o.parse::<u8>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| PacParseError::BadEndpoint(endpoint.to_string()))?;
+    if octets.len() != 4 {
+        return Err(PacParseError::BadEndpoint(endpoint.to_string()));
+    }
+    let port: u16 = port_str
+        .parse()
+        .map_err(|_| PacParseError::BadEndpoint(endpoint.to_string()))?;
+    Ok(SocketAddr::new(
+        sc_simnet::addr::Addr::new(octets[0], octets[1], octets[2], octets[3]),
+        port,
+    ))
 }
 
 /// Errors parsing PAC text.
@@ -127,7 +201,7 @@ pub enum PacParseError {
     BadRule(String),
     /// A proxy endpoint was malformed.
     BadEndpoint(String),
-    /// Rules pointed at more than one proxy.
+    /// Rules pointed at more than one proxy list.
     MultipleProxies,
     /// No proxy rules were found.
     NoRules,
@@ -138,7 +212,7 @@ impl core::fmt::Display for PacParseError {
         match self {
             PacParseError::BadRule(l) => write!(f, "unsupported PAC rule: {l:?}"),
             PacParseError::BadEndpoint(e) => write!(f, "bad proxy endpoint: {e:?}"),
-            PacParseError::MultipleProxies => write!(f, "multiple proxies not supported"),
+            PacParseError::MultipleProxies => write!(f, "multiple proxy lists not supported"),
             PacParseError::NoRules => write!(f, "no proxy rules found"),
         }
     }
@@ -153,6 +227,10 @@ mod tests {
 
     fn proxy() -> SocketAddr {
         SocketAddr::new(Addr::new(10, 1, 0, 1), 8080)
+    }
+
+    fn proxy2() -> SocketAddr {
+        SocketAddr::new(Addr::new(10, 1, 0, 2), 8080)
     }
 
     #[test]
@@ -177,6 +255,17 @@ mod tests {
     }
 
     #[test]
+    fn fallback_list_roundtrips_in_order() {
+        let pac = PacFile::with_fallbacks(["scholar.google.com"], vec![proxy(), proxy2()]);
+        let js = pac.to_javascript();
+        assert!(js.contains("PROXY 10.1.0.1:8080; PROXY 10.1.0.2:8080; DIRECT"));
+        let parsed = PacFile::parse(&js).unwrap();
+        assert_eq!(parsed, pac);
+        assert_eq!(parsed.candidates("scholar.google.com"), &[proxy(), proxy2()]);
+        assert_eq!(parsed.candidates("baidu.com"), &[] as &[SocketAddr]);
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
         assert_eq!(PacFile::parse("function f() {}").unwrap_err(), PacParseError::NoRules);
         let bad = "if (dnsDomainIs(host, \"a.com\")) return \"PROXY nonsense\";";
@@ -196,8 +285,57 @@ mod tests {
     }
 
     #[test]
+    fn parse_rejects_reordered_fallback_lists() {
+        // Same proxies, different order: a browser would fail over
+        // differently per rule, which our single-policy model rejects.
+        let text = concat!(
+            "if (dnsDomainIs(host, \"a.com\")) ",
+            "return \"PROXY 10.0.0.1:80; PROXY 10.0.0.2:80\";\n",
+            "if (dnsDomainIs(host, \"b.com\")) ",
+            "return \"PROXY 10.0.0.2:80; PROXY 10.0.0.1:80\";\n",
+        );
+        assert_eq!(PacFile::parse(text).unwrap_err(), PacParseError::MultipleProxies);
+    }
+
+    #[test]
+    fn parse_rejects_empty_return_list() {
+        let text = "if (dnsDomainIs(host, \"a.com\")) return \"\";";
+        assert_eq!(PacFile::parse(text).unwrap_err(), PacParseError::NoRules);
+    }
+
+    #[test]
+    fn parse_rejects_direct_only_rule() {
+        let text = "if (dnsDomainIs(host, \"a.com\")) return \"DIRECT\";";
+        assert_eq!(PacFile::parse(text).unwrap_err(), PacParseError::NoRules);
+    }
+
+    #[test]
+    fn parse_dedups_duplicate_proxies_keeping_order() {
+        let text = concat!(
+            "if (dnsDomainIs(host, \"a.com\")) ",
+            "return \"PROXY 10.0.0.1:80; PROXY 10.0.0.2:80; PROXY 10.0.0.1:80; DIRECT\";",
+        );
+        let pac = PacFile::parse(text).unwrap();
+        assert_eq!(
+            pac.proxies,
+            vec![
+                SocketAddr::new(Addr::new(10, 0, 0, 1), 80),
+                SocketAddr::new(Addr::new(10, 0, 0, 2), 80),
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_tolerates_trailing_semicolons() {
+        let text = "if (dnsDomainIs(host, \"a.com\")) return \"PROXY 10.0.0.1:80;;\";";
+        let pac = PacFile::parse(text).unwrap();
+        assert_eq!(pac.proxies, vec![SocketAddr::new(Addr::new(10, 0, 0, 1), 80)]);
+    }
+
+    #[test]
     fn empty_whitelist_is_all_direct() {
         let pac = PacFile::new(Vec::<String>::new(), proxy());
         assert_eq!(pac.decide("anything.example"), ProxyDecision::Direct);
+        assert_eq!(pac.candidates("anything.example"), &[] as &[SocketAddr]);
     }
 }

@@ -627,6 +627,62 @@ impl CacheStats {
     }
 }
 
+/// Aggregate of the domestic-proxy *fleet* events: browser-side PAC
+/// failover (`web/fleet`) and proxy-side cache peering + fleet-wide
+/// shedding (`scholarcloud/fleet`), plus the per-shard breakdown of
+/// shard-tagged cache events.
+#[derive(Debug, Clone, Default)]
+pub struct FleetStats {
+    /// Browser connects to a fleet member that succeeded.
+    pub connect_ok: u64,
+    /// Browser connects that failed (timeout / refusal / reset).
+    pub connect_fail: u64,
+    /// Members dead-marked by a browser (with re-probe backoff).
+    pub dead_marks: u64,
+    /// Dead-marked members that rejoined via a successful re-probe.
+    pub recoveries: u64,
+    /// Page loads replayed down the PAC fallback list.
+    pub failovers: u64,
+    /// Non-owner misses forwarded to the owning shard (requester side).
+    pub peer_fetches: u64,
+    /// Peer-forwarded requests answered as the key's owner.
+    pub peer_serves: u64,
+    /// Peers dead-marked by a proxy after a failed peering hop.
+    pub peer_deaths: u64,
+    /// Requests shed by fleet-wide admission pressure (sickest shard).
+    pub fleet_sheds: u64,
+    /// Shard index → that shard's cache decisions (from shard-tagged
+    /// `scholarcloud/cache` events; empty for single-proxy traces).
+    pub shard_cache: BTreeMap<u64, CacheStats>,
+    /// Shard index → `(peer fetches sent, peer requests served)`.
+    pub shard_peering: BTreeMap<u64, (u64, u64)>,
+}
+
+impl FleetStats {
+    /// Fraction of browser→member connects that succeeded (`None` when
+    /// the trace carries no fleet connect events).
+    pub fn availability(&self) -> Option<f64> {
+        let total = self.connect_ok + self.connect_fail;
+        if total == 0 {
+            return None;
+        }
+        Some(self.connect_ok as f64 / total as f64)
+    }
+
+    /// Whether any fleet event appeared in the trace.
+    pub fn any(&self) -> bool {
+        self.connect_ok
+            + self.connect_fail
+            + self.dead_marks
+            + self.failovers
+            + self.peer_fetches
+            + self.peer_serves
+            + self.fleet_sheds
+            > 0
+            || !self.shard_cache.is_empty()
+    }
+}
+
 /// Everything the analyzer extracts from one trace.
 #[derive(Debug)]
 pub struct TraceAnalysis {
@@ -668,6 +724,9 @@ pub struct TraceAnalysis {
     pub admission: AdmissionStats,
     /// Shared-cache decisions (`scholarcloud/cache` events).
     pub cache: CacheStats,
+    /// Domestic-fleet activity (`web/fleet` + `scholarcloud/fleet`
+    /// events and shard-tagged cache decisions).
+    pub fleet: FleetStats,
     /// Window width used for timelines (µs).
     pub window_us: u64,
 }
@@ -732,6 +791,7 @@ pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
     let mut breaker_transitions = Vec::new();
     let mut admission = AdmissionStats::default();
     let mut cache = CacheStats::default();
+    let mut fleet = FleetStats::default();
     let mut t_end_us = 0;
 
     for ev in events {
@@ -847,6 +907,54 @@ pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
                     "revalidated" => cache.revalidated += 1,
                     _ => cache.evicted += 1,
                 }
+                // Fleet members tag their cache decisions with their
+                // shard index; single-proxy traces carry no such field.
+                if let Some(shard) = ev.get_u64("shard") {
+                    let sc = fleet.shard_cache.entry(shard).or_default();
+                    match ev.name.as_str() {
+                        "hit" => sc.hits += 1,
+                        "miss" => sc.misses += 1,
+                        "coalesced" => sc.coalesced += 1,
+                        "revalidated" => sc.revalidated += 1,
+                        _ => sc.evicted += 1,
+                    }
+                }
+            }
+            // Browser-side fleet activity: PAC failover and member
+            // liveness, as observed through connect outcomes.
+            "connect_ok" | "connect_fail" | "proxy_dead" | "proxy_recovered" | "failover"
+                if ev.component == "web" && ev.target == "fleet" =>
+            {
+                match ev.name.as_str() {
+                    "connect_ok" => fleet.connect_ok += 1,
+                    "connect_fail" => fleet.connect_fail += 1,
+                    "proxy_dead" => fleet.dead_marks += 1,
+                    "proxy_recovered" => fleet.recoveries += 1,
+                    _ => fleet.failovers += 1,
+                }
+            }
+            // Proxy-side fleet activity: the cache-peering hop, peer
+            // liveness, and fleet-wide admission shedding.
+            "peer_fetch" | "peer_serve" | "peer_dead" | "fleet_shed"
+                if ev.component == "scholarcloud" && ev.target == "fleet" =>
+            {
+                let shard = ev.get_u64("shard");
+                match ev.name.as_str() {
+                    "peer_fetch" => {
+                        fleet.peer_fetches += 1;
+                        if let Some(s) = shard {
+                            fleet.shard_peering.entry(s).or_default().0 += 1;
+                        }
+                    }
+                    "peer_serve" => {
+                        fleet.peer_serves += 1;
+                        if let Some(s) = shard {
+                            fleet.shard_peering.entry(s).or_default().1 += 1;
+                        }
+                    }
+                    "peer_dead" => fleet.peer_deaths += 1,
+                    _ => fleet.fleet_sheds += 1,
+                }
             }
             "breaker" if ev.component == "scholarcloud" => {
                 breaker_transitions.push((
@@ -944,6 +1052,7 @@ pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
         breaker_transitions,
         admission,
         cache,
+        fleet,
         window_us,
     }
 }
@@ -1229,6 +1338,60 @@ pub fn render_report(a: &TraceAnalysis) -> String {
         let _ = writeln!(out, "  hit rate:     {:.1}%", a.cache.hit_rate() * 100.0);
     }
 
+    // Domestic fleet.
+    if a.fleet.any() {
+        out.push_str("\ndomestic fleet (PAC failover + cache peering):\n");
+        let _ = writeln!(
+            out,
+            "  connects:     {} ok / {} failed{}",
+            a.fleet.connect_ok,
+            a.fleet.connect_fail,
+            match a.fleet.availability() {
+                Some(av) => format!("  (availability {:.1}%)", av * 100.0),
+                None => String::new(),
+            },
+        );
+        let _ = writeln!(
+            out,
+            "  members:      {} dead-marks, {} failovers, {} recoveries",
+            a.fleet.dead_marks, a.fleet.failovers, a.fleet.recoveries
+        );
+        let _ = writeln!(
+            out,
+            "  peering:      {} fetches, {} serves, {} peer deaths",
+            a.fleet.peer_fetches, a.fleet.peer_serves, a.fleet.peer_deaths
+        );
+        let _ = writeln!(out, "  fleet sheds:  {}", a.fleet.fleet_sheds);
+        let shards: std::collections::BTreeSet<u64> = a
+            .fleet
+            .shard_cache
+            .keys()
+            .chain(a.fleet.shard_peering.keys())
+            .copied()
+            .collect();
+        if !shards.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {:<7} {:>7} {:>8} {:>10} {:>10} {:>10}",
+                "shard", "hits", "misses", "hit rate", "peer out", "peer in"
+            );
+            for shard in shards {
+                let cs = a.fleet.shard_cache.get(&shard).copied().unwrap_or_default();
+                let (pf, ps) =
+                    a.fleet.shard_peering.get(&shard).copied().unwrap_or((0, 0));
+                let _ = writeln!(
+                    out,
+                    "  {shard:<7} {:>7} {:>8} {:>9.1}% {:>10} {:>10}",
+                    cs.hits,
+                    cs.misses,
+                    cs.hit_rate() * 100.0,
+                    pf,
+                    ps,
+                );
+            }
+        }
+    }
+
     // Cross-tier attribution of stitched request trees.
     if !a.trees.is_empty() {
         let completed = a.trees.iter().filter(|t| t.completed()).count();
@@ -1364,13 +1527,15 @@ pub fn render_waterfall(tree: &TraceTree) -> String {
 }
 
 /// Renders the machine-readable summary behind `scholar-obs --json`:
-/// one JSON object, schema `"scholar-obs/v2"`, with the headline
+/// one JSON object, schema `"scholar-obs/v3"`, with the headline
 /// numbers CI gates consume (availability, shed rate, cache hit rate,
 /// PLT percentiles). Every `v1` key is kept with its shape unchanged;
 /// `v2` appends the cross-tier attribution block (`stitched_traces`,
 /// `attribution_coverage`, `tier_us`, `slowest`) and the SLO alert
-/// exemplars. Keys are emitted in a fixed order and the output is
-/// deterministic for a given trace.
+/// exemplars; `v3` appends the domestic-fleet block
+/// (`fleet_availability` and `fleet` with its per-shard breakdown).
+/// Keys are emitted in a fixed order and the output is deterministic
+/// for a given trace.
 pub fn render_json(a: &TraceAnalysis) -> String {
     let mut plts: Vec<u64> = a
         .page_loads
@@ -1381,7 +1546,7 @@ pub fn render_json(a: &TraceAnalysis) -> String {
     plts.sort_unstable();
     let failed = a.page_loads.iter().filter(|l| l.span.ok == Some(false)).count();
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"scholar-obs/v2\",");
+    let _ = writeln!(out, "  \"schema\": \"scholar-obs/v3\",");
     let _ = writeln!(out, "  \"events\": {},", a.events);
     let _ = writeln!(out, "  \"sim_end_us\": {},", a.t_end_us);
     let _ = writeln!(out, "  \"spans_closed\": {},", a.spans.len());
@@ -1466,7 +1631,56 @@ pub fn render_json(a: &TraceAnalysis) -> String {
             )
         })
         .collect();
-    let _ = writeln!(out, "  \"alert_exemplars\": [{}]", exemplars.join(", "));
+    let _ = writeln!(out, "  \"alert_exemplars\": [{}],", exemplars.join(", "));
+    // v3: the domestic-fleet block.
+    match a.fleet.availability() {
+        Some(av) => {
+            let _ = writeln!(out, "  \"fleet_availability\": {},", json_f64(av));
+        }
+        None => {
+            let _ = writeln!(out, "  \"fleet_availability\": null,");
+        }
+    }
+    let shard_keys: std::collections::BTreeSet<u64> = a
+        .fleet
+        .shard_cache
+        .keys()
+        .chain(a.fleet.shard_peering.keys())
+        .copied()
+        .collect();
+    let shards: Vec<String> = shard_keys
+        .into_iter()
+        .map(|shard| {
+            let cs = a.fleet.shard_cache.get(&shard).copied().unwrap_or_default();
+            let (pf, ps) = a.fleet.shard_peering.get(&shard).copied().unwrap_or((0, 0));
+            format!(
+                "{{\"shard\": {shard}, \"hits\": {}, \"misses\": {}, \"coalesced\": {}, \
+                 \"revalidated\": {}, \"hit_rate\": {}, \"peer_fetches\": {pf}, \
+                 \"peer_serves\": {ps}}}",
+                cs.hits,
+                cs.misses,
+                cs.coalesced,
+                cs.revalidated,
+                json_f64(cs.hit_rate()),
+            )
+        })
+        .collect();
+    let _ = writeln!(
+        out,
+        "  \"fleet\": {{\"connect_ok\": {}, \"connect_fail\": {}, \"dead_marks\": {}, \
+         \"failovers\": {}, \"recoveries\": {}, \"peer_fetches\": {}, \"peer_serves\": {}, \
+         \"peer_deaths\": {}, \"fleet_sheds\": {}, \"shards\": [{}]}}",
+        a.fleet.connect_ok,
+        a.fleet.connect_fail,
+        a.fleet.dead_marks,
+        a.fleet.failovers,
+        a.fleet.recoveries,
+        a.fleet.peer_fetches,
+        a.fleet.peer_serves,
+        a.fleet.peer_deaths,
+        a.fleet.fleet_sheds,
+        shards.join(", "),
+    );
     out.push_str("}\n");
     out
 }
@@ -1690,7 +1904,7 @@ mod tests {
         let a = analyze(&evs, 1_000_000);
         let text = render_json(&a);
         let v = parse_json(&text).expect("render_json must emit valid JSON");
-        assert_eq!(v.get("schema").and_then(Json::as_str), Some("scholar-obs/v2"));
+        assert_eq!(v.get("schema").and_then(Json::as_str), Some("scholar-obs/v3"));
         // Every v1 key survives with its v1 shape.
         for key in [
             "events",
@@ -1724,10 +1938,103 @@ mod tests {
             v.get("alert_exemplars").and_then(Json::as_arr).map(<[_]>::len),
             Some(0)
         );
+        // v3 keys: no fleet events → availability null, counters zero,
+        // shard array empty but present.
+        assert_eq!(v.get("fleet_availability"), Some(&Json::Null));
+        let fleet = v.get("fleet").expect("fleet object");
+        for key in [
+            "connect_ok",
+            "connect_fail",
+            "dead_marks",
+            "failovers",
+            "recoveries",
+            "peer_fetches",
+            "peer_serves",
+            "peer_deaths",
+            "fleet_sheds",
+        ] {
+            assert_eq!(fleet.get(key).and_then(Json::as_u64), Some(0), "fleet key {key}");
+        }
+        assert_eq!(fleet.get("shards").and_then(Json::as_arr).map(<[_]>::len), Some(0));
         // No finished loads → availability is null, still valid JSON.
         let empty = analyze(&[], 1_000_000);
         let v = parse_json(&render_json(&empty)).unwrap();
         assert_eq!(v.get("availability"), Some(&Json::Null));
+    }
+
+    /// Fleet traces: `web/fleet` + `scholarcloud/fleet` events and
+    /// shard-tagged cache decisions aggregate into `FleetStats`, the
+    /// report grows a fleet section, and the JSON carries the v3 block.
+    #[test]
+    fn fleet_events_aggregate_per_shard() {
+        let web = |t, name: &'static str| {
+            parse_line(&line(
+                &Event::new(t, Level::Debug, "web", "fleet", name)
+                    .field("proxy", "10.1.0.2:8080"),
+            ))
+            .unwrap()
+        };
+        let sc = |t, name: &'static str, shard: u64| {
+            parse_line(&line(
+                &Event::new(t, Level::Debug, "scholarcloud", "fleet", name)
+                    .field("shard", shard),
+            ))
+            .unwrap()
+        };
+        let cache = |t, name: &'static str, shard: u64| {
+            parse_line(&line(
+                &Event::new(t, Level::Debug, "scholarcloud", "cache", name)
+                    .field("shard", shard),
+            ))
+            .unwrap()
+        };
+        let evs = vec![
+            web(100, "connect_ok"),
+            web(200, "connect_ok"),
+            web(300, "connect_fail"),
+            web(310, "proxy_dead"),
+            web(320, "failover"),
+            web(900, "proxy_recovered"),
+            sc(400, "peer_fetch", 1),
+            sc(410, "peer_serve", 0),
+            sc(500, "peer_dead", 1),
+            sc(600, "fleet_shed", 2),
+            cache(700, "hit", 0),
+            cache(710, "hit", 0),
+            cache(720, "miss", 1),
+        ];
+        let a = analyze(&evs, 1_000_000);
+        assert_eq!(a.fleet.connect_ok, 2);
+        assert_eq!(a.fleet.connect_fail, 1);
+        assert_eq!(a.fleet.dead_marks, 1);
+        assert_eq!(a.fleet.failovers, 1);
+        assert_eq!(a.fleet.recoveries, 1);
+        assert_eq!(a.fleet.peer_fetches, 1);
+        assert_eq!(a.fleet.peer_serves, 1);
+        assert_eq!(a.fleet.peer_deaths, 1);
+        assert_eq!(a.fleet.fleet_sheds, 1);
+        assert!((a.fleet.availability().unwrap() - 2.0 / 3.0).abs() < 1e-9);
+        // Shard-tagged cache events split per shard AND still count in
+        // the fleet-wide cache totals.
+        assert_eq!(a.cache.hits, 2);
+        assert_eq!(a.cache.misses, 1);
+        assert_eq!(a.fleet.shard_cache.get(&0).map(|s| s.hits), Some(2));
+        assert_eq!(a.fleet.shard_cache.get(&1).map(|s| s.misses), Some(1));
+        assert_eq!(a.fleet.shard_peering.get(&1), Some(&(1, 0)));
+        assert_eq!(a.fleet.shard_peering.get(&0), Some(&(0, 1)));
+        let report = render_report(&a);
+        assert!(report.contains("domestic fleet (PAC failover + cache peering)"));
+        assert!(report.contains("availability 66.7%"));
+        let v = parse_json(&render_json(&a)).unwrap();
+        let fleet = v.get("fleet").expect("fleet object");
+        assert_eq!(fleet.get("connect_ok").and_then(Json::as_u64), Some(2));
+        // Shards 0 and 1 carried cache/peering traffic; the shard that
+        // only shed (2) has no per-shard row.
+        assert_eq!(fleet.get("shards").and_then(Json::as_arr).map(<[_]>::len), Some(2));
+        // A single-proxy trace renders no fleet section.
+        let empty = analyze(&[], 1_000_000);
+        assert!(!empty.fleet.any());
+        assert!(!render_report(&empty).contains("domestic fleet"));
     }
 
     /// A traced `span_start`/`span_end` pair, the offline twin of

@@ -4,6 +4,7 @@
 //! scholar-obs <trace.jsonl> [--window SECS] [--json] [--trace ID]
 //!             [--require-failover] [--min-availability FRAC]
 //!             [--max-shed-rate FRAC] [--min-cache-hit-rate FRAC]
+//!             [--min-fleet-availability FRAC]
 //!             [--min-attribution-coverage PCT] [--require-exemplars]
 //! ```
 //!
@@ -29,7 +30,12 @@
 //! and `--min-cache-hit-rate 0.5` demands that at least 50% of the
 //! domestic proxy's cache-path requests were answered without a full
 //! upstream fetch (the shared-cache smoke gate; fails when the trace
-//! carries no cache events at all). `--min-attribution-coverage 95`
+//! carries no cache events at all). `--min-fleet-availability 0.8`
+//! demands that at least 80% of browser connects to domestic-fleet
+//! members succeeded (the fleet-chaos smoke gate: a crashed member may
+//! cost the connects that discover it, not sustained availability;
+//! fails when the trace carries no fleet connect events at all).
+//! `--min-attribution-coverage 95`
 //! demands that at least 95% of completed page loads stitched into
 //! cross-tier trees (fails when no load completed), and
 //! `--require-exemplars` demands that at least one fired SLO alert
@@ -50,7 +56,8 @@
 //!   analyzing (empty analysis), or `--trace` names an unknown id;
 //! * `4` — a `--require-failover` / `--min-availability` /
 //!   `--max-shed-rate` / `--min-cache-hit-rate` /
-//!   `--min-attribution-coverage` / `--require-exemplars` gate failed.
+//!   `--min-fleet-availability` / `--min-attribution-coverage` /
+//!   `--require-exemplars` gate failed.
 
 use std::process::ExitCode;
 
@@ -58,6 +65,7 @@ fn main() -> ExitCode {
     const USAGE: &str = "usage: scholar-obs <trace.jsonl> [--window SECS] [--json] \
                          [--trace ID] [--require-failover] [--min-availability FRAC] \
                          [--max-shed-rate FRAC] [--min-cache-hit-rate FRAC] \
+                         [--min-fleet-availability FRAC] \
                          [--min-attribution-coverage PCT] [--require-exemplars]";
     let mut args = std::env::args().skip(1);
     let mut path = None;
@@ -66,6 +74,7 @@ fn main() -> ExitCode {
     let mut min_availability: Option<f64> = None;
     let mut max_shed_rate: Option<f64> = None;
     let mut min_cache_hit_rate: Option<f64> = None;
+    let mut min_fleet_availability: Option<f64> = None;
     let mut min_attribution_coverage: Option<f64> = None;
     let mut require_exemplars = false;
     let mut waterfall: Option<u64> = None;
@@ -137,6 +146,19 @@ fn main() -> ExitCode {
                     return ExitCode::from(1);
                 };
                 min_cache_hit_rate = Some(v);
+            }
+            "--min-fleet-availability" => {
+                let Some(v) = args
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|v| (0.0..=1.0).contains(v))
+                else {
+                    eprintln!(
+                        "scholar-obs: --min-fleet-availability expects a fraction in [0, 1]"
+                    );
+                    return ExitCode::from(1);
+                };
+                min_fleet_availability = Some(v);
             }
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -242,6 +264,27 @@ fn main() -> ExitCode {
                     "scholar-obs: gate failed — cache hit rate {:.1}% below required {:.1}%",
                     rate * 100.0,
                     min * 100.0
+                );
+                gate_failed = true;
+            }
+        }
+    }
+    if let Some(min) = min_fleet_availability {
+        match analysis.fleet.availability() {
+            Some(avail) if avail >= min => {}
+            Some(avail) => {
+                eprintln!(
+                    "scholar-obs: gate failed — fleet availability {:.1}% below \
+                     required {:.1}%",
+                    avail * 100.0,
+                    min * 100.0
+                );
+                gate_failed = true;
+            }
+            None => {
+                eprintln!(
+                    "scholar-obs: gate failed — no fleet connect events in trace, \
+                     fleet availability undefined"
                 );
                 gate_failed = true;
             }

@@ -51,12 +51,24 @@ use sc_simnet::time::{SimDuration, SimTime};
 
 use crate::admission::{AdmissionController, Decision, Dequeued};
 use crate::config::ScConfig;
+use crate::fleet::FleetMember;
 use crate::frame::{Hello, StreamCodec, StreamHeader};
 use crate::resilience::{BreakerState, BreakerTransition, RemotePool};
 
 /// How often a parked request re-checks the pool for a recovered remote
 /// (probes also drain the parked set immediately on success).
 const PARK_RECHECK: SimDuration = SimDuration::from_millis(250);
+
+/// Loop-guard header on intra-fleet peering hops: carries the
+/// requesting shard's index, and its presence means "answer locally,
+/// never forward again" — a peering hop is one hop, by construction.
+pub const FLEET_HEADER: &str = "Sc-Fleet";
+
+/// Fleet-wide admission pressure floor: the sickest-shard-first shed
+/// only engages once the fleet's published queue depths sum to at least
+/// this many waiting requests (nominal traffic never queues, so the
+/// fleet path costs nothing until a real overload).
+const FLEET_PRESSURE_QUEUE: usize = 4;
 
 /// How often the admission queue is re-checked for deadline sheds while
 /// non-empty (slot releases also drain it immediately).
@@ -94,6 +106,28 @@ struct GatewayFetch {
     revalidating: bool,
     /// Reassembles the upstream response stream.
     parser: HttpParser,
+}
+
+/// An in-flight intra-fleet peering hop: a non-owner's cacheable miss
+/// forwarded to the key's owner shard instead of upstream. The fetch
+/// bookkeeping stays in `gw_fetches` under the leader's handle so a
+/// failed hop can fall back to a normal upstream fetch.
+struct PeerFetch {
+    /// The gateway leader whose request this hop serves.
+    leader: TcpHandle,
+    /// Owner shard index the hop targets.
+    owner: usize,
+    /// Pre-encoded request, sent once the peer TCP connects.
+    wire: Vec<u8>,
+    connected: bool,
+    /// Response settled; awaiting the close handshake's events.
+    done: bool,
+    /// Reassembles the owner's response.
+    parser: HttpParser,
+    /// Open "peer_fetch" span.
+    span: sc_obs::SpanId,
+    /// Leader's trace context (a fallback replay parents into it).
+    tctx: sc_obs::TraceCtx,
 }
 
 /// A browser request between "accepted" and "tunnel established":
@@ -184,6 +218,8 @@ enum TimerPurpose {
     Retry(TcpHandle),
     /// Periodic admission-queue re-check (deadline sheds).
     QueueTick,
+    /// Deadline for a whole intra-fleet peering hop (peer handle).
+    PeerDeadline(TcpHandle),
 }
 
 /// The domestic proxy app. Install on the domestic VM node.
@@ -197,6 +233,11 @@ pub struct DomesticProxy {
     peers: HashMap<TcpHandle, Addr>,
     /// Requests awaiting tunnel establishment, keyed by browser handle.
     pending: HashMap<TcpHandle, PendingTunnel>,
+    /// This proxy's fleet membership (None = the paper's single-proxy
+    /// deployment; every fleet path is inert then).
+    fleet: Option<FleetMember>,
+    /// In-flight intra-fleet peering hops, keyed by the peer-side handle.
+    peer_fetches: HashMap<TcpHandle, PeerFetch>,
     /// In-flight gateway fetches, keyed by the leader's browser handle.
     gw_fetches: HashMap<TcpHandle, GatewayFetch>,
     /// Coalescing table for cacheable gateway fetches.
@@ -245,6 +286,8 @@ impl DomesticProxy {
             remotes: HashMap::new(),
             peers: HashMap::new(),
             pending: HashMap::new(),
+            fleet: None,
+            peer_fetches: HashMap::new(),
             gw_fetches: HashMap::new(),
             singleflight: Singleflight::new(),
             gw_waits: HashMap::new(),
@@ -260,6 +303,19 @@ impl DomesticProxy {
             tunnel_failures: 0,
             fail_fast: 0,
         }
+    }
+
+    /// Joins a fleet: this proxy becomes shard `member.self_idx`, its
+    /// cacheable misses route to each key's owner shard, and its
+    /// admission pressure is published to the shared sickness board.
+    pub fn with_fleet(mut self, member: FleetMember) -> Self {
+        self.fleet = Some(member);
+        self
+    }
+
+    /// This proxy's fleet membership, if any (tests and dashboards).
+    pub fn fleet(&self) -> Option<&FleetMember> {
+        self.fleet.as_ref()
     }
 
     /// Read access to the remote pool (tests and dashboards).
@@ -345,16 +401,58 @@ impl DomesticProxy {
 
     fn emit_cache(&self, name: &'static str, key: &CacheKey, ctx: &Ctx<'_>) {
         if sc_obs::is_enabled(sc_obs::Level::Debug, "scholarcloud") {
-            sc_obs::emit(
-                sc_obs::Event::new(
-                    ctx.now().as_micros(),
-                    sc_obs::Level::Debug,
-                    "scholarcloud",
-                    "cache",
-                    name,
-                )
-                .field("host", key.0.clone())
-                .field("path", key.1.clone()),
+            let mut ev = sc_obs::Event::new(
+                ctx.now().as_micros(),
+                sc_obs::Level::Debug,
+                "scholarcloud",
+                "cache",
+                name,
+            )
+            .field("host", key.0.clone())
+            .field("path", key.1.clone());
+            // Shard attribution only exists in fleet runs, so
+            // single-proxy traces stay byte-identical with pre-fleet
+            // builds.
+            if let Some(f) = &self.fleet {
+                ev = ev.field("shard", f.self_idx as u64);
+            }
+            sc_obs::emit(ev);
+        }
+    }
+
+    fn emit_fleet(
+        &self,
+        level: sc_obs::Level,
+        name: &'static str,
+        fields: &[(&'static str, String)],
+        ctx: &Ctx<'_>,
+    ) {
+        if sc_obs::is_enabled(level, "scholarcloud") {
+            let mut ev = sc_obs::Event::new(
+                ctx.now().as_micros(),
+                level,
+                "scholarcloud",
+                "fleet",
+                name,
+            );
+            if let Some(f) = &self.fleet {
+                ev = ev.field("shard", f.self_idx as u64);
+            }
+            for (k, v) in fields {
+                ev = ev.field(k, v.clone());
+            }
+            sc_obs::emit(ev);
+        }
+    }
+
+    /// Publishes this shard's admission pressure to the fleet's shared
+    /// sickness board (no-op outside a fleet).
+    fn publish_sickness(&self) {
+        if let Some(f) = &self.fleet {
+            f.handle.publish(
+                f.self_idx,
+                self.admission.queue_depth(),
+                self.admission.service_estimate(),
             );
         }
     }
@@ -439,6 +537,7 @@ impl DomesticProxy {
         let client = self.client_of(browser);
         self.admission.release(client, ctx.now(), None);
         self.drain_queue(ctx);
+        self.publish_sickness();
     }
 
     /// Dequeues as much as capacity allows: deadline-expired entries
@@ -490,6 +589,7 @@ impl DomesticProxy {
         }
         self.sample_queue_depth(ctx);
         self.ensure_queue_tick(ctx);
+        self.publish_sickness();
     }
 
     fn record_remote_success(&mut self, idx: usize, rtt: SimDuration, ctx: &mut Ctx<'_>) {
@@ -573,6 +673,31 @@ impl DomesticProxy {
     ) {
         let now = ctx.now();
         let client = self.client_of(browser);
+        // Fleet-wide admission: under fleet-wide pressure the sickest
+        // shard sheds first — PAC failover then re-spreads its clients
+        // across healthier shards instead of every shard browning out
+        // in lockstep. Engages only when this shard IS the sickest and
+        // already has queued work of its own.
+        self.publish_sickness();
+        if let Some(f) = &self.fleet {
+            if f.handle.total_queue_depth() >= FLEET_PRESSURE_QUEUE
+                && f.handle.sickest() == f.self_idx
+                && self.admission.queue_depth() > 0
+            {
+                self.count_cache("scholarcloud.fleet_shed", 1, ctx);
+                self.emit_fleet(
+                    sc_obs::Level::Warn,
+                    "fleet_shed",
+                    &[
+                        ("queue_depth", self.admission.queue_depth().to_string()),
+                        ("fleet_queue", f.handle.total_queue_depth().to_string()),
+                    ],
+                    ctx,
+                );
+                self.shed_browser(browser, 503, "fleet_shed", ctx);
+                return;
+            }
+        }
         // The admission span covers arrival → verdict: for queued work
         // its duration is exactly the queue wait.
         let admission_span = sc_obs::span_start_ctx(
@@ -1016,6 +1141,19 @@ impl DomesticProxy {
                 self.drain_queue(ctx);
                 self.ensure_queue_tick(ctx);
             }
+            TimerPurpose::PeerDeadline(ph) => {
+                let state = self.peer_fetches.get(&ph).map(|p| (p.connected, p.done));
+                if let Some((connected, false)) = state {
+                    ctx.tcp_abort(ph);
+                    sc_obs::counter_add("scholarcloud.peer_timeouts", 1);
+                    let reason = if connected {
+                        "peer_response_timeout"
+                    } else {
+                        "peer_connect_timeout"
+                    };
+                    self.peer_fetch_failed(ph, reason, ctx);
+                }
+            }
         }
     }
 
@@ -1095,10 +1233,28 @@ impl DomesticProxy {
             }
         }
         let cacheable = req.method == "GET" && self.config.cache.borrow().enabled();
+        // An intra-fleet peering hop announces itself with the
+        // loop-guard header: the owner answers locally (cache,
+        // coalesced flight, or its own upstream fetch) and never
+        // re-forwards — one hop, by construction.
+        let peer_hop = req
+            .header_value(FLEET_HEADER)
+            .and_then(|v| v.parse::<usize>().ok());
+        if let Some(from) = peer_hop {
+            self.config.cache.borrow_mut().note_peer_serve();
+            self.count_cache("scholarcloud.peer_serves", 1, ctx);
+            self.emit_fleet(
+                sc_obs::Level::Debug,
+                "peer_serve",
+                &[("from", from.to_string()), ("path", path.clone())],
+                ctx,
+            );
+        }
 
         // Upstream leg is origin-form.
         let mut origin_req = req;
         origin_req.target = path;
+        origin_req.headers.retain(|(n, _)| !n.eq_ignore_ascii_case(FLEET_HEADER));
 
         if !cacheable {
             // Non-GET (the HEAD RTT probe) or cache disabled: a plain
@@ -1175,6 +1331,25 @@ impl DomesticProxy {
                 }
                 Role::Leader => {
                     let revalidating = stored_etag.is_some();
+                    // A non-owner's miss takes one intra-fleet hop to
+                    // the key's owner (whose singleflight coalesces the
+                    // whole fleet's demand) instead of a cross-border
+                    // fetch — unless this request already IS such a hop.
+                    if peer_hop.is_none() {
+                        if let Some(owner) = self.peer_owner_of(&key, now) {
+                            self.start_peer_fetch(
+                                browser,
+                                owner,
+                                port,
+                                key,
+                                origin_req,
+                                stored_etag,
+                                tctx,
+                                ctx,
+                            );
+                            return;
+                        }
+                    }
                     let origin_req = match stored_etag {
                         Some(etag) => origin_req.header("If-None-Match", &etag),
                         None => origin_req,
@@ -1191,6 +1366,282 @@ impl DomesticProxy {
                     );
                 }
             },
+        }
+    }
+
+    /// The peer shard owning `key` right now, or `None` when the hop
+    /// should not happen: no fleet, a one-member fleet, or this shard
+    /// owns the key itself (possibly by inheritance from a dead peer).
+    fn peer_owner_of(&self, key: &CacheKey, now: SimTime) -> Option<usize> {
+        let f = self.fleet.as_ref()?;
+        if f.handle.len() < 2 {
+            return None;
+        }
+        let owner = f.owner_for(key, now);
+        (owner != f.self_idx).then_some(owner)
+    }
+
+    /// Launches an intra-fleet peering hop: one absolute-form GET to
+    /// the key's owner shard, marked with the loop-guard header and
+    /// carrying *our* stored validator (the owner's `304` renews our
+    /// entry). The fetch bookkeeping is registered under the leader as
+    /// usual so waiters coalesce locally too; a failed hop dead-marks
+    /// the peer and falls back to a normal upstream fetch.
+    #[allow(clippy::too_many_arguments)]
+    fn start_peer_fetch(
+        &mut self,
+        leader: TcpHandle,
+        owner: usize,
+        port: u16,
+        key: CacheKey,
+        request: HttpRequest,
+        stored_etag: Option<String>,
+        tctx: sc_obs::TraceCtx,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let now = ctx.now();
+        let (self_idx, addr) = {
+            let f = self.fleet.as_ref().expect("caller checked");
+            (f.self_idx, f.handle.member_addr(owner))
+        };
+        let revalidating = stored_etag.is_some();
+        self.config.cache.borrow_mut().note_peer_fetch();
+        self.count_cache("scholarcloud.peer_fetches", 1, ctx);
+        self.emit_fleet(
+            sc_obs::Level::Debug,
+            "peer_fetch",
+            &[
+                ("owner", owner.to_string()),
+                ("host", key.0.clone()),
+                ("path", key.1.clone()),
+            ],
+            ctx,
+        );
+        let span = sc_obs::span_start_ctx(
+            now.as_micros(),
+            sc_obs::Level::Debug,
+            "scholarcloud",
+            "fleet",
+            "peer_fetch",
+            tctx,
+            vec![("owner", (owner as u64).into())],
+        );
+        let target = if port == 80 {
+            format!("http://{}{}", key.0, key.1)
+        } else {
+            format!("http://{}:{}{}", key.0, port, key.1)
+        };
+        let mut hop = HttpRequest::get(&key.0, &target)
+            .header(FLEET_HEADER, &self_idx.to_string())
+            .header(sc_obs::TRACE_HEADER, &tctx.with_parent(span).header_value());
+        if let Some(etag) = &stored_etag {
+            hop = hop.header("If-None-Match", etag);
+        }
+        self.gw_fetches.insert(
+            leader,
+            GatewayFetch {
+                key,
+                port,
+                request,
+                cacheable: true,
+                revalidating,
+                parser: HttpParser::new(),
+            },
+        );
+        let h = ctx.tcp_connect(addr);
+        self.peer_fetches.insert(
+            h,
+            PeerFetch {
+                leader,
+                owner,
+                wire: hop.encode(),
+                connected: false,
+                done: false,
+                parser: HttpParser::new(),
+                span,
+                tctx,
+            },
+        );
+        // One deadline covers the whole hop (connect + response): a
+        // crashed or wedged owner must cost one bounded wait, then the
+        // fallback goes upstream.
+        self.arm(
+            self.config.resilience.connect_timeout.saturating_mul(2),
+            TimerPurpose::PeerDeadline(h),
+            ctx,
+        );
+    }
+
+    /// The owner shard answered an intra-fleet hop. A `200`/`304`
+    /// settles exactly like an upstream response (the `200` body is
+    /// stored locally too — a deliberate hot-key replica, so repeat
+    /// traffic at this shard stops paying the hop); no admission slot
+    /// was held, so nothing is released. Anything else means the owner
+    /// is alive but refusing (shedding under fleet pressure): not a
+    /// liveness failure — no dead-mark, fall back upstream.
+    fn peer_fetch_done(&mut self, h: TcpHandle, resp: HttpResponse, ctx: &mut Ctx<'_>) {
+        let now_us = ctx.now().as_micros();
+        let ok = resp.status == 200 || resp.status == 304;
+        let (leader, owner, span, tctx) = {
+            let pf = self.peer_fetches.get_mut(&h).expect("caller checked");
+            pf.done = true;
+            (
+                pf.leader,
+                pf.owner,
+                std::mem::replace(&mut pf.span, sc_obs::SpanId::NONE),
+                pf.tctx,
+            )
+        };
+        ctx.tcp_close(h);
+        sc_obs::span_end(
+            now_us,
+            span,
+            vec![("ok", ok.into()), ("status", u64::from(resp.status).into())],
+        );
+        if !ok {
+            self.count_cache("scholarcloud.peer_refusals", 1, ctx);
+            self.emit_fleet(
+                sc_obs::Level::Info,
+                "peer_refused",
+                &[
+                    ("owner", owner.to_string()),
+                    ("status", resp.status.to_string()),
+                ],
+                ctx,
+            );
+            self.peer_fallback_upstream(leader, tctx, ctx);
+            return;
+        }
+        let was_dead = self.fleet.as_mut().map_or(false, |f| f.mark_peer_up(owner));
+        if was_dead {
+            self.count_cache("scholarcloud.peer_recoveries", 1, ctx);
+            self.emit_fleet(
+                sc_obs::Level::Info,
+                "peer_up",
+                &[("peer", owner.to_string())],
+                ctx,
+            );
+        }
+        let Some(fetch) = self.gw_fetches.remove(&leader) else { return };
+        self.settle_fetch(leader, fetch, resp, true, ctx);
+    }
+
+    /// An intra-fleet hop died (connect failure, deadline, reset):
+    /// dead-mark the owner with exponential re-probe backoff — misses
+    /// on its keyspace re-route to each key's next-highest scorer until
+    /// the backoff elapses — and fall back upstream for this request.
+    fn peer_fetch_failed(&mut self, h: TcpHandle, reason: &'static str, ctx: &mut Ctx<'_>) {
+        let Some(pf) = self.peer_fetches.remove(&h) else { return };
+        if pf.done {
+            return;
+        }
+        let now = ctx.now();
+        sc_obs::span_end(
+            now.as_micros(),
+            pf.span,
+            vec![("ok", false.into()), ("reason", reason.into())],
+        );
+        let backoff = self.fleet.as_mut().map(|f| f.mark_peer_dead(pf.owner, now));
+        self.count_cache("scholarcloud.peer_dead_marks", 1, ctx);
+        self.emit_fleet(
+            sc_obs::Level::Warn,
+            "peer_dead",
+            &[
+                ("peer", pf.owner.to_string()),
+                ("reason", reason.to_string()),
+                ("backoff_us", backoff.map_or(0, |b| b.as_micros()).to_string()),
+            ],
+            ctx,
+        );
+        self.peer_fallback_upstream(pf.leader, pf.tctx, ctx);
+    }
+
+    /// Replays a failed hop's request through the normal upstream
+    /// machinery. One hop max: even if another peer now owns the key,
+    /// the fallback goes straight upstream — bounded worst-case
+    /// latency per request, by construction.
+    fn peer_fallback_upstream(
+        &mut self,
+        leader: TcpHandle,
+        tctx: sc_obs::TraceCtx,
+        ctx: &mut Ctx<'_>,
+    ) {
+        // The browser may have vanished while the hop was in flight.
+        let Some(fetch) = self.gw_fetches.remove(&leader) else { return };
+        let request = match self.config.cache.borrow().etag_of(&fetch.key) {
+            Some(etag) if fetch.revalidating && !etag.is_empty() => {
+                fetch.request.header("If-None-Match", etag)
+            }
+            _ => fetch.request,
+        };
+        self.gateway_fetch(
+            leader,
+            fetch.port,
+            fetch.key,
+            request,
+            true,
+            fetch.revalidating,
+            tctx,
+            ctx,
+        );
+    }
+
+    fn on_peer_event(&mut self, h: TcpHandle, tcp_ev: TcpEvent, ctx: &mut Ctx<'_>) {
+        match tcp_ev {
+            TcpEvent::Connected => {
+                let pf = self.peer_fetches.get_mut(&h).expect("caller checked");
+                pf.connected = true;
+                let wire = std::mem::take(&mut pf.wire);
+                ctx.tcp_send(h, &wire);
+            }
+            TcpEvent::DataReceived => {
+                let data = ctx.tcp_recv_all(h);
+                enum Outcome {
+                    Ignore,
+                    Bad,
+                    Response(HttpResponse),
+                }
+                let outcome = {
+                    let pf = self.peer_fetches.get_mut(&h).expect("caller checked");
+                    if pf.done {
+                        Outcome::Ignore
+                    } else {
+                        match pf.parser.push(&data) {
+                            Err(_) => Outcome::Bad,
+                            Ok(msgs) => msgs
+                                .into_iter()
+                                .find_map(|m| match m {
+                                    HttpMessage::Response(r) => Some(r),
+                                    _ => None,
+                                })
+                                .map_or(Outcome::Ignore, Outcome::Response),
+                        }
+                    }
+                };
+                match outcome {
+                    Outcome::Ignore => {}
+                    Outcome::Bad => {
+                        ctx.tcp_abort(h);
+                        self.peer_fetch_failed(h, "bad_peer_response", ctx);
+                    }
+                    Outcome::Response(resp) => self.peer_fetch_done(h, resp, ctx),
+                }
+            }
+            TcpEvent::ConnectFailed | TcpEvent::Reset | TcpEvent::PeerClosed => {
+                let done = self.peer_fetches.get(&h).map_or(true, |p| p.done);
+                if done {
+                    // Settled hop: just drain the close handshake.
+                    self.peer_fetches.remove(&h);
+                } else {
+                    let reason = match tcp_ev {
+                        TcpEvent::ConnectFailed => "peer_connect_failed",
+                        TcpEvent::Reset => "peer_reset",
+                        _ => "peer_closed",
+                    };
+                    self.peer_fetch_failed(h, reason, ctx);
+                }
+            }
+            _ => {}
         }
     }
 
@@ -1252,6 +1703,24 @@ impl DomesticProxy {
                 vec![("ok", true.into()), ("bytes_down", conn.down_bytes.into())],
             );
         }
+        self.settle_fetch(leader, fetch, resp, false, ctx);
+        self.release_slot(leader, ctx);
+    }
+
+    /// Settles a completed fetch: update the cache, answer the leader
+    /// and every coalesced waiter. Shared between the upstream path
+    /// (which then releases its admission slot) and the intra-fleet
+    /// peering path (which held none). `via_peer` bodies came from a
+    /// peer's cache over the LAN, so a changed representation there is
+    /// not a local miss.
+    fn settle_fetch(
+        &mut self,
+        leader: TcpHandle,
+        fetch: GatewayFetch,
+        resp: HttpResponse,
+        via_peer: bool,
+        ctx: &mut Ctx<'_>,
+    ) {
         let now = ctx.now();
         let cache_prof = sc_obs::prof::scope(sc_obs::prof::Subsystem::Cache);
         let served: Option<CachedResponse> = if !fetch.cacheable {
@@ -1285,14 +1754,14 @@ impl DomesticProxy {
             let evicted = {
                 let mut cache = self.config.cache.borrow_mut();
                 let ttl = cache.ttl_for(&fetch.key.0, entry.max_age);
-                if fetch.revalidating {
+                if fetch.revalidating && !via_peer {
                     // The representation changed upstream: the stale
                     // entry did not help after all.
                     cache.note_miss();
                 }
                 cache.insert(fetch.key.clone(), entry.clone(), ttl, now).evicted
             };
-            if fetch.revalidating {
+            if fetch.revalidating && !via_peer {
                 self.count_cache("scholarcloud.cache_misses", 1, ctx);
                 self.emit_cache("miss", &fetch.key, ctx);
             }
@@ -1341,7 +1810,6 @@ impl DomesticProxy {
                 }
             }
         }
-        self.release_slot(leader, ctx);
     }
 
     /// Answers a gateway requester from a cache entry: `304` when its own
@@ -1535,6 +2003,12 @@ impl App for DomesticProxy {
         // Probe side.
         if self.probes.contains_key(&h) {
             self.on_probe_event(h, tcp_ev, ctx);
+            return;
+        }
+
+        // Intra-fleet peering side.
+        if self.peer_fetches.contains_key(&h) {
+            self.on_peer_event(h, tcp_ev, ctx);
             return;
         }
 

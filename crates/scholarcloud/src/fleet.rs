@@ -1,0 +1,255 @@
+//! The domestic-proxy fleet tier: shared membership, cache-shard
+//! ownership, peer liveness, and fleet-wide admission pressure.
+//!
+//! The paper's artifact is ONE domestic proxy — a single point of
+//! failure for the whole legal avenue. Production is a fleet: N
+//! [`DomesticProxy`](crate::DomesticProxy) instances behind client-side
+//! PAC failover, with the shared content cache *sharded* across them by
+//! rendezvous hashing ([`sc_cache::ShardMap`]) so each `(host, path)`
+//! key has exactly one owner. A miss at a non-owner costs one
+//! intra-fleet peering hop to the owner (whose local singleflight then
+//! coalesces the whole fleet's demand into one upstream fetch) instead
+//! of a scarce cross-border fetch.
+//!
+//! Two kinds of state live here:
+//!
+//! * [`FleetHandle`] — the `Rc<RefCell<_>>`-shared roster: member
+//!   gateway addresses, the shard map, and each shard's published
+//!   sickness (admission queue depth + service-time EWMA). Shared the
+//!   same way [`sc_cache::CacheHandle`] already is; in a real
+//!   deployment this is the proxies' gossip/config plane.
+//! * [`FleetMember`] — one proxy's private view: its own shard index
+//!   plus per-peer dead-marks with deterministic re-probe backoff. Peer
+//!   liveness is deliberately *local* knowledge (each proxy learns of a
+//!   dead peer by its own failed hop), so placement never depends on
+//!   another node's observation order.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sc_cache::{CacheKey, ShardMap};
+use sc_simnet::addr::SocketAddr;
+use sc_simnet::time::{SimDuration, SimTime};
+
+/// First re-probe delay after a peer dead-mark; doubles per consecutive
+/// failure up to [`PEER_DEAD_CAP`].
+const PEER_DEAD_BASE: SimDuration = SimDuration::from_millis(500);
+/// Upper bound on the peer re-probe backoff.
+const PEER_DEAD_CAP: SimDuration = SimDuration::from_secs(8);
+
+/// One shard's published admission pressure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardSickness {
+    /// Admission queue depth last published by the shard.
+    pub queue_depth: usize,
+    /// Service-time EWMA (µs) last published by the shard.
+    pub service_estimate_us: u64,
+}
+
+/// Shared fleet roster + sickness board.
+#[derive(Debug)]
+pub struct Fleet {
+    members: Vec<SocketAddr>,
+    shards: ShardMap,
+    sickness: Vec<ShardSickness>,
+}
+
+/// Cloneable shared handle to the fleet roster.
+#[derive(Debug, Clone)]
+pub struct FleetHandle(Rc<RefCell<Fleet>>);
+
+impl FleetHandle {
+    /// A fleet over the given member gateway addresses (shard index =
+    /// position in `members`).
+    pub fn new(members: Vec<SocketAddr>) -> Self {
+        let shards = ShardMap::new(members.len());
+        let sickness = vec![ShardSickness::default(); members.len()];
+        FleetHandle(Rc::new(RefCell::new(Fleet { members, shards, sickness })))
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.0.borrow().members.len()
+    }
+
+    /// Whether the fleet has no members.
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().members.is_empty()
+    }
+
+    /// Gateway address of member `idx`.
+    pub fn member_addr(&self, idx: usize) -> SocketAddr {
+        self.0.borrow().members[idx]
+    }
+
+    /// The owner of `key` among the members marked alive.
+    pub fn owner_among(&self, key: &CacheKey, alive: &[bool]) -> Option<usize> {
+        self.0.borrow().shards.owner_among(key, alive)
+    }
+
+    /// Publishes shard `idx`'s current admission pressure.
+    pub fn publish(&self, idx: usize, queue_depth: usize, service_estimate: SimDuration) {
+        self.0.borrow_mut().sickness[idx] = ShardSickness {
+            queue_depth,
+            service_estimate_us: service_estimate.as_micros(),
+        };
+    }
+
+    /// Total published queue depth across the fleet.
+    pub fn total_queue_depth(&self) -> usize {
+        self.0.borrow().sickness.iter().map(|s| s.queue_depth).sum()
+    }
+
+    /// The sickest shard right now: deepest queue first, slowest
+    /// service EWMA second, lowest index as the deterministic tie-break.
+    pub fn sickest(&self) -> usize {
+        let fleet = self.0.borrow();
+        (0..fleet.sickness.len())
+            .max_by_key(|&i| {
+                let s = &fleet.sickness[i];
+                // max_by_key keeps the LAST max on ties; invert the
+                // index so the lowest one wins deterministically.
+                (s.queue_depth, s.service_estimate_us, std::cmp::Reverse(i))
+            })
+            .unwrap_or(0)
+    }
+
+    /// Published sickness of shard `idx` (dashboards/tests).
+    pub fn sickness(&self, idx: usize) -> ShardSickness {
+        self.0.borrow().sickness[idx]
+    }
+}
+
+/// One proxy's private fleet view: its shard index plus per-peer
+/// dead-marks with deterministic exponential re-probe backoff.
+#[derive(Debug)]
+pub struct FleetMember {
+    /// This proxy's shard index.
+    pub self_idx: usize,
+    /// The shared roster.
+    pub handle: FleetHandle,
+    /// Per-peer: do not re-attempt the peer before this instant.
+    dead_until: Vec<SimTime>,
+    /// Per-peer consecutive-failure count (backoff level).
+    fail_level: Vec<u32>,
+}
+
+impl FleetMember {
+    /// A member's view, all peers presumed alive.
+    pub fn new(self_idx: usize, handle: FleetHandle) -> Self {
+        let n = handle.len();
+        assert!(self_idx < n, "member index outside the roster");
+        FleetMember {
+            self_idx,
+            handle,
+            dead_until: vec![SimTime::ZERO; n],
+            fail_level: vec![0; n],
+        }
+    }
+
+    /// Whether peer `idx` is currently attemptable. Self is always
+    /// alive. A dead-marked peer becomes attemptable again once its
+    /// backoff elapses — the next peering hop doubles as the re-probe.
+    pub fn peer_alive(&self, idx: usize, now: SimTime) -> bool {
+        idx == self.self_idx || self.dead_until[idx] <= now
+    }
+
+    /// The liveness vector at `now` (self always alive).
+    pub fn alive_vec(&self, now: SimTime) -> Vec<bool> {
+        (0..self.dead_until.len()).map(|i| self.peer_alive(i, now)).collect()
+    }
+
+    /// The owner shard for `key` among currently attemptable members.
+    /// Falls back to `self` if somehow nobody is alive (cannot happen:
+    /// self always is).
+    pub fn owner_for(&self, key: &CacheKey, now: SimTime) -> usize {
+        self.handle
+            .owner_among(key, &self.alive_vec(now))
+            .unwrap_or(self.self_idx)
+    }
+
+    /// Marks peer `idx` dead after a failed hop; returns the backoff
+    /// until the next re-probe (500 ms · 2^level, capped at 8 s).
+    pub fn mark_peer_dead(&mut self, idx: usize, now: SimTime) -> SimDuration {
+        let level = self.fail_level[idx];
+        self.fail_level[idx] = level.saturating_add(1);
+        let backoff = PEER_DEAD_BASE
+            .saturating_mul(1u64 << level.min(4))
+            .clamp(PEER_DEAD_BASE, PEER_DEAD_CAP);
+        self.dead_until[idx] = now + backoff;
+        backoff
+    }
+
+    /// A hop to peer `idx` succeeded: clear its dead state (rejoin).
+    /// Returns whether the peer had been marked dead.
+    pub fn mark_peer_up(&mut self, idx: usize) -> bool {
+        let was_dead = self.fail_level[idx] > 0;
+        self.fail_level[idx] = 0;
+        self.dead_until[idx] = SimTime::ZERO;
+        was_dead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_simnet::addr::Addr;
+
+    fn members(n: usize) -> Vec<SocketAddr> {
+        (0..n).map(|i| SocketAddr::new(Addr::new(10, 1, 0, 1 + i as u8), 8080)).collect()
+    }
+
+    fn key(path: &str) -> CacheKey {
+        ("scholar.google.com".to_string(), path.to_string())
+    }
+
+    #[test]
+    fn dead_mark_backs_off_exponentially_and_rejoins() {
+        let fleet = FleetHandle::new(members(3));
+        let mut m = FleetMember::new(0, fleet);
+        let t0 = SimTime::from_secs(10);
+        assert!(m.peer_alive(1, t0));
+        let b0 = m.mark_peer_dead(1, t0);
+        assert_eq!(b0, SimDuration::from_millis(500));
+        assert!(!m.peer_alive(1, t0));
+        assert!(m.peer_alive(1, t0 + b0), "backoff elapsed: re-probe allowed");
+        let b1 = m.mark_peer_dead(1, t0 + b0);
+        assert_eq!(b1, SimDuration::from_secs(1), "doubles per failure");
+        for _ in 0..10 {
+            let _ = m.mark_peer_dead(1, t0);
+        }
+        assert!(m.mark_peer_dead(1, t0) <= SimDuration::from_secs(8), "capped");
+        assert!(m.mark_peer_up(1), "was dead");
+        assert!(m.peer_alive(1, t0));
+        assert!(!m.mark_peer_up(1), "already up");
+    }
+
+    #[test]
+    fn owner_routes_around_dead_peers_and_back() {
+        let fleet = FleetHandle::new(members(4));
+        let mut m = FleetMember::new(0, fleet);
+        let now = SimTime::from_secs(1);
+        // Find a key owned by some peer (not self).
+        let k = (0..100)
+            .map(|i| key(&format!("/p{i}")))
+            .find(|k| m.owner_for(k, now) != 0)
+            .expect("rendezvous spreads keys");
+        let owner = m.owner_for(&k, now);
+        let backoff = m.mark_peer_dead(owner, now);
+        let moved = m.owner_for(&k, now);
+        assert_ne!(moved, owner, "dead owner's keyspace moves");
+        assert_eq!(m.owner_for(&k, now + backoff), owner, "moves back after backoff");
+    }
+
+    #[test]
+    fn sickest_shard_is_deepest_queue_with_index_tiebreak() {
+        let fleet = FleetHandle::new(members(3));
+        assert_eq!(fleet.sickest(), 0, "all-equal tie breaks low");
+        fleet.publish(2, 5, SimDuration::from_millis(80));
+        fleet.publish(1, 5, SimDuration::from_millis(80));
+        assert_eq!(fleet.sickest(), 1, "equal sickness tie breaks on index");
+        fleet.publish(2, 9, SimDuration::from_millis(10));
+        assert_eq!(fleet.sickest(), 2, "queue depth dominates");
+        assert_eq!(fleet.total_queue_depth(), 14);
+    }
+}

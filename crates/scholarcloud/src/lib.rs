@@ -36,6 +36,7 @@
 pub mod admission;
 pub mod config;
 pub mod domestic;
+pub mod fleet;
 pub mod frame;
 pub mod ops;
 pub mod remote;
@@ -43,8 +44,9 @@ pub mod resilience;
 
 pub use admission::{AdmissionConfig, AdmissionController, Decision, Dequeued, RetryBudget, TokenBucket};
 pub use config::{ResilienceConfig, ScConfig, SchemeHandle, DOMESTIC_PORT, REMOTE_PORT};
-pub use sc_cache::{CacheConfig, CacheHandle, CacheStats};
+pub use sc_cache::{CacheConfig, CacheHandle, CacheStats, ShardMap};
 pub use domestic::DomesticProxy;
+pub use fleet::{FleetHandle, FleetMember, ShardSickness};
 pub use frame::{Hello, StreamCodec, StreamHeader};
 pub use ops::Deployment;
 pub use remote::RemoteProxy;

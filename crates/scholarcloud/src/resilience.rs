@@ -302,11 +302,19 @@ impl RemotePool {
                 candidates.retain(|&i| i != e);
             }
         }
+        // Rank by (failures, RTT bucket, index). The RTT EWMA is
+        // quantized to whole milliseconds before comparison: at raw
+        // microsecond resolution two equally healthy remotes whose
+        // EWMAs differ by a few µs of propagation jitter would swap
+        // ranks between runs with slightly different timing, making
+        // failover order timing-sensitive. Millisecond buckets collapse
+        // such near-ties so the explicit index tie-break decides, and
+        // same-seed runs always fail over in the same order.
         let best = candidates.into_iter().min_by_key(|&i| {
             let h = &self.entries[i].health;
             (
                 h.consecutive_failures,
-                h.rtt_ewma.map_or(0, |d| d.as_micros()),
+                h.rtt_ewma.map_or(0, |d| d.as_micros() / 1000),
                 i,
             )
         })?;

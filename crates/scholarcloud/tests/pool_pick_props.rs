@@ -1,0 +1,109 @@
+//! Property tests for `RemotePool::pick` determinism.
+//!
+//! The pool's failover order must be a pure function of the recorded
+//! health history — never of sub-millisecond timing noise. PR 7's
+//! chaos scenario had to blacklist the whole pool at once to dodge the
+//! old behavior, where two equally healthy remotes whose RTT EWMAs
+//! differed by a few microseconds of propagation jitter would swap
+//! ranks between runs. The ranking now quantizes the EWMA to whole
+//! milliseconds and tie-breaks on the remote index, which these
+//! properties pin.
+
+use proptest::prelude::*;
+use sc_core::RemotePool;
+use sc_simnet::addr::{Addr, SocketAddr};
+use sc_simnet::time::{SimDuration, SimTime};
+
+fn addrs(n: usize) -> Vec<SocketAddr> {
+    (0..n).map(|i| SocketAddr::new(Addr::new(99, 0, 0, 40 + i as u8), 8443)).collect()
+}
+
+/// A health history: per-remote lists of observed RTTs (µs) and
+/// failure counts, applied in a fixed interleaved order.
+fn history(n: usize) -> impl Strategy<Value = Vec<(Vec<u64>, u32)>> {
+    prop::collection::vec(
+        (prop::collection::vec(1_000u64..200_000, 0..6), 0u32..2),
+        n..=n,
+    )
+}
+
+fn build_pool(hist: &[(Vec<u64>, u32)]) -> RemotePool {
+    let mut pool = RemotePool::new(addrs(hist.len()), 100, SimDuration::from_secs(5));
+    for (i, (rtts, fails)) in hist.iter().enumerate() {
+        for &rtt in rtts {
+            pool.record_success(i, SimDuration::from_micros(rtt));
+        }
+        for _ in 0..*fails {
+            pool.record_failure(i, SimTime::from_secs(1));
+        }
+    }
+    pool
+}
+
+proptest! {
+    /// The same health history always yields the same pick — pick is a
+    /// pure function of recorded state, not of construction order or
+    /// any hidden clock.
+    #[test]
+    fn identical_histories_give_identical_picks(hist in history(4)) {
+        let mut a = build_pool(&hist);
+        let mut b = build_pool(&hist);
+        let now = SimTime::from_secs(2);
+        prop_assert_eq!(a.pick(now, None), b.pick(now, None));
+        for exclude in 0..hist.len() {
+            let mut a = build_pool(&hist);
+            let mut b = build_pool(&hist);
+            prop_assert_eq!(a.pick(now, Some(exclude)), b.pick(now, Some(exclude)));
+        }
+    }
+
+    /// Sub-millisecond RTT perturbations never change the pick: two
+    /// pools whose every EWMA observation differs by < 1 ms of jitter
+    /// but lands in the same millisecond bucket agree on the winner.
+    /// (This is the timing sensitivity that forced PR 7's all-at-once
+    /// blacklist workaround.)
+    #[test]
+    fn sub_millisecond_jitter_does_not_flip_the_pick(
+        base_ms in prop::collection::vec(1u64..50, 4),
+        jitter_us in prop::collection::vec(0u64..1000, 4),
+    ) {
+        let now = SimTime::from_secs(1);
+        let clean = {
+            let mut pool = RemotePool::new(addrs(4), 100, SimDuration::from_secs(5));
+            for (i, &ms) in base_ms.iter().enumerate() {
+                pool.record_success(i, SimDuration::from_millis(ms));
+            }
+            pool.pick(now, None)
+        };
+        let jittered = {
+            let mut pool = RemotePool::new(addrs(4), 100, SimDuration::from_secs(5));
+            for (i, &ms) in base_ms.iter().enumerate() {
+                // Same millisecond bucket, different microseconds.
+                pool.record_success(i, SimDuration::from_micros(ms * 1000 + jitter_us[i]));
+            }
+            pool.pick(now, None)
+        };
+        prop_assert_eq!(clean, jittered);
+    }
+
+    /// At fully equal health (fresh pool, or identical histories per
+    /// remote), the lowest index wins — the explicit tie-break.
+    #[test]
+    fn equal_health_ties_break_on_lowest_index(n in 1usize..6, rtt_ms in 1u64..100) {
+        let mut fresh = RemotePool::new(addrs(n), 100, SimDuration::from_secs(5));
+        prop_assert_eq!(fresh.pick(SimTime::ZERO, None), Some(0));
+
+        let mut seasoned = RemotePool::new(addrs(n), 100, SimDuration::from_secs(5));
+        for i in 0..n {
+            seasoned.record_success(i, SimDuration::from_millis(rtt_ms));
+        }
+        prop_assert_eq!(seasoned.pick(SimTime::ZERO, None), Some(0));
+        if n > 1 {
+            prop_assert_eq!(
+                seasoned.pick(SimTime::ZERO, Some(0)),
+                Some(1),
+                "excluding the winner moves to the next index"
+            );
+        }
+    }
+}

@@ -13,7 +13,7 @@ use std::rc::Rc;
 
 use sc_dns::stub::{ResolveOutcome, StubResolver};
 use sc_netproto::http::{HttpMessage, HttpParser, HttpRequest, HttpResponse};
-use sc_netproto::pac::{PacFile, ProxyDecision};
+use sc_netproto::pac::PacFile;
 use sc_netproto::tls::TlsClient;
 use sc_simnet::addr::{Addr, SocketAddr};
 use sc_simnet::api::{App, AppEvent, TcpEvent, TcpHandle};
@@ -47,6 +47,19 @@ const TIMER_DNS_RETRY: u64 = 3;
 const TIMER_RAMP: u64 = 4;
 /// Backoff after the proxy throttled us (`429`/`503` + `Retry-After`).
 const TIMER_THROTTLE: u64 = 5;
+/// Proxy-connect deadline tokens start here (load deadlines use
+/// `1_000 + seq`, so the two spaces never collide).
+const TIMER_CONNECT_BASE: u64 = 1_000_000;
+/// First re-probe delay after a PAC proxy is marked dead; doubles per
+/// consecutive failure up to [`PROXY_DEAD_CAP`]. Mirrors the fleet
+/// tier's own peer dead-marking so client and server views converge.
+const PROXY_DEAD_BASE: SimDuration = SimDuration::from_millis(500);
+/// Upper bound on the dead-proxy re-probe backoff.
+const PROXY_DEAD_CAP: SimDuration = SimDuration::from_secs(8);
+/// PAC failover retries per load: each dead-marks one proxy and
+/// replays the page through the next candidate, so a whole small fleet
+/// can be walked within one load's deadline.
+const MAX_FAILOVER_RETRIES: u32 = 4;
 /// Stub resolver retransmission interval.
 const DNS_RETRY: SimDuration = SimDuration::from_secs(1);
 /// Freshness lifetime assumed for responses that carry no `max-age`
@@ -117,6 +130,11 @@ pub struct BrowserConfig {
     /// Retry-After retries per load before giving up. The backoff is
     /// deterministic: `Retry-After × 2^attempt`, no jitter.
     pub max_throttle_retries: u32,
+    /// Connect deadline for a PAC proxy candidate when the policy has a
+    /// fallback list (≥ 2 proxies): a crashed proxy drops SYNs
+    /// silently, so without this the browser would wait out the whole
+    /// load deadline instead of failing over down the PAC list.
+    pub proxy_connect_timeout: SimDuration,
 }
 
 impl BrowserConfig {
@@ -135,6 +153,7 @@ impl BrowserConfig {
             start_delay: SimDuration::ZERO,
             honor_retry_after: true,
             max_throttle_retries: 3,
+            proxy_connect_timeout: SimDuration::from_secs(1),
         }
     }
 }
@@ -233,10 +252,23 @@ struct ActiveLoad {
     proxy_status: Option<u16>,
     /// Retry-After retries taken so far in this load.
     throttle_retries: u32,
+    /// PAC failover retries taken so far in this load (each one
+    /// dead-marked a proxy and replayed the page via the next).
+    failover_retries: u32,
     /// The load was throttled at least once.
     throttled: bool,
     /// 304-revalidated resources in this load.
     revalidated: usize,
+}
+
+/// Per-PAC-proxy liveness as seen by this browser: proxies are marked
+/// dead on connect failure/timeout and re-probed after a deterministic
+/// exponential backoff (the re-probe is simply the next routed
+/// connect).
+#[derive(Debug, Clone, Copy, Default)]
+struct ProxyHealth {
+    dead_until: SimTime,
+    fail_level: u32,
 }
 
 /// The browser app.
@@ -264,6 +296,12 @@ pub struct Browser {
     /// An armed [`TIMER_THROTTLE`] belongs to the load with this
     /// deadline token (stale firings for finished loads are ignored).
     throttle_wait_for: Option<u64>,
+    /// Dead-mark state per PAC proxy (parallel to the PAC's ordered
+    /// fallback list; empty outside PAC policies).
+    proxy_dead: Vec<ProxyHealth>,
+    /// Armed proxy-connect deadlines: token → the conn it guards.
+    connect_deadlines: HashMap<u64, TcpHandle>,
+    connect_seq: u64,
 }
 
 impl Browser {
@@ -271,6 +309,10 @@ impl Browser {
     /// the first load waits for it.
     pub fn new(config: BrowserConfig, gate: ReadyGate, log: LoadLog) -> Self {
         let stub = StubResolver::new(config.resolver);
+        let proxy_dead = match &config.policy {
+            ProxyPolicy::Pac(pac) => vec![ProxyHealth::default(); pac.proxies.len()],
+            _ => Vec::new(),
+        };
         Browser {
             config,
             gate,
@@ -289,6 +331,9 @@ impl Browser {
             deadline_seq: 0,
             rtt_conn: None,
             throttle_wait_for: None,
+            proxy_dead,
+            connect_deadlines: HashMap::new(),
+            connect_seq: 0,
         }
     }
 
@@ -301,14 +346,33 @@ impl Browser {
         }
     }
 
-    fn route_for(&self, host: &str) -> Route {
+    fn route_for(&self, host: &str, now: SimTime) -> Route {
         match &self.config.policy {
             ProxyPolicy::Direct => Route::Direct,
             ProxyPolicy::Socks(p) => Route::Socks(*p),
-            ProxyPolicy::Pac(pac) => match pac.decide(host) {
-                ProxyDecision::Direct => Route::Direct,
-                ProxyDecision::Proxy(p) => Route::HttpProxy(p),
-            },
+            ProxyPolicy::Pac(pac) => {
+                let candidates = pac.candidates(host);
+                if candidates.is_empty() {
+                    return Route::Direct;
+                }
+                // Browser-style PAC walking: the first candidate not
+                // currently dead-marked, in list order. When every
+                // proxy is dead-marked the one whose re-probe comes
+                // soonest is tried anyway (lowest index tie-break) —
+                // DIRECT is no fallback for a censored host, so the
+                // browser must keep probing *something*.
+                let pick = candidates
+                    .iter()
+                    .enumerate()
+                    .find(|&(i, _)| self.proxy_dead[i].dead_until <= now)
+                    .map(|(i, _)| i)
+                    .unwrap_or_else(|| {
+                        (0..candidates.len())
+                            .min_by_key(|&i| (self.proxy_dead[i].dead_until, i))
+                            .unwrap_or(0)
+                    });
+                Route::HttpProxy(candidates[pick])
+            }
         }
     }
 
@@ -347,6 +411,7 @@ impl Browser {
             deadline_token,
             proxy_status: None,
             throttle_retries: 0,
+            failover_retries: 0,
             throttled: false,
             revalidated: 0,
         });
@@ -365,7 +430,7 @@ impl Browser {
                 return;
             }
         }
-        let route = self.route_for(host);
+        let route = self.route_for(host, ctx.now());
         match route {
             Route::Direct => {
                 // Resolve first (the DNS stub returns synchronously on a
@@ -456,6 +521,188 @@ impl Browser {
         self.by_host.insert((host.to_string(), port), h);
         if let Some(load) = self.load.as_mut() {
             load.connections += 1;
+        }
+        // Fleet PAC policies guard every proxy connect with a deadline:
+        // a crashed proxy drops SYNs silently, and failover must not
+        // wait for the load deadline. Single-proxy policies keep the
+        // pre-fleet behaviour (and the pre-fleet event schedule).
+        if matches!(route, Route::HttpProxy(_)) && self.pac_fleet_size() >= 2 {
+            self.connect_seq += 1;
+            let token = TIMER_CONNECT_BASE + self.connect_seq;
+            self.connect_deadlines.insert(token, h);
+            ctx.set_timer(self.config.proxy_connect_timeout, token);
+        }
+    }
+
+    /// Number of proxies in the PAC fallback list (0 outside PAC).
+    fn pac_fleet_size(&self) -> usize {
+        match &self.config.policy {
+            ProxyPolicy::Pac(pac) => pac.proxies.len(),
+            _ => 0,
+        }
+    }
+
+    /// Index of `addr` in the PAC fallback list.
+    fn pac_proxy_index(&self, addr: SocketAddr) -> Option<usize> {
+        match &self.config.policy {
+            ProxyPolicy::Pac(pac) => pac.proxies.iter().position(|&p| p == addr),
+            _ => None,
+        }
+    }
+
+    fn emit_fleet(
+        &self,
+        level: sc_obs::Level,
+        name: &'static str,
+        fields: &[(&'static str, String)],
+        ctx: &Ctx<'_>,
+    ) {
+        if sc_obs::is_enabled(level, "web") {
+            let mut ev =
+                sc_obs::Event::new(ctx.now().as_micros(), level, "web", "fleet", name);
+            for (k, v) in fields {
+                ev = ev.field(k, v.clone());
+            }
+            sc_obs::emit(ev);
+        }
+    }
+
+    /// A connect to a PAC proxy succeeded: count it for fleet
+    /// availability and clear any dead-mark (rejoin after recovery).
+    fn mark_proxy_up(&mut self, addr: SocketAddr, ctx: &mut Ctx<'_>) {
+        if self.pac_fleet_size() < 2 {
+            return;
+        }
+        sc_obs::counter_add("web.proxy_connect_ok", 1);
+        self.emit_fleet(
+            sc_obs::Level::Debug,
+            "connect_ok",
+            &[("proxy", addr.to_string())],
+            ctx,
+        );
+        let Some(idx) = self.pac_proxy_index(addr) else { return };
+        if self.proxy_dead[idx].fail_level > 0 {
+            self.proxy_dead[idx] = ProxyHealth::default();
+            sc_obs::counter_add("web.proxy_recoveries", 1);
+            sc_obs::ts_bump(ctx.now().as_micros(), "web.proxy_recoveries", 1);
+            self.emit_fleet(
+                sc_obs::Level::Info,
+                "proxy_recovered",
+                &[("proxy", addr.to_string())],
+                ctx,
+            );
+        }
+    }
+
+    /// Dead-marks `addr` after a failed connect: exponential re-probe
+    /// backoff, mirroring the fleet tier's own peer dead-marking.
+    fn mark_proxy_dead(&mut self, addr: SocketAddr, reason: &str, ctx: &mut Ctx<'_>) {
+        sc_obs::counter_add("web.proxy_connect_fail", 1);
+        self.emit_fleet(
+            sc_obs::Level::Debug,
+            "connect_fail",
+            &[("proxy", addr.to_string()), ("reason", reason.to_string())],
+            ctx,
+        );
+        let Some(idx) = self.pac_proxy_index(addr) else { return };
+        let level = self.proxy_dead[idx].fail_level;
+        self.proxy_dead[idx].fail_level = level.saturating_add(1);
+        let backoff = PROXY_DEAD_BASE
+            .saturating_mul(1u64 << level.min(4))
+            .clamp(PROXY_DEAD_BASE, PROXY_DEAD_CAP);
+        self.proxy_dead[idx].dead_until = ctx.now() + backoff;
+        sc_obs::counter_add("web.proxy_dead_marks", 1);
+        sc_obs::ts_bump(ctx.now().as_micros(), "web.proxy_dead_marks", 1);
+        self.emit_fleet(
+            sc_obs::Level::Warn,
+            "proxy_dead",
+            &[
+                ("proxy", addr.to_string()),
+                ("reason", reason.to_string()),
+                ("backoff_us", backoff.as_micros().to_string()),
+            ],
+            ctx,
+        );
+    }
+
+    /// A proxy-route connect died (refused, reset, or timed out while
+    /// still connecting). Under a fleet PAC policy the proxy is
+    /// dead-marked and the load replayed through the next candidate;
+    /// otherwise (or once retries are exhausted) the load fails.
+    fn proxy_conn_failed(&mut self, h: TcpHandle, reason: &'static str, ctx: &mut Ctx<'_>) {
+        let addr = match self.conns.get(&h) {
+            Some(c) if c.phase == ConnPhase::Connecting => match c.route {
+                Route::HttpProxy(p) => Some(p),
+                _ => None,
+            },
+            _ => None,
+        };
+        let (Some(addr), true) = (addr, self.pac_fleet_size() >= 2) else {
+            self.fail_load(ctx);
+            return;
+        };
+        if let Some(conn) = self.conns.remove(&h) {
+            sc_obs::span_end(
+                ctx.now().as_micros(),
+                conn.connect_span,
+                vec![("ok", false.into()), ("reason", reason.into())],
+            );
+            self.by_host.remove(&(conn.host, conn.port));
+        }
+        self.mark_proxy_dead(addr, reason, ctx);
+        if !self.proxy_failover_retry(addr, ctx) {
+            self.fail_load(ctx);
+        }
+    }
+
+    /// Replays the in-flight load from scratch through the (new) best
+    /// PAC candidate. Bounded per load; the load's deadline timer keeps
+    /// running throughout.
+    fn proxy_failover_retry(&mut self, from: SocketAddr, ctx: &mut Ctx<'_>) -> bool {
+        let Some(load) = self.load.as_mut() else { return false };
+        if load.failover_retries >= MAX_FAILOVER_RETRIES {
+            return false;
+        }
+        let attempt = load.failover_retries;
+        load.failover_retries += 1;
+        load.pending = 1; // the replayed HTML
+        sc_obs::counter_add("web.failovers", 1);
+        sc_obs::ts_bump(ctx.now().as_micros(), "web.failovers", 1);
+        self.emit_fleet(
+            sc_obs::Level::Info,
+            "failover",
+            &[("from", from.to_string()), ("attempt", attempt.to_string())],
+            ctx,
+        );
+        self.teardown_conns(ctx);
+        let host = self.config.page_host.clone();
+        let port = self.config.page_port;
+        self.fetch(&host, port, "/", ctx);
+        true
+    }
+
+    /// The load deadline fired with work still outstanding: dead-mark
+    /// every PAC proxy holding a stalled connection so the *next* load
+    /// routes around it immediately. A proxy that crashes mid-tunnel
+    /// dies silently (no RST in the simulator), so this is the only
+    /// signal the browser gets for an already-established connection.
+    fn deadline_dead_marks(&mut self, ctx: &mut Ctx<'_>) {
+        if self.pac_fleet_size() < 2 {
+            return;
+        }
+        let mut stalled: Vec<SocketAddr> = self
+            .conns
+            .values()
+            .filter(|c| c.phase != ConnPhase::Ready || c.current.is_some())
+            .filter_map(|c| match c.route {
+                Route::HttpProxy(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        stalled.sort();
+        stalled.dedup();
+        for p in stalled {
+            self.mark_proxy_dead(p, "load_deadline", ctx);
         }
     }
 
@@ -864,9 +1111,27 @@ impl App for Browser {
                     self.fetch(&host, port, "/", ctx);
                 }
             }
+            AppEvent::TimerFired(token) if token >= TIMER_CONNECT_BASE => {
+                // Proxy-connect deadline: a crashed proxy drops SYNs
+                // silently, so this is where a dead proxy is detected.
+                // Stale firings (conn already past Connecting, or gone)
+                // no-op.
+                if let Some(h) = self.connect_deadlines.remove(&token) {
+                    let connecting = self
+                        .conns
+                        .get(&h)
+                        .is_some_and(|c| c.phase == ConnPhase::Connecting);
+                    if connecting {
+                        ctx.tcp_abort(h);
+                        sc_obs::counter_add("web.proxy_connect_timeouts", 1);
+                        self.proxy_conn_failed(h, "connect_timeout", ctx);
+                    }
+                }
+            }
             AppEvent::TimerFired(token) if token > 1_000 => {
                 // Load deadline.
                 if self.load.as_ref().is_some_and(|l| l.deadline_token == token) {
+                    self.deadline_dead_marks(ctx);
                     self.fail_load(ctx);
                 }
             }
@@ -881,6 +1146,9 @@ impl App for Browser {
                 }
                 match tcp_ev {
                     TcpEvent::Connected => {
+                        if let Some(Route::HttpProxy(p)) = self.conns.get(&h).map(|c| c.route) {
+                            self.mark_proxy_up(p, ctx);
+                        }
                         let lctx = self.load_ctx();
                         let conn = self.conns.get_mut(&h).expect("checked");
                         let sp = std::mem::replace(&mut conn.connect_span, sc_obs::SpanId::NONE);
@@ -935,7 +1203,20 @@ impl App for Browser {
                         self.on_bytes(h, &data, ctx);
                     }
                     TcpEvent::ConnectFailed | TcpEvent::Reset => {
-                        self.fail_load(ctx);
+                        let connecting = self
+                            .conns
+                            .get(&h)
+                            .is_some_and(|c| c.phase == ConnPhase::Connecting);
+                        if connecting {
+                            let reason = if matches!(tcp_ev, TcpEvent::ConnectFailed) {
+                                "connect_refused"
+                            } else {
+                                "connect_reset"
+                            };
+                            self.proxy_conn_failed(h, reason, ctx);
+                        } else {
+                            self.fail_load(ctx);
+                        }
                     }
                     TcpEvent::PeerClosed => {
                         // Server closed (keep-alive expiry): drop the conn;

@@ -52,6 +52,16 @@ run_gate overload flash_crowd --max-shed-rate 0.70 \
 run_gate cache cache_lab --min-cache-hit-rate 0.50 \
     --min-attribution-coverage 95
 
+# Fleet: the fleet-chaos scenario (a 3-member domestic-proxy fleet, one
+# member crashed mid flash-crowd) must survive via PAC failover and
+# cache peering — the example itself asserts dead-marking, failover,
+# warm-hit retention, the p95 budget, rejoin, and determinism;
+# scholar-obs then gates sustained fleet availability (the crash may
+# cost the connects that discover it — roughly one timed-out connect
+# per client per crash run — not ongoing ones).
+run_gate fleet fleet_chaos --min-fleet-availability 0.80 \
+    --min-attribution-coverage 95
+
 # Ops: the capacity-incident scenario must fire the PLT SLO with
 # exemplar trace ids attached (the example itself additionally renders
 # the worst exemplar's waterfall and asserts the per-tier exclusive

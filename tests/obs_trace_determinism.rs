@@ -207,6 +207,66 @@ fn flash_crowd_traces_are_byte_identical() {
     assert_eq!(a, b, "same seed + same flash crowd must be byte-identical");
 }
 
+/// A fleet-chaos run: the `fleet_chaos` example shrunk — a 3-member
+/// domestic fleet with rotated PAC fallback lists and a rendezvous-
+/// sharded cache, member 1 crashed mid-run (SYNs dropped silently, so
+/// browsers discover it only by connect timeout) and restarted later.
+/// Dead-marks, failover retries, re-probe backoff, and the cache-
+/// peering hop are all keyed to simulation time, so same seed + same
+/// crash must be byte-identical.
+fn fleet_chaos_run(seed: u64) -> Vec<u8> {
+    let buf = SharedBuf::default();
+    let sink = JsonlSink::new(Box::new(buf.clone()));
+    let guard = Dispatcher::new()
+        .with_level(Level::Debug)
+        .with_sink(Box::new(sink))
+        .install();
+    let mut cfg = ScenarioConfig::paper(Method::ScholarCloud, seed);
+    cfg.clients = 4;
+    cfg.loads = 3;
+    cfg.interval = SimDuration::from_secs(15);
+    cfg.timeout = SimDuration::from_secs(10);
+    cfg.sc_fleet = 3;
+    cfg.sc_http_page = true;
+    cfg.origin_max_age = Some(10);
+    cfg.sc_cache_bytes = Some(256 * 1024);
+    cfg.extra_runtime = SimDuration::from_secs(30);
+    let mut built = build_scenario(&cfg);
+    let victim = built.sc_domestic_nodes[1];
+    let plan = FaultPlan::new()
+        .at(SimTime::from_secs(12), sc_simnet::faults::Fault::NodeCrash(victim))
+        .at(SimTime::from_secs(20), sc_simnet::faults::Fault::NodeRestart(victim));
+    built.sim.install_fault_plan(plan);
+    built.finish();
+    drop(guard);
+    let out = buf.0.borrow().clone();
+    out
+}
+
+#[test]
+fn fleet_chaos_traces_are_byte_identical() {
+    let a = fleet_chaos_run(9393);
+    let b = fleet_chaos_run(9393);
+    assert!(!a.is_empty(), "trace must not be empty");
+    // The fleet machinery must actually have engaged: the crash
+    // dead-marked via connect timeout, a browser failed over down its
+    // PAC list, the sharded cache peered, and the restarted member was
+    // re-probed back in.
+    let text = String::from_utf8(a.clone()).unwrap();
+    for needed in [
+        "\"event\":\"proxy_dead\"",
+        "\"event\":\"failover\"",
+        "\"event\":\"peer_fetch\"",
+        "\"event\":\"proxy_recovered\"",
+    ] {
+        assert!(
+            text.lines().any(|l| l.contains("\"target\":\"fleet\"") && l.contains(needed)),
+            "trace must record a fleet {needed} event"
+        );
+    }
+    assert_eq!(a, b, "same seed + same node crash must be byte-identical");
+}
+
 /// A shared-cache run: the cache_lab shape shrunk — clients loading the
 /// same plain-HTTP page through the domestic proxy's gateway path, with
 /// the origin's max-age expiring between rounds so the cache exercises
