@@ -7,8 +7,9 @@
 //! ```
 //!
 //! Runs a fixed suite of seeded scenarios — `quickstart`, `chaos`,
-//! `flash_crowd`, `cache_crowd`, `fleet_crash`, and a scaled-up
-//! `stress_24c` client ramp — with the `sc_obs::prof` wall-clock
+//! `flash_crowd`, `cache_crowd`, `fleet_crash`, `elastic_churn`, and a
+//! scaled-up `stress_24c` client ramp — with the `sc_obs::prof`
+//! wall-clock
 //! profiler and the counting
 //! global allocator enabled, and records per scenario: wall time,
 //! events/sec, sim-seconds per wall-second, timer and queue-depth
@@ -156,6 +157,41 @@ fn fleet_crash() -> RunCounters {
     counters(built.finish())
 }
 
+/// The elastic-churn shape from `tests/elastic_props.rs`: a serverless
+/// remote tier under a mid-run GFW blacklisting wave resolved at fire
+/// time against the live warm set — measures the autoscaler tick,
+/// cold-start provisioning, churn-drain, and cost-metering code paths.
+fn elastic_churn() -> RunCounters {
+    let mut cfg = ScenarioConfig::paper(Method::ScholarCloud, 7171);
+    cfg.clients = 2;
+    cfg.loads = 4;
+    cfg.interval = SimDuration::from_secs(10);
+    cfg.timeout = SimDuration::from_secs(8);
+    cfg.sc_elastic_pool = 8;
+    cfg.sc_elastic_min = 1;
+    cfg.sc_elastic_max = 4;
+    cfg.sc_elastic_idle = SimDuration::from_secs(25);
+    cfg.extra_runtime = SimDuration::from_secs(15);
+    let mut built = build_scenario(&cfg);
+    let gfw = built.gfw.clone().expect("paper config attaches the GFW");
+    let elastic = built.sc_elastic.clone().expect("elastic tier requested");
+    let plan = FaultPlan::new().at(
+        SimTime::from_secs(15),
+        Fault::Callback {
+            label: "gfw_blacklist_warm",
+            apply: Box::new(move |_now| {
+                let Some(addr) = elastic.warm_addrs().first().copied() else { return };
+                let mut st = gfw.borrow_mut();
+                if !st.config.ip_blacklist.contains(&(addr, 32)) {
+                    st.config.ip_blacklist.push((addr, 32));
+                }
+            }),
+        },
+    );
+    built.sim.install_fault_plan(plan);
+    counters(built.finish())
+}
+
 /// The scaled-up stress point: 24 staggered clients — an order of
 /// magnitude above the labs — on short intervals, the shape ROADMAP
 /// item 1's speedups must win on.
@@ -169,12 +205,13 @@ fn stress_24c() -> RunCounters {
     counters(run_scenario(&cfg))
 }
 
-const SUITE: [(&str, fn() -> RunCounters); 6] = [
+const SUITE: [(&str, fn() -> RunCounters); 7] = [
     ("quickstart", quickstart),
     ("chaos", chaos),
     ("flash_crowd", flash_crowd),
     ("cache_crowd", cache_crowd),
     ("fleet_crash", fleet_crash),
+    ("elastic_churn", elastic_churn),
     ("stress_24c", stress_24c),
 ];
 

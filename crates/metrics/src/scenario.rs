@@ -130,6 +130,9 @@ pub mod addrs {
     pub const DIRECTORY: Addr = Addr::new(99, 0, 0, 30);
     /// ScholarCloud remote proxy VM.
     pub const SC_REMOTE: Addr = Addr::new(99, 0, 0, 40);
+    /// First elastic serverless remote instance (the fresh-IP pool
+    /// occupies consecutive addresses in 99.0.1.0/24).
+    pub const SC_ELASTIC_BASE: Addr = Addr::new(99, 0, 1, 1);
     /// Google Scholar origin (inside the blacklisted prefix).
     pub const SCHOLAR: Addr = Addr::new(99, 2, 0, 1);
     /// accounts.google.com origin (same prefix).
@@ -227,6 +230,25 @@ pub struct ScenarioConfig {
     /// on non-owner misses. `1` is the paper's single-VM shape and
     /// leaves every code path byte-identical to the pre-fleet build.
     pub sc_fleet: usize,
+    /// Size of the elastic serverless remote tier's fresh-IP address
+    /// pool (ScholarCloud only; `0` = elastic off, the static
+    /// [`sc_remotes`](Self::sc_remotes) pool serves as in the paper).
+    /// When > 0 the domestic proxy's remote pool is seeded with
+    /// [`sc_elastic_min`](Self::sc_elastic_min) pre-warmed instances
+    /// from [`addrs::SC_ELASTIC_BASE`] and autoscales over the rest:
+    /// scale-out on admission pressure (with sampled cold starts),
+    /// scale-in on idle, churn-and-replace on GFW blacklisting.
+    /// Requires `sc_fleet == 1`.
+    pub sc_elastic_pool: usize,
+    /// Elastic: minimum live instances (also the pre-warmed seed).
+    pub sc_elastic_min: usize,
+    /// Elastic: maximum live instances.
+    pub sc_elastic_max: usize,
+    /// Elastic: idle window before a surplus instance is drained.
+    pub sc_elastic_idle: SimDuration,
+    /// Elastic: cold-start band in milliseconds `(min, max)`; each
+    /// provision samples uniformly from the seeded RNG.
+    pub sc_elastic_cold_ms: (u64, u64),
 }
 
 impl ScenarioConfig {
@@ -260,6 +282,11 @@ impl ScenarioConfig {
             sc_http_page: false,
             origin_max_age: None,
             sc_fleet: 1,
+            sc_elastic_pool: 0,
+            sc_elastic_min: 1,
+            sc_elastic_max: 8,
+            sc_elastic_idle: SimDuration::from_secs(10),
+            sc_elastic_cold_ms: (300, 1500),
         }
     }
 
@@ -279,6 +306,16 @@ impl ScenarioConfig {
     pub fn sc_domestic_addrs(&self) -> Vec<Addr> {
         let base = addrs::SC_DOMESTIC.as_u32();
         (0..self.sc_fleet.max(1))
+            .map(|i| Addr::from_u32(base + i as u32))
+            .collect()
+    }
+
+    /// The fresh-IP pool the elastic tier draws from under this config
+    /// (`sc_elastic_pool` consecutive addresses from
+    /// [`addrs::SC_ELASTIC_BASE`]; empty when elastic is off).
+    pub fn sc_elastic_addrs(&self) -> Vec<Addr> {
+        let base = addrs::SC_ELASTIC_BASE.as_u32();
+        (0..self.sc_elastic_pool)
             .map(|i| Addr::from_u32(base + i as u32))
             .collect()
     }
@@ -410,6 +447,12 @@ pub struct BuiltScenario {
     /// member order (empty otherwise — use
     /// [`sc_cache`](Self::sc_cache)).
     pub sc_fleet_caches: Vec<sc_core::CacheHandle>,
+    /// Live handle to the elastic remote tier when
+    /// [`ScenarioConfig::sc_elastic_pool`] > 0. Blacklisting campaigns
+    /// read [`warm_addrs`](sc_core::ElasticHandle::warm_addrs) from a
+    /// `Fault::Callback` to target whatever is serving at that moment;
+    /// read the cost meters after [`finish`](Self::finish).
+    pub sc_elastic: Option<sc_core::ElasticHandle>,
     cfg: ScenarioConfig,
     clients: Vec<sc_simnet::link::NodeId>,
     logs: Vec<LoadLog>,
@@ -516,6 +559,18 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
             sim.add_node(name, a)
         })
         .collect();
+    // Elastic serverless instances (only when the knob is on, so every
+    // existing scenario's topology — and trace — is untouched).
+    let sc_elastic_addrs = if cfg.method == Method::ScholarCloud {
+        cfg.sc_elastic_addrs()
+    } else {
+        Vec::new()
+    };
+    let sc_elastic_nodes: Vec<_> = sc_elastic_addrs
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| sim.add_node(format!("sc-elastic-{i}"), a))
+        .collect();
     let scholar = sim.add_node("scholar", SCHOLAR);
     let accounts = sim.add_node("accounts", ACCOUNTS);
 
@@ -563,6 +618,9 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
         .iter()
         .map(|&n| sim.add_link(us, n, lan.bandwidth_bps(server_bw(Method::ScholarCloud))))
         .collect();
+    for &n in &sc_elastic_nodes {
+        sim.add_link(us, n, lan.bandwidth_bps(server_bw(Method::ScholarCloud)));
+    }
     sim.add_link(us, scholar, lan);
     sim.add_link(us, accounts, lan);
     sim.compute_routes();
@@ -620,6 +678,7 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
     let mut sc_cache: Option<sc_core::CacheHandle> = None;
     let mut sc_fleet: Option<sc_core::FleetHandle> = None;
     let mut sc_fleet_caches: Vec<sc_core::CacheHandle> = Vec::new();
+    let mut sc_elastic: Option<sc_core::ElasticHandle> = None;
     match cfg.method {
         Method::Direct => {
             for (i, &c) in clients.iter().enumerate() {
@@ -752,11 +811,38 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
                 .into_iter()
                 .map(|a| SocketAddr::new(a, sc_core::DOMESTIC_PORT))
                 .collect();
-            if fleet_n == 1 {
-                sim.install_app(
-                    sc_domestic,
-                    Box::new(sc_core::DomesticProxy::new(sc_cfg.clone())),
+            if cfg.sc_elastic_pool > 0 {
+                // Elastic tier: the domestic proxy's remote pool starts
+                // as the pre-warmed seed instances and autoscales over
+                // the fresh-IP pool; the static sc-remote VMs are not
+                // in the pool (they are the control arm's tier).
+                assert_eq!(
+                    fleet_n, 1,
+                    "the elastic remote tier drives a single domestic proxy (sc_fleet must be 1)"
                 );
+                let e_cfg = sc_core::ElasticConfig {
+                    min_instances: cfg.sc_elastic_min.max(1),
+                    max_instances: cfg.sc_elastic_max.max(cfg.sc_elastic_min.max(1)),
+                    idle_timeout: cfg.sc_elastic_idle,
+                    cold_start_min: SimDuration::from_millis(cfg.sc_elastic_cold_ms.0),
+                    cold_start_max: SimDuration::from_millis(cfg.sc_elastic_cold_ms.1),
+                    ..sc_core::ElasticConfig::default()
+                };
+                let mut pool = sc_core::ElasticPool::new(e_cfg, sc_elastic_addrs.clone());
+                let warmed = pool.seed_warm(cfg.sc_elastic_min.max(1));
+                assert!(
+                    !warmed.is_empty(),
+                    "sc_elastic_pool must cover at least sc_elastic_min addresses"
+                );
+                sc_cfg = sc_cfg.with_remotes(&warmed);
+                sc_elastic = Some(sc_core::ElasticHandle::new(pool));
+            }
+            if fleet_n == 1 {
+                let mut proxy = sc_core::DomesticProxy::new(sc_cfg.clone());
+                if let Some(handle) = &sc_elastic {
+                    proxy = proxy.with_elastic(handle.clone());
+                }
+                sim.install_app(sc_domestic, Box::new(proxy));
             } else {
                 // Fleet: each member gets its own shard of the content
                 // cache (separate store, same configuration) plus the
@@ -794,6 +880,24 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
                     n,
                     Box::new(sc_core::RemoteProxy::new(sc_cfg.clone(), names.clone())),
                 );
+            }
+            // Every elastic instance runs a remote proxy. Standby
+            // instances power down right after their app starts
+            // listening (the lifecycle event is scheduled at the same
+            // instant but a later sequence number than the app start,
+            // so listen state survives the power-down); the autoscaler
+            // powers them back up when it provisions them.
+            if let Some(handle) = &sc_elastic {
+                let warmed = handle.warm_addrs();
+                for (i, &node) in sc_elastic_nodes.iter().enumerate() {
+                    sim.install_app(
+                        node,
+                        Box::new(sc_core::RemoteProxy::new(sc_cfg.clone(), names.clone())),
+                    );
+                    if !warmed.contains(&sc_elastic_addrs[i]) {
+                        sim.schedule_lifecycle(node, false, SimDuration::ZERO);
+                    }
+                }
             }
             for (i, &c) in clients.iter().enumerate() {
                 let log = new_load_log();
@@ -868,6 +972,7 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
         sc_domestic_nodes,
         sc_fleet,
         sc_fleet_caches,
+        sc_elastic,
         cfg: cfg.clone(),
         clients,
         logs,

@@ -683,6 +683,71 @@ impl FleetStats {
     }
 }
 
+/// Aggregate of the elastic remote tier (`scholarcloud/elastic`
+/// events): instance lifecycle transitions, cold-start latency
+/// samples, blacklist churn, and the cumulative cost meters. The proxy
+/// publishes the cost meters as running totals every autoscaler tick,
+/// so the last `cost` event in the trace wins.
+#[derive(Debug, Clone, Default)]
+pub struct ElasticStats {
+    /// Instances the autoscaler started provisioning.
+    pub provisions: u64,
+    /// Provisioned instances that finished their cold start.
+    pub warms: u64,
+    /// Instances drained because demand fell (idle timeout).
+    pub drains_idle: u64,
+    /// Instances drained because the GFW blacklisted their IP.
+    pub drains_blacklist: u64,
+    /// Drained instances fully retired (no in-flight streams left).
+    pub retires: u64,
+    /// Blacklist churns (breaker opened → retire + replace at a
+    /// fresh address).
+    pub churns: u64,
+    /// Cold-start latencies observed (µs), in warm order.
+    pub cold_starts_us: Vec<u64>,
+    /// Peak live (warm + provisioning) instance count seen.
+    pub peak_live: u64,
+    /// Final cumulative per-invocation cost (micro-dollars).
+    pub invocation_micro: u64,
+    /// Final cumulative egress cost (micro-dollars).
+    pub egress_micro: u64,
+    /// Final cumulative warm-idle cost (micro-dollars).
+    pub warm_micro: u64,
+    /// Final cumulative total cost (micro-dollars).
+    pub total_micro: u64,
+    /// Instance state transitions in trace order:
+    /// `(t_us, instance address, transition)` where transition is one
+    /// of `provision`, `warm`, `drain`, `retire`, `churn`.
+    pub timeline: Vec<(u64, String, String)>,
+}
+
+impl ElasticStats {
+    /// Whether any elastic event appeared in the trace.
+    pub fn any(&self) -> bool {
+        self.provisions + self.warms + self.retires + self.churns + self.total_micro > 0
+            || !self.timeline.is_empty()
+    }
+
+    /// p95 cold-start latency (µs); `None` without warm events.
+    pub fn cold_start_p95_us(&self) -> Option<u64> {
+        if self.cold_starts_us.is_empty() {
+            return None;
+        }
+        let mut v = self.cold_starts_us.clone();
+        v.sort_unstable();
+        Some(quantile_sorted(&v, 0.95))
+    }
+
+    /// Cost per successful page load in micro-dollars; `None` when the
+    /// trace carries no cost data or no load succeeded.
+    pub fn cost_per_ok_load_micro(&self, ok_loads: u64) -> Option<f64> {
+        if self.total_micro == 0 || ok_loads == 0 {
+            return None;
+        }
+        Some(self.total_micro as f64 / ok_loads as f64)
+    }
+}
+
 /// Everything the analyzer extracts from one trace.
 #[derive(Debug)]
 pub struct TraceAnalysis {
@@ -727,6 +792,8 @@ pub struct TraceAnalysis {
     /// Domestic-fleet activity (`web/fleet` + `scholarcloud/fleet`
     /// events and shard-tagged cache decisions).
     pub fleet: FleetStats,
+    /// Elastic remote-tier activity (`scholarcloud/elastic` events).
+    pub elastic: ElasticStats,
     /// Window width used for timelines (µs).
     pub window_us: u64,
 }
@@ -741,6 +808,14 @@ impl TraceAnalysis {
         }
         let ok = self.page_loads.iter().filter(|l| l.span.ok == Some(true)).count();
         Some(ok as f64 / finished as f64)
+    }
+
+    /// Elastic-tier cost per successful page load (micro-dollars);
+    /// `None` when the trace carries no cost data or no load succeeded.
+    pub fn cost_per_ok_load_micro(&self) -> Option<f64> {
+        let ok =
+            self.page_loads.iter().filter(|l| l.span.ok == Some(true)).count() as u64;
+        self.elastic.cost_per_ok_load_micro(ok)
     }
 
     /// Looks up a stitched tree by trace id.
@@ -792,6 +867,7 @@ pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
     let mut admission = AdmissionStats::default();
     let mut cache = CacheStats::default();
     let mut fleet = FleetStats::default();
+    let mut elastic = ElasticStats::default();
     let mut t_end_us = 0;
 
     for ev in events {
@@ -956,6 +1032,48 @@ pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
                     _ => fleet.fleet_sheds += 1,
                 }
             }
+            // Elastic remote tier: instance lifecycle transitions plus
+            // the per-tick cost meters (running totals — last wins).
+            "provision" | "warm" | "drain" | "retire" | "churn" | "cost"
+                if ev.component == "scholarcloud" && ev.target == "elastic" =>
+            {
+                match ev.name.as_str() {
+                    "provision" => elastic.provisions += 1,
+                    "warm" => {
+                        elastic.warms += 1;
+                        let us = ev
+                            .get_u64("cold_start_us")
+                            .or_else(|| ev.get_str("cold_start_us")?.parse().ok());
+                        if let Some(us) = us {
+                            elastic.cold_starts_us.push(us);
+                        }
+                    }
+                    "drain" => match ev.get_str("reason") {
+                        Some("blacklist") => elastic.drains_blacklist += 1,
+                        _ => elastic.drains_idle += 1,
+                    },
+                    "retire" => elastic.retires += 1,
+                    "churn" => elastic.churns += 1,
+                    _ => {
+                        elastic.peak_live =
+                            elastic.peak_live.max(ev.get_u64("live").unwrap_or(0));
+                        elastic.invocation_micro =
+                            ev.get_u64("invocation_micro").unwrap_or(0);
+                        elastic.egress_micro = ev.get_u64("egress_micro").unwrap_or(0);
+                        elastic.warm_micro = ev.get_u64("warm_micro").unwrap_or(0);
+                        elastic.total_micro = ev.get_u64("total_micro").unwrap_or(0);
+                    }
+                }
+                if ev.name != "cost" {
+                    if let Some(inst) = ev.get_str("instance") {
+                        elastic.timeline.push((
+                            ev.t_us,
+                            inst.to_string(),
+                            ev.name.clone(),
+                        ));
+                    }
+                }
+            }
             "breaker" if ev.component == "scholarcloud" => {
                 breaker_transitions.push((
                     ev.t_us,
@@ -1053,6 +1171,7 @@ pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
         admission,
         cache,
         fleet,
+        elastic,
         window_us,
     }
 }
@@ -1392,6 +1511,58 @@ pub fn render_report(a: &TraceAnalysis) -> String {
         }
     }
 
+    // Elastic remote tier.
+    if a.elastic.any() {
+        out.push_str("\nelastic remote tier (serverless autoscaler):\n");
+        let _ = writeln!(
+            out,
+            "  instances:    {} provisioned, {} warmed, {} retired  (peak live {})",
+            a.elastic.provisions, a.elastic.warms, a.elastic.retires, a.elastic.peak_live
+        );
+        let _ = writeln!(
+            out,
+            "  drains:       {} idle, {} blacklist  ({} churns)",
+            a.elastic.drains_idle, a.elastic.drains_blacklist, a.elastic.churns
+        );
+        let _ = writeln!(
+            out,
+            "  cold start:   p95 {}",
+            match a.elastic.cold_start_p95_us() {
+                Some(us) => format!("{us} µs"),
+                None => "n/a".to_string(),
+            },
+        );
+        let _ = writeln!(
+            out,
+            "  cost:         {} µ$ total ({} invocation + {} egress + {} warm-idle)",
+            a.elastic.total_micro,
+            a.elastic.invocation_micro,
+            a.elastic.egress_micro,
+            a.elastic.warm_micro,
+        );
+        let _ = writeln!(
+            out,
+            "  per ok load:  {}",
+            match a.cost_per_ok_load_micro() {
+                Some(c) => format!("{c:.1} µ$"),
+                None => "n/a".to_string(),
+            },
+        );
+        if !a.elastic.timeline.is_empty() {
+            out.push_str("  timeline (first 12 transitions):\n");
+            for (t, inst, what) in a.elastic.timeline.iter().take(12) {
+                let _ = writeln!(out, "    {:>10} µs  {inst:<15} {what}", t);
+            }
+            if a.elastic.timeline.len() > 12 {
+                let _ = writeln!(
+                    out,
+                    "    … {} more transitions",
+                    a.elastic.timeline.len() - 12
+                );
+            }
+        }
+    }
+
     // Cross-tier attribution of stitched request trees.
     if !a.trees.is_empty() {
         let completed = a.trees.iter().filter(|t| t.completed()).count();
@@ -1533,9 +1704,11 @@ pub fn render_waterfall(tree: &TraceTree) -> String {
 /// `v2` appends the cross-tier attribution block (`stitched_traces`,
 /// `attribution_coverage`, `tier_us`, `slowest`) and the SLO alert
 /// exemplars; `v3` appends the domestic-fleet block
-/// (`fleet_availability` and `fleet` with its per-shard breakdown).
-/// Keys are emitted in a fixed order and the output is deterministic
-/// for a given trace.
+/// (`fleet_availability` and `fleet` with its per-shard breakdown);
+/// `v4` appends the elastic-tier block (`cost_per_ok_load_micro` and
+/// `elastic` with lifecycle counters, cold-start p95, and the cost
+/// meters). Keys are emitted in a fixed order and the output is
+/// deterministic for a given trace.
 pub fn render_json(a: &TraceAnalysis) -> String {
     let mut plts: Vec<u64> = a
         .page_loads
@@ -1546,7 +1719,7 @@ pub fn render_json(a: &TraceAnalysis) -> String {
     plts.sort_unstable();
     let failed = a.page_loads.iter().filter(|l| l.span.ok == Some(false)).count();
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"scholar-obs/v3\",");
+    let _ = writeln!(out, "  \"schema\": \"scholar-obs/v4\",");
     let _ = writeln!(out, "  \"events\": {},", a.events);
     let _ = writeln!(out, "  \"sim_end_us\": {},", a.t_end_us);
     let _ = writeln!(out, "  \"spans_closed\": {},", a.spans.len());
@@ -1669,7 +1842,7 @@ pub fn render_json(a: &TraceAnalysis) -> String {
         out,
         "  \"fleet\": {{\"connect_ok\": {}, \"connect_fail\": {}, \"dead_marks\": {}, \
          \"failovers\": {}, \"recoveries\": {}, \"peer_fetches\": {}, \"peer_serves\": {}, \
-         \"peer_deaths\": {}, \"fleet_sheds\": {}, \"shards\": [{}]}}",
+         \"peer_deaths\": {}, \"fleet_sheds\": {}, \"shards\": [{}]}},",
         a.fleet.connect_ok,
         a.fleet.connect_fail,
         a.fleet.dead_marks,
@@ -1680,6 +1853,37 @@ pub fn render_json(a: &TraceAnalysis) -> String {
         a.fleet.peer_deaths,
         a.fleet.fleet_sheds,
         shards.join(", "),
+    );
+    // v4: the elastic-tier block.
+    match a.cost_per_ok_load_micro() {
+        Some(c) => {
+            let _ = writeln!(out, "  \"cost_per_ok_load_micro\": {},", json_f64(c));
+        }
+        None => {
+            let _ = writeln!(out, "  \"cost_per_ok_load_micro\": null,");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  \"elastic\": {{\"provisions\": {}, \"warms\": {}, \"drains_idle\": {}, \
+         \"drains_blacklist\": {}, \"retires\": {}, \"churns\": {}, \"peak_live\": {}, \
+         \"cold_start_p95_us\": {}, \"invocation_micro\": {}, \"egress_micro\": {}, \
+         \"warm_micro\": {}, \"total_micro\": {}}}",
+        a.elastic.provisions,
+        a.elastic.warms,
+        a.elastic.drains_idle,
+        a.elastic.drains_blacklist,
+        a.elastic.retires,
+        a.elastic.churns,
+        a.elastic.peak_live,
+        match a.elastic.cold_start_p95_us() {
+            Some(us) => us.to_string(),
+            None => "null".to_string(),
+        },
+        a.elastic.invocation_micro,
+        a.elastic.egress_micro,
+        a.elastic.warm_micro,
+        a.elastic.total_micro,
     );
     out.push_str("}\n");
     out
@@ -1904,7 +2108,7 @@ mod tests {
         let a = analyze(&evs, 1_000_000);
         let text = render_json(&a);
         let v = parse_json(&text).expect("render_json must emit valid JSON");
-        assert_eq!(v.get("schema").and_then(Json::as_str), Some("scholar-obs/v3"));
+        assert_eq!(v.get("schema").and_then(Json::as_str), Some("scholar-obs/v4"));
         // Every v1 key survives with its v1 shape.
         for key in [
             "events",
@@ -1956,6 +2160,30 @@ mod tests {
             assert_eq!(fleet.get(key).and_then(Json::as_u64), Some(0), "fleet key {key}");
         }
         assert_eq!(fleet.get("shards").and_then(Json::as_arr).map(<[_]>::len), Some(0));
+        // v4 keys: no elastic events → cost per load null, counters
+        // zero, cold-start p95 null.
+        assert_eq!(v.get("cost_per_ok_load_micro"), Some(&Json::Null));
+        let elastic = v.get("elastic").expect("elastic object");
+        for key in [
+            "provisions",
+            "warms",
+            "drains_idle",
+            "drains_blacklist",
+            "retires",
+            "churns",
+            "peak_live",
+            "invocation_micro",
+            "egress_micro",
+            "warm_micro",
+            "total_micro",
+        ] {
+            assert_eq!(
+                elastic.get(key).and_then(Json::as_u64),
+                Some(0),
+                "elastic key {key}"
+            );
+        }
+        assert_eq!(elastic.get("cold_start_p95_us"), Some(&Json::Null));
         // No finished loads → availability is null, still valid JSON.
         let empty = analyze(&[], 1_000_000);
         let v = parse_json(&render_json(&empty)).unwrap();
@@ -2035,6 +2263,78 @@ mod tests {
         let empty = analyze(&[], 1_000_000);
         assert!(!empty.fleet.any());
         assert!(!render_report(&empty).contains("domestic fleet"));
+    }
+
+    /// Elastic traces: lifecycle transitions + per-tick cost events
+    /// aggregate into `ElasticStats`, the last cost event's running
+    /// totals win, the report grows an elastic section, and the JSON
+    /// carries the v4 block.
+    #[test]
+    fn elastic_events_aggregate_and_last_cost_wins() {
+        let el = |t, name: &'static str, extra: &[(&'static str, &str)]| {
+            let mut ev = Event::new(t, Level::Info, "scholarcloud", "elastic", name)
+                .field("instance", "99.0.1.2");
+            for (k, v) in extra {
+                ev = ev.field(*k, v.to_string());
+            }
+            parse_line(&line(&ev)).unwrap()
+        };
+        let cost = |t, live: u64, inv: u64, eg: u64, warm: u64| {
+            parse_line(&line(
+                &Event::new(t, Level::Info, "scholarcloud", "elastic", "cost")
+                    .field("warm", live)
+                    .field("live", live)
+                    .field("invocation_micro", inv)
+                    .field("egress_micro", eg)
+                    .field("warm_micro", warm)
+                    .field("total_micro", inv + eg + warm),
+            ))
+            .unwrap()
+        };
+        let mut evs = span_pair(1, "web", "page_load", 0, 1_000_000);
+        evs.push(el(100, "provision", &[("cold_start_us", "400000")]));
+        evs.push(el(400_100, "warm", &[("cold_start_us", "400000")]));
+        evs.push(el(600_000, "churn", &[]));
+        evs.push(el(700_000, "drain", &[("reason", "blacklist")]));
+        evs.push(el(800_000, "drain", &[("reason", "idle")]));
+        evs.push(el(900_000, "retire", &[]));
+        evs.push(cost(500_000, 2, 100, 0, 10));
+        evs.push(cost(1_000_000, 3, 250, 90, 40));
+        let a = analyze(&evs, 1_000_000);
+        assert!(a.elastic.any());
+        assert_eq!(a.elastic.provisions, 1);
+        assert_eq!(a.elastic.warms, 1);
+        assert_eq!(a.elastic.churns, 1);
+        assert_eq!(a.elastic.drains_blacklist, 1);
+        assert_eq!(a.elastic.drains_idle, 1);
+        assert_eq!(a.elastic.retires, 1);
+        assert_eq!(a.elastic.cold_start_p95_us(), Some(400_000));
+        assert_eq!(a.elastic.peak_live, 3);
+        // The cost meters are running totals: the later event wins.
+        assert_eq!(a.elastic.total_micro, 380);
+        assert_eq!(a.elastic.egress_micro, 90);
+        // One successful page load → cost per ok load is the total.
+        assert_eq!(a.cost_per_ok_load_micro(), Some(380.0));
+        // Every lifecycle transition lands on the timeline; cost
+        // events do not.
+        assert_eq!(a.elastic.timeline.len(), 6);
+        assert_eq!(a.elastic.timeline[0].2, "provision");
+        let report = render_report(&a);
+        assert!(report.contains("elastic remote tier"), "{report}");
+        assert!(report.contains("per ok load:  380.0"), "{report}");
+        let v = parse_json(&render_json(&a)).unwrap();
+        let ej = v.get("elastic").expect("elastic object");
+        assert_eq!(ej.get("total_micro").and_then(Json::as_u64), Some(380));
+        assert_eq!(ej.get("cold_start_p95_us").and_then(Json::as_u64), Some(400_000));
+        assert!(
+            (v.get("cost_per_ok_load_micro").and_then(Json::as_f64).unwrap() - 380.0)
+                .abs()
+                < 1e-9
+        );
+        // A trace without elastic events renders no elastic section.
+        let empty = analyze(&[], 1_000_000);
+        assert!(!empty.elastic.any());
+        assert!(!render_report(&empty).contains("elastic remote tier"));
     }
 
     /// A traced `span_start`/`span_end` pair, the offline twin of

@@ -6,6 +6,7 @@
 //!             [--max-shed-rate FRAC] [--min-cache-hit-rate FRAC]
 //!             [--min-fleet-availability FRAC]
 //!             [--min-attribution-coverage PCT] [--require-exemplars]
+//!             [--max-cost-per-load DOLLARS]
 //! ```
 //!
 //! Prints the critical-path decomposition of `page_load` spans, the
@@ -39,7 +40,11 @@
 //! demands that at least 95% of completed page loads stitched into
 //! cross-tier trees (fails when no load completed), and
 //! `--require-exemplars` demands that at least one fired SLO alert
-//! carried exemplar trace ids.
+//! carried exemplar trace ids. `--max-cost-per-load 0.002` demands
+//! that the elastic remote tier's metered cost per *successful* page
+//! load stayed at or below 0.002 USD (the elastic-lab smoke gate;
+//! fails when the trace carries no elastic cost data or no load
+//! succeeded).
 //!
 //! `--json` replaces the human-readable report with the machine
 //! summary from [`sc_obs::analyze::render_json`] (schema
@@ -57,7 +62,7 @@
 //! * `4` — a `--require-failover` / `--min-availability` /
 //!   `--max-shed-rate` / `--min-cache-hit-rate` /
 //!   `--min-fleet-availability` / `--min-attribution-coverage` /
-//!   `--require-exemplars` gate failed.
+//!   `--require-exemplars` / `--max-cost-per-load` gate failed.
 
 use std::process::ExitCode;
 
@@ -66,7 +71,8 @@ fn main() -> ExitCode {
                          [--trace ID] [--require-failover] [--min-availability FRAC] \
                          [--max-shed-rate FRAC] [--min-cache-hit-rate FRAC] \
                          [--min-fleet-availability FRAC] \
-                         [--min-attribution-coverage PCT] [--require-exemplars]";
+                         [--min-attribution-coverage PCT] [--require-exemplars] \
+                         [--max-cost-per-load DOLLARS]";
     let mut args = std::env::args().skip(1);
     let mut path = None;
     let mut window_s: u64 = 10;
@@ -76,6 +82,7 @@ fn main() -> ExitCode {
     let mut min_cache_hit_rate: Option<f64> = None;
     let mut min_fleet_availability: Option<f64> = None;
     let mut min_attribution_coverage: Option<f64> = None;
+    let mut max_cost_per_load: Option<f64> = None;
     let mut require_exemplars = false;
     let mut waterfall: Option<u64> = None;
     let mut json = false;
@@ -159,6 +166,19 @@ fn main() -> ExitCode {
                     return ExitCode::from(1);
                 };
                 min_fleet_availability = Some(v);
+            }
+            "--max-cost-per-load" => {
+                let Some(v) = args
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|v| v.is_finite() && *v >= 0.0)
+                else {
+                    eprintln!(
+                        "scholar-obs: --max-cost-per-load expects a non-negative dollar amount"
+                    );
+                    return ExitCode::from(1);
+                };
+                max_cost_per_load = Some(v);
             }
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -305,6 +325,26 @@ fn main() -> ExitCode {
                 eprintln!(
                     "scholar-obs: gate failed — no completed page loads, attribution \
                      coverage undefined"
+                );
+                gate_failed = true;
+            }
+        }
+    }
+    if let Some(max_dollars) = max_cost_per_load {
+        match analysis.cost_per_ok_load_micro() {
+            Some(micro) if micro / 1_000_000.0 <= max_dollars => {}
+            Some(micro) => {
+                eprintln!(
+                    "scholar-obs: gate failed — cost per successful load {:.6} USD above \
+                     allowed {max_dollars:.6} USD",
+                    micro / 1_000_000.0
+                );
+                gate_failed = true;
+            }
+            None => {
+                eprintln!(
+                    "scholar-obs: gate failed — no elastic cost data (or no successful \
+                     loads), cost per load undefined"
                 );
                 gate_failed = true;
             }

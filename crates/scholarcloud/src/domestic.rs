@@ -44,13 +44,14 @@ use rand::Rng;
 use sc_cache::{CacheKey, CachedResponse, Lookup, Role, Singleflight};
 use sc_netproto::http::{HttpMessage, HttpParser, HttpRequest, HttpResponse};
 use sc_netproto::socks::TargetAddr;
-use sc_simnet::addr::Addr;
+use sc_simnet::addr::{Addr, SocketAddr};
 use sc_simnet::api::{App, AppEvent, TcpEvent, TcpHandle};
 use sc_simnet::sim::Ctx;
 use sc_simnet::time::{SimDuration, SimTime};
 
 use crate::admission::{AdmissionController, Decision, Dequeued};
-use crate::config::ScConfig;
+use crate::config::{ScConfig, REMOTE_PORT};
+use crate::elastic::{ElasticAction, ElasticHandle};
 use crate::fleet::FleetMember;
 use crate::frame::{Hello, StreamCodec, StreamHeader};
 use crate::resilience::{BreakerState, BreakerTransition, RemotePool};
@@ -73,6 +74,11 @@ const FLEET_PRESSURE_QUEUE: usize = 4;
 /// How often the admission queue is re-checked for deadline sheds while
 /// non-empty (slot releases also drain it immediately).
 const QUEUE_TICK: SimDuration = SimDuration::from_millis(100);
+
+/// Elastic autoscaler control-loop period. Half the smallest default
+/// cold start, so a scale-out decision is never more than one tick
+/// stale relative to the capacity it produces.
+const ELASTIC_TICK: SimDuration = SimDuration::from_millis(500);
 
 enum BrowserConn {
     AwaitRequest(HttpParser),
@@ -218,6 +224,8 @@ enum TimerPurpose {
     Retry(TcpHandle),
     /// Periodic admission-queue re-check (deadline sheds).
     QueueTick,
+    /// Recurring elastic autoscaler tick.
+    ElasticTick,
     /// Deadline for a whole intra-fleet peering hop (peer handle).
     PeerDeadline(TcpHandle),
 }
@@ -236,6 +244,9 @@ pub struct DomesticProxy {
     /// This proxy's fleet membership (None = the paper's single-proxy
     /// deployment; every fleet path is inert then).
     fleet: Option<FleetMember>,
+    /// The elastic remote tier this proxy drives (None = the paper's
+    /// static VM pool; every elastic path is inert then).
+    elastic: Option<ElasticHandle>,
     /// In-flight intra-fleet peering hops, keyed by the peer-side handle.
     peer_fetches: HashMap<TcpHandle, PeerFetch>,
     /// In-flight gateway fetches, keyed by the leader's browser handle.
@@ -287,6 +298,7 @@ impl DomesticProxy {
             peers: HashMap::new(),
             pending: HashMap::new(),
             fleet: None,
+            elastic: None,
             peer_fetches: HashMap::new(),
             gw_fetches: HashMap::new(),
             singleflight: Singleflight::new(),
@@ -316,6 +328,20 @@ impl DomesticProxy {
     /// This proxy's fleet membership, if any (tests and dashboards).
     pub fn fleet(&self) -> Option<&FleetMember> {
         self.fleet.as_ref()
+    }
+
+    /// Attaches an elastic remote tier: the proxy ticks its autoscaler,
+    /// meters invocations/egress into its cost model, executes its
+    /// provision/retire actions against the remote pool and node
+    /// lifecycle, and churns instances whose breaker opens.
+    pub fn with_elastic(mut self, handle: ElasticHandle) -> Self {
+        self.elastic = Some(handle);
+        self
+    }
+
+    /// The attached elastic tier, if any (tests and dashboards).
+    pub fn elastic(&self) -> Option<&ElasticHandle> {
+        self.elastic.as_ref()
     }
 
     /// Read access to the remote pool (tests and dashboards).
@@ -601,7 +627,140 @@ impl DomesticProxy {
     fn record_remote_failure(&mut self, idx: usize, ctx: &mut Ctx<'_>) {
         if let Some(t) = self.pool.record_failure(idx, ctx.now()) {
             self.emit_breaker(idx, t, ctx);
+            // An elastic instance whose breaker opens is presumed
+            // blacklisted: churn it — retire at this IP, replace at a
+            // fresh one — instead of waiting out probe recovery that
+            // will never come.
+            if t.to == BreakerState::Open {
+                self.elastic_churn(idx, ctx);
+            }
         }
+    }
+
+    fn emit_elastic(
+        &self,
+        name: &'static str,
+        addr: Addr,
+        extra: &[(&'static str, String)],
+        ctx: &Ctx<'_>,
+    ) {
+        if !sc_obs::is_enabled(sc_obs::Level::Info, "scholarcloud") {
+            return;
+        }
+        let mut ev = sc_obs::Event::new(
+            ctx.now().as_micros(),
+            sc_obs::Level::Info,
+            "scholarcloud",
+            "elastic",
+            name,
+        )
+        .field("instance", addr.to_string());
+        for (k, v) in extra {
+            ev = ev.field(*k, v.clone());
+        }
+        sc_obs::emit(ev);
+    }
+
+    /// Marks the instance behind pool entry `idx` as blacklisted, if it
+    /// is an elastic one; the next autoscaler tick drains and replaces
+    /// it.
+    fn elastic_churn(&mut self, idx: usize, ctx: &mut Ctx<'_>) {
+        let Some(handle) = self.elastic.clone() else { return };
+        let addr = self.pool.entry(idx).addr.addr;
+        if handle.with(|p| p.churn(addr)) {
+            sc_obs::counter_add("scholarcloud.elastic_churns", 1);
+            self.emit_elastic("churn", addr, &[], ctx);
+        }
+    }
+
+    /// Notes the end of a stream on pool entry `idx` for elastic idle
+    /// accounting (no-op for static remotes).
+    fn elastic_stream_end(&mut self, idx: usize, now: SimTime) {
+        if let Some(handle) = &self.elastic {
+            let addr = self.pool.entry(idx).addr.addr;
+            handle.with(|p| p.note_stream_end(addr, now));
+        }
+    }
+
+    /// One autoscaler control-loop tick: feed the admission queue depth
+    /// into the elastic pool, execute the actions it returns against
+    /// the remote pool and the node lifecycle, and publish the cost and
+    /// capacity telemetry.
+    fn elastic_tick(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(handle) = self.elastic.clone() else { return };
+        let now = ctx.now();
+        let queue_depth = self.admission.queue_depth();
+        let actions = handle.with(|p| p.tick(now, queue_depth, || ctx.rng().gen()));
+        for act in actions {
+            match act {
+                ElasticAction::Provision { addr, cold_start } => {
+                    sc_obs::counter_add("scholarcloud.elastic_provisions", 1);
+                    self.emit_elastic(
+                        "provision",
+                        addr,
+                        &[("cold_start_us", cold_start.as_micros().to_string())],
+                        ctx,
+                    );
+                }
+                ElasticAction::Warm { addr, cold_start } => {
+                    // The instance's node comes up and its pool entry
+                    // starts taking weighted dispatch.
+                    ctx.node_power(addr, true);
+                    let sock = SocketAddr::new(addr, REMOTE_PORT);
+                    if self.pool.index_of(sock).is_none() {
+                        self.pool.add_remote(sock);
+                    }
+                    sc_obs::observe("scholarcloud.elastic_cold_start_us", cold_start.as_micros());
+                    self.emit_elastic(
+                        "warm",
+                        addr,
+                        &[("cold_start_us", cold_start.as_micros().to_string())],
+                        ctx,
+                    );
+                }
+                ElasticAction::Drain { addr, reason } => {
+                    if let Some(idx) = self.pool.index_of(SocketAddr::new(addr, REMOTE_PORT)) {
+                        self.pool.retire(idx);
+                    }
+                    self.emit_elastic("drain", addr, &[("reason", reason.name().to_string())], ctx);
+                }
+                ElasticAction::Retire { addr } => {
+                    // In-flight streams drained; the husk powers off.
+                    ctx.node_power(addr, false);
+                    sc_obs::counter_add("scholarcloud.elastic_retires", 1);
+                    self.emit_elastic("retire", addr, &[], ctx);
+                }
+            }
+        }
+        let (warm, live, cost_inv, cost_eg, cost_warm, total) = handle.with(|p| {
+            (
+                p.warm_count(),
+                p.live_count(),
+                p.cost_invocation_micro(),
+                p.cost_egress_micro(),
+                p.cost_warm_micro(),
+                p.total_cost_micro(),
+            )
+        });
+        sc_obs::ts_record(now.as_micros(), "scholarcloud.elastic_instances", live as u64);
+        if sc_obs::is_enabled(sc_obs::Level::Info, "scholarcloud") {
+            sc_obs::emit(
+                sc_obs::Event::new(
+                    now.as_micros(),
+                    sc_obs::Level::Info,
+                    "scholarcloud",
+                    "elastic",
+                    "cost",
+                )
+                .field("warm", warm as u64)
+                .field("live", live as u64)
+                .field("invocation_micro", cost_inv)
+                .field("egress_micro", cost_eg)
+                .field("warm_micro", cost_warm)
+                .field("total_micro", total),
+            );
+        }
+        self.arm(ELASTIC_TICK, TimerPurpose::ElasticTick, ctx);
     }
 
     /// Fails a pending browser request with a distinct, visible status.
@@ -967,6 +1126,13 @@ impl DomesticProxy {
             pending_wire.extend_from_slice(&body);
         }
         let addr = self.pool.entry(idx).addr;
+        // Every connection to an elastic instance is one billable
+        // invocation (the cloud function spins per connection).
+        if let Some(handle) = &self.elastic {
+            if handle.with(|p| p.note_stream_start(addr.addr)) {
+                sc_obs::counter_add("scholarcloud.elastic_invocations", 1);
+            }
+        }
         let remote = ctx.tcp_connect(addr);
         self.remotes.insert(
             remote,
@@ -996,6 +1162,7 @@ impl DomesticProxy {
     /// failure and schedule a retry (or give up with 502).
     fn attempt_failed(&mut self, remote_h: TcpHandle, reason: &'static str, ctx: &mut Ctx<'_>) {
         let Some(conn) = self.remotes.remove(&remote_h) else { return };
+        self.elastic_stream_end(conn.remote_idx, ctx.now());
         let browser = conn.browser;
         sc_obs::span_end(
             ctx.now().as_micros(),
@@ -1080,6 +1247,11 @@ impl DomesticProxy {
         let now = ctx.now();
         for idx in 0..self.pool.len() {
             let e = self.pool.entry(idx);
+            // Retired entries (drained elastic instances) are gone for
+            // good — probing them would just re-open their breakers.
+            if e.retired {
+                continue;
+            }
             let needs_probe = e.health.rtt_ewma.is_none()
                 || e.health.consecutive_failures > 0
                 || e.breaker.state() != BreakerState::Closed;
@@ -1141,6 +1313,7 @@ impl DomesticProxy {
                 self.drain_queue(ctx);
                 self.ensure_queue_tick(ctx);
             }
+            TimerPurpose::ElasticTick => self.elastic_tick(ctx),
             TimerPurpose::PeerDeadline(ph) => {
                 let state = self.peer_fetches.get(&ph).map(|p| (p.connected, p.done));
                 if let Some((connected, false)) = state {
@@ -1695,6 +1868,7 @@ impl DomesticProxy {
         // One fetch per tunnel: close the upstream leg and free the slot.
         ctx.tcp_close(remote_h);
         if let Some(conn) = self.remotes.remove(&remote_h) {
+            self.elastic_stream_end(conn.remote_idx, ctx.now());
             sc_obs::observe("scholarcloud.stream_bytes_up", conn.up_bytes);
             sc_obs::observe("scholarcloud.stream_bytes_down", conn.down_bytes);
             sc_obs::span_end(
@@ -1983,6 +2157,9 @@ impl App for DomesticProxy {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.tcp_listen(self.config.domestic.port);
         self.arm(self.config.resilience.probe_interval, TimerPurpose::ProbeTick, ctx);
+        if self.elastic.is_some() {
+            self.arm(ELASTIC_TICK, TimerPurpose::ElasticTick, ctx);
+        }
     }
 
     fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx<'_>) {
@@ -2097,12 +2274,20 @@ impl App for DomesticProxy {
                     conn.down_bytes += plain.len() as u64;
                     sc_obs::counter_add("scholarcloud.bytes_down", plain.len() as u64);
                     let browser = conn.browser;
+                    let ridx = conn.remote_idx;
+                    // Relayed plaintext is the instance's billable
+                    // egress under the elastic cost model.
+                    if let Some(handle) = &self.elastic {
+                        let addr = self.pool.entry(ridx).addr.addr;
+                        handle.with(|p| p.note_egress(addr, plain.len() as u64));
+                    }
                     if let Some(fetch) = self.gw_fetches.get_mut(&browser) {
                         // Gateway fetch: reassemble the upstream response
                         // instead of piping bytes through.
                         let Ok(msgs) = fetch.parser.push(&plain) else {
                             ctx.tcp_abort(h);
                             if let Some(conn) = self.remotes.remove(&h) {
+                                self.elastic_stream_end(conn.remote_idx, ctx.now());
                                 sc_obs::span_end(
                                     ctx.now().as_micros(),
                                     conn.stream_span,
@@ -2133,6 +2318,7 @@ impl App for DomesticProxy {
                         };
                         self.attempt_failed(h, reason, ctx);
                     } else if let Some(conn) = self.remotes.remove(&h) {
+                        self.elastic_stream_end(conn.remote_idx, ctx.now());
                         sc_obs::observe("scholarcloud.stream_bytes_up", conn.up_bytes);
                         sc_obs::observe("scholarcloud.stream_bytes_down", conn.down_bytes);
                         sc_obs::span_end(
@@ -2268,6 +2454,7 @@ impl App for DomesticProxy {
                     for rh in inflight {
                         ctx.tcp_abort(rh);
                         if let Some(conn) = self.remotes.remove(&rh) {
+                            self.elastic_stream_end(conn.remote_idx, ctx.now());
                             sc_obs::span_end(
                                 now_us,
                                 conn.attempt_span,
@@ -2284,6 +2471,7 @@ impl App for DomesticProxy {
                     let remote = *remote;
                     ctx.tcp_close(remote);
                     if let Some(conn) = self.remotes.remove(&remote) {
+                        self.elastic_stream_end(conn.remote_idx, ctx.now());
                         sc_obs::observe("scholarcloud.stream_bytes_up", conn.up_bytes);
                         sc_obs::observe("scholarcloud.stream_bytes_down", conn.down_bytes);
                         sc_obs::span_end(

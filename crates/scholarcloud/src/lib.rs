@@ -36,6 +36,7 @@
 pub mod admission;
 pub mod config;
 pub mod domestic;
+pub mod elastic;
 pub mod fleet;
 pub mod frame;
 pub mod ops;
@@ -46,6 +47,10 @@ pub use admission::{AdmissionConfig, AdmissionController, Decision, Dequeued, Re
 pub use config::{ResilienceConfig, ScConfig, SchemeHandle, DOMESTIC_PORT, REMOTE_PORT};
 pub use sc_cache::{CacheConfig, CacheHandle, CacheStats, ShardMap};
 pub use domestic::DomesticProxy;
+pub use elastic::{
+    DrainReason, ElasticAction, ElasticConfig, ElasticHandle, ElasticPool, Instance,
+    InstanceState,
+};
 pub use fleet::{FleetHandle, FleetMember, ShardSickness};
 pub use frame::{Hello, StreamCodec, StreamHeader};
 pub use ops::Deployment;

@@ -244,15 +244,44 @@ pub struct RemoteEntry {
     pub health: RemoteHealth,
     /// Per-remote circuit breaker.
     pub breaker: CircuitBreaker,
+    /// Retired entries (drained elastic instances) keep their index —
+    /// in-flight bookkeeping stays valid — but never receive new picks,
+    /// probes, or availability votes.
+    pub retired: bool,
+    /// Smooth-weighted-round-robin accumulator (see [`RemotePool::pick`]).
+    swrr_current: i64,
 }
 
-/// A pool of remote proxies with deterministic health-scored selection:
-/// remotes whose breaker admits traffic are ranked by (consecutive
-/// failures, RTT EWMA, index), so two same-seed runs always fail over
-/// in the same order.
+/// A pool of remote proxies with deterministic weighted dispatch.
+///
+/// Selection is two-tier: candidates (breaker admits, not retired) are
+/// first narrowed to the healthiest group (fewest consecutive
+/// failures), then smooth weighted round-robin spreads load across that
+/// group in proportion to RTT-derived weights — a fast remote carries
+/// more streams than a slow sibling instead of *all* of them, like
+/// shadowsocks-rust's multi-server balancer. Weights derive from the
+/// millisecond-quantized RTT EWMA, so sub-millisecond jitter never
+/// flips a pick, and SWRR's accumulator tie-breaks on the lowest
+/// index — same-seed runs dispatch and fail over identically.
+///
+/// Membership is dynamic: the elastic tier appends fresh instances with
+/// [`add_remote`](Self::add_remote) and retires drained ones with
+/// [`retire`](Self::retire); indices are stable for the pool's lifetime.
 #[derive(Debug, Clone)]
 pub struct RemotePool {
     entries: Vec<RemoteEntry>,
+    threshold: u32,
+    cooldown: SimDuration,
+}
+
+fn fresh_entry(addr: SocketAddr, threshold: u32, cooldown: SimDuration) -> RemoteEntry {
+    RemoteEntry {
+        addr,
+        health: RemoteHealth::default(),
+        breaker: CircuitBreaker::new(threshold, cooldown),
+        retired: false,
+        swrr_current: 0,
+    }
 }
 
 impl RemotePool {
@@ -260,16 +289,13 @@ impl RemotePool {
     pub fn new(addrs: Vec<SocketAddr>, threshold: u32, cooldown: SimDuration) -> Self {
         let entries = addrs
             .into_iter()
-            .map(|addr| RemoteEntry {
-                addr,
-                health: RemoteHealth::default(),
-                breaker: CircuitBreaker::new(threshold, cooldown),
-            })
+            .map(|addr| fresh_entry(addr, threshold, cooldown))
             .collect();
-        RemotePool { entries }
+        RemotePool { entries, threshold, cooldown }
     }
 
-    /// Number of remotes.
+    /// Number of remotes ever admitted to the pool (retired included —
+    /// indices are stable, so this is also the index upper bound).
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -279,45 +305,101 @@ impl RemotePool {
         self.entries.is_empty()
     }
 
+    /// Number of non-retired remotes.
+    pub fn active_len(&self) -> usize {
+        self.entries.iter().filter(|e| !e.retired).count()
+    }
+
     /// Read access to a remote.
     pub fn entry(&self, idx: usize) -> &RemoteEntry {
         &self.entries[idx]
     }
 
-    /// Whether any remote would currently admit a request.
-    pub fn any_available(&self, now: SimTime) -> bool {
-        self.entries.iter().any(|e| e.breaker.would_allow(now))
+    /// Appends a fresh remote (clean health, closed breaker) and returns
+    /// its stable index. The elastic tier calls this when an instance
+    /// turns warm; the SWRR accumulator starts at zero, so a newcomer
+    /// competes fairly from its first pick.
+    pub fn add_remote(&mut self, addr: SocketAddr) -> usize {
+        let idx = self.entries.len();
+        self.entries.push(fresh_entry(addr, self.threshold, self.cooldown));
+        idx
     }
 
-    /// Picks the healthiest admissible remote at `now`, consuming its
-    /// half-open trial slot if applicable. `exclude` deprioritizes the
-    /// remote a failed attempt just used (it is still chosen if it is
-    /// the only candidate).
+    /// Retires a remote: it keeps its index (in-flight streams finish
+    /// their bookkeeping) but receives no further picks or probes.
+    pub fn retire(&mut self, idx: usize) {
+        self.entries[idx].retired = true;
+    }
+
+    /// The index of the non-retired remote at `addr`, if any.
+    pub fn index_of(&self, addr: SocketAddr) -> Option<usize> {
+        self.entries.iter().position(|e| !e.retired && e.addr == addr)
+    }
+
+    /// Whether any non-retired remote would currently admit a request.
+    pub fn any_available(&self, now: SimTime) -> bool {
+        self.entries
+            .iter()
+            .any(|e| !e.retired && e.breaker.would_allow(now))
+    }
+
+    /// A remote's dispatch weight: derived from the millisecond-
+    /// quantized RTT EWMA (sub-millisecond propagation jitter must never
+    /// flip a pick — see the pool proptests), inversely proportional to
+    /// latency, floored at 1. An unproven remote weighs as 0 ms: it
+    /// gets traffic immediately and earns a real weight from its first
+    /// measured RTT.
+    fn weight(h: &RemoteHealth) -> i64 {
+        let ms = h.rtt_ewma.map_or(0, |d| d.as_micros() / 1000) as i64;
+        1 + 1000 / (1 + ms)
+    }
+
+    /// Picks a remote at `now`, consuming its half-open trial slot if
+    /// applicable. `exclude` deprioritizes the remote a failed attempt
+    /// just used (it is still chosen if it is the only candidate).
+    ///
+    /// Two-tier weighted dispatch: among admissible remotes with the
+    /// fewest consecutive failures, smooth weighted round-robin (each
+    /// candidate's accumulator grows by its weight; the largest
+    /// accumulator wins and pays back the group's total) spreads
+    /// streams in proportion to RTT weight. At fully equal health the
+    /// first pick is the lowest index and subsequent picks rotate —
+    /// deterministic, history-pure, and never timing-sensitive.
     pub fn pick(&mut self, now: SimTime, exclude: Option<usize>) -> Option<usize> {
         let mut candidates: Vec<usize> = (0..self.entries.len())
-            .filter(|&i| self.entries[i].breaker.would_allow(now))
+            .filter(|&i| !self.entries[i].retired && self.entries[i].breaker.would_allow(now))
             .collect();
         if let Some(e) = exclude {
             if candidates.len() > 1 {
                 candidates.retain(|&i| i != e);
             }
         }
-        // Rank by (failures, RTT bucket, index). The RTT EWMA is
-        // quantized to whole milliseconds before comparison: at raw
-        // microsecond resolution two equally healthy remotes whose
-        // EWMAs differ by a few µs of propagation jitter would swap
-        // ranks between runs with slightly different timing, making
-        // failover order timing-sensitive. Millisecond buckets collapse
-        // such near-ties so the explicit index tie-break decides, and
-        // same-seed runs always fail over in the same order.
-        let best = candidates.into_iter().min_by_key(|&i| {
-            let h = &self.entries[i].health;
-            (
-                h.consecutive_failures,
-                h.rtt_ewma.map_or(0, |d| d.as_micros() / 1000),
-                i,
-            )
-        })?;
+        if candidates.is_empty() {
+            return None;
+        }
+        // Tier 1: only the healthiest group (fewest consecutive
+        // failures) receives traffic — failures outrank RTT.
+        let min_failures = candidates
+            .iter()
+            .map(|&i| self.entries[i].health.consecutive_failures)
+            .min()
+            .expect("non-empty");
+        candidates.retain(|&i| self.entries[i].health.consecutive_failures == min_failures);
+        // Tier 2: SWRR within the group. Accumulators persist across
+        // picks (that is what makes the rotation smooth), but only
+        // group members advance — a breaker-fenced remote neither gains
+        // nor loses standing while dark.
+        let mut total = 0i64;
+        for &i in &candidates {
+            let w = Self::weight(&self.entries[i].health);
+            self.entries[i].swrr_current += w;
+            total += w;
+        }
+        let best = candidates
+            .into_iter()
+            .max_by_key(|&i| (self.entries[i].swrr_current, std::cmp::Reverse(i)))
+            .expect("non-empty");
+        self.entries[best].swrr_current -= total;
         let admitted = self.entries[best].breaker.allow(now);
         debug_assert!(admitted);
         Some(best)
@@ -344,11 +426,12 @@ impl RemotePool {
         e.breaker.record_failure(now)
     }
 
-    /// Number of breakers currently not closed (dashboard gauge).
+    /// Number of non-retired breakers currently not closed (dashboard
+    /// gauge).
     pub fn breakers_not_closed(&self) -> usize {
         self.entries
             .iter()
-            .filter(|e| e.breaker.state() != BreakerState::Closed)
+            .filter(|e| !e.retired && e.breaker.state() != BreakerState::Closed)
             .count()
     }
 }
@@ -443,6 +526,56 @@ mod tests {
         assert_eq!(t.to, BreakerState::Closed);
         assert!(pool.any_available(sec(5)));
         assert_eq!(pool.pick(sec(5), None), Some(1));
+    }
+
+    #[test]
+    fn swrr_rotates_among_equal_weights() {
+        let addrs: Vec<SocketAddr> = (0..3)
+            .map(|i| SocketAddr::new(Addr::new(99, 0, 0, 40 + i), 8443))
+            .collect();
+        let mut pool = RemotePool::new(addrs, 100, SimDuration::from_secs(5));
+        let picks: Vec<Option<usize>> = (0..6).map(|_| pool.pick(sec(0), None)).collect();
+        assert_eq!(
+            picks,
+            vec![Some(0), Some(1), Some(2), Some(0), Some(1), Some(2)],
+            "equal weights round-robin from the lowest index"
+        );
+    }
+
+    #[test]
+    fn weighted_dispatch_favors_faster_remote() {
+        let addrs: Vec<SocketAddr> =
+            (0..2).map(|i| SocketAddr::new(Addr::new(99, 0, 0, 40 + i), 8443)).collect();
+        let mut pool = RemotePool::new(addrs, 100, SimDuration::from_secs(5));
+        pool.record_success(0, SimDuration::from_millis(10));
+        pool.record_success(1, SimDuration::from_millis(30));
+        let mut counts = [0usize; 2];
+        for _ in 0..120 {
+            counts[pool.pick(sec(0), None).unwrap()] += 1;
+        }
+        assert!(counts[1] > 0, "slow remote still carries some streams");
+        assert!(
+            counts[0] > 2 * counts[1],
+            "3x-faster remote carries >2x the streams: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn retired_remotes_never_picked_and_membership_is_dynamic() {
+        let addrs = vec![SocketAddr::new(Addr::new(99, 0, 0, 40), 8443)];
+        let mut pool = RemotePool::new(addrs, 1, SimDuration::from_secs(2));
+        let fresh = SocketAddr::new(Addr::new(99, 0, 1, 7), 8443);
+        let idx = pool.add_remote(fresh);
+        assert_eq!(idx, 1);
+        assert_eq!(pool.index_of(fresh), Some(1));
+        pool.retire(0);
+        assert_eq!(pool.active_len(), 1);
+        assert_eq!(pool.len(), 2, "indices stay stable after retirement");
+        for _ in 0..4 {
+            assert_eq!(pool.pick(sec(0), None), Some(1), "retired entry never picked");
+        }
+        pool.record_failure(1, sec(0));
+        assert!(!pool.any_available(sec(0)), "retired entries cast no availability vote");
     }
 
     #[test]

@@ -106,4 +106,71 @@ proptest! {
             );
         }
     }
+
+    /// Smooth weighted round-robin at equal weights is exact round-
+    /// robin: over `rounds` full cycles every remote is picked exactly
+    /// `rounds` times, and the very first cycle runs 0, 1, …, n-1 (the
+    /// index tie-break keeps the order stable, not just the counts).
+    #[test]
+    fn equal_weights_round_robin_exactly(
+        n in 2usize..6,
+        rtt_ms in 1u64..100,
+        rounds in 1usize..5,
+    ) {
+        let mut pool = RemotePool::new(addrs(n), 100, SimDuration::from_secs(5));
+        for i in 0..n {
+            pool.record_success(i, SimDuration::from_millis(rtt_ms));
+        }
+        let now = SimTime::from_secs(1);
+        let mut counts = vec![0usize; n];
+        for round in 0..rounds {
+            for expect in 0..n {
+                let got = pool.pick(now, None);
+                if round == 0 {
+                    prop_assert_eq!(
+                        got,
+                        Some(expect),
+                        "first cycle must run in index order"
+                    );
+                }
+                counts[got.expect("candidates exist")] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(
+                c, rounds,
+                "remote {} picked {} times over {} full cycles",
+                i, c, rounds
+            );
+        }
+    }
+
+    /// Weighted dispatch is monotone in RTT: over any window of picks,
+    /// a remote with a strictly smaller millisecond RTT bucket is never
+    /// dispatched to less often than a slower peer.
+    #[test]
+    fn faster_remote_never_receives_less_traffic(
+        fast_ms in 1u64..40,
+        extra_ms in 1u64..200,
+        picks in 4usize..40,
+    ) {
+        let slow_ms = fast_ms + extra_ms;
+        let mut pool = RemotePool::new(addrs(2), 100, SimDuration::from_secs(5));
+        // Index order is adversarial here: the slower remote sits at
+        // index 0, so any index bias would favor it.
+        pool.record_success(0, SimDuration::from_millis(slow_ms));
+        pool.record_success(1, SimDuration::from_millis(fast_ms));
+        let now = SimTime::from_secs(1);
+        let mut counts = [0usize; 2];
+        for _ in 0..picks {
+            counts[pool.pick(now, None).expect("candidates exist")] += 1;
+        }
+        prop_assert!(
+            counts[1] >= counts[0],
+            "fast remote ({fast_ms} ms) got {} picks, slow ({slow_ms} ms) got {}",
+            counts[1],
+            counts[0]
+        );
+        prop_assert_eq!(counts[0] + counts[1], picks);
+    }
 }

@@ -27,6 +27,10 @@ enum Event {
     Start { node: NodeId, app: AppId },
     Fault(Fault),
     FlapToggle { flap: usize },
+    /// Administrative power transition (elastic instance spawn/retire).
+    /// Unlike `Fault::NodeCrash`, this is a *planned* control-plane
+    /// action: it is delivered even to a node that is already down.
+    Lifecycle { node: NodeId, up: bool },
 }
 
 struct Queued {
@@ -240,6 +244,18 @@ impl Sim {
         self.nodes[node.0].up
     }
 
+    /// Schedules an administrative power transition for `node` after
+    /// `delay` — the deterministic spawn/retire primitive the elastic
+    /// remote tier is built on. Powering down clears pending app events
+    /// (like a crash); powering up restores delivery. The transition
+    /// fires at a fixed `(time, seq)` queue position, so same-seed runs
+    /// flip power identically. Unlike installing a `Fault::NodeCrash`
+    /// plan, scheduling can happen mid-run from app code via
+    /// [`Ctx::node_power`].
+    pub fn schedule_lifecycle(&mut self, node: NodeId, up: bool, delay: SimDuration) {
+        self.schedule(delay, Event::Lifecycle { node, up });
+    }
+
     fn schedule(&mut self, delay: SimDuration, ev: Event) {
         let at = self.now + delay;
         let seq = self.seq;
@@ -347,6 +363,31 @@ impl Sim {
             }
             Event::Fault(fault) => self.apply_fault(fault),
             Event::FlapToggle { flap } => self.flap_toggle(flap),
+            Event::Lifecycle { node, up } => self.apply_lifecycle(node, up),
+        }
+    }
+
+    /// Applies a planned power transition. Semantics match crash/restart
+    /// (transport state survives, pending app events are dropped on the
+    /// way down) but the trace records it as a lifecycle action, not a
+    /// fault — analyzers must not count elastic scale-in as an outage.
+    fn apply_lifecycle(&mut self, node: NodeId, up: bool) {
+        self.nodes[node.0].up = up;
+        if !up {
+            self.nodes[node.0].pending.clear();
+        }
+        sc_obs::counter_add("simnet.lifecycle_transitions", 1);
+        if sc_obs::is_enabled(sc_obs::Level::Info, "simnet") {
+            sc_obs::emit(
+                sc_obs::Event::new(
+                    self.now.as_micros(),
+                    sc_obs::Level::Info,
+                    "simnet",
+                    "lifecycle",
+                    if up { "power_up" } else { "power_down" },
+                )
+                .field("node", self.nodes[node.0].name.clone()),
+            );
         }
     }
 
@@ -871,5 +912,25 @@ impl<'a> Ctx<'a> {
     /// Approximate bytes of transport state on this node (memory model).
     pub fn transport_state_bytes(&self) -> usize {
         self.sim.nodes[self.node.0].tcp.state_bytes()
+    }
+
+    /// Requests a power transition for the node owning `addr` (elastic
+    /// control plane: an autoscaler app spins sibling instances up and
+    /// down). The transition is scheduled as an ordinary queue event at
+    /// the current time — it takes effect after the in-flight event
+    /// completes, at a deterministic `(time, seq)` position. Returns
+    /// `false` if no node owns `addr`.
+    pub fn node_power(&mut self, addr: Addr, up: bool) -> bool {
+        let Some(node) = self.sim.node_by_addr(addr) else { return false };
+        self.sim.schedule_lifecycle(node, up, SimDuration::ZERO);
+        true
+    }
+
+    /// Whether the node owning `addr` is currently powered (lifecycle /
+    /// fault state). Unknown addresses read as down.
+    pub fn node_is_up(&self, addr: Addr) -> bool {
+        self.sim
+            .node_by_addr(addr)
+            .map_or(false, |n| self.sim.nodes[n.0].up)
     }
 }

@@ -808,6 +808,29 @@ impl Browser {
             return;
         }
         if status >= 400 {
+            // A gateway-mode `429`/`503` carrying `Retry-After` is
+            // backpressure — an overload shed or an elastic cold-start
+            // window — not proxy death: honor the hint and retry within
+            // the throttle budget, exactly like the CONNECT path. The
+            // proxy is deliberately NOT dead-marked here; dead-marking
+            // a member that is warming capacity would route the whole
+            // crowd away from it just as it comes good.
+            if matches!(status, 429 | 503) {
+                let retry_after = resp
+                    .header_value("Retry-After")
+                    .and_then(|v| v.trim().parse::<u64>().ok());
+                if let Some(load) = self.load.as_mut() {
+                    load.proxy_status = Some(status);
+                    if status == 429 || retry_after.is_some() {
+                        load.throttled = true;
+                    }
+                }
+                if let Some(secs) = retry_after {
+                    if self.throttle_backoff(secs, ctx) {
+                        return;
+                    }
+                }
+            }
             self.fail_load(ctx);
             return;
         }

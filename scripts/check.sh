@@ -62,6 +62,17 @@ run_gate cache cache_lab --min-cache-hit-rate 0.50 \
 run_gate fleet fleet_chaos --min-fleet-availability 0.80 \
     --min-attribution-coverage 95
 
+# Elastic: the serverless-remote-tier scenario (a 4-wave GFW
+# blacklisting campaign against the autoscaled pool) must stay cheap
+# AND available — the example itself asserts the elastic arm strictly
+# beats a static 4-VM pool on both metrics, per-wave churn, and
+# determinism; scholar-obs then gates the elastic arm's trace (the
+# last run's — each run overwrites SC_TRACE) on availability and the
+# metered cost per successful load (measured ≈ 0.00012 USD/load;
+# 0.0002 allows drift without letting it approach static-pool cost).
+run_gate elastic elastic_lab --min-availability 0.95 \
+    --max-cost-per-load 0.0002 --min-attribution-coverage 95
+
 # Ops: the capacity-incident scenario must fire the PLT SLO with
 # exemplar trace ids attached (the example itself additionally renders
 # the worst exemplar's waterfall and asserts the per-tier exclusive
