@@ -7,7 +7,8 @@
 //! ```
 //!
 //! Runs a fixed suite of seeded scenarios — `quickstart`, `chaos`,
-//! `flash_crowd`, `cache_crowd`, `fleet_crash`, `elastic_churn`, and a
+//! `flash_crowd`, `cache_crowd`, `fleet_crash`, `elastic_churn`,
+//! `arms_race`, and a
 //! scaled-up `stress_24c` client ramp — with the `sc_obs::prof`
 //! wall-clock
 //! profiler and the counting
@@ -192,6 +193,26 @@ fn elastic_churn() -> RunCounters {
     counters(built.finish())
 }
 
+/// The adaptive-censor arms race: a reactive GFW (flow classifier,
+/// learned signatures, active-probing campaigns) against
+/// detection-driven scheme rotation with stream resume — the
+/// per-packet classifier hook and the rotation/replay machinery are
+/// the code paths this scenario prices.
+fn arms_race() -> RunCounters {
+    let mut cfg = ScenarioConfig::paper(Method::ScholarCloud, 4242);
+    cfg.clients = 2;
+    cfg.loads = 5;
+    cfg.interval = SimDuration::from_secs(10);
+    cfg.timeout = SimDuration::from_secs(8);
+    cfg.extra_runtime = SimDuration::from_secs(20);
+    cfg.sc_adaptive = true;
+    cfg.sc_adaptive_learn_flows = 4;
+    cfg.sc_adaptive_rotation = true;
+    cfg.sc_adaptive_rotation_threshold = 1;
+    cfg.sc_adaptive_rotation_cooldown = SimDuration::from_secs(5);
+    counters(run_scenario(&cfg))
+}
+
 /// The scaled-up stress point: 24 staggered clients — an order of
 /// magnitude above the labs — on short intervals, the shape ROADMAP
 /// item 1's speedups must win on.
@@ -205,13 +226,14 @@ fn stress_24c() -> RunCounters {
     counters(run_scenario(&cfg))
 }
 
-const SUITE: [(&str, fn() -> RunCounters); 7] = [
+const SUITE: [(&str, fn() -> RunCounters); 8] = [
     ("quickstart", quickstart),
     ("chaos", chaos),
     ("flash_crowd", flash_crowd),
     ("cache_crowd", cache_crowd),
     ("fleet_crash", fleet_crash),
     ("elastic_churn", elastic_churn),
+    ("arms_race", arms_race),
     ("stress_24c", stress_24c),
 ];
 

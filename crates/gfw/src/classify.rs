@@ -98,6 +98,10 @@ pub struct FlowRecord {
     pub packets: u64,
     /// Whether a probe has been requested for this flow.
     pub probe_requested: bool,
+    /// Whether the adaptive censor has already counted this flow's
+    /// evidence (set on the first captured payload; never read when the
+    /// adaptive subsystem is off).
+    pub adaptive_noted: bool,
 }
 
 impl FlowRecord {
@@ -111,6 +115,7 @@ impl FlowRecord {
             sizes: Vec::new(),
             packets: 0,
             probe_requested: false,
+            adaptive_noted: false,
         }
     }
 

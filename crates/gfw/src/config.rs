@@ -98,6 +98,11 @@ pub struct GfwConfig {
     /// Byte signatures learned from rule updates; flows whose early bytes
     /// contain one are treated as proxies.
     pub learned_signatures: Vec<Vec<u8>>,
+    /// The reactive censor (suspicion scoring, fingerprint learning,
+    /// probing campaigns, regional drift). `None` — the default, and
+    /// what [`china_2017`](Self::china_2017) ships — keeps the GFW the
+    /// static rule set every pre-adaptive trace was pinned against.
+    pub adaptive: Option<crate::adaptive::AdaptiveConfig>,
 }
 
 impl Default for GfwConfig {
@@ -111,6 +116,7 @@ impl Default for GfwConfig {
             policies: ClassPolicies::default(),
             active_probing: true,
             learned_signatures: Vec::new(),
+            adaptive: None,
         }
     }
 }

@@ -2,7 +2,7 @@
 //! requests active probes, and throttles classified flows.
 
 use std::cell::RefCell;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -35,6 +35,10 @@ pub struct GfwCounters {
     pub probes_requested: u64,
     /// Servers confirmed as proxies.
     pub servers_confirmed: u64,
+    /// Scheme fingerprints the adaptive censor promoted to signatures.
+    pub signatures_learned: u64,
+    /// Probing campaigns the adaptive censor launched.
+    pub campaigns_launched: u64,
 }
 
 /// Shared GFW state: the middlebox (data plane) and the active prober
@@ -52,6 +56,12 @@ pub struct GfwState {
     pub probed: HashSet<SocketAddr>,
     /// Servers confirmed as circumvention proxies.
     pub confirmed: HashSet<SocketAddr>,
+    /// The reactive censor's evidence (idle unless
+    /// [`GfwConfig::adaptive`] is set).
+    pub adaptive: crate::adaptive::AdaptiveState,
+    /// Captured preambles campaign probes replay instead of garbage,
+    /// keyed by target server (populated only by adaptive campaigns).
+    pub replay_preambles: HashMap<SocketAddr, Vec<u8>>,
     /// Activity counters.
     pub counters: GfwCounters,
 }
@@ -67,6 +77,8 @@ pub fn new_gfw(config: GfwConfig) -> GfwHandle {
         probe_queue: VecDeque::new(),
         probed: HashSet::new(),
         confirmed: HashSet::new(),
+        adaptive: crate::adaptive::AdaptiveState::default(),
+        replay_preambles: HashMap::new(),
         counters: GfwCounters::default(),
     }))
 }
@@ -201,6 +213,27 @@ impl Middlebox for GfwMiddlebox {
             rec.class = TrafficClass::ShadowsocksConfirmed;
         }
 
+        // --- Adaptive censor: evidence accrual, fingerprint learning,
+        // campaign scheduling. Strict no-op (no draws, no events) when
+        // the knob is off, keeping pre-adaptive traces byte-identical.
+        if st.config.adaptive.is_some() {
+            let crate::config::GfwConfig { adaptive, learned_signatures, .. } =
+                &mut st.config;
+            let acfg = adaptive.as_ref().expect("checked above");
+            let mut draw = || ctx.rng.gen::<f64>();
+            crate::adaptive::process_flow(
+                &mut st.adaptive,
+                acfg,
+                learned_signatures,
+                &mut st.probe_queue,
+                &mut st.replay_preambles,
+                &mut st.counters,
+                rec,
+                now,
+                &mut draw,
+            );
+        }
+
         // --- Keyword filtering on plaintext HTTP ---
         if rec.class == TrafficClass::Http && !st.config.http_keywords.is_empty() {
             let haystack = rec.early_bytes.to_ascii_lowercase();
@@ -291,6 +324,41 @@ impl Middlebox for GfwMiddlebox {
 
         // --- Per-class policy (throttling) ---
         let policy = st.config.policy_for(rec.class);
+        // Spatiotemporal inconsistency: an adaptive deployment enforces
+        // learned signatures on some paths while others drift open for a
+        // drift period at a time (Ensafi et al.). Static rules (IP, DNS,
+        // SNI, keywords) are unaffected.
+        if policy.interferes() && rec.class == TrafficClass::LearnedSignature {
+            if let Some(acfg) = &st.config.adaptive {
+                let mut draw = || ctx.rng.gen::<f64>();
+                let (enforcing, rolled) = st.adaptive.region_enforcing(
+                    acfg,
+                    rec.client,
+                    now,
+                    &mut draw,
+                );
+                if let Some(region) = rolled {
+                    sc_obs::counter_add("gfw.adaptive_region_rolls", 1);
+                    if sc_obs::is_enabled(sc_obs::Level::Info, "gfw") {
+                        sc_obs::emit(
+                            sc_obs::Event::new(
+                                now.as_micros(),
+                                sc_obs::Level::Info,
+                                "gfw",
+                                "adaptive",
+                                "region_drift",
+                            )
+                            .field("region", region as u64)
+                            .field("enforcing", if enforcing { 1u64 } else { 0 }),
+                        );
+                    }
+                }
+                if !enforcing {
+                    sc_obs::counter_add("gfw.forwarded", 1);
+                    return Verdict::Forward;
+                }
+            }
+        }
         if policy.block {
             trace_drop(ctx.now, "gfw-block", pkt, 0);
             return Verdict::Drop("gfw-block");

@@ -17,6 +17,11 @@
 //!   go silent are confirmed as proxies ([`prober::ActiveProber`]).
 //! * **Throttling policies** — per-class packet drop probabilities,
 //!   calibrated to the paper's Figure 5c loss rates.
+//! * **Reactive censorship** ([`adaptive`]) — per-destination suspicion
+//!   scoring, scheme-fingerprint learning with rule churn, probing
+//!   campaigns with replayed preambles, confirm-time IP blacklisting,
+//!   and per-region/per-time enforcement drift. Off by default: every
+//!   pre-adaptive trace stays byte-identical.
 //!
 //! The data plane is [`engine::GfwMiddlebox`] (attach to the border
 //! router); the control plane is [`prober::ActiveProber`] (install as an
@@ -24,12 +29,14 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod classify;
 pub mod config;
 pub mod engine;
 pub mod faults;
 pub mod prober;
 
+pub use adaptive::{AdaptiveConfig, AdaptiveState, FingerprintOutcome};
 pub use classify::{FlowKey, FlowRecord, FlowTable, TrafficClass};
 pub use config::{ClassPolicies, GfwConfig, Policy};
 pub use engine::{GfwCounters, GfwHandle, GfwMiddlebox, GfwState, new_gfw};

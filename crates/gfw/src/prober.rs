@@ -48,6 +48,10 @@ struct Probe {
     got_data: bool,
     check_token: u64,
     done: bool,
+    /// Captured preamble to replay instead of garbage (adaptive
+    /// campaigns — a replayed valid preamble smokes out a remote with
+    /// no replay protection, which authenticates it and then hangs).
+    replay: Option<Vec<u8>>,
 }
 
 /// The active prober app. Install on the GFW's border node with the same
@@ -85,6 +89,26 @@ impl ActiveProber {
             st.flows.confirm_server(server);
             st.counters.servers_confirmed += 1;
             sc_obs::counter_add("gfw.servers_confirmed", 1);
+            // An adaptive deployment escalates: endpoints that answer
+            // like proxies are blacklisted at the IP layer outright.
+            if st.config.adaptive.is_some()
+                && !st.config.ip_blacklist.contains(&(server.addr, 32))
+            {
+                st.config.ip_blacklist.push((server.addr, 32));
+                sc_obs::counter_add("gfw.adaptive_blacklisted", 1);
+                if sc_obs::is_enabled(sc_obs::Level::Info, "gfw") {
+                    sc_obs::emit(
+                        sc_obs::Event::new(
+                            now_us,
+                            sc_obs::Level::Info,
+                            "gfw",
+                            "adaptive",
+                            "blacklisted",
+                        )
+                        .field("server", server.to_string()),
+                    );
+                }
+            }
         }
         if sc_obs::is_enabled(sc_obs::Level::Info, "gfw") {
             sc_obs::emit(
@@ -114,19 +138,28 @@ impl App for ActiveProber {
                 loop {
                     let target = self.state.borrow_mut().probe_queue.pop_front();
                     let Some(server) = target else { break };
+                    let replay = self
+                        .state
+                        .borrow()
+                        .replay_preambles
+                        .get(&server)
+                        .filter(|p| !p.is_empty())
+                        .cloned();
                     let h = ctx.tcp_connect(server);
                     sc_obs::counter_add("gfw.probes_launched", 1);
                     if sc_obs::is_enabled(sc_obs::Level::Info, "gfw") {
-                        sc_obs::emit(
-                            sc_obs::Event::new(
-                                ctx.now().as_micros(),
-                                sc_obs::Level::Info,
-                                "gfw",
-                                "probe",
-                                "launched",
-                            )
-                            .field("server", server.to_string()),
-                        );
+                        let mut ev = sc_obs::Event::new(
+                            ctx.now().as_micros(),
+                            sc_obs::Level::Info,
+                            "gfw",
+                            "probe",
+                            "launched",
+                        )
+                        .field("server", server.to_string());
+                        if replay.is_some() {
+                            ev = ev.field("replay", 1u64);
+                        }
+                        sc_obs::emit(ev);
                     }
                     let check_token = self.next_check;
                     self.next_check += 1;
@@ -138,6 +171,7 @@ impl App for ActiveProber {
                             got_data: false,
                             check_token,
                             done: false,
+                            replay,
                         },
                     );
                 }
@@ -167,11 +201,19 @@ impl App for ActiveProber {
                 let Some(probe) = self.probes.get_mut(&h) else { return };
                 match tcp_ev {
                     TcpEvent::Connected => {
-                        // Send garbage that decrypts to nothing under any
-                        // real cipher.
-                        let mut garbage = vec![0u8; PROBE_LEN];
-                        ctx.rng().fill(&mut garbage[..]);
-                        ctx.tcp_send(h, &garbage);
+                        if let Some(replay) = probe.replay.clone() {
+                            // Replay a captured preamble: a remote
+                            // without replay protection authenticates
+                            // it, then hangs awaiting a stream it can
+                            // never decode — the silent signature.
+                            ctx.tcp_send(h, &replay);
+                        } else {
+                            // Send garbage that decrypts to nothing
+                            // under any real cipher.
+                            let mut garbage = vec![0u8; PROBE_LEN];
+                            ctx.rng().fill(&mut garbage[..]);
+                            ctx.tcp_send(h, &garbage);
+                        }
                         let token = probe.check_token;
                         ctx.set_timer(PROBE_TIMEOUT, token);
                     }

@@ -249,6 +249,34 @@ pub struct ScenarioConfig {
     /// Elastic: cold-start band in milliseconds `(min, max)`; each
     /// provision samples uniformly from the seeded RNG.
     pub sc_elastic_cold_ms: (u64, u64),
+    /// Reactive-censor master switch. `false` — the default — keeps the
+    /// GFW the static rule set every pre-adaptive trace was pinned
+    /// against: no suspicion scoring, no fingerprint learning, no
+    /// probing campaigns, no regional drift, zero extra RNG draws.
+    pub sc_adaptive: bool,
+    /// Adaptive: flows sharing a cover fingerprint before the censor
+    /// learns it as a blockable signature.
+    pub sc_adaptive_learn_flows: u32,
+    /// Adaptive: how long a learned signature lives without a matching
+    /// flow refreshing it (rotation starves the refresh).
+    pub sc_adaptive_signature_ttl: SimDuration,
+    /// Adaptive: probe waves per campaign against one suspect server.
+    pub sc_adaptive_campaign_waves: u32,
+    /// Adaptive: number of enforcement regions (per-region drift).
+    pub sc_adaptive_regions: u32,
+    /// Adaptive: probability in `[0, 1)` that a region's current drift
+    /// roll leaves learned-signature flows unenforced (the paper's
+    /// observation that blocking differs by province and time of day).
+    pub sc_adaptive_leniency: f64,
+    /// Defense: detection-driven scheme rotation in the domestic proxy.
+    /// `false` keeps the scheme fixed for the whole run (the control
+    /// arm; also the pre-adaptive behavior).
+    pub sc_adaptive_rotation: bool,
+    /// Defense: new interference units (breaker opens + remote-side
+    /// probe sightings) that trigger a rotation.
+    pub sc_adaptive_rotation_threshold: u64,
+    /// Defense: minimum spacing between rotations.
+    pub sc_adaptive_rotation_cooldown: SimDuration,
 }
 
 impl ScenarioConfig {
@@ -287,6 +315,15 @@ impl ScenarioConfig {
             sc_elastic_max: 8,
             sc_elastic_idle: SimDuration::from_secs(10),
             sc_elastic_cold_ms: (300, 1500),
+            sc_adaptive: false,
+            sc_adaptive_learn_flows: 6,
+            sc_adaptive_signature_ttl: SimDuration::from_secs(45),
+            sc_adaptive_campaign_waves: 3,
+            sc_adaptive_regions: 1,
+            sc_adaptive_leniency: 0.0,
+            sc_adaptive_rotation: false,
+            sc_adaptive_rotation_threshold: 3,
+            sc_adaptive_rotation_cooldown: SimDuration::from_secs(10),
         }
     }
 
@@ -631,6 +668,21 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
         gfw_cfg
             .learned_signatures
             .extend(cfg.gfw_learned_signatures.iter().cloned());
+        if cfg.sc_adaptive {
+            gfw_cfg.adaptive = Some(sc_gfw::AdaptiveConfig {
+                learn_after_flows: cfg.sc_adaptive_learn_flows.max(1),
+                signature_ttl: cfg.sc_adaptive_signature_ttl,
+                campaign_waves: cfg.sc_adaptive_campaign_waves,
+                regions: cfg.sc_adaptive_regions.max(1),
+                leniency: cfg.sc_adaptive_leniency,
+                ..sc_gfw::AdaptiveConfig::default()
+            });
+            // A reactive censor resets what it learns instead of merely
+            // throttling it — learned-signature tunnels die, breakers
+            // open, and the defense's rotation policy has something real
+            // to detect.
+            gfw_cfg.policies.learned_signature = sc_gfw::Policy::RESET;
+        }
         let handle = new_gfw(gfw_cfg);
         sim.set_middlebox(border, Box::new(GfwMiddlebox::new(handle.clone())));
         sim.install_app(border, Box::new(ActiveProber::new(handle.clone())));
@@ -788,6 +840,18 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> BuiltScenario {
                 .with_remotes(&sc_remote_addrs);
             sc_cfg.whitelist = vec!["scholar.google.com".into(), "accounts.google.com".into()];
             sc_cfg.scheme.set(cfg.sc_scheme);
+            if cfg.sc_adaptive_rotation {
+                sc_cfg.rotation = Some(sc_core::RotationPolicy {
+                    threshold: cfg.sc_adaptive_rotation_threshold.max(1),
+                    cooldown: cfg.sc_adaptive_rotation_cooldown,
+                });
+                // The stream-level half of the defense: a learned
+                // signature RSTs established tunnels (past the connect
+                // retry budget), so rotation only preserves in-flight
+                // streams if they transparently re-establish under the
+                // rotated scheme.
+                sc_cfg.resilience.stream_resume = true;
+            }
             if let Some(m) = cfg.sc_max_tunnels {
                 sc_cfg.admission.max_tunnels = m;
             }

@@ -748,6 +748,82 @@ impl ElasticStats {
     }
 }
 
+/// Aggregate of the arms race between a reactive censor and the
+/// deployment's defenses: the censor's fingerprint learning and probing
+/// campaigns (`gfw/adaptive` + `gfw/probe` events) against the
+/// defense's decoy deflections and detection-driven scheme rotations
+/// (`scholarcloud/remote` auth failures, `scholarcloud/adaptive`
+/// rotations).
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveStats {
+    /// Cover fingerprints the censor promoted to blockable signatures.
+    pub signatures_learned: u64,
+    /// Learned signatures that expired unrefreshed (the rotation
+    /// defense starving the censor's rule set).
+    pub signatures_expired: u64,
+    /// Probing campaigns launched against suspect servers.
+    pub campaigns: u64,
+    /// Probe waves queued by campaigns.
+    pub probe_waves: u64,
+    /// Probes the censor actually launched (campaign and suspect-driven
+    /// alike).
+    pub probes_launched: u64,
+    /// Launched probes that replayed a captured preamble.
+    pub probes_replayed: u64,
+    /// Probe verdicts that confirmed a server as a proxy.
+    pub probes_confirmed: u64,
+    /// Probe verdicts that cleared a server as innocent.
+    pub probes_innocent: u64,
+    /// Hostile connections the deployment answered with a decoy
+    /// (remote-side auth failures: garbage, bad MACs, replays).
+    pub probes_deflected: u64,
+    /// Servers the adaptive censor escalated to the IP blacklist.
+    pub blacklisted: u64,
+    /// Per-region enforcement drift re-rolls observed.
+    pub region_rolls: u64,
+    /// Detection-driven scheme rotations the domestic proxy performed.
+    pub rotations: u64,
+    /// Non-HTTP garbage the domestic proxy decoyed instead of aborting.
+    pub domestic_decoys: u64,
+    /// When the censor first learned a signature (µs), if ever — the
+    /// time-to-detection headline number.
+    pub first_detection_us: Option<u64>,
+    /// When the first probing campaign started (µs), if any.
+    pub first_campaign_us: Option<u64>,
+}
+
+impl AdaptiveStats {
+    /// Whether any adaptive-censor (or rotation-defense) event appeared
+    /// in the trace. Plain suspect probing does not count: pre-adaptive
+    /// traces keep rendering exactly as before.
+    pub fn any(&self) -> bool {
+        self.signatures_learned
+            + self.signatures_expired
+            + self.campaigns
+            + self.probe_waves
+            + self.blacklisted
+            + self.region_rolls
+            + self.rotations
+            > 0
+    }
+
+    /// Fraction of launched probes that came back `confirmed` — the
+    /// censor's hit rate against the deployment. `None` when the trace
+    /// carries no probe launches.
+    pub fn detection_rate(&self) -> Option<f64> {
+        if self.probes_launched == 0 {
+            return None;
+        }
+        Some(self.probes_confirmed as f64 / self.probes_launched as f64)
+    }
+
+    /// Microseconds from t = 0 to the censor's first learned signature;
+    /// `None` if the censor never learned one.
+    pub fn time_to_detection_us(&self) -> Option<u64> {
+        self.first_detection_us
+    }
+}
+
 /// Everything the analyzer extracts from one trace.
 #[derive(Debug)]
 pub struct TraceAnalysis {
@@ -794,6 +870,9 @@ pub struct TraceAnalysis {
     pub fleet: FleetStats,
     /// Elastic remote-tier activity (`scholarcloud/elastic` events).
     pub elastic: ElasticStats,
+    /// Reactive-censor arms-race activity (`gfw/adaptive`, `gfw/probe`,
+    /// `scholarcloud/adaptive` events).
+    pub adaptive: AdaptiveStats,
     /// Window width used for timelines (µs).
     pub window_us: u64,
 }
@@ -835,6 +914,28 @@ impl TraceAnalysis {
         Some(stitched as f64 / completed as f64)
     }
 
+    /// Availability restricted to page loads that finished at or after
+    /// the censor's first probing campaign — what users experienced
+    /// while under active attack. `None` when the trace carries no
+    /// campaign or no load finished after it started.
+    pub fn availability_under_campaign(&self) -> Option<f64> {
+        let start = self.adaptive.first_campaign_us?;
+        let finished = self
+            .page_loads
+            .iter()
+            .filter(|l| l.span.ok.is_some() && l.span.end_us >= start)
+            .count();
+        if finished == 0 {
+            return None;
+        }
+        let ok = self
+            .page_loads
+            .iter()
+            .filter(|l| l.span.ok == Some(true) && l.span.end_us >= start)
+            .count();
+        Some(ok as f64 / finished as f64)
+    }
+
     /// Completed trees, slowest first (ties broken by trace id) —
     /// the "worst requests" view the report and exemplars reference.
     pub fn slowest(&self, k: usize) -> Vec<&TraceTree> {
@@ -868,6 +969,7 @@ pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
     let mut cache = CacheStats::default();
     let mut fleet = FleetStats::default();
     let mut elastic = ElasticStats::default();
+    let mut adaptive = AdaptiveStats::default();
     let mut t_end_us = 0;
 
     for ev in events {
@@ -1074,6 +1176,55 @@ pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
                     }
                 }
             }
+            // Reactive censor: fingerprint learning, probing campaigns,
+            // regional drift, and blacklist escalation.
+            "signature_learned" | "signature_expired" | "campaign" | "probe_wave"
+            | "region_drift" | "blacklisted"
+                if ev.component == "gfw" && ev.target == "adaptive" =>
+            {
+                match ev.name.as_str() {
+                    "signature_learned" => {
+                        adaptive.signatures_learned += 1;
+                        adaptive.first_detection_us.get_or_insert(ev.t_us);
+                    }
+                    "signature_expired" => adaptive.signatures_expired += 1,
+                    "campaign" => {
+                        adaptive.campaigns += 1;
+                        adaptive.first_campaign_us.get_or_insert(ev.t_us);
+                    }
+                    "probe_wave" => adaptive.probe_waves += 1,
+                    "region_drift" => adaptive.region_rolls += 1,
+                    _ => adaptive.blacklisted += 1,
+                }
+            }
+            // Active-probe traffic (both the pre-adaptive suspect probes
+            // and adaptive campaign waves land here).
+            "launched" | "verdict" if ev.component == "gfw" && ev.target == "probe" => {
+                match ev.name.as_str() {
+                    "launched" => {
+                        adaptive.probes_launched += 1;
+                        if ev.get_u64("replay").is_some() {
+                            adaptive.probes_replayed += 1;
+                        }
+                    }
+                    _ => match ev.get_str("verdict") {
+                        Some("confirmed") => adaptive.probes_confirmed += 1,
+                        Some("innocent") => adaptive.probes_innocent += 1,
+                        _ => {}
+                    },
+                }
+            }
+            // Defense side: remote decoy deflections and the domestic
+            // proxy's detection-driven rotations.
+            "auth_fail" if ev.component == "scholarcloud" && ev.target == "remote" => {
+                adaptive.probes_deflected += 1;
+            }
+            "rotate" if ev.component == "scholarcloud" && ev.target == "adaptive" => {
+                adaptive.rotations += 1;
+            }
+            "decoy" if ev.component == "scholarcloud" && ev.target == "domestic" => {
+                adaptive.domestic_decoys += 1;
+            }
             "breaker" if ev.component == "scholarcloud" => {
                 breaker_transitions.push((
                     ev.t_us,
@@ -1172,6 +1323,7 @@ pub fn analyze(events: &[TraceEvent], window_us: u64) -> TraceAnalysis {
         cache,
         fleet,
         elastic,
+        adaptive,
         window_us,
     }
 }
@@ -1563,6 +1715,59 @@ pub fn render_report(a: &TraceAnalysis) -> String {
         }
     }
 
+    // Adaptive censor vs. detection-driven defense.
+    if a.adaptive.any() {
+        out.push_str("\nadaptive censor (reactive GFW):\n");
+        let _ = writeln!(
+            out,
+            "  detection:    {}",
+            match a.adaptive.time_to_detection_us() {
+                Some(us) => format!(
+                    "first signature at {:.1} s ({} learned, {} expired)",
+                    us as f64 / 1e6,
+                    a.adaptive.signatures_learned,
+                    a.adaptive.signatures_expired
+                ),
+                None => "never fingerprinted".to_string(),
+            },
+        );
+        let _ = writeln!(
+            out,
+            "  campaigns:    {} launched, {} probe waves, {} region drift rolls",
+            a.adaptive.campaigns, a.adaptive.probe_waves, a.adaptive.region_rolls
+        );
+        let _ = writeln!(
+            out,
+            "  probes:       {} launched ({} replayed), {} confirmed / {} innocent, {} deflected by decoys",
+            a.adaptive.probes_launched,
+            a.adaptive.probes_replayed,
+            a.adaptive.probes_confirmed,
+            a.adaptive.probes_innocent,
+            a.adaptive.probes_deflected,
+        );
+        let _ = writeln!(
+            out,
+            "  detect rate:  {}",
+            match a.adaptive.detection_rate() {
+                Some(r) => format!("{:.1}% of probes confirmed a proxy", r * 100.0),
+                None => "n/a (no probes launched)".to_string(),
+            },
+        );
+        let _ = writeln!(
+            out,
+            "  defense:      {} scheme rotations, {} domestic decoys, {} endpoints blacklisted",
+            a.adaptive.rotations, a.adaptive.domestic_decoys, a.adaptive.blacklisted
+        );
+        let _ = writeln!(
+            out,
+            "  availability: {}",
+            match a.availability_under_campaign() {
+                Some(av) => format!("{:.1}% of loads finishing after first campaign succeeded", av * 100.0),
+                None => "n/a (no campaign in trace)".to_string(),
+            },
+        );
+    }
+
     // Cross-tier attribution of stitched request trees.
     if !a.trees.is_empty() {
         let completed = a.trees.iter().filter(|t| t.completed()).count();
@@ -1698,7 +1903,7 @@ pub fn render_waterfall(tree: &TraceTree) -> String {
 }
 
 /// Renders the machine-readable summary behind `scholar-obs --json`:
-/// one JSON object, schema `"scholar-obs/v3"`, with the headline
+/// one JSON object, schema `"scholar-obs/v5"`, with the headline
 /// numbers CI gates consume (availability, shed rate, cache hit rate,
 /// PLT percentiles). Every `v1` key is kept with its shape unchanged;
 /// `v2` appends the cross-tier attribution block (`stitched_traces`,
@@ -1707,8 +1912,11 @@ pub fn render_waterfall(tree: &TraceTree) -> String {
 /// (`fleet_availability` and `fleet` with its per-shard breakdown);
 /// `v4` appends the elastic-tier block (`cost_per_ok_load_micro` and
 /// `elastic` with lifecycle counters, cold-start p95, and the cost
-/// meters). Keys are emitted in a fixed order and the output is
-/// deterministic for a given trace.
+/// meters); `v5` appends the adaptive-censor block (`detection_rate`,
+/// `availability_under_campaign`, and `adaptive` with fingerprint,
+/// probe-campaign, and defense-rotation counters). Keys are emitted
+/// in a fixed order and the output is deterministic for a given
+/// trace.
 pub fn render_json(a: &TraceAnalysis) -> String {
     let mut plts: Vec<u64> = a
         .page_loads
@@ -1719,7 +1927,7 @@ pub fn render_json(a: &TraceAnalysis) -> String {
     plts.sort_unstable();
     let failed = a.page_loads.iter().filter(|l| l.span.ok == Some(false)).count();
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"scholar-obs/v4\",");
+    let _ = writeln!(out, "  \"schema\": \"scholar-obs/v5\",");
     let _ = writeln!(out, "  \"events\": {},", a.events);
     let _ = writeln!(out, "  \"sim_end_us\": {},", a.t_end_us);
     let _ = writeln!(out, "  \"spans_closed\": {},", a.spans.len());
@@ -1868,7 +2076,7 @@ pub fn render_json(a: &TraceAnalysis) -> String {
         "  \"elastic\": {{\"provisions\": {}, \"warms\": {}, \"drains_idle\": {}, \
          \"drains_blacklist\": {}, \"retires\": {}, \"churns\": {}, \"peak_live\": {}, \
          \"cold_start_p95_us\": {}, \"invocation_micro\": {}, \"egress_micro\": {}, \
-         \"warm_micro\": {}, \"total_micro\": {}}}",
+         \"warm_micro\": {}, \"total_micro\": {}}},",
         a.elastic.provisions,
         a.elastic.warms,
         a.elastic.drains_idle,
@@ -1884,6 +2092,48 @@ pub fn render_json(a: &TraceAnalysis) -> String {
         a.elastic.egress_micro,
         a.elastic.warm_micro,
         a.elastic.total_micro,
+    );
+    // v5: the adaptive-censor block.
+    match a.adaptive.detection_rate() {
+        Some(r) => {
+            let _ = writeln!(out, "  \"detection_rate\": {},", json_f64(r));
+        }
+        None => {
+            let _ = writeln!(out, "  \"detection_rate\": null,");
+        }
+    }
+    match a.availability_under_campaign() {
+        Some(av) => {
+            let _ = writeln!(out, "  \"availability_under_campaign\": {},", json_f64(av));
+        }
+        None => {
+            let _ = writeln!(out, "  \"availability_under_campaign\": null,");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  \"adaptive\": {{\"signatures_learned\": {}, \"signatures_expired\": {}, \
+         \"campaigns\": {}, \"probe_waves\": {}, \"probes_launched\": {}, \
+         \"probes_replayed\": {}, \"probes_confirmed\": {}, \"probes_innocent\": {}, \
+         \"probes_deflected\": {}, \"blacklisted\": {}, \"region_rolls\": {}, \
+         \"rotations\": {}, \"domestic_decoys\": {}, \"time_to_detection_us\": {}}}",
+        a.adaptive.signatures_learned,
+        a.adaptive.signatures_expired,
+        a.adaptive.campaigns,
+        a.adaptive.probe_waves,
+        a.adaptive.probes_launched,
+        a.adaptive.probes_replayed,
+        a.adaptive.probes_confirmed,
+        a.adaptive.probes_innocent,
+        a.adaptive.probes_deflected,
+        a.adaptive.blacklisted,
+        a.adaptive.region_rolls,
+        a.adaptive.rotations,
+        a.adaptive.domestic_decoys,
+        match a.adaptive.time_to_detection_us() {
+            Some(us) => us.to_string(),
+            None => "null".to_string(),
+        },
     );
     out.push_str("}\n");
     out
@@ -2108,7 +2358,7 @@ mod tests {
         let a = analyze(&evs, 1_000_000);
         let text = render_json(&a);
         let v = parse_json(&text).expect("render_json must emit valid JSON");
-        assert_eq!(v.get("schema").and_then(Json::as_str), Some("scholar-obs/v4"));
+        assert_eq!(v.get("schema").and_then(Json::as_str), Some("scholar-obs/v5"));
         // Every v1 key survives with its v1 shape.
         for key in [
             "events",
@@ -2184,6 +2434,33 @@ mod tests {
             );
         }
         assert_eq!(elastic.get("cold_start_p95_us"), Some(&Json::Null));
+        // v5 keys: no adaptive events → detection rate and
+        // availability-under-campaign null, counters zero.
+        assert_eq!(v.get("detection_rate"), Some(&Json::Null));
+        assert_eq!(v.get("availability_under_campaign"), Some(&Json::Null));
+        let adaptive = v.get("adaptive").expect("adaptive object");
+        for key in [
+            "signatures_learned",
+            "signatures_expired",
+            "campaigns",
+            "probe_waves",
+            "probes_launched",
+            "probes_replayed",
+            "probes_confirmed",
+            "probes_innocent",
+            "probes_deflected",
+            "blacklisted",
+            "region_rolls",
+            "rotations",
+            "domestic_decoys",
+        ] {
+            assert_eq!(
+                adaptive.get(key).and_then(Json::as_u64),
+                Some(0),
+                "adaptive key {key}"
+            );
+        }
+        assert_eq!(adaptive.get("time_to_detection_us"), Some(&Json::Null));
         // No finished loads → availability is null, still valid JSON.
         let empty = analyze(&[], 1_000_000);
         let v = parse_json(&render_json(&empty)).unwrap();
@@ -2335,6 +2612,98 @@ mod tests {
         let empty = analyze(&[], 1_000_000);
         assert!(!empty.elastic.any());
         assert!(!render_report(&empty).contains("elastic remote tier"));
+    }
+
+    /// Adaptive traces: fingerprint/campaign/probe events on the censor
+    /// side plus rotation/decoy events on the defense side aggregate
+    /// into `AdaptiveStats`, availability-under-campaign counts only
+    /// loads finishing after the first campaign, the report grows an
+    /// adaptive section, and the JSON carries the v5 block.
+    #[test]
+    fn adaptive_events_aggregate_and_availability_tracks_campaign() {
+        let gfw = |t, target: &'static str, name: &'static str, extra: &[(&'static str, &str)]| {
+            let mut ev = Event::new(t, Level::Info, "gfw", target, name);
+            for (k, v) in extra {
+                ev = ev.field(*k, v.to_string());
+            }
+            parse_line(&line(&ev)).unwrap()
+        };
+        let sc = |t, target: &'static str, name: &'static str, extra: &[(&'static str, &str)]| {
+            let mut ev = Event::new(t, Level::Info, "scholarcloud", target, name);
+            for (k, v) in extra {
+                ev = ev.field(*k, v.to_string());
+            }
+            parse_line(&line(&ev)).unwrap()
+        };
+        let mut evs = Vec::new();
+        // Two loads finish before the campaign (one fails — ignored by
+        // the campaign metric), then one ok + one failed finish after.
+        evs.extend(traced_pair(1, "web", "page_load", 0, 900_000, 1, None, true));
+        evs.extend(traced_pair(2, "web", "page_load", 0, 950_000, 2, None, false));
+        evs.extend(traced_pair(3, "web", "page_load", 1_000_000, 2_100_000, 3, None, true));
+        evs.extend(traced_pair(4, "web", "page_load", 1_000_000, 2_200_000, 4, None, false));
+        evs.push(gfw(500_000, "adaptive", "signature_learned", &[("signature", "47455420"), ("flows", "6")]));
+        evs.push(gfw(600_000, "adaptive", "campaign", &[("server", "99.0.0.40:9443"), ("score", "7")]));
+        evs.push(gfw(600_000, "adaptive", "probe_wave", &[("wave", "0")]));
+        evs.push(
+            parse_line(&line(
+                &Event::new(610_000, Level::Info, "gfw", "probe", "launched")
+                    .field("server", "99.0.0.40:9443")
+                    .field("replay", 1u64),
+            ))
+            .unwrap(),
+        );
+        evs.push(gfw(620_000, "probe", "verdict", &[("verdict", "innocent")]));
+        evs.push(gfw(700_000, "probe", "launched", &[("server", "99.0.0.40:9443")]));
+        evs.push(gfw(710_000, "probe", "verdict", &[("verdict", "confirmed")]));
+        evs.push(gfw(720_000, "adaptive", "blacklisted", &[("server", "99.0.0.40:9443")]));
+        evs.push(gfw(800_000, "adaptive", "region_drift", &[("region", "1"), ("enforcing", "0")]));
+        evs.push(gfw(900_000, "adaptive", "signature_expired", &[("signature", "47455420")]));
+        evs.push(sc(615_000, "remote", "auth_fail", &[("reason", "replayed_preamble")]));
+        evs.push(sc(650_000, "adaptive", "rotate", &[("from", "bytemap"), ("to", "xor_rolling"), ("evidence", "3")]));
+        evs.push(sc(660_000, "domestic", "decoy", &[("reason", "not_http")]));
+        // A plain scheme rotation (ops-driven, not adaptive) must NOT
+        // count toward the adaptive rotation total.
+        evs.push(sc(670_000, "scheme", "rotate", &[("from", "bytemap"), ("to", "xor_rolling")]));
+        let a = analyze(&evs, 1_000_000);
+        assert!(a.adaptive.any());
+        assert_eq!(a.adaptive.signatures_learned, 1);
+        assert_eq!(a.adaptive.signatures_expired, 1);
+        assert_eq!(a.adaptive.campaigns, 1);
+        assert_eq!(a.adaptive.probe_waves, 1);
+        assert_eq!(a.adaptive.probes_launched, 2);
+        assert_eq!(a.adaptive.probes_replayed, 1);
+        assert_eq!(a.adaptive.probes_confirmed, 1);
+        assert_eq!(a.adaptive.probes_innocent, 1);
+        assert_eq!(a.adaptive.probes_deflected, 1);
+        assert_eq!(a.adaptive.blacklisted, 1);
+        assert_eq!(a.adaptive.region_rolls, 1);
+        assert_eq!(a.adaptive.rotations, 1, "ops scheme rotate must not count");
+        assert_eq!(a.adaptive.domestic_decoys, 1);
+        assert_eq!(a.adaptive.time_to_detection_us(), Some(500_000));
+        assert_eq!(a.adaptive.detection_rate(), Some(0.5));
+        // Only the two loads that finished at/after t=600000 count:
+        // one ok, one failed → 50%.
+        let av = a.availability_under_campaign().unwrap();
+        assert!((av - 0.5).abs() < 1e-9, "{av}");
+        let report = render_report(&a);
+        assert!(report.contains("adaptive censor (reactive GFW)"), "{report}");
+        assert!(report.contains("first signature at 0.5 s"), "{report}");
+        let v = parse_json(&render_json(&a)).unwrap();
+        let aj = v.get("adaptive").expect("adaptive object");
+        assert_eq!(aj.get("probes_launched").and_then(Json::as_u64), Some(2));
+        assert_eq!(aj.get("rotations").and_then(Json::as_u64), Some(1));
+        assert_eq!(aj.get("time_to_detection_us").and_then(Json::as_u64), Some(500_000));
+        assert!((v.get("detection_rate").and_then(Json::as_f64).unwrap() - 0.5).abs() < 1e-9);
+        assert!(
+            (v.get("availability_under_campaign").and_then(Json::as_f64).unwrap() - 0.5)
+                .abs()
+                < 1e-9
+        );
+        // A trace without adaptive events renders no adaptive section.
+        let empty = analyze(&[], 1_000_000);
+        assert!(!empty.adaptive.any());
+        assert!(!render_report(&empty).contains("adaptive censor"));
     }
 
     /// A traced `span_start`/`span_end` pair, the offline twin of

@@ -6,7 +6,8 @@
 //!             [--max-shed-rate FRAC] [--min-cache-hit-rate FRAC]
 //!             [--min-fleet-availability FRAC]
 //!             [--min-attribution-coverage PCT] [--require-exemplars]
-//!             [--max-cost-per-load DOLLARS]
+//!             [--max-cost-per-load DOLLARS] [--max-detection-rate FRAC]
+//!             [--min-availability-under-campaign FRAC]
 //! ```
 //!
 //! Prints the critical-path decomposition of `page_load` spans, the
@@ -44,7 +45,14 @@
 //! that the elastic remote tier's metered cost per *successful* page
 //! load stayed at or below 0.002 USD (the elastic-lab smoke gate;
 //! fails when the trace carries no elastic cost data or no load
-//! succeeded).
+//! succeeded). `--max-detection-rate 0.0` demands that at most 0% of
+//! the censor's active probes confirmed a proxy (the arms-race smoke
+//! gate: a probe-resistant remote must classify as an innocent web
+//! server; fails when the trace carries no probe verdicts at all),
+//! and `--min-availability-under-campaign 0.9` demands that at least
+//! 90% of page loads finishing after the censor's first probing
+//! campaign still succeeded (fails when the trace carries no campaign
+//! or no load finished after it).
 //!
 //! `--json` replaces the human-readable report with the machine
 //! summary from [`sc_obs::analyze::render_json`] (schema
@@ -62,7 +70,9 @@
 //! * `4` — a `--require-failover` / `--min-availability` /
 //!   `--max-shed-rate` / `--min-cache-hit-rate` /
 //!   `--min-fleet-availability` / `--min-attribution-coverage` /
-//!   `--require-exemplars` / `--max-cost-per-load` gate failed.
+//!   `--require-exemplars` / `--max-cost-per-load` /
+//!   `--max-detection-rate` / `--min-availability-under-campaign`
+//!   gate failed.
 
 use std::process::ExitCode;
 
@@ -72,7 +82,8 @@ fn main() -> ExitCode {
                          [--max-shed-rate FRAC] [--min-cache-hit-rate FRAC] \
                          [--min-fleet-availability FRAC] \
                          [--min-attribution-coverage PCT] [--require-exemplars] \
-                         [--max-cost-per-load DOLLARS]";
+                         [--max-cost-per-load DOLLARS] [--max-detection-rate FRAC] \
+                         [--min-availability-under-campaign FRAC]";
     let mut args = std::env::args().skip(1);
     let mut path = None;
     let mut window_s: u64 = 10;
@@ -83,6 +94,8 @@ fn main() -> ExitCode {
     let mut min_fleet_availability: Option<f64> = None;
     let mut min_attribution_coverage: Option<f64> = None;
     let mut max_cost_per_load: Option<f64> = None;
+    let mut max_detection_rate: Option<f64> = None;
+    let mut min_availability_under_campaign: Option<f64> = None;
     let mut require_exemplars = false;
     let mut waterfall: Option<u64> = None;
     let mut json = false;
@@ -179,6 +192,31 @@ fn main() -> ExitCode {
                     return ExitCode::from(1);
                 };
                 max_cost_per_load = Some(v);
+            }
+            "--max-detection-rate" => {
+                let Some(v) = args
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|v| (0.0..=1.0).contains(v))
+                else {
+                    eprintln!("scholar-obs: --max-detection-rate expects a fraction in [0, 1]");
+                    return ExitCode::from(1);
+                };
+                max_detection_rate = Some(v);
+            }
+            "--min-availability-under-campaign" => {
+                let Some(v) = args
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|v| (0.0..=1.0).contains(v))
+                else {
+                    eprintln!(
+                        "scholar-obs: --min-availability-under-campaign expects a fraction \
+                         in [0, 1]"
+                    );
+                    return ExitCode::from(1);
+                };
+                min_availability_under_campaign = Some(v);
             }
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -345,6 +383,48 @@ fn main() -> ExitCode {
                 eprintln!(
                     "scholar-obs: gate failed — no elastic cost data (or no successful \
                      loads), cost per load undefined"
+                );
+                gate_failed = true;
+            }
+        }
+    }
+    if let Some(max) = max_detection_rate {
+        match analysis.adaptive.detection_rate() {
+            Some(rate) if rate <= max => {}
+            Some(rate) => {
+                eprintln!(
+                    "scholar-obs: gate failed — probe detection rate {:.1}% above \
+                     allowed {:.1}% (active probes are confirming the proxy)",
+                    rate * 100.0,
+                    max * 100.0
+                );
+                gate_failed = true;
+            }
+            None => {
+                eprintln!(
+                    "scholar-obs: gate failed — no active probes in trace, detection \
+                     rate undefined"
+                );
+                gate_failed = true;
+            }
+        }
+    }
+    if let Some(min) = min_availability_under_campaign {
+        match analysis.availability_under_campaign() {
+            Some(avail) if avail >= min => {}
+            Some(avail) => {
+                eprintln!(
+                    "scholar-obs: gate failed — availability under campaign {:.1}% below \
+                     required {:.1}%",
+                    avail * 100.0,
+                    min * 100.0
+                );
+                gate_failed = true;
+            }
+            None => {
+                eprintln!(
+                    "scholar-obs: gate failed — no probing campaign in trace (or no load \
+                     finished after it), availability under campaign undefined"
                 );
                 gate_failed = true;
             }

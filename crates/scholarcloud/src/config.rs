@@ -23,42 +23,137 @@ pub const DOMESTIC_PORT: u16 = 8080;
 /// touching clients — the paper's agility argument against a censor that
 /// learns one scheme's signature.
 #[derive(Debug, Clone)]
-pub struct SchemeHandle(Rc<RefCell<BlindingScheme>>);
+pub struct SchemeHandle(Rc<RefCell<(BlindingScheme, u32)>>);
 
 impl SchemeHandle {
-    /// Starts with the given scheme.
+    /// Starts with the given scheme at cover generation 0.
     pub fn new(scheme: BlindingScheme) -> Self {
-        SchemeHandle(Rc::new(RefCell::new(scheme)))
+        SchemeHandle(Rc::new(RefCell::new((scheme, 0))))
     }
 
     /// The scheme currently in force.
     pub fn get(&self) -> BlindingScheme {
-        *self.0.borrow()
+        self.0.borrow().0
     }
 
-    /// Sets the scheme.
+    /// The cover-path generation currently in force (see
+    /// `frame::cover_path_gen`). Stays 0 — the fixed pre-adaptive cover
+    /// endpoints — until a detection-driven rotation bumps it.
+    pub fn generation(&self) -> u32 {
+        self.0.borrow().1
+    }
+
+    /// Sets the scheme (generation untouched).
     pub fn set(&self, scheme: BlindingScheme) {
-        *self.0.borrow_mut() = scheme;
+        self.0.borrow_mut().0 = scheme;
     }
 
     /// Rotates to the next scheme in the rotation order.
+    ///
+    /// Out-of-band operator rotation with no sim clock in scope; the
+    /// emitted event is stamped t_us = 0 by convention. In-sim policy
+    /// rotations should use [`rotate_at`](Self::rotate_at).
     pub fn rotate(&self) -> BlindingScheme {
+        self.rotate_at(0)
+    }
+
+    /// Rotates to the next scheme, stamping the event with `t_us` (the
+    /// sim clock of the policy decision that triggered it). The cover
+    /// generation is kept: this is the pre-adaptive operator rotation
+    /// every pinned trace was recorded against.
+    pub fn rotate_at(&self, t_us: u64) -> BlindingScheme {
+        self.rotate_inner(t_us, false)
+    }
+
+    /// Rotates to the next scheme AND advances the cover-path
+    /// generation, so the new deployment fronts an endpoint the censor
+    /// has never fingerprinted. This is the detection-driven defense's
+    /// rotation: a codec change alone re-uses one of finitely many
+    /// covers, and an adaptive censor eventually holds a live signature
+    /// for all of them.
+    pub fn rotate_fresh_at(&self, t_us: u64) -> BlindingScheme {
+        self.rotate_inner(t_us, true)
+    }
+
+    fn rotate_inner(&self, t_us: u64, fresh_cover: bool) -> BlindingScheme {
         let rotation = BlindingScheme::rotation();
         let cur = self.get();
         let idx = rotation.iter().position(|s| *s == cur).unwrap_or(0);
         let next = rotation[(idx + 1) % rotation.len()];
-        self.set(next);
+        let generation = {
+            let mut inner = self.0.borrow_mut();
+            inner.0 = next;
+            if fresh_cover {
+                inner.1 += 1;
+            }
+            inner.1
+        };
         sc_obs::counter_add("scholarcloud.scheme_rotations", 1);
         if sc_obs::is_enabled(sc_obs::Level::Info, "scholarcloud") {
-            // Rotation is an operator control-plane action with no sim
-            // clock in scope; events are stamped t_us = 0 by convention.
-            sc_obs::emit(
-                sc_obs::Event::new(0, sc_obs::Level::Info, "scholarcloud", "scheme", "rotate")
+            let mut ev =
+                sc_obs::Event::new(t_us, sc_obs::Level::Info, "scholarcloud", "scheme", "rotate")
                     .field("from", format!("{cur:?}"))
-                    .field("to", format!("{next:?}")),
-            );
+                    .field("to", format!("{next:?}"));
+            if fresh_cover {
+                ev = ev.field("generation", u64::from(generation));
+            }
+            sc_obs::emit(ev);
         }
         next
+    }
+}
+
+/// Shared interference telemetry between the proxies. The operator runs
+/// both ends, so the remote's view of hostile probing is available to the
+/// domestic side's rotation policy without an in-band channel — the same
+/// control-plane sharing as [`SchemeHandle`].
+#[derive(Debug, Clone, Default)]
+pub struct InterferencePad(Rc<RefCell<InterferenceCounters>>);
+
+/// What the pad accumulates.
+#[derive(Debug, Default)]
+pub struct InterferenceCounters {
+    /// Connections the remote side decoyed because they replayed a
+    /// previously seen preamble — the signature of an adaptive censor's
+    /// probing campaign, not of a misconfigured client.
+    pub probe_sightings: u64,
+}
+
+impl InterferencePad {
+    /// A fresh pad with zeroed counters.
+    pub fn new() -> Self {
+        InterferencePad::default()
+    }
+
+    /// Records one probe sighting (remote side).
+    pub fn note_probe(&self) {
+        self.0.borrow_mut().probe_sightings += 1;
+    }
+
+    /// Total probe sightings so far (domestic side reads this).
+    pub fn probe_sightings(&self) -> u64 {
+        self.0.borrow().probe_sightings
+    }
+}
+
+/// The domestic proxy's detection-driven scheme-rotation policy: rotate
+/// the blinding scheme when observed interference (breaker openings plus
+/// remote-side probe sightings) crosses `threshold` new units since the
+/// last rotation, but never twice within `cooldown`. Rotation is driven
+/// by evidence of detection, not a timer — an undetected scheme is left
+/// alone indefinitely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RotationPolicy {
+    /// New interference units (breaker openings + probe sightings) that
+    /// trigger a rotation.
+    pub threshold: u64,
+    /// Minimum spacing between rotations.
+    pub cooldown: SimDuration,
+}
+
+impl Default for RotationPolicy {
+    fn default() -> Self {
+        RotationPolicy { threshold: 3, cooldown: SimDuration::from_secs(10) }
     }
 }
 
@@ -92,6 +187,14 @@ pub struct ResilienceConfig {
     /// How long a request may stay parked waiting for *any* remote to
     /// come back before it fails fast with 503.
     pub queue_fail_after: SimDuration,
+    /// Transparently re-establish a tunnel that is RST mid-stream
+    /// before the first downstream byte arrives. The adaptive censor's
+    /// learned-signature RESET lands exactly there — on the preamble,
+    /// after the connect succeeded — where the plain retry budget no
+    /// longer applies; without this, one detection kills every stream
+    /// in flight even though rotation reacts within the same instant.
+    /// Off by default: pre-adaptive traces were pinned without it.
+    pub stream_resume: bool,
 }
 
 impl Default for ResilienceConfig {
@@ -104,6 +207,7 @@ impl Default for ResilienceConfig {
             breaker_cooldown: SimDuration::from_secs(8),
             probe_interval: SimDuration::from_secs(2),
             queue_fail_after: SimDuration::from_secs(2),
+            stream_resume: false,
         }
     }
 }
@@ -140,6 +244,12 @@ pub struct ScConfig {
     /// control in experiments. The handle is shared so the harness can
     /// read hit/miss statistics after a run.
     pub cache: CacheHandle,
+    /// Shared interference telemetry (remote writes, domestic reads).
+    pub interference: InterferencePad,
+    /// Detection-driven scheme rotation. `None` (the default) keeps the
+    /// scheme fixed for the whole deployment — the pre-adaptive behavior
+    /// every pinned trace was recorded against.
+    pub rotation: Option<RotationPolicy>,
 }
 
 impl ScConfig {
@@ -158,6 +268,8 @@ impl ScConfig {
             whitelist: vec!["scholar.google.com".into(), "www.google.com".into()],
             scheme: SchemeHandle::default(),
             cache: CacheHandle::new(CacheConfig::default()),
+            interference: InterferencePad::new(),
+            rotation: None,
         }
     }
 

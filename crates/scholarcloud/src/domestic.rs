@@ -53,7 +53,7 @@ use crate::admission::{AdmissionController, Decision, Dequeued};
 use crate::config::{ScConfig, REMOTE_PORT};
 use crate::elastic::{ElasticAction, ElasticHandle};
 use crate::fleet::FleetMember;
-use crate::frame::{Hello, StreamCodec, StreamHeader};
+use crate::frame::{decoy_response, Hello, StreamCodec, StreamHeader};
 use crate::resilience::{BreakerState, BreakerTransition, RemotePool};
 
 /// How often a parked request re-checks the pool for a recovered remote
@@ -150,6 +150,10 @@ struct PendingTunnel {
     last_remote: Option<usize>,
     /// Send `200 Connection established` on success (CONNECT only).
     is_connect: bool,
+    /// Rebuilt from a mid-stream death ([`StreamReplay`]): the browser
+    /// already got its `200` the first time around, so establishment
+    /// must complete silently.
+    resumed: bool,
     /// When this request started waiting for *any* remote to come back.
     parked_since: Option<SimTime>,
     /// A connect attempt is currently outstanding.
@@ -175,6 +179,30 @@ struct PendingTunnel {
     wait_span: sc_obs::SpanId,
 }
 
+/// Everything needed to transparently rebuild an established tunnel
+/// whose remote leg died before delivering a single downstream byte.
+/// The browser has observed nothing yet, so replaying the buffered
+/// plaintext through a fresh tunnel (under whatever blinding scheme is
+/// in force *now*) is indistinguishable from a slow first attempt.
+/// This is the stream-level half of the rotation defense: a learned
+/// signature RSTs the preamble after the connect succeeds, past the
+/// establish-phase retry budget, and would otherwise kill every stream
+/// in flight at the moment of detection.
+struct StreamReplay {
+    header: StreamHeader,
+    is_connect: bool,
+    /// Plaintext sent upstream so far (origin-form request plus every
+    /// tunneled byte); capped at [`REPLAY_CAP`].
+    sent_plain: Vec<u8>,
+    /// Establish attempts already consumed by this browser request.
+    attempts: u32,
+    tctx: sc_obs::TraceCtx,
+}
+
+/// Upper bound on buffered upstream plaintext per stream: past this the
+/// replay state is dropped and a mid-stream death is final, as before.
+const REPLAY_CAP: usize = 16 * 1024;
+
 struct RemoteConn {
     browser: TcpHandle,
     /// Index into the remote pool (health/breaker bookkeeping).
@@ -197,6 +225,10 @@ struct RemoteConn {
     attempt_span: sc_obs::SpanId,
     /// Open "tunnel_stream"/"upstream_fetch" span once established.
     stream_span: sc_obs::SpanId,
+    /// Armed while a mid-stream death is still transparently
+    /// recoverable (see [`StreamReplay`]); cleared by the first
+    /// downstream byte or a buffer overflow.
+    replay: Option<StreamReplay>,
 }
 
 /// An active health probe: a bare TCP connect to a remote, closed as
@@ -278,6 +310,17 @@ pub struct DomesticProxy {
     pub tunnel_failures: u64,
     /// Requests failed with 503 while every remote was dark (diagnostics).
     pub fail_fast: u64,
+    /// Decoys served to connections that never spoke HTTP (diagnostics;
+    /// an active prober's garbage lands here).
+    pub decoys: u64,
+    /// Detection-driven scheme rotations performed (diagnostics).
+    pub rotations: u64,
+    /// Breaker openings observed (rotation-policy evidence).
+    breaker_opens: u64,
+    /// Interference units already consumed by past rotations.
+    evidence_consumed: u64,
+    /// When the scheme last rotated (cooldown bookkeeping).
+    last_rotation: Option<SimTime>,
 }
 
 impl DomesticProxy {
@@ -314,6 +357,11 @@ impl DomesticProxy {
             failovers: 0,
             tunnel_failures: 0,
             fail_fast: 0,
+            decoys: 0,
+            rotations: 0,
+            breaker_opens: 0,
+            evidence_consumed: 0,
+            last_rotation: None,
         }
     }
 
@@ -633,6 +681,69 @@ impl DomesticProxy {
             // will never come.
             if t.to == BreakerState::Open {
                 self.elastic_churn(idx, ctx);
+                self.breaker_opens += 1;
+                // Rotate *now*, not at the next tick: this request's own
+                // retry already picks up the new scheme (the attempt
+                // re-reads the live handle).
+                self.maybe_rotate(ctx);
+            }
+        }
+    }
+
+    /// Evaluates the detection-driven scheme-rotation policy: breaker
+    /// openings (tunnels dying at the censor's hands) plus remote-side
+    /// probe sightings are the interference evidence; enough *new*
+    /// evidence since the last rotation — outside the cooldown — rotates
+    /// the blinding scheme, changing the cover traffic's on-wire shape
+    /// and starving whatever signature the censor had learned. No timer
+    /// is involved: an undetected scheme never rotates.
+    fn maybe_rotate(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(policy) = self.config.rotation else { return };
+        let now = ctx.now();
+        let evidence = self.breaker_opens + self.config.interference.probe_sightings();
+        let fresh = evidence.saturating_sub(self.evidence_consumed);
+        if fresh < policy.threshold {
+            return;
+        }
+        if let Some(last) = self.last_rotation {
+            if now.saturating_since(last) < policy.cooldown {
+                return;
+            }
+        }
+        self.evidence_consumed = evidence;
+        self.last_rotation = Some(now);
+        self.rotations += 1;
+        let from = self.config.scheme.get();
+        // A fresh cover generation with the new codec: the censor's
+        // classifier has never seen the rotated deployment's preamble,
+        // so every learned signature starves from here on out.
+        let to = self.config.scheme.rotate_fresh_at(now.as_micros());
+        sc_obs::counter_add("scholarcloud.adaptive_rotations", 1);
+        if sc_obs::is_enabled(sc_obs::Level::Info, "scholarcloud") {
+            sc_obs::emit(
+                sc_obs::Event::new(
+                    now.as_micros(),
+                    sc_obs::Level::Info,
+                    "scholarcloud",
+                    "adaptive",
+                    "rotate",
+                )
+                .field("from", format!("{from:?}"))
+                .field("to", format!("{to:?}"))
+                .field("evidence", fresh),
+            );
+        }
+        // Breaker amnesty: the opens that drove this rotation were the
+        // censor killing the *scheme*, not the remotes. Forgive every
+        // live breaker so the very next attempt tries the rotated
+        // scheme immediately instead of waiting out a cooldown against
+        // an endpoint that was never actually sick.
+        for idx in 0..self.pool.len() {
+            if self.pool.entry(idx).retired {
+                continue;
+            }
+            if let Some(t) = self.pool.forgive(idx) {
+                self.emit_breaker(idx, t, ctx);
             }
         }
     }
@@ -690,7 +801,12 @@ impl DomesticProxy {
         let Some(handle) = self.elastic.clone() else { return };
         let now = ctx.now();
         let queue_depth = self.admission.queue_depth();
-        let actions = handle.with(|p| p.tick(now, queue_depth, || ctx.rng().gen()));
+        // SLO burn-rate input: a latency or availability objective
+        // actively burning budget is demand the queue cannot see yet, so
+        // it surges capacity ahead of the backlog. Outside an SLO-guarded
+        // run there is no engine and the signal is simply false.
+        let burning = sc_obs::with_slo_engine(|e| e.any_fired()).unwrap_or(false);
+        let actions = handle.with(|p| p.tick(now, queue_depth, burning, || ctx.rng().gen()));
         for act in actions {
             match act {
                 ElasticAction::Provision { addr, cold_start } => {
@@ -963,6 +1079,7 @@ impl DomesticProxy {
                 attempts: 0,
                 last_remote: None,
                 is_connect,
+                resumed: false,
                 parked_since: None,
                 inflight: false,
                 retry_armed: false,
@@ -1112,7 +1229,7 @@ impl DomesticProxy {
         // TCP connection as a new session.
         let scheme = self.config.scheme.get();
         let nonce: u64 = ctx.rng().gen();
-        let hello = Hello { scheme, nonce };
+        let hello = Hello { scheme, nonce, generation: self.config.scheme.generation() };
         let encrypt = !header.is_tls;
         let mut tx = StreamCodec::new(&self.config.secret, &hello, encrypt, 0);
         let rx = StreamCodec::new(&self.config.secret, &hello, encrypt, 1);
@@ -1148,6 +1265,7 @@ impl DomesticProxy {
                 down_bytes: 0,
                 attempt_span,
                 stream_span: sc_obs::SpanId::NONE,
+                replay: None,
             },
         );
         self.arm(
@@ -1156,6 +1274,70 @@ impl DomesticProxy {
             ctx,
         );
         sc_obs::counter_add("scholarcloud.connect_attempts", 1);
+    }
+
+    /// Rebuilds a pending request from an established tunnel's replay
+    /// buffer after a recoverable mid-stream death and starts the next
+    /// attempt immediately. The browser keeps its admission slot and
+    /// notices nothing: no downstream byte was ever delivered, and the
+    /// rebuilt tunnel replays every plaintext byte the browser sent.
+    fn resume_tunnel(
+        &mut self,
+        browser: TcpHandle,
+        last_remote: usize,
+        rep: StreamReplay,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let now = ctx.now();
+        sc_obs::counter_add("scholarcloud.stream_resumes", 1);
+        if sc_obs::is_enabled(sc_obs::Level::Info, "scholarcloud") {
+            sc_obs::emit(
+                sc_obs::Event::new(
+                    now.as_micros(),
+                    sc_obs::Level::Info,
+                    "scholarcloud",
+                    "domestic",
+                    "stream_resume",
+                )
+                .field("target", target_label(&rep.header))
+                .field("buffered", rep.sent_plain.len() as u64)
+                .field("attempt", u64::from(rep.attempts)),
+            );
+        }
+        let establish_span = sc_obs::span_start_ctx(
+            now.as_micros(),
+            sc_obs::Level::Debug,
+            "scholarcloud",
+            "resilience",
+            "establish",
+            rep.tctx,
+            vec![
+                ("target", sc_obs::Value::String(target_label(&rep.header))),
+                ("resumed", true.into()),
+            ],
+        );
+        self.browsers.insert(browser, BrowserConn::Pending);
+        self.pending.insert(
+            browser,
+            PendingTunnel {
+                header: rep.header,
+                initial_plain: rep.sent_plain,
+                attempts: rep.attempts,
+                last_remote: Some(last_remote),
+                is_connect: rep.is_connect,
+                resumed: true,
+                parked_since: None,
+                inflight: false,
+                retry_armed: false,
+                queued: false,
+                admitted_at: now,
+                tctx: rep.tctx,
+                admission_span: sc_obs::SpanId::NONE,
+                establish_span,
+                wait_span: sc_obs::SpanId::NONE,
+            },
+        );
+        self.try_attempt(browser, ctx);
     }
 
     /// A tunnel connect attempt died before establishment: record the
@@ -1245,6 +1427,10 @@ impl DomesticProxy {
     /// re-arms the next tick.
     fn probe_round(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
+        // Probe sightings accrue on the remote side between our own
+        // failure events; re-evaluate rotation on the same cadence as
+        // health probing so they are picked up without a dedicated timer.
+        self.maybe_rotate(ctx);
         for idx in 0..self.pool.len() {
             let e = self.pool.entry(idx);
             // Retired entries (drained elastic instances) are gone for
@@ -2233,12 +2419,24 @@ impl App for DomesticProxy {
                                 sc_obs::Value::String(target_label(&pt.header)),
                             )],
                         );
+                        let arm_replay = self.config.resilience.stream_resume
+                            && !self.gw_fetches.contains_key(&browser)
+                            && pt.initial_plain.len() <= REPLAY_CAP;
                         if let Some(conn) = self.remotes.get_mut(&h) {
                             conn.stream_span = stream_span;
+                            if arm_replay {
+                                conn.replay = Some(StreamReplay {
+                                    header: pt.header.clone(),
+                                    is_connect: pt.is_connect,
+                                    sent_plain: pt.initial_plain.clone(),
+                                    attempts: pt.attempts,
+                                    tctx: pt.tctx,
+                                });
+                            }
                         }
                         self.admission
                             .record_service(now.saturating_since(pt.admitted_at));
-                        if pt.is_connect {
+                        if pt.is_connect && !pt.resumed {
                             ctx.tcp_send(browser, b"HTTP/1.1 200 Connection established\r\n\r\n");
                         }
                         // A gateway leader's conn stays in gateway mode
@@ -2272,6 +2470,9 @@ impl App for DomesticProxy {
                     let mut plain = data.to_vec();
                     conn.rx.decode(&mut plain);
                     conn.down_bytes += plain.len() as u64;
+                    // The browser has now observed upstream state: a
+                    // later death can no longer be replayed from zero.
+                    conn.replay = None;
                     sc_obs::counter_add("scholarcloud.bytes_down", plain.len() as u64);
                     let browser = conn.browser;
                     let ridx = conn.remote_idx;
@@ -2317,19 +2518,57 @@ impl App for DomesticProxy {
                             _ => "peer_closed",
                         };
                         self.attempt_failed(h, reason, ctx);
-                    } else if let Some(conn) = self.remotes.remove(&h) {
-                        self.elastic_stream_end(conn.remote_idx, ctx.now());
+                    } else if let Some(mut conn) = self.remotes.remove(&h) {
+                        let now = ctx.now();
+                        self.elastic_stream_end(conn.remote_idx, now);
+                        let reset = matches!(tcp_ev, TcpEvent::Reset);
+                        // A mid-stream RST before any downstream byte is
+                        // the adaptive censor's learned-signature RESET
+                        // landing on the preamble, past the establish
+                        // retry budget. Record the failure *first* so
+                        // the breaker/rotation evidence is current (a
+                        // detection-driven rotation fires right here),
+                        // then rebuild the request from its replay
+                        // buffer and retry under the rotated scheme.
+                        if reset && conn.down_bytes == 0 {
+                            if let Some(rep) = conn.replay.take() {
+                                if rep.attempts < self.config.resilience.max_attempts {
+                                    self.record_remote_failure(conn.remote_idx, ctx);
+                                    sc_obs::observe(
+                                        "scholarcloud.stream_bytes_up",
+                                        conn.up_bytes,
+                                    );
+                                    sc_obs::observe("scholarcloud.stream_bytes_down", 0);
+                                    sc_obs::span_end(
+                                        now.as_micros(),
+                                        conn.stream_span,
+                                        vec![
+                                            ("ok", false.into()),
+                                            ("bytes_down", 0u64.into()),
+                                            ("resumed", true.into()),
+                                        ],
+                                    );
+                                    self.resume_tunnel(
+                                        conn.browser,
+                                        conn.remote_idx,
+                                        rep,
+                                        ctx,
+                                    );
+                                    return;
+                                }
+                            }
+                        }
                         sc_obs::observe("scholarcloud.stream_bytes_up", conn.up_bytes);
                         sc_obs::observe("scholarcloud.stream_bytes_down", conn.down_bytes);
                         sc_obs::span_end(
-                            ctx.now().as_micros(),
+                            now.as_micros(),
                             conn.stream_span,
                             vec![
-                                ("ok", (!matches!(tcp_ev, TcpEvent::Reset)).into()),
+                                ("ok", (!reset).into()),
                                 ("bytes_down", conn.down_bytes.into()),
                             ],
                         );
-                        if matches!(tcp_ev, TcpEvent::Reset) {
+                        if reset {
                             // A mid-stream RST is a health signal (GFW
                             // interference or a dying VM), not a normal
                             // end-of-stream.
@@ -2360,8 +2599,33 @@ impl App for DomesticProxy {
                 match self.browsers.get_mut(&h) {
                     Some(BrowserConn::AwaitRequest(parser)) => {
                         let Ok(msgs) = parser.push(&data) else {
-                            ctx.tcp_abort(h);
+                            // Bytes that never parse as HTTP are not a
+                            // browser — they are a scanner or an active
+                            // probe. Aborting here would answer garbage
+                            // with an RST, the exact silent-proxy
+                            // signature probing looks for; serve the
+                            // same boring decoy as the remote side and
+                            // close cleanly. No admission slot is held:
+                            // admission only engages after a parsed
+                            // request is whitelisted.
+                            ctx.tcp_send(h, &decoy_response());
+                            ctx.tcp_close(h);
                             self.browsers.insert(h, BrowserConn::Dead);
+                            self.decoys += 1;
+                            sc_obs::counter_add("scholarcloud.decoys_served", 1);
+                            self.config.interference.note_probe();
+                            if sc_obs::is_enabled(sc_obs::Level::Info, "scholarcloud") {
+                                sc_obs::emit(
+                                    sc_obs::Event::new(
+                                        ctx.now().as_micros(),
+                                        sc_obs::Level::Info,
+                                        "scholarcloud",
+                                        "domestic",
+                                        "decoy",
+                                    )
+                                    .field("reason", "not_http"),
+                                );
+                            }
                             return;
                         };
                         for msg in msgs {
@@ -2410,6 +2674,13 @@ impl App for DomesticProxy {
                     Some(BrowserConn::Tunneling { remote }) => {
                         let remote = *remote;
                         if let Some(conn) = self.remotes.get_mut(&remote) {
+                            match conn.replay.as_mut() {
+                                Some(rep) if rep.sent_plain.len() + data.len() <= REPLAY_CAP => {
+                                    rep.sent_plain.extend_from_slice(&data);
+                                }
+                                Some(_) => conn.replay = None,
+                                None => {}
+                            }
                             let mut wire = data.to_vec();
                             conn.up_bytes += wire.len() as u64;
                             sc_obs::counter_add("scholarcloud.bytes_up", wire.len() as u64);

@@ -13,6 +13,7 @@
 
 use sc_crypto::blinding::{Blinder, BlindingScheme};
 use sc_crypto::hmac::{ct_eq, hkdf, hmac_sha256};
+use sc_crypto::sha256::sha256;
 use sc_crypto::modes::Ctr;
 use sc_crypto::{Aes, KeySize};
 use sc_netproto::socks::TargetAddr;
@@ -29,6 +30,48 @@ pub fn cover_path(scheme: BlindingScheme) -> &'static str {
     }
 }
 
+/// Path segments the generation-derived covers are assembled from:
+/// boring CDN/API vocabulary, so any derived endpoint reads like the
+/// upload path of yet another web app.
+const COVER_DIRS: [&str; 16] = [
+    "api", "cdn", "static", "assets", "media", "files", "data", "svc", "app", "edge", "img",
+    "pkg", "ext", "feeds", "hooks", "gw",
+];
+const COVER_LEAVES: [&str; 16] = [
+    "sync", "upload", "blob", "push", "batch", "ingest", "beacon", "report", "submit", "store",
+    "put", "send", "collect", "track", "log", "events",
+];
+
+/// The cover endpoint for a scheme at a given rotation *generation*.
+///
+/// Generation 0 is the fixed paths every pre-adaptive trace was pinned
+/// against; later generations derive a fresh innocuous path from the
+/// scheme and the generation counter. This is the half of the agility
+/// argument a 3-scheme codec rotation alone cannot deliver: an adaptive
+/// censor fingerprints the cover preamble, and with a finite set of
+/// covers it eventually holds a live signature for every one of them.
+/// The operator controls both proxies, so each detection-driven
+/// rotation can front an endpoint the censor has never seen — the
+/// censor's classifier restarts from zero while the old signature
+/// starves out its TTL.
+pub fn cover_path_gen(scheme: BlindingScheme, generation: u32) -> String {
+    if generation == 0 {
+        return cover_path(scheme).to_string();
+    }
+    let mut msg = Vec::with_capacity(16);
+    msg.extend_from_slice(b"scholarcloud-cover-v1");
+    msg.push(scheme.wire_id());
+    msg.extend_from_slice(&generation.to_le_bytes());
+    let d = sha256(&msg);
+    format!(
+        "/{}/{}-{:02x}{:02x}",
+        COVER_DIRS[(d[0] & 0x0f) as usize],
+        COVER_LEAVES[(d[1] & 0x0f) as usize],
+        d[2],
+        d[3],
+    )
+}
+
 /// The parsed cover preamble.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Hello {
@@ -36,6 +79,10 @@ pub struct Hello {
     pub scheme: BlindingScheme,
     /// Session nonce (keys are derived from secret + nonce).
     pub nonce: u64,
+    /// Cover-path generation (see [`cover_path_gen`]). Carried by the
+    /// path itself, not the MAC: it selects cover dressing only — keys
+    /// derive from secret + nonce regardless.
+    pub generation: u32,
 }
 
 fn mac_hex(secret: &[u8], scheme: BlindingScheme, nonce: u64) -> String {
@@ -52,7 +99,7 @@ impl Hello {
         let mac = mac_hex(secret, self.scheme, self.nonce);
         format!(
             "POST {} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/octet-stream\r\nX-Req-Id: {:016x}\r\nX-Trace: {}\r\nTransfer-Encoding: chunked\r\n\r\n",
-            cover_path(self.scheme),
+            cover_path_gen(self.scheme, self.generation),
             front_host,
             self.nonce,
             mac,
@@ -64,8 +111,18 @@ impl Hello {
     /// stream. Returns the hello and bytes consumed, `Ok(None)` if more
     /// data is needed, or `Err(())` if the head is complete but invalid
     /// (serve the decoy).
+    ///
+    /// `generation` is the receiver's current cover-path generation;
+    /// the previous generation is also accepted so flows already in
+    /// flight when a rotation lands still authenticate. Anything older
+    /// — including an active prober replaying a long-captured preamble
+    /// — no longer parses and gets the decoy.
     #[allow(clippy::result_unit_err)]
-    pub fn parse(secret: &[u8], data: &[u8]) -> Result<Option<(Hello, usize)>, ()> {
+    pub fn parse(
+        secret: &[u8],
+        generation: u32,
+        data: &[u8],
+    ) -> Result<Option<(Hello, usize)>, ()> {
         let Some(head_end) = data.windows(4).position(|w| w == b"\r\n\r\n") else {
             // An absurdly long "head" is not a preamble.
             return if data.len() > 4096 { Err(()) } else { Ok(None) };
@@ -74,14 +131,17 @@ impl Hello {
         let mut lines = head.split("\r\n");
         let start = lines.next().ok_or(())?;
         let path = start.strip_prefix("POST ").and_then(|s| s.strip_suffix(" HTTP/1.1")).ok_or(())?;
-        let scheme = [
+        let (scheme, generation) = [
             BlindingScheme::Identity,
             BlindingScheme::ByteMap,
             BlindingScheme::XorRolling,
             BlindingScheme::NibbleSwap,
         ]
         .into_iter()
-        .find(|s| cover_path(*s) == path)
+        .flat_map(|s| {
+            [generation, generation.saturating_sub(1)].map(move |g| (s, g))
+        })
+        .find(|&(s, g)| cover_path_gen(s, g) == path)
         .ok_or(())?;
         let mut nonce = None;
         let mut trace = None;
@@ -97,7 +157,7 @@ impl Hello {
         if !ct_eq(expect.as_bytes(), trace.as_bytes()) {
             return Err(());
         }
-        Ok(Some((Hello { scheme, nonce }, head_end + 4)))
+        Ok(Some((Hello { scheme, nonce, generation }, head_end + 4)))
     }
 }
 
@@ -250,9 +310,9 @@ mod tests {
 
     #[test]
     fn hello_roundtrip() {
-        let hello = Hello { scheme: BlindingScheme::ByteMap, nonce: 0xdead_beef };
+        let hello = Hello { scheme: BlindingScheme::ByteMap, nonce: 0xdead_beef, generation: 0 };
         let wire = hello.encode(SECRET, "cdn.front.example");
-        let (parsed, used) = Hello::parse(SECRET, &wire).unwrap().unwrap();
+        let (parsed, used) = Hello::parse(SECRET, 0, &wire).unwrap().unwrap();
         assert_eq!(parsed, hello);
         assert_eq!(used, wire.len());
         // The preamble must look like printable HTTP to DPI.
@@ -263,18 +323,18 @@ mod tests {
 
     #[test]
     fn hello_rejects_wrong_secret() {
-        let hello = Hello { scheme: BlindingScheme::ByteMap, nonce: 7 };
+        let hello = Hello { scheme: BlindingScheme::ByteMap, nonce: 7, generation: 0 };
         let wire = hello.encode(SECRET, "h");
-        assert!(Hello::parse(b"other-secret", &wire).is_err());
+        assert!(Hello::parse(b"other-secret", 0, &wire).is_err());
     }
 
     #[test]
     fn hello_rejects_garbage_and_honest_http() {
-        assert!(Hello::parse(SECRET, b"GET / HTTP/1.1\r\nHost: x\r\n\r\n").is_err());
+        assert!(Hello::parse(SECRET, 0, b"GET / HTTP/1.1\r\nHost: x\r\n\r\n").is_err());
         let garbage = vec![0xa7u8; 5000];
-        assert!(Hello::parse(SECRET, &garbage).is_err());
+        assert!(Hello::parse(SECRET, 0, &garbage).is_err());
         // Incomplete head: need more data.
-        assert_eq!(Hello::parse(SECRET, b"POST /api/sync HTT").unwrap(), None);
+        assert_eq!(Hello::parse(SECRET, 0, b"POST /api/sync HTT").unwrap(), None);
     }
 
     #[test]
@@ -312,7 +372,7 @@ mod tests {
 
     #[test]
     fn codec_roundtrip_with_and_without_encryption() {
-        let hello = Hello { scheme: BlindingScheme::ByteMap, nonce: 99 };
+        let hello = Hello { scheme: BlindingScheme::ByteMap, nonce: 99, generation: 0 };
         for encrypt in [false, true] {
             let mut a = StreamCodec::new(SECRET, &hello, encrypt, 0);
             let mut b = StreamCodec::new(SECRET, &hello, encrypt, 0);
@@ -332,7 +392,7 @@ mod tests {
         let mut tls = sc_netproto::TlsClient::new("scholar.google.com", 5);
         let hello_bytes = tls.start_handshake();
         assert!(sc_netproto::sniff_sni(&hello_bytes).is_some());
-        let hello = Hello { scheme: BlindingScheme::ByteMap, nonce: 3 };
+        let hello = Hello { scheme: BlindingScheme::ByteMap, nonce: 3, generation: 0 };
         let mut codec = StreamCodec::new(SECRET, &hello, false, 0);
         let mut wire = hello_bytes.clone();
         codec.encode(&mut wire);

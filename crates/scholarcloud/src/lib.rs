@@ -44,7 +44,10 @@ pub mod remote;
 pub mod resilience;
 
 pub use admission::{AdmissionConfig, AdmissionController, Decision, Dequeued, RetryBudget, TokenBucket};
-pub use config::{ResilienceConfig, ScConfig, SchemeHandle, DOMESTIC_PORT, REMOTE_PORT};
+pub use config::{
+    InterferencePad, ResilienceConfig, RotationPolicy, ScConfig, SchemeHandle, DOMESTIC_PORT,
+    REMOTE_PORT,
+};
 pub use sc_cache::{CacheConfig, CacheHandle, CacheStats, ShardMap};
 pub use domestic::DomesticProxy;
 pub use elastic::{

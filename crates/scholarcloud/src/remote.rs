@@ -3,7 +3,7 @@
 //! wall), and relays. Anything that fails authentication — garbage, web
 //! crawlers, the GFW's active prober — gets an nginx-style 400 decoy.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use sc_netproto::socks::TargetAddr;
 use sc_simnet::addr::SocketAddr;
@@ -27,6 +27,12 @@ pub struct RemoteProxy {
     conns: HashMap<TcpHandle, ClientConn>,
     upstreams: HashMap<TcpHandle, TcpHandle>,
     upstream_pending: HashMap<TcpHandle, Vec<u8>>,
+    /// Session nonces already accepted. A valid preamble whose nonce was
+    /// seen before is a *replay* — the adaptive censor capturing and
+    /// re-sending a real client's bytes to see whether we authenticate
+    /// them. Replays get the decoy, so a replayed preamble looks exactly
+    /// like garbage and the probe concludes "innocent web server".
+    seen_nonces: HashSet<u64>,
     /// Authenticated tunnels served (diagnostics).
     pub tunnels: u64,
     /// Decoys served to unauthenticated connections (diagnostics: probes
@@ -43,6 +49,7 @@ impl RemoteProxy {
             conns: HashMap::new(),
             upstreams: HashMap::new(),
             upstream_pending: HashMap::new(),
+            seen_nonces: HashSet::new(),
             tunnels: 0,
             decoys: 0,
         }
@@ -53,6 +60,13 @@ impl RemoteProxy {
         ctx.tcp_close(h);
         self.conns.insert(h, ClientConn::Decoyed);
         self.decoys += 1;
+        // Decoys served to hostile-looking connections (garbage, bad
+        // MACs, replays) are probe sightings the operator's domestic side
+        // can act on; decoys to authenticated-but-misdirected tunnels
+        // (off-whitelist targets) are not.
+        if matches!(reason, "not_preamble" | "bad_preamble_auth" | "replayed_preamble") {
+            self.config.interference.note_probe();
+        }
         sc_obs::counter_add("scholarcloud.decoys_served", 1);
         if sc_obs::is_enabled(sc_obs::Level::Info, "scholarcloud") {
             sc_obs::emit(
@@ -71,7 +85,7 @@ impl RemoteProxy {
     fn advance(&mut self, h: TcpHandle, ctx: &mut Ctx<'_>) {
         if let Some(ClientConn::AwaitHello { buf }) = self.conns.get_mut(&h) {
             let snapshot = std::mem::take(buf);
-            match Hello::parse(&self.config.secret, &snapshot) {
+            match Hello::parse(&self.config.secret, self.config.scheme.generation(), &snapshot) {
                 Ok(None) => {
                     if !could_be_preamble(&snapshot) {
                         self.serve_decoy(h, "not_preamble", ctx);
@@ -87,6 +101,10 @@ impl RemoteProxy {
                     return;
                 }
                 Ok(Some((hello, used))) => {
+                    if !self.seen_nonces.insert(hello.nonce) {
+                        self.serve_decoy(h, "replayed_preamble", ctx);
+                        return;
+                    }
                     // The domestic side constructed its codec with
                     // encrypt = !is_tls, but is_tls is only known after
                     // decoding the header. Break the circularity by

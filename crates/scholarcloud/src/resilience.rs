@@ -418,6 +418,16 @@ impl RemotePool {
         e.breaker.record_success()
     }
 
+    /// Closes a remote's breaker and clears its failure streak without
+    /// recording a synthetic success or RTT sample: used when the
+    /// caller learns the failures were not the remote's fault (the
+    /// censor was killing the *scheme*, and the scheme just rotated).
+    pub fn forgive(&mut self, idx: usize) -> Option<BreakerTransition> {
+        let e = &mut self.entries[idx];
+        e.health.consecutive_failures = 0;
+        e.breaker.record_success()
+    }
+
     /// Records a failed connect (or probe).
     pub fn record_failure(&mut self, idx: usize, now: SimTime) -> Option<BreakerTransition> {
         let e = &mut self.entries[idx];

@@ -15,9 +15,9 @@ proptest! {
     fn hello_roundtrip(scheme in scheme_strategy(), nonce: u64,
                        secret in prop::collection::vec(any::<u8>(), 1..64),
                        host in "[a-z]{1,10}\\.[a-z]{2,6}") {
-        let hello = Hello { scheme, nonce };
+        let hello = Hello { scheme, nonce, generation: 0 };
         let wire = hello.encode(&secret, &host);
-        let (parsed, used) = Hello::parse(&secret, &wire).unwrap().unwrap();
+        let (parsed, used) = Hello::parse(&secret, 0, &wire).unwrap().unwrap();
         prop_assert_eq!(parsed, hello);
         prop_assert_eq!(used, wire.len());
         prop_assert!(could_be_preamble(&wire[..wire.len().min(6)]));
@@ -29,8 +29,8 @@ proptest! {
                             s1 in prop::collection::vec(any::<u8>(), 1..32),
                             s2 in prop::collection::vec(any::<u8>(), 1..32)) {
         prop_assume!(s1 != s2);
-        let wire = Hello { scheme, nonce }.encode(&s1, "h.example");
-        prop_assert!(Hello::parse(&s2, &wire).is_err());
+        let wire = Hello { scheme, nonce, generation: 0 }.encode(&s1, "h.example");
+        prop_assert!(Hello::parse(&s2, 0, &wire).is_err());
     }
 
     /// Stream headers round-trip for all targets.
@@ -51,7 +51,7 @@ proptest! {
                        secret in prop::collection::vec(any::<u8>(), 1..48),
                        data in prop::collection::vec(any::<u8>(), 0..2000),
                        chunk in 1usize..257) {
-        let hello = Hello { scheme, nonce };
+        let hello = Hello { scheme, nonce, generation: 0 };
         let mut tx = StreamCodec::new(&secret, &hello, encrypt, 0);
         let mut rx = StreamCodec::new(&secret, &hello, encrypt, 0);
         let mut wire = data.clone();

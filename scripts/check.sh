@@ -73,6 +73,17 @@ run_gate fleet fleet_chaos --min-fleet-availability 0.80 \
 run_gate elastic elastic_lab --min-availability 0.95 \
     --max-cost-per-load 0.0002 --min-attribution-coverage 95
 
+# Arms race: the adaptive-censor scenario (a reactive GFW that learns
+# cover signatures and actively probes, against detection-driven scheme
+# rotation) — the example itself asserts the rotation-off control
+# collapses below 60% while the defended arm holds ≥90%, that no
+# active probe is ever confirmed, and determinism; scholar-obs then
+# gates the defended arm's trace (the last run's): availability over
+# loads finishing after the first probing campaign, and a 0% probe
+# detection rate (the replay cache must deflect every probe).
+run_gate arms_race arms_race_lab --min-availability-under-campaign 0.90 \
+    --max-detection-rate 0.0 --min-attribution-coverage 95
+
 # Ops: the capacity-incident scenario must fire the PLT SLO with
 # exemplar trace ids attached (the example itself additionally renders
 # the worst exemplar's waterfall and asserts the per-tier exclusive

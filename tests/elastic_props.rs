@@ -102,7 +102,7 @@ proptest! {
             match op {
                 Op::Tick { dt_ms, queue_depth } => {
                     now = now + SimDuration::from_millis(*dt_ms);
-                    for act in pool.tick(now, *queue_depth, &mut draw) {
+                    for act in pool.tick(now, *queue_depth, false, &mut draw) {
                         if let ElasticAction::Retire { addr } = act {
                             prop_assert_eq!(
                                 inflight.get(&addr).copied().unwrap_or(0),
@@ -162,7 +162,7 @@ proptest! {
         }
         for _ in 0..4 {
             now = now + SimDuration::from_secs(10);
-            pool.tick(now, 0, &mut draw);
+            pool.tick(now, 0, false, &mut draw);
         }
         prop_assert_eq!(pool.live_count(), min, "idle pool must settle at min");
     }
@@ -190,7 +190,7 @@ proptest! {
             match op {
                 Op::Tick { dt_ms, queue_depth } => {
                     now = now + SimDuration::from_millis(*dt_ms);
-                    pool.tick(now, *queue_depth, &mut draw);
+                    pool.tick(now, *queue_depth, false, &mut draw);
                 }
                 Op::StreamStart { k } => {
                     let warm = pool.warm_addrs();
